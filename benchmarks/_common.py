@@ -1,0 +1,45 @@
+"""Shared plumbing for the experiment benchmarks.
+
+Every ``bench_*.py`` file reproduces one table (T*) or figure (F*) from
+the synthesized evaluation in EXPERIMENTS.md.  Each exposes:
+
+* ``run_<id>()``       — builds the workload, runs the experiment, returns
+  the rendered :class:`repro.bench.Table` / list of
+  :class:`repro.bench.Series` (and prints it),
+* ``test_<id>(benchmark)`` — pytest-benchmark entry point (one round; the
+  experiments are deterministic, so repetition adds nothing), with sanity
+  assertions on the expected result *shape*.
+
+Run one standalone:  ``python benchmarks/bench_t1_wordcount_scaling.py``
+Run all:             ``pytest benchmarks/ --benchmark-only``
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cluster import Cluster, make_cluster
+from repro.dataflow import (
+    CostModel,
+    DataflowContext,
+    EngineConfig,
+    SimEngine,
+)
+from repro.simcore import Simulator
+
+
+def fresh_cluster(n_racks: int, nodes_per_rack: int,
+                  config: Optional[EngineConfig] = None,
+                  cost: Optional[CostModel] = None,
+                  **kw) -> Tuple[Simulator, Cluster, DataflowContext, SimEngine]:
+    """A fresh simulator + cluster + context + engine for one data point."""
+    sim = Simulator()
+    cluster = make_cluster(sim, n_racks, nodes_per_rack, **kw)
+    ctx = DataflowContext(default_parallelism=2 * len(cluster.nodes))
+    engine = SimEngine(cluster, config=config, cost_model=cost)
+    return sim, cluster, ctx, engine
+
+
+def one_round(benchmark, fn):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+"""A2 (ablation) — broadcast variables vs per-task closure shipping.
+
+A lookup table used by every task of a 64-task job on 8 nodes.  With
+broadcasting the table crosses the network at most (nodes - 1) times;
+the ablation (modeling closure capture) ships it once per *task*.
+Expected: traffic ratio ≈ tasks / nodes, growing with task count.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import fresh_cluster, one_round
+
+from repro.bench import Table
+from repro.dataflow import CostModel
+
+
+def _run(n_tasks: int):
+    sim, cluster, ctx, engine = fresh_cluster(2, 4)
+    table_data = {i: i * i for i in range(5000)}
+    bc = ctx.broadcast(table_data)
+    ds = ctx.range(n_tasks, n_tasks).map(lambda x: bc.value[x % 5000])
+    res = sim.run_until_done(engine.collect(ds))
+    broadcast_traffic = res.metrics.broadcast_bytes
+    closure_traffic = bc.size_bytes * n_tasks      # the ablated design
+    return bc.size_bytes, broadcast_traffic, closure_traffic
+
+
+def run_a2() -> Table:
+    table = Table("A2: broadcast vs per-task closure shipping (8 nodes)",
+                  ["tasks", "payload_kB", "broadcast_MB",
+                   "per_task_MB", "saving_x"])
+    for n_tasks in [16, 64, 256]:
+        size, bc_traffic, closure_traffic = _run(n_tasks)
+        table.add_row([n_tasks, size / 1e3, bc_traffic / 1e6,
+                       closure_traffic / 1e6,
+                       closure_traffic / max(bc_traffic, 1)])
+    table.show()
+    return table
+
+
+def test_a2_broadcast(benchmark):
+    table = one_round(benchmark, run_a2)
+    savings = [float(x) for x in table.column("saving_x")]
+    # saving grows with task count and reaches tasks/nodes scale
+    assert savings == sorted(savings)
+    assert savings[-1] > 256 / 8 * 0.8
+
+
+if __name__ == "__main__":
+    run_a2()

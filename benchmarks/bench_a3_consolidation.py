@@ -1,0 +1,69 @@
+"""A3 (ablation) — VM consolidation: energy saving vs migration cost.
+
+A fleet packed with first-fit, then churned (a fraction of VMs leave).
+Consolidation drains under-utilized hosts; the dirty-page rate of the
+workloads governs how expensive each migration is.  Expected shape:
+hosts freed grows with churn; migration time grows with dirty rate while
+the freed-host count is unchanged (migrations move the same VMs).
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import one_round
+
+import numpy as np
+
+from repro.bench import Table
+from repro.cloud import HostSpec, VMSpec, consolidate, place_online
+from repro.common.units import Gbit_per_s
+
+BW = Gbit_per_s(10)
+
+
+def _churned_fleet(churn_frac: float, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    specs = [VMSpec(float(rng.choice([1, 2, 4])),
+                    float(rng.choice([4, 8, 16]))) for _ in range(200)]
+    res = place_online(specs, HostSpec(16, 64), "first_fit")
+    hosts, vms = res.hosts, res.vms
+    by_name = {h.name: h for h in hosts}
+    n_remove = int(len(vms) * churn_frac)
+    order = rng.permutation(len(vms))[:n_remove]
+    for i in order:
+        vm = vms[int(i)]
+        by_name[vm.host].remove(vm)
+    return hosts
+
+
+def run_a3() -> Table:
+    table = Table("A3: consolidation after churn (200 VMs, 10 Gbit/s)",
+                  ["churn", "dirty_frac", "hosts_before", "hosts_after",
+                   "energy_saving", "migrations", "migration_time_s"])
+    for churn in [0.3, 0.5, 0.7]:
+        for dirty in [0.0, 0.5]:
+            hosts = _churned_fleet(churn)
+            res = consolidate(hosts, bandwidth=BW, dirty_rate=dirty * BW)
+            table.add_row([churn, dirty, res.hosts_before, res.hosts_after,
+                           res.energy_saving_frac, res.migrations,
+                           res.migration_time])
+    table.show()
+    return table
+
+
+def test_a3_consolidation(benchmark):
+    table = one_round(benchmark, run_a3)
+    saving = [float(x) for x in table.column("energy_saving")]
+    times = [float(x) for x in table.column("migration_time_s")]
+    # more churn leaves more stranded capacity to reclaim
+    assert saving[4] > saving[0]          # churn 0.7 vs 0.3 (dirty 0)
+    # dirty workloads make the *same* consolidation more expensive
+    for i in range(0, 6, 2):
+        assert times[i + 1] > times[i]
+        assert saving[i + 1] == saving[i]
+    # consolidation genuinely frees hosts at every point
+    assert all(s > 0 for s in saving)
+
+
+if __name__ == "__main__":
+    run_a3()

@@ -1,0 +1,73 @@
+"""A6 (ablation) — allreduce algorithm choice vs message size.
+
+Ring, binomial-tree, and naive all-to-all allreduce over an 8-host,
+10 Gbit/s network with 50 us link latency.  Expected (the MPI-tuning
+classic): the latency-bound tree wins small messages; the bandwidth-
+optimal ring wins large ones; naive all-to-all transmits (n-1)x the bytes
+and loses everywhere that bandwidth matters.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import one_round
+
+from repro.bench import Series, Table
+from repro.common.units import Gbit_per_s, KB, MB, us
+from repro.net import (
+    NetworkSim,
+    naive_allreduce,
+    ring_allreduce,
+    star,
+    tree_allreduce,
+)
+from repro.simcore import Simulator
+
+SIZES = [KB(4), KB(64), MB(1), MB(16), MB(64)]
+ALGOS = [("ring", ring_allreduce), ("tree", tree_allreduce),
+         ("naive", naive_allreduce)]
+
+
+def _run(algo, nbytes):
+    topo = star(8, host_bw=Gbit_per_s(10), latency=us(50))
+    sim = Simulator()
+    net = NetworkSim(sim, topo)
+    return sim.run_until_done(algo(net, topo.hosts, nbytes))
+
+
+def run_a6():
+    table = Table("A6: allreduce over 8 ranks, 10 Gbit/s + 50 us links",
+                  ["payload", "ring_ms", "tree_ms", "naive_ms", "winner"])
+    series = {name: Series(name) for name, _ in ALGOS}
+    for size in SIZES:
+        times = {}
+        for name, algo in ALGOS:
+            r = _run(algo, size)
+            times[name] = r.duration * 1e3
+            series[name].add(size, r.duration * 1e3)
+        winner = min(times, key=times.get)
+        label = f"{size // 1024}KB" if size < MB(1) else f"{size // MB(1)}MB"
+        table.add_row([label, times["ring"], times["tree"], times["naive"],
+                       winner])
+    table.show()
+    for s in series.values():
+        s.show()
+    return table
+
+
+def test_a6_allreduce(benchmark):
+    table = one_round(benchmark, run_a6)
+    winners = table.column("winner")
+    ring = [float(x) for x in table.column("ring_ms")]
+    tree = [float(x) for x in table.column("tree_ms")]
+    naive = [float(x) for x in table.column("naive_ms")]
+    # tree beats ring on the smallest payload; ring wins the largest
+    assert tree[0] < ring[0]
+    assert ring[-1] < tree[-1]
+    assert winners[-1] == "ring"
+    # naive's quadratic traffic loses badly at the large end
+    assert naive[-1] > 2 * ring[-1]
+
+
+if __name__ == "__main__":
+    run_a6()

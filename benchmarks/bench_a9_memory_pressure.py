@@ -1,0 +1,60 @@
+"""A9 (ablation) — executor memory vs shuffle spill.
+
+A group-by whose reduce input (~48 MB over 8 reducers) is swept against
+executor memory.  Expected (the Spark-tuning classic): with ample memory
+no spill and the fastest run; shrinking memory forces external-sort
+spills (write + read back the overflow), inflating job time; the damage
+saturates once nearly everything spills.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import fresh_cluster, one_round
+
+from repro.bench import Series, Table
+from repro.common.units import MB
+from repro.dataflow import CostModel, EngineConfig
+
+MEMORIES = [float("inf"), MB(16), MB(4), MB(1)]
+COST = CostModel(min_record_bytes=2000.0)
+
+
+def _run(memory: float):
+    sim, cluster, ctx, engine = fresh_cluster(
+        2, 4, config=EngineConfig(executor_memory=memory), cost=COST)
+    ds = ctx.parallelize([(i % 8, "x") for i in range(24_000)], 16) \
+        .group_by_key(8)
+    res = sim.run_until_done(engine.collect(ds))
+    assert len(res.value) == 8
+    return res.metrics
+
+
+def run_a9():
+    table = Table("A9: executor memory vs spill (48 MB shuffle, 8 reducers)",
+                  ["executor_memory_MB", "spill_MB", "duration_s"])
+    series = Series("job duration (s)")
+    for mem in MEMORIES:
+        m = _run(mem)
+        label = "inf" if mem == float("inf") else mem / 1e6
+        table.add_row([label, m.spill_bytes / 1e6, m.duration])
+        series.add(-1 if mem == float("inf") else mem / 1e6, m.duration)
+    table.show()
+    series.show()
+    return table
+
+
+def test_a9_memory_pressure(benchmark):
+    table = one_round(benchmark, run_a9)
+    spill = [float(x) for x in table.column("spill_MB")]
+    dur = [float(x) for x in table.column("duration_s")]
+    # no pressure, no spill, fastest
+    assert spill[0] == 0.0
+    assert dur[0] == min(dur)
+    # spill grows monotonically as memory shrinks, and it costs real time
+    assert all(b >= a for a, b in zip(spill, spill[1:]))
+    assert dur[-1] > 2 * dur[0]
+
+
+if __name__ == "__main__":
+    run_a9()

@@ -1,0 +1,66 @@
+"""F2 — Delay scheduling: locality and completion time vs wait threshold.
+
+All input blocks live on two of eight nodes (16 tasks, 8 local slots).
+Expected shape: with zero wait half the tasks run remote and pay the
+network; waiting *longer than a task's duration* frees local slots and
+buys full locality, which wins overall; waits shorter than a task
+duration are the worst of both worlds — the task burns its wait and still
+runs remote.  This is exactly the published guidance: set the delay to a
+small multiple of the expected task length.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import fresh_cluster, one_round
+
+from repro.bench import Series, Table
+from repro.dataflow import CostModel, EngineConfig
+
+WAITS = [0.0, 0.25, 0.5, 1.0, 2.0, 6.0]
+COST = CostModel(cpu_per_record=2e-4, min_record_bytes=1e5)
+
+
+def _run(wait: float):
+    sim, cluster, ctx, engine = fresh_cluster(
+        2, 4, config=EngineConfig(locality_wait=wait,
+                                  check_interval=0.05), cost=COST)
+    parts = [[i] * 1500 for i in range(16)]
+    locs = [["h0_0", "h0_1"]] * 16        # all data on two nodes
+    ds = ctx.from_partitions(parts, locations=locs).map(lambda x: x + 1)
+    res = sim.run_until_done(engine.collect(ds))
+    return res.metrics.locality_fraction, res.metrics.duration
+
+
+def run_f2():
+    table = Table("F2: delay scheduling (16 tasks, data on 2 of 8 nodes)",
+                  ["wait_s", "node_local_fraction", "job_duration_s"])
+    loc_series = Series("locality fraction")
+    dur_series = Series("job duration (s)")
+    for wait in WAITS:
+        frac, dur = _run(wait)
+        table.add_row([wait, frac, dur])
+        loc_series.add(wait, frac)
+        dur_series.add(wait, dur)
+    table.show()
+    loc_series.show()
+    dur_series.show()
+    return table
+
+
+def test_f2_delay_scheduling(benchmark):
+    table = one_round(benchmark, run_f2)
+    fracs = [float(x) for x in table.column("node_local_fraction")]
+    durs = [float(x) for x in table.column("job_duration_s")]
+    # a sufficient wait buys full locality; zero wait leaves half remote
+    assert fracs[0] < 0.8
+    assert fracs[-1] == 1.0
+    # full locality beats the remote-heavy zero-wait run
+    assert min(durs[3:]) < durs[0]
+    # the classic pathology: waits shorter than a task's duration pay the
+    # wait AND still go remote — strictly worse than not waiting
+    assert durs[1] > durs[0] and durs[2] > durs[0]
+
+
+if __name__ == "__main__":
+    run_f2()

@@ -1,0 +1,69 @@
+"""F3 — Speculative execution vs straggler severity.
+
+One of eight nodes runs slower by a sweep factor.  Expected shape: without
+speculation the job is held hostage by the slow node (duration scales like
+the slowdown); with speculation, clones on healthy nodes cap the tail, so
+the curve stays nearly flat.  At slowdown 1 (no straggler) speculation
+must cost ~nothing.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import fresh_cluster, one_round
+
+from repro.bench import Series, Table
+from repro.dataflow import CostModel, EngineConfig
+
+COST = CostModel(cpu_per_record=2e-4)
+SLOWDOWNS = [1.0, 2.0, 5.0, 10.0]
+
+
+def _run(slowdown: float, speculate: bool):
+    speeds = [1.0] * 7 + [1.0 / slowdown]
+    cfg = EngineConfig(speculation=speculate, check_interval=0.05)
+    sim, cluster, ctx, engine = fresh_cluster(
+        2, 4, config=cfg, cost=COST, speed_factors=speeds)
+    ds = ctx.range(40_000, 16).map(lambda x: x * 2)
+    res = sim.run_until_done(engine.collect(ds))
+    assert len(res.value) == 40_000
+    return res.metrics
+
+
+def run_f3():
+    table = Table("F3: speculation vs straggler severity (1 slow node of 8)",
+                  ["slowdown", "no_spec_s", "spec_s", "improvement",
+                   "clones", "clone_wins"])
+    s_no = Series("no speculation")
+    s_yes = Series("speculation")
+    for slow in SLOWDOWNS:
+        m_no = _run(slow, False)
+        m_yes = _run(slow, True)
+        table.add_row([slow, m_no.duration, m_yes.duration,
+                       m_no.duration / m_yes.duration,
+                       m_yes.n_speculative, m_yes.n_spec_wins])
+        s_no.add(slow, m_no.duration)
+        s_yes.add(slow, m_yes.duration)
+    table.show()
+    s_no.show()
+    s_yes.show()
+    return table
+
+
+def test_f3_speculation(benchmark):
+    table = one_round(benchmark, run_f3)
+    no_spec = [float(x) for x in table.column("no_spec_s")]
+    spec = [float(x) for x in table.column("spec_s")]
+    imp = [float(x) for x in table.column("improvement")]
+    # without speculation the straggler dominates (monotone growth)
+    assert no_spec[-1] > 3 * no_spec[0]
+    # speculation caps the tail: far flatter curve
+    assert spec[-1] < no_spec[-1] / 2
+    # no-straggler case: speculation costs (almost) nothing
+    assert 0.8 < imp[0] < 1.3
+    # improvement grows with severity
+    assert imp[-1] > imp[0]
+
+
+if __name__ == "__main__":
+    run_f3()

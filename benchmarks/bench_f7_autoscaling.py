@@ -1,0 +1,66 @@
+"""F7 — Autoscaling under bursty (MMPP) load: SLO violations vs cost.
+
+A Markov-modulated load alternates calm and burst phases.  Expected
+shape: static provisioning traces the cost/SLO frontier's corners
+(cheap-but-violating vs expensive-but-safe); the reactive threshold
+policy lands between them; the predictive (forecast + backlog-aware)
+policy dominates threshold — fewer violations at comparable or lower
+cost.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import one_round
+
+import numpy as np
+
+from repro.bench import Table
+from repro.cloud import PredictivePolicy, StaticPolicy, ThresholdPolicy
+from repro.cloud.autoscale import simulate_autoscaling
+from repro.workloads import mmpp_rate_trace
+
+MU = 10.0
+LOAD = mmpp_rate_trace(low_rate=40, high_rate=180, duration=4 * 3600,
+                       mean_low_dwell=600, mean_high_dwell=180, seed=21)
+SLO = 0.5
+
+
+def run_f7() -> Table:
+    table = Table("F7: autoscaling a bursty (MMPP) service, SLO = 0.5s",
+                  ["policy", "mean_instances", "instance_hours",
+                   "slo_violation_pct", "p99_backlog_s"])
+    policies = [
+        ("static-lean", StaticPolicy(6)),
+        ("static-fat", StaticPolicy(20)),
+        ("threshold", ThresholdPolicy(high=0.8, low=0.3)),
+        ("predictive", PredictivePolicy(mu=MU)),
+    ]
+    results = {}
+    for name, pol in policies:
+        r = simulate_autoscaling(pol, LOAD, MU, initial_instances=6,
+                                 slo_threshold=SLO)
+        results[name] = r
+        table.add_row([name, r.mean_instances, r.instance_seconds / 3600,
+                       100 * r.slo_violation_frac, r.p99_latency])
+    table.show()
+    return table, results
+
+
+def test_f7_autoscaling(benchmark):
+    table, results = one_round(benchmark, run_f7)
+    lean, fat = results["static-lean"], results["static-fat"]
+    thr, pred = results["threshold"], results["predictive"]
+    # the two static corners: cheap-and-violating vs safe-and-expensive
+    assert lean.slo_violation_frac > fat.slo_violation_frac
+    assert lean.mean_instances < fat.mean_instances
+    assert fat.slo_violation_frac < 0.05
+    # predictive dominates threshold: fewer violations, no pricier
+    assert pred.slo_violation_frac <= thr.slo_violation_frac
+    assert pred.mean_instances <= thr.mean_instances * 1.15
+    # and both adaptive policies are far cheaper than fat static
+    assert pred.mean_instances < fat.mean_instances * 0.8
+
+
+if __name__ == "__main__":
+    run_f7()

@@ -1,0 +1,64 @@
+"""T1 — WordCount strong scaling and parallel efficiency.
+
+Fixed corpus, cluster grown from 1 to 16 nodes.  Expected shape:
+near-linear speedup at small scale, efficiency decaying as per-task
+overhead and shuffle traffic become comparable to useful compute.
+"""
+
+import operator
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import fresh_cluster, one_round
+
+from repro.bench import Table
+from repro.dataflow import CostModel
+from repro.workloads import zipf_text
+
+COST = CostModel(cpu_per_record=5e-5, task_overhead=5e-3)
+DOCS = zipf_text(n_docs=200, words_per_doc=120, vocab_size=800,
+                 skew=1.0, seed=1)
+SCALES = [(1, 1), (1, 2), (1, 4), (2, 4), (4, 4)]   # 1..16 nodes
+
+
+def _run_at(n_racks: int, nodes: int) -> float:
+    sim, cluster, ctx, engine = fresh_cluster(n_racks, nodes, cost=COST)
+    n_parts = max(2, 2 * len(cluster.nodes))
+    wc = (ctx.parallelize(DOCS, n_parts)
+          .flat_map(str.split)
+          .map(lambda w: (w, 1))
+          .reduce_by_key(operator.add, n_parts))
+    res = sim.run_until_done(engine.collect(wc))
+    # correctness every time: the distributed result must match local
+    assert sorted(res.value) == sorted(wc.collect())
+    return res.metrics.duration
+
+
+def run_t1() -> Table:
+    table = Table("T1: WordCount strong scaling (fixed 24k-word corpus)",
+                  ["nodes", "duration_s", "speedup", "efficiency"])
+    base = None
+    for n_racks, nodes in SCALES:
+        n = n_racks * nodes
+        dur = _run_at(n_racks, nodes)
+        if base is None:
+            base = dur
+        table.add_row([n, dur, base / dur, base / dur / n])
+    table.show()
+    return table
+
+
+def test_t1_wordcount_scaling(benchmark):
+    table = one_round(benchmark, run_t1)
+    speedups = [float(s) for s in table.column("speedup")]
+    # speedup must be monotone-ish and real: >2x at 8 nodes
+    assert speedups[0] == 1.0
+    assert speedups[3] > 2.0
+    assert speedups[4] >= speedups[3] * 0.9
+    # efficiency decays with scale (the point of the table)
+    effs = [float(e) for e in table.column("efficiency")]
+    assert effs[-1] < effs[0]
+
+
+if __name__ == "__main__":
+    run_t1()

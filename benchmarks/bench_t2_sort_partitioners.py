@@ -1,0 +1,65 @@
+"""T2 — Distributed sort: range vs hash partitioning, partition-count sweep.
+
+Expected shape: the sampling range partitioner yields globally sorted
+output with near-perfect balance on (near-)uniform keys; hash partitioning
+balances but cannot give global order.  Increasing partitions shrinks the
+longest task until per-task overhead dominates.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import fresh_cluster, one_round
+
+from repro.bench import Table
+from repro.dataflow import CostModel, HashPartitioner
+from repro.workloads import teragen
+
+COST = CostModel(cpu_per_record=2e-5)
+RECORDS = teragen(15_000, seed=2)
+
+
+def _sort_with(n_partitions: int):
+    sim, cluster, ctx, engine = fresh_cluster(2, 4, cost=COST)
+    data = ctx.parallelize(RECORDS, 8)
+    job = data.sort_by(lambda kv: kv[0], n_partitions=n_partitions)
+    res = sim.run_until_done(engine.collect(job))
+    keys = [k for k, _ in res.value]
+    assert keys == sorted(keys), "range-partitioned output must be sorted"
+    parts = ctx.local_executor.collect_partitions(job)
+    sizes = [len(p) for p in parts if p]
+    imbalance = max(sizes) / (sum(sizes) / len(sizes))
+    return res.metrics.duration, imbalance
+
+
+def _hash_balance(n_partitions: int) -> float:
+    from repro.dataflow import DataflowContext
+    ctx = DataflowContext()
+    data = ctx.parallelize(RECORDS, 8).partition_by(
+        HashPartitioner(n_partitions))
+    parts = ctx.local_executor.collect_partitions(data)
+    sizes = [len(p) for p in parts if p]
+    return max(sizes) / (sum(sizes) / len(sizes))
+
+
+def run_t2() -> Table:
+    table = Table("T2: distributed sort of 15k TeraGen records",
+                  ["partitions", "range_duration_s", "range_imbalance",
+                   "hash_imbalance", "hash_sorted_globally"])
+    for n in [2, 4, 8, 16]:
+        dur, imb = _sort_with(n)
+        table.add_row([n, dur, imb, _hash_balance(n), False])
+    table.show()
+    return table
+
+
+def test_t2_sort_partitioners(benchmark):
+    table = one_round(benchmark, run_t2)
+    imbalances = [float(x) for x in table.column("range_imbalance")]
+    assert all(i < 1.3 for i in imbalances)     # sampling balances well
+    durations = [float(x) for x in table.column("range_duration_s")]
+    assert durations[2] < durations[0]          # more partitions help at first
+
+
+if __name__ == "__main__":
+    run_t2()

@@ -1,0 +1,63 @@
+"""T3 — Cluster job schedulers on a Google-trace-style mix.
+
+Expected shape: FIFO suffers head-of-line blocking (worst median JCT for
+short jobs); Fair and DRF cut short-job latency and raise the fairness
+index; SRPT minimizes mean JCT; utilization is comparable across policies
+(all are work-conserving).
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import one_round
+
+from repro.bench import Table
+from repro.scheduler import Resources, make_scheduling_policy, run_schedule
+from repro.workloads import job_mix
+
+SPECS = job_mix(n_jobs=80, horizon=300.0, seed=7)
+CAPACITY = Resources(cpus=48, mem=192)
+
+POLICIES = [
+    ("fifo", {}),
+    ("fair", {}),
+    ("capacity", {"guarantees": {"prod": 0.6, "dev": 0.4}}),
+    ("srpt", {}),
+    ("drf", {}),
+]
+
+
+def run_t3() -> Table:
+    table = Table("T3: schedulers on an 80-job heavy-tailed mix "
+                  "(48 cpus / 192 mem)",
+                  ["policy", "mean_jct_s", "median_jct_s", "p95_jct_s",
+                   "mean_slowdown", "jain_fairness", "makespan_s",
+                   "utilization"])
+    for name, kwargs in POLICIES:
+        res = run_schedule(SPECS, CAPACITY,
+                           make_scheduling_policy(name, **kwargs))
+        table.add_row([name, res.mean_jct, res.median_jct, res.p95_jct,
+                       res.mean_slowdown, res.fairness, res.makespan,
+                       res.cpu_utilization])
+    table.show()
+    return table
+
+
+def test_t3_schedulers(benchmark):
+    table = one_round(benchmark, run_t3)
+    rows = {p: i for i, p in enumerate(table.column("policy"))}
+    mean = [float(x) for x in table.column("mean_jct_s")]
+    fair = [float(x) for x in table.column("jain_fairness")]
+    med = [float(x) for x in table.column("median_jct_s")]
+    # SRPT minimizes mean JCT across the board
+    assert mean[rows["srpt"]] == min(mean)
+    # fair sharing beats FIFO on fairness and median JCT
+    assert fair[rows["fair"]] > fair[rows["fifo"]]
+    assert med[rows["fair"]] < med[rows["fifo"]]
+    # every policy is work-conserving: similar makespan (within 15%)
+    spans = [float(x) for x in table.column("makespan_s")]
+    assert max(spans) / min(spans) < 1.15
+
+
+if __name__ == "__main__":
+    run_t3()

@@ -1,0 +1,107 @@
+"""T5 — 3-way replication vs Reed–Solomon RS(6,3) erasure coding.
+
+Expected shape (the HDFS-EC tradeoff): EC halves storage (1.5x vs 3x
+overhead) and cuts write traffic, while repairing one lost piece costs k
+fragment reads (the reconstruction-traffic amplification that makes EC
+repair expensive).  Full-stripe reads are already k-wide, so *file* reads
+under EC are fast (parallel I/O) and a degraded full-file read costs about
+the same as a healthy one — the EC read penalty materializes in the
+repair path, which the last column isolates.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import one_round
+
+import numpy as np
+
+from repro.bench import Table
+from repro.cluster import make_cluster
+from repro.common.units import MB
+from repro.simcore import Simulator
+from repro.storage import DFSConfig, DistributedFS
+
+FILE_MB = 24
+
+
+def _run_scheme(mode: str):
+    sim = Simulator()
+    cluster = make_cluster(sim, n_racks=3, nodes_per_rack=4)
+    fs = DistributedFS(cluster, DFSConfig(block_size=MB(4),
+                                          detection_delay=1.0), seed=5)
+    size = MB(FILE_MB)
+    net = cluster.net
+    sim.run_until_done(fs.write("/data", size=size, writer="h0_0",
+                                mode=mode))
+    stored = fs.stored_bytes()
+    write_traffic = net.total_bytes
+
+    # healthy read from the node holding the fewest pieces of the file
+    blk0 = fs.blocks_of("/data")[0]
+    held = {n: 0 for n in cluster.node_names}
+    for b in fs.blocks_of("/data"):
+        for n in b.nodes():
+            held[n] += 1
+    outside = min(held, key=lambda n: (held[n], n))
+    t0 = sim.now
+    sim.run_until_done(fs.read("/data", reader=outside))
+    healthy_read_s = sim.now - t0
+
+    # kill one piece-holder -> degraded read
+    victim = blk0.locations[0]
+    cluster.nodes[victim].fail()
+    t0 = sim.now
+    sim.run_until_done(fs.read("/data", reader=outside))
+    degraded_read_s = sim.now - t0
+
+    # let repair complete, measure reconstruction traffic
+    sim.run(until=sim.now + 300)
+    repair = fs.repair_bytes
+    return {
+        "overhead": stored / size,
+        "write_traffic": write_traffic / size,
+        "healthy_read_s": healthy_read_s,
+        "degraded_read_s": degraded_read_s,
+        "repair_amplification": repair / (size / (FILE_MB / 4) *
+                                          (1 if mode == "replicate"
+                                           else 1 / 6)),
+        "repair_bytes": repair,
+    }
+
+
+def run_t5() -> Table:
+    table = Table(f"T5: replication(3) vs RS(6,3) on a {FILE_MB} MB file",
+                  ["scheme", "storage_overhead", "write_traffic_x",
+                   "healthy_read_s", "degraded_read_s",
+                   "repair_bytes_per_lost_byte"])
+    rows = {}
+    for mode, label in [("replicate", "3x-replication"), ("ec", "RS(6,3)")]:
+        r = _run_scheme(mode)
+        lost = MB(4) if mode == "replicate" else MB(4) / 6
+        # bytes lost on the victim node for the first block
+        table.add_row([label, r["overhead"], r["write_traffic"],
+                       r["healthy_read_s"], r["degraded_read_s"],
+                       r["repair_bytes"] / max(lost * (FILE_MB // 4), 1)])
+        rows[mode] = r
+    table.show()
+    return table, rows
+
+
+def test_t5_storage_codes(benchmark):
+    table, rows = one_round(benchmark, run_t5)
+    rep, ec = rows["replicate"], rows["ec"]
+    # EC halves storage and cuts write traffic
+    assert ec["overhead"] < rep["overhead"] / 1.8
+    assert ec["write_traffic"] < rep["write_traffic"]
+    # both schemes keep serving reads through one node loss
+    assert ec["degraded_read_s"] > 0 and rep["degraded_read_s"] > 0
+    # repair amplification: EC reads ~k fragments per lost fragment,
+    # replication copies exactly what was lost
+    amp = [float(x) for x in table.column("repair_bytes_per_lost_byte")]
+    assert amp[0] == 1.0          # replication
+    assert amp[1] >= 4.0          # RS(6,3): ~k-fold
+
+
+if __name__ == "__main__":
+    run_t5()

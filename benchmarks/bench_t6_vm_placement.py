@@ -1,0 +1,74 @@
+"""T6 — VM placement bin-packing quality.
+
+300 VMs of mixed flavors onto 32-cpu/128-mem hosts.  Expected shape:
+offline FFD/BFD pack within a few percent of the LP lower bound; online
+first/best-fit trail slightly; worst-fit (load levelling) opens the most
+hosts and strands the most capacity.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import one_round
+
+import numpy as np
+
+from repro.bench import Table
+from repro.cloud import (
+    HostSpec,
+    VMSpec,
+    lower_bound_hosts,
+    place_offline,
+    place_online,
+)
+
+FLAVORS = [VMSpec(3, 7, "small"), VMSpec(5, 18, "medium"),
+           VMSpec(7, 30, "large"), VMSpec(11, 44, "xlarge"),
+           VMSpec(13, 26, "cpu-lean")]
+HOST = HostSpec(cpus=32, mem=128)
+
+
+def _requests():
+    rng = np.random.default_rng(0)
+    probs = [0.35, 0.25, 0.2, 0.12, 0.08]
+    return [FLAVORS[i] for i in rng.choice(len(FLAVORS), size=300, p=probs)]
+
+
+def run_t6() -> Table:
+    reqs = _requests()
+    lb = lower_bound_hosts(reqs, HOST)
+    table = Table(f"T6: packing 300 VMs (LP lower bound = {lb} hosts)",
+                  ["strategy", "hosts_used", "vs_lower_bound",
+                   "mean_utilization", "fragmentation"])
+    for strategy in ["first_fit", "best_fit", "worst_fit"]:
+        res = place_online(reqs, HOST, strategy)
+        table.add_row([f"online {strategy}", res.hosts_used,
+                       res.hosts_used / lb, res.mean_utilization(),
+                       res.fragmentation()])
+    for strategy in ["first_fit", "best_fit"]:
+        res = place_offline(reqs, HOST, strategy)
+        label = "offline FFD" if strategy == "first_fit" else "offline BFD"
+        table.add_row([label, res.hosts_used, res.hosts_used / lb,
+                       res.mean_utilization(), res.fragmentation()])
+    table.show()
+    return table
+
+
+def test_t6_vm_placement(benchmark):
+    table = one_round(benchmark, run_t6)
+    used = [int(x) for x in table.column("hosts_used")]
+    ratios = [float(x) for x in table.column("vs_lower_bound")]
+    ff_on, bf_on, wf_on, ffd, bfd = range(5)
+    # every packing respects the bound
+    assert all(r >= 1.0 for r in ratios)
+    # offline decreasing-order packing is at least as good as online
+    assert used[ffd] <= used[ff_on]
+    assert used[bfd] <= used[bf_on]
+    # offline stays within ~15% of the LP bound on this mix
+    assert ratios[ffd] < 1.15
+    # worst-fit is the loosest packer
+    assert used[wf_on] >= max(used[ff_on], used[bf_on])
+
+
+if __name__ == "__main__":
+    run_t6()

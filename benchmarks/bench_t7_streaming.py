@@ -1,0 +1,77 @@
+"""T7 — Micro-batch streaming: latency vs batch interval and the
+stability knee.
+
+Fixed offered rate; batch interval swept.  Expected shape: latency ≈
+interval/2 + processing time while stable, so small intervals give low
+latency — until the fixed per-batch scheduling overhead no longer fits in
+the interval and the system destabilizes (the knee).  A second sweep
+holds the interval and raises the rate past the capacity knee.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import one_round
+
+from repro.bench import Series, Table
+from repro.streaming import MicroBatchConfig, run_microbatch
+
+RATE = 20_000.0
+INTERVALS = [0.05, 0.25, 0.5, 1.0, 2.0, 4.0]
+PER_RECORD = 1e-5
+PARALLELISM = 4
+OVERHEAD = 0.08
+
+
+def run_t7():
+    table = Table(
+        f"T7: micro-batch latency vs interval (rate {RATE:.0f} rec/s)",
+        ["interval_s", "p50_latency_s", "p95_latency_s", "throughput",
+         "max_backlog", "stable"])
+    series = Series("p95 latency")
+    for interval in INTERVALS:
+        cfg = MicroBatchConfig(batch_interval=interval,
+                               per_record_cost=PER_RECORD,
+                               parallelism=PARALLELISM,
+                               scheduling_overhead=OVERHEAD)
+        res = run_microbatch(lambda t: RATE, cfg, duration=240.0)
+        table.add_row([interval, res.latency.p50, res.latency.p95,
+                       res.throughput, res.max_backlog, res.stable])
+        series.add(interval, res.latency.p95)
+    table.show()
+    series.show()
+
+    # rate sweep at fixed interval: find the capacity knee
+    knee = Table("T7b: stability vs offered rate (interval 1s)",
+                 ["rate", "p95_latency_s", "stable"])
+    cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=PER_RECORD,
+                           parallelism=PARALLELISM,
+                           scheduling_overhead=OVERHEAD)
+    capacity = (1.0 - OVERHEAD) * PARALLELISM / PER_RECORD
+    for mult in [0.5, 0.8, 0.95, 1.1, 1.5]:
+        res = run_microbatch(lambda t: capacity * mult, cfg, duration=240.0)
+        knee.add_row([capacity * mult, res.latency.p95, res.stable])
+    knee.show()
+    return table, knee
+
+
+def test_t7_streaming(benchmark):
+    table, knee = one_round(benchmark, run_t7)
+    p50 = [float(x) for x in table.column("p50_latency_s")]
+    stable = [x == "True" for x in table.column("stable")]
+    intervals = INTERVALS
+    # the smallest interval cannot absorb the fixed overhead: unstable
+    assert not stable[0]
+    # once stable, latency grows with the interval (≈ interval/2 + work)
+    stable_lat = [l for l, s in zip(p50, stable) if s]
+    assert stable_lat == sorted(stable_lat)
+    # latency ≈ 1.5x interval rule of thumb holds at the largest interval
+    assert 0.5 * intervals[-1] < stable_lat[-1] < 1.5 * intervals[-1]
+    # capacity knee: stable below, unstable above
+    knee_stable = [x == "True" for x in knee.column("stable")]
+    assert knee_stable[0] and knee_stable[1]
+    assert not knee_stable[-1]
+
+
+if __name__ == "__main__":
+    run_t7()

@@ -1,0 +1,67 @@
+"""T8 — Synchronous vs asynchronous data-parallel SGD under stragglers.
+
+Same data, same per-update budget; one of eight workers slowed by a sweep
+factor.  Expected shape: both modes reach the target loss on clean
+clusters; sync wall-clock degrades proportionally to the slowest worker
+while async barely notices — so time-to-target crosses over as straggler
+severity rises, at the price of gradient staleness.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import one_round
+
+from repro.bench import Table
+from repro.ml import DistTrainConfig, make_classification, train_distributed
+
+X, Y = make_classification(4000, 10, separation=4.0, seed=0)
+TARGET_LOSS = 0.10
+SLOWDOWNS = [1.0, 2.0, 5.0, 10.0]
+
+
+def _run(mode: str, slowdown: float):
+    speeds = [1.0] * 7 + [1.0 / slowdown]
+    # equal gradient budgets: one sync update = 8 worker gradients, so
+    # async gets 8x the (single-gradient) updates
+    updates = 400 if mode == "sync" else 3200
+    cfg = DistTrainConfig(mode=mode, n_workers=8, total_updates=updates,
+                          grad_compute_time=0.05, comm_time=0.01,
+                          eval_every=10 if mode == "sync" else 80)
+    return train_distributed(X, Y, cfg, worker_speeds=speeds, seed=2)
+
+
+def run_t8() -> Table:
+    table = Table(f"T8: sync vs async SGD, time to loss {TARGET_LOSS}",
+                  ["slowdown", "sync_t_s", "async_t_s", "async_advantage",
+                   "sync_final_loss", "async_final_loss",
+                   "async_staleness"])
+    for slow in SLOWDOWNS:
+        s = _run("sync", slow)
+        a = _run("async", slow)
+        ts = s.time_to_loss(TARGET_LOSS)
+        ta = a.time_to_loss(TARGET_LOSS)
+        table.add_row([slow, ts, ta, ts / ta, s.losses[-1], a.losses[-1],
+                       a.staleness_mean])
+    table.show()
+    return table
+
+
+def test_t8_sgd_modes(benchmark):
+    table = one_round(benchmark, run_t8)
+    sync_t = [float(x) for x in table.column("sync_t_s")]
+    async_t = [float(x) for x in table.column("async_t_s")]
+    adv = [float(x) for x in table.column("async_advantage")]
+    # both modes actually converge everywhere
+    finals = [float(x) for x in table.column("sync_final_loss")] + \
+             [float(x) for x in table.column("async_final_loss")]
+    assert all(f < TARGET_LOSS * 2 for f in finals)
+    # sync degrades with the straggler; async stays roughly flat
+    assert sync_t[-1] > 5 * sync_t[0]
+    assert async_t[-1] < 2.5 * async_t[0]
+    # async's advantage grows with severity
+    assert adv[-1] > adv[0]
+
+
+if __name__ == "__main__":
+    run_t8()

@@ -1,0 +1,84 @@
+"""T9 — Network topology sensitivity of shuffle-heavy vs compute-heavy jobs.
+
+The same 16-node job on three fabrics: full-bisection fat-tree(4),
+moderately oversubscribed leaf-spine, and a star whose core link is the
+bottleneck.  Expected shape: the shuffle-heavy job slows dramatically on
+the oversubscribed star and barely distinguishes fat-tree from
+leaf-spine; the compute-heavy job is insensitive to all three.
+"""
+
+import operator
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import one_round
+
+from repro.bench import Table
+from repro.cluster import Cluster, Node, NodeSpec
+from repro.common.units import Gbit_per_s
+from repro.dataflow import CostModel, DataflowContext, SimEngine
+from repro.net import NetworkSim, fat_tree, leaf_spine, star
+from repro.simcore import Simulator
+
+
+def _cluster_on(topo_name: str):
+    sim = Simulator()
+    if topo_name == "fat_tree":
+        topo = fat_tree(4, link_bw=Gbit_per_s(10))           # 16 hosts
+    elif topo_name == "leaf_spine":
+        topo = leaf_spine(4, 2, 4, host_bw=Gbit_per_s(10),
+                          uplink_bw=Gbit_per_s(10))          # 2:1 oversub
+    else:
+        topo = star(16, host_bw=Gbit_per_s(0.5))             # thin star
+    net = NetworkSim(sim, topo)
+    cluster = Cluster(sim, topo, net)
+    for i, host in enumerate(topo.hosts):
+        cluster.add_node(host, NodeSpec(cores=2), rack=f"rack{i // 4}")
+    return sim, cluster
+
+
+def _run(topo_name: str, shuffle_heavy: bool) -> float:
+    sim, cluster = _cluster_on(topo_name)
+    ctx = DataflowContext(default_parallelism=32)
+    # big records make the shuffle matter; the compute-heavy variant works
+    # on the same data but shuffles only tiny aggregates
+    # min_record_bytes inflates *modeled* payloads to ~20 KB/record, so
+    # the shuffle moves ~400 MB without materializing it in Python
+    cost = CostModel(cpu_per_record=2e-5 if shuffle_heavy else 4e-4,
+                     min_record_bytes=2e4 if shuffle_heavy else 64.0)
+    engine = SimEngine(cluster, cost_model=cost)
+    data = ctx.parallelize([(i, "x" * 2000) for i in range(20_000)], 32)
+    if shuffle_heavy:
+        job = data.group_by_key(32).map_values(len)
+    else:
+        job = (data.map(lambda kv: (kv[0] % 16, 1))
+               .reduce_by_key(operator.add, 16))
+    res = sim.run_until_done(engine.collect(job))
+    return res.metrics.duration
+
+
+def run_t9() -> Table:
+    table = Table("T9: topology sensitivity (16 nodes; 40 MB shuffle vs "
+                  "combiner job)",
+                  ["topology", "shuffle_heavy_s", "compute_heavy_s"])
+    for name in ["fat_tree", "leaf_spine", "star"]:
+        table.add_row([name, _run(name, True), _run(name, False)])
+    table.show()
+    return table
+
+
+def test_t9_topologies(benchmark):
+    table = one_round(benchmark, run_t9)
+    shuffle = [float(x) for x in table.column("shuffle_heavy_s")]
+    compute = [float(x) for x in table.column("compute_heavy_s")]
+    ft, ls, st = range(3)
+    # the thin star murders the shuffle-heavy job
+    assert shuffle[st] > 2.5 * shuffle[ft]
+    # full bisection vs 2:1 oversubscription: close (within ~2x)
+    assert shuffle[ls] < 2.0 * shuffle[ft]
+    # the compute-heavy job barely cares about fabric
+    assert max(compute) < 1.5 * min(compute)
+
+
+if __name__ == "__main__":
+    run_t9()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Cloud capacity planning: packing, migrating, autoscaling, spot bidding.
+
+Walks an operator's day:
+
+1. pack a morning's VM requests onto hosts (FFD vs online first-fit),
+2. drain a host for maintenance with pre-copy live migration,
+3. ride an afternoon traffic spike with a predictive autoscaler,
+4. run the overnight batch job on spot capacity with checkpointing.
+
+Run:  python examples/cloud_capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.cloud import (
+    HostSpec,
+    PredictivePolicy,
+    SpotPriceModel,
+    ThresholdPolicy,
+    VMSpec,
+    lower_bound_hosts,
+    place_offline,
+    place_online,
+    pre_copy,
+    run_spot_job,
+    stop_and_copy,
+)
+from repro.cloud.autoscale import simulate_autoscaling
+from repro.common.units import GiB, Gbit_per_s, fmt_time
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # --- 1. placement
+    flavors = [VMSpec(1, 2, "small"), VMSpec(2, 8, "medium"),
+               VMSpec(4, 16, "large"), VMSpec(8, 32, "xlarge")]
+    requests = [flavors[i] for i in rng.choice(4, size=250,
+                                               p=[0.5, 0.3, 0.15, 0.05])]
+    host = HostSpec(cpus=32, mem=128)
+    online = place_online(requests, host, "first_fit")
+    offline = place_offline(requests, host, "best_fit")
+    lb = lower_bound_hosts(requests, host)
+    print("VM placement (250 requests):")
+    print(f"  online first-fit : {online.hosts_used} hosts "
+          f"({online.mean_utilization():.0%} utilized)")
+    print(f"  offline BFD      : {offline.hosts_used} hosts "
+          f"({offline.mean_utilization():.0%} utilized)")
+    print(f"  LP lower bound   : {lb} hosts")
+
+    # --- 2. maintenance drain via live migration
+    mem = GiB(16)
+    link = Gbit_per_s(10)
+    print("\nLive migration of a 16 GiB VM over 10 Gbit/s:")
+    for dirty_frac in (0.05, 0.3, 0.7):
+        r = pre_copy(mem, link, dirty_frac * link)
+        print(f"  dirty rate {dirty_frac:.0%} of link: total "
+              f"{fmt_time(r.total_time)}, downtime "
+              f"{fmt_time(r.downtime)}, {r.rounds} rounds")
+    sc = stop_and_copy(mem, link)
+    print(f"  stop-and-copy baseline: downtime {fmt_time(sc.downtime)}")
+
+    # --- 3. afternoon spike with autoscaling
+    t = np.arange(0, 4 * 3600, 1.0)
+    load = 40 + (t > 5000) * (t < 7000) * 160 + 10 * np.sin(t / 300)
+    mu = 10.0
+    print("\nAutoscaling through a 5x traffic spike (SLO: 0.5 s backlog):")
+    for policy in (ThresholdPolicy(), PredictivePolicy(mu=mu)):
+        r = simulate_autoscaling(policy, load, mu, initial_instances=6,
+                                 slo_threshold=0.5)
+        print(f"  {policy.name:10s}: mean fleet {r.mean_instances:5.1f}, "
+              f"SLO violations {r.slo_violation_frac:.1%}, "
+              f"p99 backlog {r.p99_latency:.2f}s")
+
+    # --- 4. overnight batch on spot
+    market = SpotPriceModel(mean=0.30, sigma=0.06, seed=9)
+    prices = market.trace(24 * 3600)
+    print("\n8h batch job on the spot market (on-demand $0.50/h):")
+    for bid in (0.28, 0.40, 0.60):
+        r = run_spot_job(8 * 3600, bid, prices,
+                         checkpoint_interval=1800, on_demand_price=0.50)
+        done = ("%.1fh" % (r.completion_time / 3600)
+                if np.isfinite(r.completion_time) else "unfinished")
+        print(f"  bid ${bid:.2f}: done in {done}, cost ${r.cost:.2f}, "
+              f"{r.preemptions} preemptions, savings {r.savings:.0%}")
+
+
+if __name__ == "__main__":
+    main()

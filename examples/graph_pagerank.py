@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""PageRank on an R-MAT graph: direct, dataflow, and distributed.
+
+Shows the three ways the library computes the same answer:
+
+* vectorized single-machine power iteration (the oracle),
+* the dataflow formulation (joins + reduce-by-key per iteration),
+* the dataflow plan executed on a simulated cluster, where the engine
+  reports how long each configuration would take.
+
+Run:  python examples/graph_pagerank.py
+"""
+
+import numpy as np
+
+from repro.cluster import make_cluster
+from repro.common.units import fmt_time
+from repro.dataflow import CostModel, DataflowContext, SimEngine
+from repro.graph import pagerank, pagerank_dataflow, pagerank_dataflow_plan, rmat
+from repro.simcore import Simulator
+
+
+def main() -> None:
+    g = rmat(scale=9, edge_factor=8, seed=5)     # 512 vertices, ~4k edges
+    print(f"R-MAT graph: {g.n} vertices, {g.n_edges} edges, "
+          f"max out-degree {g.out_degrees().max()}")
+
+    # --- direct (the oracle)
+    direct = pagerank(g, max_iter=15, tol=0.0)
+    top = np.argsort(-direct)[:5]
+    print("top vertices:", ", ".join(
+        f"v{int(v)}={direct[v]:.4f}" for v in top))
+
+    # --- dataflow (local executor)
+    ctx = DataflowContext(default_parallelism=8)
+    flow = pagerank_dataflow(ctx, g, iterations=15)
+    vec = np.array([flow[v] for v in range(g.n)])
+    print(f"dataflow formulation max |err| vs direct: "
+          f"{np.abs(vec - direct).max():.2e}")
+
+    # --- distributed: same plan on clusters of different sizes
+    print("\nsimulated cluster scaling (8 PageRank iterations):")
+    for n_racks, nodes in [(1, 2), (2, 4), (4, 4)]:
+        n_parts = 2 * n_racks * nodes             # keep every core busy
+        ctx_d = DataflowContext(default_parallelism=n_parts)
+        plan = pagerank_dataflow_plan(ctx_d, g, iterations=8,
+                                      n_partitions=n_parts)
+        sim = Simulator()
+        cluster = make_cluster(sim, n_racks, nodes)
+        engine = SimEngine(cluster,
+                           cost_model=CostModel(cpu_per_record=5e-6))
+        res = sim.run_until_done(engine.collect(plan))
+        total = sum(r for _, r in res.value)
+        print(f"  {n_racks * nodes:3d} nodes: {fmt_time(res.metrics.duration)}"
+              f" simulated, {res.metrics.n_tasks} tasks, "
+              f"rank sum {total:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Clickstream analytics: sessionization + windowed rates + top pages.
+
+A realistic small pipeline over generated web logs:
+
+1. *sessionize* each user's clicks with gap-based session windows,
+2. compute per-minute event rates with a watermark-driven tumbling-window
+   aggregator (out-of-order tolerant),
+3. rank pages by hits with a dataflow job,
+4. replay the stream through the micro-batch engine to see latency.
+
+Run:  python examples/log_analytics.py
+"""
+
+import operator
+from collections import defaultdict
+
+from repro.dataflow import DataflowContext
+from repro.streaming import (
+    MicroBatchConfig,
+    WatermarkAggregator,
+    run_microbatch,
+    session_windows,
+)
+from repro.workloads import web_sessions
+
+
+def main() -> None:
+    events = web_sessions(n_users=40, horizon=3600.0, mean_gap=15.0,
+                          mean_intersession=500.0, seed=3)
+    print(f"{len(events)} click events over 1h from 40 users")
+
+    # --- 1. sessionization (gap = 60 s)
+    by_user = defaultdict(list)
+    for ts, user, _page in events:
+        by_user[user].append(ts)
+    sessions = {u: session_windows(ts, gap=60.0)
+                for u, ts in by_user.items()}
+    n_sessions = sum(len(s) for s in sessions.values())
+    mean_len = (sum(e - s - 60.0 for ws in sessions.values()
+                    for s, e in ws) / n_sessions)
+    print(f"sessions: {n_sessions} "
+          f"(avg {n_sessions / len(by_user):.1f}/user, "
+          f"mean active span {mean_len:.0f}s)")
+
+    # --- 2. per-minute event rate, watermark-tolerant
+    agg = WatermarkAggregator(60.0, lambda a, b: a + b,
+                              watermark_delay=5.0, allowed_lateness=30.0)
+    fired = []
+    for ts, _u, _p in events:
+        fired.extend(agg.add(ts, "all", 1))
+    fired.extend(agg.flush())
+    finals = {}
+    for r in fired:            # corrections overwrite earlier emissions
+        finals[r.window] = r.value
+    busiest = max(finals.items(), key=lambda kv: kv[1])
+    print(f"busiest minute: t={busiest[0][0]:.0f}s with {busiest[1]} events"
+          f" (late corrections: {agg.late_corrections})")
+
+    # --- 3. top pages via the dataflow engine
+    ctx = DataflowContext(default_parallelism=4)
+    top = (ctx.parallelize(events, 4)
+           .map(lambda e: (e[2], 1))
+           .reduce_by_key(operator.add)
+           .top(5, key=lambda kv: kv[1]))
+    print("top pages:")
+    for page, hits in top:
+        print(f"  {page:10s} {hits}")
+
+    # --- 4. the same stream through the micro-batch engine
+    per_second = defaultdict(int)
+    for ts, _u, _p in events:
+        per_second[int(ts)] += 1
+    cfg = MicroBatchConfig(batch_interval=5.0, per_record_cost=1e-4,
+                           parallelism=4)
+    res = run_microbatch(lambda t: per_second.get(int(t), 0), cfg,
+                         duration=3600.0)
+    print(f"micro-batch replay: processed {res.processed_records} events, "
+          f"p95 latency {res.latency.p95:.2f}s, stable={res.stable}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim: enables legacy editable installs where `wheel` is absent."""
+
+from setuptools import setup
+
+setup()

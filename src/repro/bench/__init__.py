@@ -1,0 +1,5 @@
+"""Shared experiment-harness utilities used by ``benchmarks/``."""
+
+from .harness import Series, Table, sweep
+
+__all__ = ["Table", "Series", "sweep"]

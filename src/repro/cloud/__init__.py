@@ -1,0 +1,42 @@
+"""Cloud/IaaS layer: VM placement, live migration, autoscaling, spot market."""
+
+from .autoscale import (
+    AutoscalePolicy,
+    AutoscaleResult,
+    PredictivePolicy,
+    StaticPolicy,
+    ThresholdPolicy,
+    simulate_autoscaling,
+)
+from .migration import (
+    MigrationResult,
+    post_copy,
+    pre_copy,
+    simulate_pre_copy,
+    stop_and_copy,
+)
+from .placement import (
+    PLACEMENT_STRATEGIES,
+    PlacementResult,
+    best_fit,
+    first_fit,
+    lower_bound_hosts,
+    place_offline,
+    place_online,
+    worst_fit,
+)
+from .consolidation import ConsolidationResult, consolidate
+from .spot import SpotJobResult, SpotPriceModel, run_spot_job
+from .vm import VM, Host, HostSpec, VMSpec
+
+__all__ = [
+    "VM", "Host", "HostSpec", "VMSpec",
+    "PlacementResult", "place_online", "place_offline", "first_fit",
+    "best_fit", "worst_fit", "lower_bound_hosts", "PLACEMENT_STRATEGIES",
+    "MigrationResult", "stop_and_copy", "pre_copy", "post_copy",
+    "simulate_pre_copy",
+    "AutoscalePolicy", "StaticPolicy", "ThresholdPolicy", "PredictivePolicy",
+    "AutoscaleResult", "simulate_autoscaling",
+    "SpotPriceModel", "SpotJobResult", "run_spot_job",
+    "ConsolidationResult", "consolidate",
+]

@@ -1,0 +1,222 @@
+"""Autoscaling policies and a fluid service simulator (experiment F7).
+
+The service is a fluid queue: offered load ``lambda(t)`` (requests/s)
+against capacity ``n(t) * mu`` (instances × per-instance rate).  Queue
+growth is ``lambda - served``; the latency proxy is queue/capacity (how
+many seconds of backlog each instance faces).  Policies observe
+utilization and decide the instance count subject to min/max bounds,
+cooldowns, and instance boot delay — the knobs that create the
+cost-vs-SLO tradeoff the experiment sweeps.
+
+Policies:
+
+* :class:`StaticPolicy` — fixed fleet (the over/under-provisioning corners).
+* :class:`ThresholdPolicy` — classic reactive rules (scale out over
+  ``high``, in under ``low``).
+* :class:`PredictivePolicy` — EWMA forecast of load plus headroom,
+  provisioning for the predicted-ahead demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..common.errors import CloudError
+
+__all__ = [
+    "AutoscalePolicy", "StaticPolicy", "ThresholdPolicy", "PredictivePolicy",
+    "AutoscaleResult", "simulate_autoscaling",
+]
+
+
+class AutoscalePolicy:
+    """Decides the desired instance count each control tick."""
+
+    name = "base"
+
+    def desired(self, t: float, offered: float, utilization: float,
+                current: int, queue: float = 0.0) -> int:
+        """Desired instance count given current observations.
+
+        ``queue`` is the current backlog (request-seconds of work);
+        reactive policies may ignore it.
+        """
+        raise NotImplementedError
+
+
+class StaticPolicy(AutoscalePolicy):
+    """A fixed fleet size (baseline corners)."""
+
+    name = "static"
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise CloudError("fleet size must be >= 1")
+        self.n = n
+
+    def desired(self, t, offered, utilization, current, queue=0.0):
+        return self.n
+
+
+class ThresholdPolicy(AutoscalePolicy):
+    """Reactive: out when util > high, in when util < low."""
+
+    name = "threshold"
+
+    def __init__(self, high: float = 0.8, low: float = 0.3,
+                 step: int = 1) -> None:
+        if not (0 < low < high <= 1.5):
+            raise CloudError("need 0 < low < high")
+        self.high = high
+        self.low = low
+        self.step = max(1, step)
+
+    def desired(self, t, offered, utilization, current, queue=0.0):
+        if utilization > self.high:
+            return current + self.step
+        if utilization < self.low:
+            return current - self.step
+        return current
+
+
+class PredictivePolicy(AutoscalePolicy):
+    """EWMA forecast with trend: provision for predicted load + headroom."""
+
+    name = "predictive"
+
+    def __init__(self, mu: float, alpha: float = 0.3,
+                 headroom: float = 0.25, lookahead_ticks: int = 2,
+                 drain_seconds: float = 60.0) -> None:
+        if mu <= 0:
+            raise CloudError("service rate must be positive")
+        if not (0 < alpha <= 1):
+            raise CloudError("alpha in (0, 1]")
+        self.mu = mu
+        self.alpha = alpha
+        self.headroom = headroom
+        self.lookahead = max(0, lookahead_ticks)
+        self.drain_seconds = max(drain_seconds, 1.0)
+        self._level: Optional[float] = None
+        self._trend = 0.0
+
+    def desired(self, t, offered, utilization, current, queue=0.0):
+        if self._level is None:
+            self._level = offered
+        prev = self._level
+        self._level = self.alpha * offered + (1 - self.alpha) * self._level
+        self._trend = self.alpha * (self._level - prev) + \
+            (1 - self.alpha) * self._trend
+        forecast = max(0.0, self._level + self.lookahead * self._trend)
+        # provision for predicted demand + draining the current backlog
+        drain = queue / self.drain_seconds
+        need = (forecast * (1.0 + self.headroom) + drain) / self.mu
+        return int(np.ceil(need))
+
+
+@dataclass
+class AutoscaleResult:
+    """Time series + aggregates from one autoscaling run."""
+
+    times: np.ndarray
+    offered: np.ndarray
+    instances: np.ndarray
+    queue: np.ndarray
+    latency: np.ndarray
+    slo_threshold: float
+    instance_seconds: float = 0.0
+
+    @property
+    def slo_violation_frac(self) -> float:
+        """Fraction of time the latency proxy exceeded the SLO."""
+        if self.latency.size == 0:
+            return 0.0
+        return float(np.mean(self.latency > self.slo_threshold))
+
+    @property
+    def mean_instances(self) -> float:
+        """Average fleet size (cost proxy)."""
+        return float(self.instances.mean()) if self.instances.size else 0.0
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile latency proxy."""
+        return float(np.percentile(self.latency, 99)) if self.latency.size \
+            else 0.0
+
+
+def simulate_autoscaling(
+    policy: AutoscalePolicy,
+    load: Sequence[float],
+    mu: float,
+    dt: float = 1.0,
+    control_period: float = 30.0,
+    boot_delay: float = 60.0,
+    cooldown: float = 60.0,
+    scaleout_cooldown: float = 0.0,
+    min_instances: int = 1,
+    max_instances: int = 1_000,
+    initial_instances: int = 1,
+    slo_threshold: float = 1.0,
+) -> AutoscaleResult:
+    """Run the fluid autoscaling simulation over a load trace.
+
+    ``load[i]`` is the offered rate during tick ``i`` (length × dt seconds
+    total).  Instances added at time t serve from ``t + boot_delay``
+    (booting instances are billed — the cloud does).  Scale-in is
+    immediate but rate-limited by ``cooldown``; scale-out uses the
+    (typically shorter) ``scaleout_cooldown`` — the per-direction rule
+    production autoscalers apply.
+    """
+    if mu <= 0 or dt <= 0:
+        raise CloudError("mu and dt must be positive")
+    n_steps = len(load)
+    times = np.arange(n_steps) * dt
+    offered = np.asarray(load, dtype=np.float64)
+    inst = np.zeros(n_steps)
+    queue = np.zeros(n_steps)
+    lat = np.zeros(n_steps)
+
+    current = int(initial_instances)
+    booting: List[tuple] = []   # (ready_time, count)
+    q = 0.0
+    last_out = -1e18
+    last_in = -1e18
+    next_control = 0.0
+    inst_seconds = 0.0
+
+    for i in range(n_steps):
+        t = float(times[i])
+        # activate booted instances
+        ready = [b for b in booting if b[0] <= t]
+        for b in ready:
+            current += b[1]
+            booting.remove(b)
+        current = max(min_instances, min(current, max_instances))
+        capacity = current * mu
+        util = offered[i] / capacity if capacity > 0 else float("inf")
+        if t >= next_control:
+            next_control = t + control_period
+            want = policy.desired(t, float(offered[i]), min(util, 10.0),
+                                  current + sum(b[1] for b in booting),
+                                  queue=q)
+            want = max(min_instances, min(want, max_instances))
+            pending = current + sum(b[1] for b in booting)
+            if want > pending and t - last_out >= scaleout_cooldown:
+                booting.append((t + boot_delay, want - pending))
+                last_out = t
+            elif want < current and t - last_in >= cooldown:
+                current = want
+                capacity = current * mu
+                last_in = t
+        served = min(capacity * dt, q + offered[i] * dt)
+        q = max(0.0, q + offered[i] * dt - served)
+        inst[i] = current + sum(b[1] for b in booting)
+        queue[i] = q
+        lat[i] = q / capacity if capacity > 0 else float("inf")
+        inst_seconds += inst[i] * dt
+
+    return AutoscaleResult(times, offered, inst, queue, lat, slo_threshold,
+                           inst_seconds)

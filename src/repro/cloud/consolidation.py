@@ -1,0 +1,110 @@
+"""VM consolidation: migrate VMs off under-utilized hosts to power down.
+
+The datacenter energy play (Drowsy-DC / VM-packing literature): given a
+running placement that has fragmented over time, repeatedly drain the
+least-utilized host whose VMs all fit elsewhere, migrating its VMs with
+best-fit.  Reports how many hosts were freed and the migration cost
+(bytes moved, and modeled migration time via the pre-copy model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import CloudError
+from .migration import pre_copy
+from .placement import best_fit
+from .vm import Host, VM
+
+__all__ = ["ConsolidationResult", "consolidate"]
+
+
+@dataclass
+class ConsolidationResult:
+    """Outcome of one consolidation pass."""
+
+    hosts_before: int
+    hosts_after: int
+    migrations: int
+    moved_mem: float                        # memory units migrated
+    migration_time: float = 0.0             # summed pre-copy total times
+    plan: List[Tuple[int, str, str]] = field(default_factory=list)
+    # (vm_id, from_host, to_host)
+
+    @property
+    def hosts_freed(self) -> int:
+        """Hosts emptied (candidates for power-down)."""
+        return self.hosts_before - self.hosts_after
+
+    @property
+    def energy_saving_frac(self) -> float:
+        """Fraction of active hosts turned off."""
+        return self.hosts_freed / self.hosts_before if self.hosts_before \
+            else 0.0
+
+
+def consolidate(hosts: List[Host],
+                mem_bytes_per_unit: float = 1 << 30,
+                bandwidth: float = 1.25e9,
+                dirty_rate: float = 0.0,
+                max_passes: int = 100) -> ConsolidationResult:
+    """Drain under-utilized hosts into the rest of the fleet.
+
+    Greedy: each pass picks the non-empty host with the lowest
+    binding-dimension utilization and tries to re-place *all* of its VMs
+    on other hosts with best-fit; if any VM does not fit, that host is
+    skipped permanently.  ``mem_bytes_per_unit`` converts VM ``mem`` units
+    to bytes for the migration cost model.
+    """
+    if max_passes < 1:
+        raise CloudError("need at least one pass")
+    active = [h for h in hosts if not h.empty]
+    before = len(active)
+    skipped: set = set()
+    migrations = 0
+    moved_mem = 0.0
+    migration_time = 0.0
+    plan: List[Tuple[int, str, str]] = []
+
+    for _ in range(max_passes):
+        candidates = [h for h in hosts
+                      if not h.empty and h.name not in skipped]
+        if len(candidates) <= 1:
+            break
+        victim = min(candidates, key=lambda h: (h.utilization(), h.name))
+        # only pack into hosts that stay powered anyway — moving VMs onto
+        # an empty host can never reduce the active-host count (and would
+        # ping-pong forever)
+        others = [h for h in hosts if h is not victim and not h.empty]
+        vms = sorted(victim.vms.values(),
+                     key=lambda vm: -max(vm.spec.cpus, vm.spec.mem))
+        # trial placement on copies of the free capacities
+        staged: List[Tuple[VM, Host]] = []
+        ok = True
+        for vm in vms:
+            target = best_fit(others, vm.spec)
+            if target is None:
+                ok = False
+                break
+            victim.remove(vm)
+            target.place(vm)
+            staged.append((vm, target))
+        if not ok:
+            # roll back and never try this host again
+            for vm, target in reversed(staged):
+                target.remove(vm)
+                victim.place(vm)
+            skipped.add(victim.name)
+            continue
+        for vm, target in staged:
+            migrations += 1
+            moved_mem += vm.spec.mem
+            plan.append((vm.vm_id, victim.name, target.name))
+            mig = pre_copy(vm.spec.mem * mem_bytes_per_unit, bandwidth,
+                           dirty_rate)
+            migration_time += mig.total_time
+
+    after = sum(1 for h in hosts if not h.empty)
+    return ConsolidationResult(before, after, migrations, moved_mem,
+                               migration_time, plan)

@@ -1,0 +1,142 @@
+"""VM placement: online and offline bin-packing heuristics (experiment T6).
+
+Online: First-Fit, Best-Fit, Worst-Fit (choice among already-open hosts,
+opening a new host only when forced).  Offline: FFD/BFD (sort VMs by
+decreasing size first).  :func:`lower_bound_hosts` gives the LP relaxation
+bound the experiment compares against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..common.errors import PlacementError
+from .vm import Host, HostSpec, VM, VMSpec
+
+__all__ = [
+    "PlacementResult", "place_online", "place_offline",
+    "first_fit", "best_fit", "worst_fit",
+    "lower_bound_hosts", "PLACEMENT_STRATEGIES",
+]
+
+
+class PlacementResult:
+    """Hosts opened and the VM→host assignment of one packing run."""
+
+    def __init__(self, hosts: List[Host], vms: List[VM]) -> None:
+        self.hosts = hosts
+        self.vms = vms
+
+    @property
+    def hosts_used(self) -> int:
+        """Number of non-empty hosts."""
+        return sum(1 for h in self.hosts if not h.empty)
+
+    def mean_utilization(self) -> float:
+        """Average binding-dimension utilization over used hosts."""
+        used = [h for h in self.hosts if not h.empty]
+        if not used:
+            return 0.0
+        return sum(h.utilization() for h in used) / len(used)
+
+    def fragmentation(self) -> float:
+        """1 - mean utilization: stranded capacity on open hosts."""
+        return 1.0 - self.mean_utilization()
+
+
+def _score_best(host: Host, spec: VMSpec) -> Tuple[float, str]:
+    # tightest remaining space after placement (normalized max dimension)
+    rem = max((host.free_cpus - spec.cpus) / host.spec.cpus,
+              (host.free_mem - spec.mem) / host.spec.mem)
+    return (rem, host.name)
+
+
+def _score_worst(host: Host, spec: VMSpec) -> Tuple[float, str]:
+    rem, name = _score_best(host, spec)
+    return (-rem, name)
+
+
+def first_fit(hosts: Sequence[Host], spec: VMSpec) -> Optional[Host]:
+    """The first open host the VM fits on (host order = opening order)."""
+    for h in hosts:
+        if h.fits(spec):
+            return h
+    return None
+
+
+def best_fit(hosts: Sequence[Host], spec: VMSpec) -> Optional[Host]:
+    """The feasible host left tightest after placement."""
+    feasible = [h for h in hosts if h.fits(spec)]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda h: _score_best(h, spec))
+
+
+def worst_fit(hosts: Sequence[Host], spec: VMSpec) -> Optional[Host]:
+    """The feasible host left loosest (load levelling, poor packing)."""
+    feasible = [h for h in hosts if h.fits(spec)]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda h: _score_worst(h, spec))
+
+
+PLACEMENT_STRATEGIES: Dict[str, Callable] = {
+    "first_fit": first_fit,
+    "best_fit": best_fit,
+    "worst_fit": worst_fit,
+}
+
+
+def place_online(specs: Sequence[VMSpec], host_spec: HostSpec,
+                 strategy: str = "first_fit",
+                 max_hosts: int = 100_000) -> PlacementResult:
+    """Pack VMs in arrival order, opening hosts on demand.
+
+    Raises :class:`PlacementError` when a VM exceeds host capacity.
+    """
+    try:
+        pick = PLACEMENT_STRATEGIES[strategy]
+    except KeyError:
+        raise PlacementError(
+            f"unknown strategy {strategy!r}; choose from "
+            f"{sorted(PLACEMENT_STRATEGIES)}")
+    hosts: List[Host] = []
+    vms: List[VM] = []
+    for i, spec in enumerate(specs):
+        if spec.cpus > host_spec.cpus or spec.mem > host_spec.mem:
+            raise PlacementError(f"VM {i} larger than a host")
+        vm = VM(i, spec)
+        host = pick(hosts, spec)
+        if host is None:
+            if len(hosts) >= max_hosts:
+                raise PlacementError("host budget exhausted")
+            host = Host(f"host{len(hosts)}", host_spec)
+            hosts.append(host)
+        host.place(vm)
+        vms.append(vm)
+    return PlacementResult(hosts, vms)
+
+
+def place_offline(specs: Sequence[VMSpec], host_spec: HostSpec,
+                  strategy: str = "first_fit") -> PlacementResult:
+    """FFD/BFD-style: sort by decreasing dominant size, then pack online."""
+    order = sorted(
+        range(len(specs)),
+        key=lambda i: -max(specs[i].cpus / host_spec.cpus,
+                           specs[i].mem / host_spec.mem),
+    )
+    result = place_online([specs[i] for i in order], host_spec, strategy)
+    # restore original vm ids for reporting
+    for pos, orig in enumerate(order):
+        result.vms[pos].vm_id = orig
+    return result
+
+
+def lower_bound_hosts(specs: Sequence[VMSpec], host_spec: HostSpec) -> int:
+    """LP bound: max over dimensions of ceil(total demand / host capacity)."""
+    if not specs:
+        return 0
+    cpu = sum(s.cpus for s in specs) / host_spec.cpus
+    mem = sum(s.mem for s in specs) / host_spec.mem
+    return max(math.ceil(cpu - 1e-9), math.ceil(mem - 1e-9), 1)

@@ -1,0 +1,151 @@
+"""Spot-instance market model: price process, preemptions, checkpointing.
+
+The spot price follows a clipped mean-reverting (Ornstein–Uhlenbeck-ish)
+random walk; an instance runs while ``price <= bid`` and is preempted (with
+a small grace) when outbid.  :func:`run_spot_job` computes the completion
+time and cost of a divisible job under a checkpointing strategy — the
+classic bid/checkpoint tradeoff study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..common.errors import CloudError
+from ..common.rng import RandomState, ensure_rng
+
+__all__ = ["SpotPriceModel", "SpotJobResult", "run_spot_job"]
+
+
+class SpotPriceModel:
+    """Mean-reverting spot price, sampled on a fixed grid.
+
+    ``p[t+1] = p[t] + theta*(mean - p[t]) + sigma*noise``, clipped to
+    ``[floor, cap]``.  Deterministic per seed.
+    """
+
+    def __init__(self, mean: float = 0.30, theta: float = 0.05,
+                 sigma: float = 0.04, floor: float = 0.05,
+                 cap: float = 1.00, dt: float = 60.0,
+                 seed: RandomState = None) -> None:
+        if not (floor <= mean <= cap):
+            raise CloudError("need floor <= mean <= cap")
+        if dt <= 0:
+            raise CloudError("dt must be positive")
+        self.mean = mean
+        self.theta = theta
+        self.sigma = sigma
+        self.floor = floor
+        self.cap = cap
+        self.dt = dt
+        self.rng = ensure_rng(seed)
+
+    def trace(self, horizon: float) -> np.ndarray:
+        """Price per interval over ``horizon`` seconds."""
+        n = int(np.ceil(horizon / self.dt))
+        noise = self.rng.normal(size=n)
+        prices = np.empty(n)
+        p = self.mean
+        for i in range(n):
+            p = p + self.theta * (self.mean - p) + self.sigma * noise[i]
+            p = min(max(p, self.floor), self.cap)
+            prices[i] = p
+        return prices
+
+
+@dataclass
+class SpotJobResult:
+    """Outcome of running a job on spot capacity."""
+
+    completion_time: float        # seconds of wall clock (inf if unfinished)
+    cost: float                   # sum of price * dt while running
+    preemptions: int
+    wasted_work: float            # compute seconds lost to preemptions
+    on_demand_cost: float         # baseline: same work at on-demand price
+
+    @property
+    def savings(self) -> float:
+        """1 - spot cost / on-demand cost (can be negative)."""
+        if self.on_demand_cost <= 0:
+            return 0.0
+        return 1.0 - self.cost / self.on_demand_cost
+
+
+def run_spot_job(
+    work_seconds: float,
+    bid: float,
+    prices: np.ndarray,
+    dt: float = 60.0,
+    checkpoint_interval: Optional[float] = None,
+    checkpoint_cost: float = 30.0,
+    restart_cost: float = 60.0,
+    on_demand_price: float = 0.50,
+) -> SpotJobResult:
+    """Run ``work_seconds`` of compute on a spot instance with bid ``bid``.
+
+    While ``price <= bid`` the instance computes; a price excursion above
+    the bid preempts it, losing all progress since the last checkpoint
+    (or since the start without checkpointing).  Checkpoints cost
+    ``checkpoint_cost`` seconds each; resuming costs ``restart_cost``.
+    Returns completion time = ``inf`` when the trace ends first.
+    """
+    if work_seconds <= 0:
+        raise CloudError("work must be positive")
+    if bid <= 0:
+        raise CloudError("bid must be positive")
+    done_work = 0.0          # checkpointed (durable) progress
+    progress = 0.0           # volatile progress since last checkpoint
+    since_ckpt = 0.0
+    overhead_left = 0.0      # restart/checkpoint seconds to pay before work
+    cost = 0.0
+    preemptions = 0
+    wasted = 0.0
+    running = True           # held the instance during previous step?
+
+    for i, price in enumerate(prices):
+        t = i * dt
+        if price > bid:
+            if running and progress >= 0:
+                wasted += progress
+                if progress > 0 or overhead_left > 0:
+                    preemptions += 1
+                progress = 0.0
+                since_ckpt = 0.0
+                overhead_left = restart_cost
+            running = False
+            continue
+        running = True
+        cost += price * dt / 3600.0   # price is $/hour
+        avail = dt
+        pay = min(overhead_left, avail)
+        overhead_left -= pay
+        avail -= pay
+        while avail > 0:
+            if checkpoint_interval is not None and \
+                    since_ckpt >= checkpoint_interval:
+                ck = min(checkpoint_cost, avail)
+                avail -= ck
+                if ck >= checkpoint_cost - 1e-9:
+                    done_work += progress
+                    progress = 0.0
+                    since_ckpt = 0.0
+                else:
+                    break
+                continue
+            step = avail
+            if checkpoint_interval is not None:
+                step = min(step, checkpoint_interval - since_ckpt)
+            progress += step
+            since_ckpt += step
+            avail -= step
+            if done_work + progress >= work_seconds - 1e-9:
+                frac = 1.0 - avail / dt
+                total_t = t + frac * dt
+                od_cost = work_seconds * on_demand_price / 3600.0
+                return SpotJobResult(total_t, cost, preemptions, wasted,
+                                     od_cost)
+    od_cost = work_seconds * on_demand_price / 3600.0
+    return SpotJobResult(float("inf"), cost, preemptions, wasted, od_cost)

@@ -1,0 +1,113 @@
+"""VM and host models for the IaaS layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..common.errors import CloudError, PlacementError
+
+__all__ = ["VMSpec", "HostSpec", "Host", "VM"]
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """Resource shape of a virtual machine."""
+
+    cpus: float
+    mem: float                    # abstract units (GiB-ish)
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.cpus <= 0 or self.mem <= 0:
+            raise CloudError("VM resources must be positive")
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Resource capacity of a physical host."""
+
+    cpus: float = 32.0
+    mem: float = 128.0
+
+    def __post_init__(self) -> None:
+        if self.cpus <= 0 or self.mem <= 0:
+            raise CloudError("host resources must be positive")
+
+
+@dataclass
+class VM:
+    """A placed (or pending) virtual machine instance."""
+
+    vm_id: int
+    spec: VMSpec
+    host: Optional[str] = None
+
+    @property
+    def placed(self) -> bool:
+        """True when assigned to a host."""
+        return self.host is not None
+
+
+class Host:
+    """A physical machine tracking its VM allocations."""
+
+    def __init__(self, name: str, spec: HostSpec) -> None:
+        self.name = name
+        self.spec = spec
+        self.vms: Dict[int, VM] = {}
+
+    @property
+    def used_cpus(self) -> float:
+        """Sum of placed VM cpus."""
+        return sum(vm.spec.cpus for vm in self.vms.values())
+
+    @property
+    def used_mem(self) -> float:
+        """Sum of placed VM memory."""
+        return sum(vm.spec.mem for vm in self.vms.values())
+
+    @property
+    def free_cpus(self) -> float:
+        """Remaining cpu capacity."""
+        return self.spec.cpus - self.used_cpus
+
+    @property
+    def free_mem(self) -> float:
+        """Remaining memory capacity."""
+        return self.spec.mem - self.used_mem
+
+    def fits(self, spec: VMSpec) -> bool:
+        """Whether a VM of ``spec`` fits on this host right now."""
+        return spec.cpus <= self.free_cpus + 1e-9 and \
+            spec.mem <= self.free_mem + 1e-9
+
+    def place(self, vm: VM) -> None:
+        """Assign ``vm`` here (raises when it does not fit)."""
+        if not self.fits(vm.spec):
+            raise PlacementError(
+                f"VM {vm.vm_id} ({vm.spec.cpus}c/{vm.spec.mem}m) does not "
+                f"fit on {self.name} (free {self.free_cpus}c/{self.free_mem}m)")
+        self.vms[vm.vm_id] = vm
+        vm.host = self.name
+
+    def remove(self, vm: VM) -> None:
+        """Detach ``vm`` from this host."""
+        if vm.vm_id not in self.vms:
+            raise CloudError(f"VM {vm.vm_id} is not on {self.name}")
+        del self.vms[vm.vm_id]
+        vm.host = None
+
+    @property
+    def empty(self) -> bool:
+        """True when no VMs are placed here."""
+        return not self.vms
+
+    def utilization(self) -> float:
+        """Max of cpu and mem utilization (the binding dimension)."""
+        return max(self.used_cpus / self.spec.cpus,
+                   self.used_mem / self.spec.mem)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Host {self.name} {self.used_cpus:g}/{self.spec.cpus:g}c "
+                f"{self.used_mem:g}/{self.spec.mem:g}m vms={len(self.vms)}>")

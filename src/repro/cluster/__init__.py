@@ -1,0 +1,11 @@
+"""Cluster substrate: machines, racks, fluid resources, failure injection."""
+
+from .cluster import Cluster, make_cluster
+from .failures import FailureInjector
+from .fluid import FluidResource
+from .node import Node, NodeSpec
+
+__all__ = [
+    "Cluster", "make_cluster", "FailureInjector", "FluidResource",
+    "Node", "NodeSpec",
+]

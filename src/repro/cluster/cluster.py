@@ -1,0 +1,113 @@
+"""Cluster assembly: nodes + racks + network, built in one call.
+
+:func:`make_cluster` wires a rack-organized set of :class:`Node` machines
+onto a leaf-spine (or any custom) topology and binds a
+:class:`~repro.net.netsim.NetworkSim`, producing the substrate every higher
+layer (storage, dataflow, schedulers) runs on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..common.errors import ConfigError
+from ..common.rng import RandomState, ensure_rng
+from ..common.units import Gbit_per_s
+from ..net.netsim import NetworkSim
+from ..net.topology import Topology, leaf_spine
+from ..simcore.kernel import Simulator
+from .node import Node, NodeSpec
+
+__all__ = ["Cluster", "make_cluster"]
+
+
+class Cluster:
+    """A set of simulated machines joined by a simulated network."""
+
+    def __init__(self, sim: Simulator, topo: Topology, net: NetworkSim) -> None:
+        self.sim = sim
+        self.topo = topo
+        self.net = net
+        self.nodes: Dict[str, Node] = {}
+        self.racks: Dict[str, List[str]] = {}
+
+    def add_node(self, name: str, spec: NodeSpec, rack: str) -> Node:
+        """Create a node attached to topology host ``name``."""
+        if name in self.nodes:
+            raise ConfigError(f"duplicate node {name!r}")
+        if name not in self.topo.hosts:
+            raise ConfigError(f"{name!r} is not a host in the topology")
+        node = Node(self.sim, name, spec, rack=rack)
+        self.nodes[name] = node
+        self.racks.setdefault(rack, []).append(name)
+        return node
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def node_names(self) -> List[str]:
+        """All node names in insertion order."""
+        return list(self.nodes)
+
+    def live_nodes(self) -> List[Node]:
+        """Nodes currently alive."""
+        return [n for n in self.nodes.values() if n.alive]
+
+    def rack_of(self, node_name: str) -> str:
+        """Rack id of a node."""
+        return self.nodes[node_name].rack
+
+    def same_rack(self, a: str, b: str) -> bool:
+        """True when two nodes share a rack."""
+        return self.rack_of(a) == self.rack_of(b)
+
+    def total_cores(self) -> int:
+        """Sum of cores over live nodes."""
+        return sum(n.spec.cores for n in self.live_nodes())
+
+    def transfer(self, src: str, dst: str, nbytes: float):
+        """Network transfer between two nodes (delegates to the netsim)."""
+        return self.net.transfer(src, dst, nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Cluster {len(self.nodes)} nodes / {len(self.racks)} racks "
+                f"on {self.topo.name}>")
+
+
+def make_cluster(
+    sim: Simulator,
+    n_racks: int = 2,
+    nodes_per_rack: int = 4,
+    spec: Optional[NodeSpec] = None,
+    host_bw: float = Gbit_per_s(10),
+    uplink_bw: Optional[float] = None,
+    n_spine: int = 2,
+    topo: Optional[Topology] = None,
+    speed_factors: Optional[Sequence[float]] = None,
+    seed: RandomState = None,
+) -> Cluster:
+    """Build a rack-organized cluster on a leaf-spine network.
+
+    One leaf switch per rack; ``uplink_bw`` defaults to full bisection
+    (rack bandwidth / spines).  Pass ``topo`` to use a custom topology whose
+    hosts are named ``h{rack}_{i}``.  ``speed_factors`` (one per node,
+    row-major by rack) introduces heterogeneity.
+    """
+    if spec is None:
+        spec = NodeSpec()
+    if topo is None:
+        if uplink_bw is None:
+            uplink_bw = host_bw * nodes_per_rack / n_spine
+        topo = leaf_spine(n_racks, n_spine, nodes_per_rack,
+                          host_bw=host_bw, uplink_bw=uplink_bw)
+    net = NetworkSim(sim, topo)
+    cluster = Cluster(sim, topo, net)
+    idx = 0
+    for r in range(n_racks):
+        for i in range(nodes_per_rack):
+            name = f"h{r}_{i}"
+            node = cluster.add_node(name, spec, rack=f"rack{r}")
+            if speed_factors is not None:
+                node.set_speed_factor(speed_factors[idx])
+            idx += 1
+    return cluster

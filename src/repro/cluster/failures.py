@@ -1,0 +1,89 @@
+"""Failure injection for cluster simulations.
+
+:class:`FailureInjector` drives node crash/repair cycles with exponential
+time-to-failure and time-to-repair, the standard renewal model for
+fault-tolerance experiments.  Deterministic given a seed.  One-shot
+scripted failures (:meth:`FailureInjector.schedule_failure`) support
+targeted tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..common.rng import RandomState, ensure_rng
+from ..simcore.kernel import Simulator
+from .cluster import Cluster
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Exponential fail/repair process over a cluster's nodes.
+
+    ``mtbf`` — mean seconds between failures per node (while up).
+    ``mttr`` — mean seconds to repair (while down).
+    ``targets`` — node names to subject to failures (default: all).
+
+    Start with :meth:`start`; statistics are in :attr:`events`.
+    """
+
+    def __init__(self, cluster: Cluster, mtbf: float, mttr: float,
+                 targets: Optional[Sequence[str]] = None,
+                 seed: RandomState = None) -> None:
+        if mtbf <= 0 or mttr < 0:
+            raise ValueError("mtbf must be > 0 and mttr >= 0")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.mtbf = mtbf
+        self.mttr = mttr
+        self.rng = ensure_rng(seed)
+        self.targets = list(targets) if targets is not None else cluster.node_names
+        #: (time, node, "fail"|"recover") tuples, in order
+        self.events: List[tuple] = []
+        self._stopped = False
+
+    def start(self) -> None:
+        """Launch one fail/repair loop per target node."""
+        for name in self.targets:
+            self.sim.process(self._loop(name), name=f"failures:{name}")
+
+    def stop(self) -> None:
+        """Cease injecting after in-flight repairs complete."""
+        self._stopped = True
+
+    def schedule_failure(self, node_name: str, at: float,
+                         repair_after: Optional[float] = None) -> None:
+        """Script a single failure at absolute sim time ``at``."""
+        if at < self.sim.now:
+            raise ValueError("cannot schedule a failure in the past")
+
+        def _one(sim: Simulator):
+            yield sim.timeout(at - sim.now)
+            node = self.cluster.nodes[node_name]
+            if node.alive:
+                node.fail()
+                self.events.append((sim.now, node_name, "fail"))
+                if repair_after is not None:
+                    yield sim.timeout(repair_after)
+                    node.recover()
+                    self.events.append((sim.now, node_name, "recover"))
+        self.sim.process(_one(self.sim), name=f"scripted-failure:{node_name}")
+
+    def _loop(self, name: str):
+        node = self.cluster.nodes[name]
+        while not self._stopped:
+            ttf = float(self.rng.exponential(self.mtbf))
+            yield self.sim.timeout(ttf)
+            if self._stopped or not node.alive:
+                continue
+            node.fail()
+            self.events.append((self.sim.now, name, "fail"))
+            ttr = float(self.rng.exponential(self.mttr)) if self.mttr > 0 else 0.0
+            yield self.sim.timeout(ttr)
+            node.recover()
+            self.events.append((self.sim.now, name, "recover"))
+
+    def failure_count(self) -> int:
+        """Number of failures injected so far."""
+        return sum(1 for _, _, kind in self.events if kind == "fail")

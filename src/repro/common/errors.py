@@ -1,0 +1,96 @@
+"""Exception hierarchy shared by every ``repro`` subsystem.
+
+All framework errors derive from :class:`ReproError` so callers can catch
+one base class at API boundaries.  Subsystems raise the most specific
+subclass that applies; nothing in the framework raises bare ``Exception``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "SchedulingError",
+    "StorageError",
+    "BlockNotFoundError",
+    "InsufficientReplicasError",
+    "CapacityError",
+    "DataflowError",
+    "PlanError",
+    "TaskFailedError",
+    "NetworkError",
+    "RoutingError",
+    "CloudError",
+    "PlacementError",
+    "MigrationError",
+    "StreamingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` framework."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly (e.g. time travel)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler invariant was violated or a job cannot be scheduled."""
+
+
+class StorageError(ReproError):
+    """Base class for distributed-storage errors."""
+
+
+class BlockNotFoundError(StorageError):
+    """A block id does not exist in the namespace."""
+
+
+class InsufficientReplicasError(StorageError):
+    """Too few live replicas/fragments remain to serve or rebuild a block."""
+
+
+class CapacityError(StorageError):
+    """A node or cluster ran out of storage capacity."""
+
+
+class DataflowError(ReproError):
+    """Base class for dataflow-engine errors."""
+
+
+class PlanError(DataflowError):
+    """The logical plan is malformed (e.g. cycle, arity mismatch)."""
+
+
+class TaskFailedError(DataflowError):
+    """A task exhausted its retry budget and the job must fail."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-substrate errors."""
+
+
+class RoutingError(NetworkError):
+    """No route exists between two endpoints."""
+
+
+class CloudError(ReproError):
+    """Base class for cloud-layer errors."""
+
+
+class PlacementError(CloudError):
+    """A VM request cannot be placed on any host."""
+
+
+class MigrationError(CloudError):
+    """A live migration could not start or converge."""
+
+
+class StreamingError(ReproError):
+    """Micro-batch streaming engine error."""

@@ -1,0 +1,87 @@
+"""Fair-share allocation primitives.
+
+:func:`max_min_fair_share` is the water-filling algorithm used by both the
+flow-level network model (per-link bandwidth sharing) and the fair job
+scheduler (per-queue capacity division).  :func:`weighted_max_min` is the
+weighted generalization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["max_min_fair_share", "weighted_max_min"]
+
+
+def max_min_fair_share(capacity: float, demands: Sequence[float]) -> np.ndarray:
+    """Max-min fair allocation of ``capacity`` among ``demands``.
+
+    Classic water-filling: repeatedly give every unsatisfied demand an equal
+    share of the remaining capacity; demands smaller than the share are
+    fully satisfied and the released capacity is redistributed.  Properties
+    (verified by property tests):
+
+    * no allocation exceeds its demand,
+    * allocations sum to ``min(capacity, sum(demands))``,
+    * any demand that is not fully satisfied receives at least as much as
+      every other allocation (max-min optimality).
+    """
+    return weighted_max_min(capacity, demands, None)
+
+
+def weighted_max_min(
+    capacity: float,
+    demands: Sequence[float],
+    weights: Sequence[float] = None,
+) -> np.ndarray:
+    """Weighted max-min fair allocation.
+
+    Each unsatisfied demand receives capacity proportional to its weight in
+    every filling round.  ``weights=None`` means equal weights.  Zero-weight
+    entries only receive capacity left over after all positively weighted
+    demands are satisfied (then shared equally among them).
+    """
+    d = np.asarray(list(demands), dtype=np.float64)
+    if d.size == 0:
+        return d.copy()
+    if np.any(d < 0):
+        raise ValueError("demands must be nonnegative")
+    if capacity < 0:
+        raise ValueError("capacity must be nonnegative")
+    if weights is None:
+        w = np.ones_like(d)
+    else:
+        w = np.asarray(list(weights), dtype=np.float64)
+        if w.shape != d.shape:
+            raise ValueError("weights and demands must align")
+        if np.any(w < 0):
+            raise ValueError("weights must be nonnegative")
+
+    alloc = np.zeros_like(d)
+    remaining = float(capacity)
+    active = (d > 0) & (w > 0)
+
+    while remaining > 1e-12 and active.any():
+        w_act = w[active]
+        need = d[active] - alloc[active]
+        # water level: capacity per unit weight if spread evenly this round
+        level = remaining / w_act.sum()
+        give = np.minimum(need, level * w_act)
+        alloc[active] += give
+        remaining -= float(give.sum())
+        sat = (d - alloc) <= 1e-12
+        newly = active & sat
+        if not newly.any() and remaining > 1e-12:
+            # nobody saturated => everyone got level*w and capacity exhausted
+            break
+        active &= ~sat
+
+    # zero-weight demands share whatever is left, equally (unweighted max-min)
+    if remaining > 1e-12:
+        zero_w = (w == 0) & (d > 0)
+        if zero_w.any():
+            sub = max_min_fair_share(remaining, d[zero_w])
+            alloc[zero_w] = sub
+    return alloc

@@ -1,0 +1,82 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the framework takes either an integer seed or
+a :class:`numpy.random.Generator`.  :func:`ensure_rng` normalizes both, and
+:func:`spawn` derives independent child streams so that adding a new
+consumer of randomness never perturbs existing ones (the classic
+reproducibility bug in simulation codebases).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["RandomState", "ensure_rng", "spawn", "zipf_pmf", "zipf_sample"]
+
+RandomState = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a fresh nondeterministic generator; an ``int`` yields a
+    seeded PCG64 stream; an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    Children are created via ``Generator.spawn`` semantics (SeedSequence
+    spawning), so each child stream is independent of the parent and of its
+    siblings regardless of how much each is consumed.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    seq = rng.bit_generator.seed_seq.spawn(n)
+    return [np.random.Generator(np.random.PCG64(s)) for s in seq]
+
+
+def zipf_pmf(n: int, s: float) -> np.ndarray:
+    """Probability mass function of a Zipf(s) law over ranks ``1..n``.
+
+    ``s = 0`` degenerates to the uniform distribution; larger ``s`` is more
+    skewed.  Unlike :func:`numpy.random.Generator.zipf` this supports any
+    ``s >= 0`` over a *finite* support, which is what workload generators
+    need.
+    """
+    if n <= 0:
+        raise ValueError("support size must be positive")
+    if s < 0:
+        raise ValueError("zipf exponent must be >= 0")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-s)
+    return weights / weights.sum()
+
+
+def zipf_sample(
+    rng: np.random.Generator,
+    n_items: int,
+    s: float,
+    size: int,
+    items: Optional[Sequence] = None,
+) -> np.ndarray:
+    """Draw ``size`` samples from a finite Zipf(s) distribution.
+
+    Samples are integer ranks ``0..n_items-1`` unless ``items`` is given,
+    in which case elements of ``items`` are returned (``len(items)`` must
+    equal ``n_items``).
+    """
+    pmf = zipf_pmf(n_items, s)
+    idx = rng.choice(n_items, size=size, p=pmf)
+    if items is None:
+        return idx
+    items_arr = np.asarray(items, dtype=object)
+    if len(items_arr) != n_items:
+        raise ValueError("len(items) must equal n_items")
+    return items_arr[idx]

@@ -1,0 +1,249 @@
+"""Streaming summary statistics, histograms, and fairness indices.
+
+These are the measurement primitives used by every experiment harness:
+:class:`Summary` (Welford streaming moments + reservoir for quantiles),
+:class:`Histogram` (fixed-bin), :class:`TimeWeighted` (time-averaged
+utilization), and :func:`jain_index` (fairness).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Summary",
+    "Histogram",
+    "TimeWeighted",
+    "jain_index",
+    "percentile",
+    "cdf_points",
+]
+
+
+class Summary:
+    """Streaming mean/variance/min/max with exact quantiles.
+
+    Uses Welford's online algorithm for numerically stable moments and keeps
+    every observation (experiments here are laptop-scale) so quantiles are
+    exact.  ``keep_values=False`` drops raw values to bound memory, in which
+    case quantile queries raise.
+    """
+
+    def __init__(self, keep_values: bool = True) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._values: Optional[List[float]] = [] if keep_values else None
+
+    def add(self, x: float) -> None:
+        """Record one observation."""
+        x = float(x)
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        if self._values is not None:
+            self._values.append(x)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Record many observations."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two observations)."""
+        return self._m2 / self.count if self.count >= 2 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self._mean * self.count
+
+    def quantile(self, q: float) -> float:
+        """Exact ``q``-quantile (requires ``keep_values=True``)."""
+        if self._values is None:
+            raise ValueError("Summary built with keep_values=False")
+        if not self._values:
+            return 0.0
+        return float(np.quantile(np.asarray(self._values), q))
+
+    @property
+    def p50(self) -> float:
+        """Median."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile."""
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile."""
+        return self.quantile(0.99)
+
+    def values(self) -> List[float]:
+        """All recorded observations (copy)."""
+        if self._values is None:
+            raise ValueError("Summary built with keep_values=False")
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if not self.count:
+            return "Summary(empty)"
+        return (
+            f"Summary(n={self.count}, mean={self.mean:.4g}, "
+            f"sd={self.stdev:.4g}, min={self.min:.4g}, max={self.max:.4g})"
+        )
+
+
+class Histogram:
+    """Fixed-bin histogram over ``[lo, hi)`` with under/overflow bins."""
+
+    def __init__(self, lo: float, hi: float, n_bins: int) -> None:
+        if not (hi > lo):
+            raise ValueError("hi must exceed lo")
+        if n_bins <= 0:
+            raise ValueError("need at least one bin")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.n_bins = int(n_bins)
+        self._counts = np.zeros(n_bins, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+        self._width = (self.hi - self.lo) / self.n_bins
+
+    def add(self, x: float, weight: int = 1) -> None:
+        """Record ``x`` with integer multiplicity ``weight``."""
+        if x < self.lo:
+            self.underflow += weight
+        elif x >= self.hi:
+            self.overflow += weight
+        else:
+            idx = int((x - self.lo) / self._width)
+            # guard the exact-hi float edge
+            idx = min(idx, self.n_bins - 1)
+            self._counts[idx] += weight
+
+    @property
+    def counts(self) -> np.ndarray:
+        """In-range bin counts (copy)."""
+        return self._counts.copy()
+
+    @property
+    def total(self) -> int:
+        """All recorded weight, including under/overflow."""
+        return int(self._counts.sum()) + self.underflow + self.overflow
+
+    def bin_edges(self) -> np.ndarray:
+        """The ``n_bins + 1`` bin edges."""
+        return np.linspace(self.lo, self.hi, self.n_bins + 1)
+
+    def normalized(self) -> np.ndarray:
+        """In-range bin probabilities (sums to in-range fraction)."""
+        t = self.total
+        if t == 0:
+            return np.zeros(self.n_bins)
+        return self._counts / t
+
+
+@dataclass
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Call :meth:`update` whenever the level changes; query :meth:`average`
+    for the time integral divided by elapsed time.  Used for utilization
+    and queue-length metrics in the simulators.
+    """
+
+    start_time: float = 0.0
+    _level: float = 0.0
+    _last_t: float = field(default=0.0)
+    _area: float = field(default=0.0)
+    _initialized: bool = field(default=False)
+
+    def update(self, t: float, level: float) -> None:
+        """Signal takes value ``level`` from time ``t`` onward."""
+        if not self._initialized:
+            self.start_time = t
+            self._last_t = t
+            self._level = level
+            self._initialized = True
+            return
+        if t < self._last_t:
+            raise ValueError("time must be nondecreasing")
+        self._area += self._level * (t - self._last_t)
+        self._last_t = t
+        self._level = level
+
+    def average(self, now: Optional[float] = None) -> float:
+        """Time average from the first update until ``now`` (or last update)."""
+        if not self._initialized:
+            return 0.0
+        end = self._last_t if now is None else now
+        if end < self._last_t:
+            raise ValueError("now precedes last update")
+        area = self._area + self._level * (end - self._last_t)
+        span = end - self.start_time
+        return area / span if span > 0 else self._level
+
+    @property
+    def level(self) -> float:
+        """Current level of the signal."""
+        return self._level
+
+
+def jain_index(xs: Sequence[float]) -> float:
+    """Jain's fairness index of allocations ``xs`` — 1.0 is perfectly fair.
+
+    ``J = (sum x)^2 / (n * sum x^2)``, in ``(0, 1]``; by convention an empty
+    or all-zero allocation has index 1.0.
+    """
+    arr = np.asarray(list(xs), dtype=np.float64)
+    if arr.size == 0:
+        return 1.0
+    denom = arr.size * float((arr ** 2).sum())
+    if denom == 0.0:
+        return 1.0
+    return float(arr.sum() ** 2 / denom)
+
+
+def percentile(xs: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (``q`` in [0, 100]) of a sequence."""
+    arr = np.asarray(list(xs), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, q))
+
+
+def cdf_points(xs: Sequence[float]) -> "tuple[np.ndarray, np.ndarray]":
+    """Empirical CDF as ``(sorted values, cumulative probabilities)``."""
+    arr = np.sort(np.asarray(list(xs), dtype=np.float64))
+    if arr.size == 0:
+        return arr, arr
+    probs = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+    return arr, probs

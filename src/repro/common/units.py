@@ -1,0 +1,134 @@
+"""Canonical units and conversion helpers.
+
+The whole framework uses one convention so that magnitudes compose:
+
+* time      — seconds (float)
+* data size — bytes (int where exactness matters, float in rate math)
+* bandwidth — bytes per second
+* compute   — abstract "work units"; a node core processes
+              ``core_speed`` work units per second (1.0 = reference core)
+
+Helpers here exist so experiment configs can be written legibly
+(``MiB(128)``, ``Gbit_per_s(10)``) instead of with magic numbers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB", "MB", "GB", "TB",
+    "KiB", "MiB", "GiB", "TiB",
+    "Kbit_per_s", "Mbit_per_s", "Gbit_per_s",
+    "ms", "us", "minutes", "hours",
+    "fmt_bytes", "fmt_rate", "fmt_time",
+]
+
+_K = 1000
+_Ki = 1024
+
+
+def KB(n: float) -> int:
+    """``n`` kilobytes (10^3) in bytes."""
+    return int(n * _K)
+
+
+def MB(n: float) -> int:
+    """``n`` megabytes (10^6) in bytes."""
+    return int(n * _K ** 2)
+
+
+def GB(n: float) -> int:
+    """``n`` gigabytes (10^9) in bytes."""
+    return int(n * _K ** 3)
+
+
+def TB(n: float) -> int:
+    """``n`` terabytes (10^12) in bytes."""
+    return int(n * _K ** 4)
+
+
+def KiB(n: float) -> int:
+    """``n`` kibibytes (2^10) in bytes."""
+    return int(n * _Ki)
+
+
+def MiB(n: float) -> int:
+    """``n`` mebibytes (2^20) in bytes."""
+    return int(n * _Ki ** 2)
+
+
+def GiB(n: float) -> int:
+    """``n`` gibibytes (2^30) in bytes."""
+    return int(n * _Ki ** 3)
+
+
+def TiB(n: float) -> int:
+    """``n`` tebibytes (2^40) in bytes."""
+    return int(n * _Ki ** 4)
+
+
+def Kbit_per_s(n: float) -> float:
+    """``n`` kilobits/second as bytes/second."""
+    return n * _K / 8.0
+
+
+def Mbit_per_s(n: float) -> float:
+    """``n`` megabits/second as bytes/second."""
+    return n * _K ** 2 / 8.0
+
+
+def Gbit_per_s(n: float) -> float:
+    """``n`` gigabits/second as bytes/second."""
+    return n * _K ** 3 / 8.0
+
+
+def ms(n: float) -> float:
+    """``n`` milliseconds in seconds."""
+    return n * 1e-3
+
+
+def us(n: float) -> float:
+    """``n`` microseconds in seconds."""
+    return n * 1e-6
+
+
+def minutes(n: float) -> float:
+    """``n`` minutes in seconds."""
+    return n * 60.0
+
+
+def hours(n: float) -> float:
+    """``n`` hours in seconds."""
+    return n * 3600.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary prefixes)."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.2f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate(bps: float) -> str:
+    """Human-readable bandwidth from bytes/second (decimal bit prefixes)."""
+    bits = bps * 8.0
+    for unit in ("bit/s", "Kbit/s", "Mbit/s", "Gbit/s", "Tbit/s"):
+        if abs(bits) < 1000.0 or unit == "Tbit/s":
+            return f"{bits:.2f} {unit}"
+        bits /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f} min"
+    return f"{seconds / 3600.0:.2f} h"

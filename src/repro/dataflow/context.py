@@ -1,0 +1,111 @@
+"""The dataflow entry point: :class:`DataflowContext`.
+
+Holds the dataset registry, default parallelism, cost model, and the local
+executor used by Dataset actions.  Mirrors the role of a SparkContext.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..common.errors import PlanError
+from .costmodel import CostModel
+from .plan import Dataset, SourceDataset
+from .shared import Accumulator, Broadcast
+
+__all__ = ["DataflowContext"]
+
+
+class DataflowContext:
+    """Creates datasets and owns execution defaults.
+
+    >>> ctx = DataflowContext(default_parallelism=4)
+    >>> ctx.parallelize(range(10)).map(lambda x: x * x).sum()
+    285
+    """
+
+    def __init__(self, default_parallelism: int = 4,
+                 cost_model: Optional[CostModel] = None) -> None:
+        if default_parallelism < 1:
+            raise PlanError("default_parallelism must be >= 1")
+        self.default_parallelism = default_parallelism
+        self.cost_model = cost_model or CostModel()
+        self._datasets: Dict[int, Dataset] = {}
+        self._next_id = 0
+        self.broadcasts: List["Broadcast"] = []
+        self.accumulators: List["Accumulator"] = []
+        from .local import LocalExecutor
+        self.local_executor = LocalExecutor(self)
+
+    def _register(self, ds: Dataset) -> int:
+        did = self._next_id
+        self._next_id += 1
+        self._datasets[did] = ds
+        return did
+
+    # -- dataset creation ---------------------------------------------------
+
+    def parallelize(self, data: Iterable, n_partitions: Optional[int] = None)\
+            -> Dataset:
+        """Distribute a local collection into roughly equal partitions."""
+        items = list(data)
+        n = n_partitions or self.default_parallelism
+        if n < 1:
+            raise PlanError("n_partitions must be >= 1")
+        n = min(n, max(1, len(items))) if items else 1
+        # contiguous equal chunks (Spark semantics: order preserved)
+        parts: List[List] = []
+        base, extra = divmod(len(items), n)
+        start = 0
+        for i in range(n):
+            size = base + (1 if i < extra else 0)
+            parts.append(items[start:start + size])
+            start += size
+        return SourceDataset(self, parts)
+
+    def range(self, n: int, n_partitions: Optional[int] = None) -> Dataset:
+        """The integers ``0..n-1`` as a dataset."""
+        return self.parallelize(range(n), n_partitions)
+
+    def from_partitions(self, partitions: Sequence[Sequence],
+                        locations: Optional[Sequence[List[str]]] = None)\
+            -> Dataset:
+        """A dataset from explicit partitions, with optional locality hints.
+
+        ``locations[i]`` lists the cluster nodes where partition ``i`` is
+        stored (e.g. DFS block replica holders) — the simulated engine uses
+        these for locality-aware task placement.
+        """
+        return SourceDataset(self, partitions, locations)
+
+    def union(self, datasets: Sequence[Dataset]) -> Dataset:
+        """Union of many datasets."""
+        if not datasets:
+            raise PlanError("union of nothing")
+        out = datasets[0]
+        for ds in datasets[1:]:
+            out = out.union(ds)
+        return out
+
+    # -- shared variables -----------------------------------------------
+
+    def broadcast(self, value) -> Broadcast:
+        """Wrap ``value`` for one-per-node distribution.
+
+        The simulated engine ships each broadcast to a node once (first
+        use) instead of once per task; access inside closures via
+        ``bc.value``.
+        """
+        bc = Broadcast(value)
+        self.broadcasts.append(bc)
+        return bc
+
+    def accumulator(self, zero=0, op=None, name: str = "") -> Accumulator:
+        """An add-only shared variable with exactly-once task semantics.
+
+        Updates from failed attempts and speculative losers are discarded
+        by the executors; only winning attempts count.
+        """
+        acc = Accumulator(zero, op, name)
+        self.accumulators.append(acc)
+        return acc

@@ -1,0 +1,637 @@
+"""The simulated distributed execution engine.
+
+Runs dataflow plans on a :class:`~repro.cluster.cluster.Cluster`: tasks
+occupy core slots on simulated nodes, inputs and shuffle blocks move over
+the simulated network, and map outputs land on simulated disks — while the
+*data itself is computed for real* in this process, so results are
+byte-identical to the local executor's (tests assert this).
+
+Implements the full Spark-style execution model:
+
+* stage-by-stage DAG execution with per-stage task scheduling,
+* delay scheduling for data locality (node-local → rack-local → any),
+* lineage-based fault recovery — a lost node invalidates only the map
+  outputs and cache entries it held; exactly those partitions re-run,
+* speculative execution of straggler tasks,
+* in-memory dataset caching with remote cache fetches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cluster.cluster import Cluster
+from ..cluster.node import Node
+from ..common.errors import DataflowError, TaskFailedError
+from ..simcore.events import Event
+from ..simcore.kernel import Simulator
+from ..simcore.resources import Store
+from .costmodel import CostModel
+from .plan import Dataset, ShuffleDependency, TaskRuntime
+from .shuffleio import write_buckets
+from .stages import (
+    Stage,
+    build_stages,
+    narrow_op_depth,
+    source_record_count,
+    topo_order,
+)
+
+__all__ = ["EngineConfig", "SimEngine", "JobMetrics", "JobResult"]
+
+
+class MissingShuffleError(DataflowError):
+    """A reduce task found map outputs gone (node loss); triggers recovery."""
+
+    def __init__(self, shuffle_id: int, missing: List[int]) -> None:
+        super().__init__(f"shuffle {shuffle_id} missing maps {missing}")
+        self.shuffle_id = shuffle_id
+        self.missing = missing
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine behaviour knobs (each maps to a published mechanism)."""
+
+    max_task_retries: int = 4
+    locality_wait: float = 0.0          # delay-scheduling wait per level (s)
+    speculation: bool = False
+    speculation_multiplier: float = 1.5  # straggler threshold vs median
+    speculation_min_frac: float = 0.5    # completed fraction before speculating
+    check_interval: float = 0.25         # scheduler poll period (s)
+    shuffle_to_disk: bool = True         # charge disk for map output writes
+    executor_memory: float = float("inf")   # bytes a task may hold in RAM;
+    # shuffle input beyond it spills (one disk write + read of the excess)
+
+
+@dataclass
+class JobMetrics:
+    """Everything a job measured, for the experiment harnesses."""
+
+    start: float = 0.0
+    end: float = 0.0
+    n_tasks: int = 0
+    n_failed_attempts: int = 0
+    n_recovered_maps: int = 0          # lineage re-executions
+    n_speculative: int = 0
+    n_spec_wins: int = 0
+    shuffle_bytes: float = 0.0         # fetched over the network
+    input_fetch_bytes: float = 0.0     # non-local source reads
+    broadcast_bytes: float = 0.0       # broadcast blocks shipped to nodes
+    spill_bytes: float = 0.0           # shuffle input spilled to disk
+    locality_node: int = 0
+    locality_rack: int = 0
+    locality_any: int = 0
+    task_durations: List[float] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Job wall-clock in simulated seconds."""
+        return self.end - self.start
+
+    @property
+    def locality_fraction(self) -> float:
+        """Fraction of locality-constrained tasks that ran node-local."""
+        total = self.locality_node + self.locality_rack + self.locality_any
+        return self.locality_node / total if total else 1.0
+
+
+@dataclass
+class JobResult:
+    """Value + metrics delivered by the job completion event."""
+
+    value: Any
+    metrics: JobMetrics
+
+
+class _MapOutput:
+    __slots__ = ("node", "buckets", "bucket_bytes")
+
+    def __init__(self, node: str, buckets: List[List],
+                 bucket_bytes: List[float]) -> None:
+        self.node = node
+        self.buckets = buckets
+        self.bucket_bytes = bucket_bytes
+
+
+class _CacheEntry:
+    __slots__ = ("node", "records", "nbytes")
+
+    def __init__(self, node: str, records: List, nbytes: float) -> None:
+        self.node = node
+        self.records = records
+        self.nbytes = nbytes
+
+
+class _SimRuntime(TaskRuntime):
+    """Per-task runtime: serves shuffle/cache data, records fetch charges."""
+
+    def __init__(self, engine: "SimEngine", node: str) -> None:
+        self.engine = engine
+        self.node = node
+        self.fetches: List[Tuple[str, float]] = []   # (src node, bytes)
+        self.records_in = 0
+
+    def fetch_shuffle(self, shuffle_id: int, reduce_id: int):
+        eng = self.engine
+        outputs = eng._map_outputs.get(shuffle_id, {})
+        n_maps = eng._shuffle_nmaps[shuffle_id]
+        missing = [m for m in range(n_maps)
+                   if m not in outputs
+                   or not eng.cluster.nodes[outputs[m].node].alive]
+        if missing:
+            raise MissingShuffleError(shuffle_id, missing)
+        out: List = []
+        for m in range(n_maps):
+            mo = outputs[m]
+            recs = mo.buckets[reduce_id]
+            out.extend(recs)
+            self.records_in += len(recs)
+            self.fetches.append((mo.node, mo.bucket_bytes[reduce_id]))
+        return out
+
+    def cache_get(self, dataset: Dataset, split: int):
+        entry = self.engine._cache.get((dataset.dataset_id, split))
+        if entry is None or not self.engine.cluster.nodes[entry.node].alive:
+            return None
+        self.fetches.append((entry.node, entry.nbytes))
+        return entry.records
+
+    def cache_put(self, dataset: Dataset, split: int, records: List) -> None:
+        nbytes = self.engine.cost.estimate_bytes(records)
+        self.engine._cache[(dataset.dataset_id, split)] = _CacheEntry(
+            self.node, records, nbytes)
+
+
+class _Attempt:
+    __slots__ = ("split", "node", "started", "alive", "speculative", "_inbox")
+
+    def __init__(self, split: int, node: str, started: float,
+                 speculative: bool) -> None:
+        self.split = split
+        self.node = node
+        self.started = started
+        self.alive = True
+        self.speculative = speculative
+        self._inbox: Optional[Store] = None
+
+
+class _TaskResult:
+    __slots__ = ("split", "node", "ok", "error", "value", "duration",
+                 "attempt", "acc_stashes")
+
+    def __init__(self, split: int, node: str, ok: bool, error: Any,
+                 value: Any, duration: float, attempt: _Attempt,
+                 acc_stashes=None) -> None:
+        self.split = split
+        self.node = node
+        self.ok = ok
+        self.error = error
+        self.value = value
+        self.duration = duration
+        self.attempt = attempt
+        self.acc_stashes = acc_stashes or []
+
+
+class SimEngine:
+    """Distributed dataflow execution on the simulated cluster.
+
+    >>> engine = SimEngine(cluster, config=EngineConfig(speculation=True))
+    >>> ev = engine.collect(dataset)
+    >>> result = cluster.sim.run_until_done(ev)   # JobResult
+    """
+
+    def __init__(self, cluster: Cluster,
+                 config: Optional[EngineConfig] = None,
+                 cost_model: Optional[CostModel] = None) -> None:
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.config = config or EngineConfig()
+        self.cost = cost_model or CostModel()
+        self._map_outputs: Dict[int, Dict[int, _MapOutput]] = {}
+        self._shuffle_nmaps: Dict[int, int] = {}
+        self._cache: Dict[Tuple[int, int], _CacheEntry] = {}
+        self._free_slots: Dict[str, int] = {
+            name: node.spec.cores for name, node in cluster.nodes.items()}
+        # broadcast id -> nodes that already hold the block
+        self._bc_on_node: Dict[int, Set[str]] = {}
+        self._running_by_node: Dict[str, Set[_Attempt]] = {}
+        for node in cluster.nodes.values():
+            node.listeners.append(self._on_node_event)
+
+    # ----------------------------------------------------------------- API
+
+    def collect(self, ds: Dataset) -> Event:
+        """Run the plan; event fires with JobResult(list of records)."""
+        return self.run_job(ds, lambda parts: [x for p in parts for x in p])
+
+    def count(self, ds: Dataset) -> Event:
+        """Run the plan; event fires with JobResult(record count)."""
+        return self.run_job(ds, lambda parts: sum(parts), per_partition=len)
+
+    def reduce(self, ds: Dataset, f: Callable[[Any, Any], Any]) -> Event:
+        """Run the plan; event fires with JobResult(folded value)."""
+        def finish(parts: List) -> Any:
+            acc = None
+            seen = False
+            for p in parts:
+                for x in ([p] if not isinstance(p, list) else p):
+                    acc = x if not seen else f(acc, x)
+                    seen = True
+            if not seen:
+                raise DataflowError("reduce() on empty dataset")
+            return acc
+
+        def per_part(records: List) -> List:
+            if not records:
+                return []
+            acc = records[0]
+            for x in records[1:]:
+                acc = f(acc, x)
+            return [acc]
+        return self.run_job(ds, finish, per_partition=per_part)
+
+    def run_job(self, ds: Dataset,
+                finalize: Callable[[List], Any],
+                per_partition: Optional[Callable[[List], Any]] = None) -> Event:
+        """Execute the plan for ``ds``; ``finalize`` folds partition values.
+
+        ``per_partition`` optionally reduces each result partition on the
+        executor before "shipping" it to the driver (count/reduce use it).
+        """
+        done = self.sim.event()
+        self.sim.process(self._job_proc(ds, finalize, per_partition, done),
+                         name=f"job:ds{ds.dataset_id}")
+        return done
+
+    # ------------------------------------------------------------ job loop
+
+    def _job_proc(self, ds: Dataset, finalize, per_partition, done: Event):
+        metrics = JobMetrics(start=self.sim.now)
+        result_stage = build_stages(ds)
+        stages = topo_order(result_stage)
+        stage_by_shuffle: Dict[int, Stage] = {
+            s.shuffle_dep.shuffle_id: s for s in stages if not s.is_result}
+        try:
+            for stage in stages:
+                if stage.is_result:
+                    values = yield from self._run_stage(
+                        stage, metrics, stage_by_shuffle, per_partition)
+                else:
+                    yield from self._run_stage(
+                        stage, metrics, stage_by_shuffle, None)
+            parts = [values[i] for i in range(result_stage.n_tasks)]
+            metrics.end = self.sim.now
+            done.succeed(JobResult(finalize(parts), metrics))
+        except DataflowError as exc:
+            metrics.end = self.sim.now
+            done.fail(exc)
+
+    def _splits_to_run(self, stage: Stage,
+                       splits: Optional[Sequence[int]]) -> List[int]:
+        if splits is not None:
+            return list(splits)
+        if stage.is_result:
+            return list(range(stage.n_tasks))
+        sid = stage.shuffle_dep.shuffle_id
+        outputs = self._map_outputs.get(sid, {})
+        return [
+            s for s in range(stage.n_tasks)
+            if s not in outputs or not self.cluster.nodes[outputs[s].node].alive
+        ]
+
+    def _run_stage(self, stage: Stage, metrics: JobMetrics,
+                   stage_by_shuffle: Dict[int, Stage],
+                   per_partition, splits: Optional[Sequence[int]] = None):
+        """Generator sub-process executing one stage (possibly partially)."""
+        cfg = self.config
+        if not stage.is_result:
+            self._shuffle_nmaps[stage.shuffle_dep.shuffle_id] = stage.n_tasks
+        todo = self._splits_to_run(stage, splits)
+        results: Dict[int, Any] = {}
+        if not todo:
+            return results
+        pending: deque = deque(todo)
+        wait_start: Dict[int, float] = {s: self.sim.now for s in todo}
+        retries: Dict[int, int] = {s: 0 for s in todo}
+        attempts: Dict[int, List[_Attempt]] = {s: [] for s in todo}
+        done_splits: Set[int] = set()
+        durations: List[float] = []
+        inbox: Store = Store(self.sim)
+        pending_get: Optional[Event] = None
+
+        def completed() -> int:
+            return len(done_splits)
+
+        while completed() < len(todo):
+            self._launch_ready(stage, pending, wait_start, attempts,
+                               metrics, inbox, per_partition)
+            if pending_get is None:
+                pending_get = inbox.get()
+            timer = self.sim.timeout(cfg.check_interval)
+            yield self.sim.any_of([pending_get, timer])
+            if not pending_get.triggered:
+                # periodic tick: maybe speculate
+                if cfg.speculation:
+                    self._maybe_speculate(stage, attempts, done_splits,
+                                          durations, metrics, inbox,
+                                          per_partition, len(todo))
+                continue
+            res: _TaskResult = pending_get.value
+            pending_get = None
+            self._release_slot(res.attempt)
+            if res.split in done_splits:
+                continue   # speculative loser
+            if res.ok:
+                done_splits.add(res.split)
+                durations.append(res.duration)
+                metrics.task_durations.append(res.duration)
+                results[res.split] = res.value
+                for acc, stash in res.acc_stashes:
+                    acc._apply(stash)      # exactly once: winners only
+                if res.attempt.speculative:
+                    metrics.n_spec_wins += 1
+                continue
+            # failure handling
+            metrics.n_failed_attempts += 1
+            if isinstance(res.error, MissingShuffleError):
+                # several reduce tasks typically report the same loss at
+                # once; only re-run maps still absent from the registry
+                sid = res.error.shuffle_id
+                outputs = self._map_outputs.get(sid, {})
+                still_missing = [
+                    m for m in res.error.missing
+                    if m not in outputs
+                    or not self.cluster.nodes[outputs[m].node].alive
+                ]
+                if still_missing:
+                    parent = stage_by_shuffle[sid]
+                    metrics.n_recovered_maps += len(still_missing)
+                    yield from self._run_stage(parent, metrics,
+                                               stage_by_shuffle, None,
+                                               splits=still_missing)
+                pending.append(res.split)
+                wait_start[res.split] = self.sim.now
+                continue
+            retries[res.split] += 1
+            if retries[res.split] > cfg.max_task_retries:
+                raise TaskFailedError(
+                    f"task {res.split} of stage {stage.stage_id} failed "
+                    f"{retries[res.split]} times: {res.error}")
+            pending.append(res.split)
+            wait_start[res.split] = self.sim.now
+        return results
+
+    # -------------------------------------------------------- scheduling
+
+    def _locality_nodes(self, stage: Stage, split: int) -> List[str]:
+        return [n for n in stage.dataset.preferred_locations(split)
+                if n in self.cluster.nodes]
+
+    def _pick_node(self, stage: Stage, split: int,
+                   waited: float) -> Tuple[Optional[str], str]:
+        """Choose a node honoring delay scheduling; returns (node, level)."""
+        prefs = self._locality_nodes(stage, split)
+        free_live = [n for n, k in self._free_slots.items()
+                     if k > 0 and self.cluster.nodes[n].alive]
+        if not free_live:
+            return None, "none"
+        # spread load: prefer the node with the most free slots (ties by name)
+        free_live.sort(key=lambda n: (-self._free_slots[n], n))
+        if prefs:
+            local = [n for n in prefs if n in free_live]
+            if local:
+                return local[0], "node"
+            wait = self.config.locality_wait
+            if waited < wait:
+                return None, "waiting"
+            pref_racks = {self.cluster.rack_of(n) for n in prefs
+                          if n in self.cluster.nodes}
+            rack_local = [n for n in free_live
+                          if self.cluster.rack_of(n) in pref_racks]
+            if rack_local:
+                return rack_local[0], "rack"
+            if waited < 2 * wait:
+                return None, "waiting"
+            return free_live[0], "any"
+        return free_live[0], "any"
+
+    def _launch_ready(self, stage: Stage, pending: deque, wait_start,
+                      attempts, metrics: JobMetrics, inbox: Store,
+                      per_partition) -> None:
+        deferred: List[int] = []
+        while pending:
+            split = pending.popleft()
+            waited = self.sim.now - wait_start[split]
+            node_name, level = self._pick_node(stage, split, waited)
+            if node_name is None:
+                deferred.append(split)
+                if level == "none":
+                    break   # no free slot anywhere: stop scanning
+                continue
+            if self._locality_nodes(stage, split):
+                if level == "node":
+                    metrics.locality_node += 1
+                elif level == "rack":
+                    metrics.locality_rack += 1
+                else:
+                    metrics.locality_any += 1
+            self._launch(stage, split, node_name, attempts, metrics, inbox,
+                         per_partition, speculative=False)
+        pending.extend(deferred)
+
+    def _launch(self, stage: Stage, split: int, node_name: str, attempts,
+                metrics: JobMetrics, inbox: Store, per_partition,
+                speculative: bool) -> None:
+        self._free_slots[node_name] -= 1
+        attempt = _Attempt(split, node_name, self.sim.now, speculative)
+        attempt._inbox = inbox
+        attempts.setdefault(split, []).append(attempt)
+        self._running_by_node.setdefault(node_name, set()).add(attempt)
+        metrics.n_tasks += 1
+        if speculative:
+            metrics.n_speculative += 1
+        self.sim.process(
+            self._task_proc(stage, split, attempt, metrics, inbox,
+                            per_partition),
+            name=f"task:s{stage.stage_id}p{split}")
+
+    def _maybe_speculate(self, stage: Stage, attempts, done_splits,
+                         durations, metrics: JobMetrics, inbox: Store,
+                         per_partition, n_total: int) -> None:
+        cfg = self.config
+        if len(done_splits) < cfg.speculation_min_frac * n_total or \
+                not durations:
+            return
+        med = sorted(durations)[len(durations) // 2]
+        threshold = max(cfg.speculation_multiplier * med, 2 * cfg.check_interval)
+        for split, atts in attempts.items():
+            if split in done_splits:
+                continue
+            live = [a for a in atts if a.alive]
+            if not live or len(live) >= 2:
+                continue   # nothing running (will be relaunched) or already speculated
+            a = live[0]
+            if self.sim.now - a.started < threshold:
+                continue
+            candidates = [n for n, k in self._free_slots.items()
+                          if k > 0 and n != a.node
+                          and self.cluster.nodes[n].alive]
+            if not candidates:
+                continue
+            candidates.sort(key=lambda n: (-self._free_slots[n], n))
+            self._launch(stage, split, candidates[0], attempts, metrics,
+                         inbox, per_partition, speculative=True)
+
+    def _release_slot(self, attempt: _Attempt) -> None:
+        self._running_by_node.get(attempt.node, set()).discard(attempt)
+        if self.cluster.nodes[attempt.node].alive:
+            self._free_slots[attempt.node] += 1
+
+    # ------------------------------------------------------------ the task
+
+    def _task_proc(self, stage: Stage, split: int, attempt: _Attempt,
+                   metrics: JobMetrics, inbox: Store, per_partition):
+        sim = self.sim
+        node = self.cluster.nodes[attempt.node]
+        t0 = sim.now
+        yield sim.timeout(self.cost.task_overhead)
+        # ship any broadcast blocks this node does not hold yet (once per
+        # node, torrent-style from a peer that already has the block)
+        for bc in getattr(stage.dataset.ctx, "broadcasts", []):
+            holders = self._bc_on_node.setdefault(bc.bc_id, set())
+            if attempt.node in holders:
+                continue
+            holders_alive = [h for h in holders
+                             if self.cluster.nodes[h].alive]
+            # mark BEFORE yielding: concurrent tasks on this node must not
+            # each ship their own copy (the whole point of broadcasting)
+            holders.add(attempt.node)
+            if holders_alive:
+                yield self.cluster.transfer(holders_alive[0], attempt.node,
+                                            bc.size_bytes)
+                metrics.broadcast_bytes += bc.size_bytes
+            # else: first node is driver-local, no intra-cluster traffic
+        runtime = _SimRuntime(self, attempt.node)
+        accs = getattr(stage.dataset.ctx, "accumulators", [])
+        for a in accs:
+            a._begin_task()
+        try:
+            records = list(stage.dataset.iterate(split, runtime))
+            error = None
+        except MissingShuffleError as exc:
+            records = []
+            error = exc
+        finally:
+            acc_stashes = [(a, a._end_task()) for a in accs]
+        if error is not None:
+            if attempt.alive:
+                attempt.alive = False
+                yield inbox.put(_TaskResult(split, attempt.node, False,
+                                            error, None, sim.now - t0,
+                                            attempt))
+            return
+        # charge input movement: shuffle fetches + cache fetches + any
+        # non-local source partition reads
+        fetch_evs = []
+        for src, nbytes in runtime.fetches:
+            if src != attempt.node and nbytes > 0:
+                fetch_evs.append(self.cluster.transfer(src, attempt.node,
+                                                       nbytes))
+                metrics.shuffle_bytes += nbytes
+        src_bytes, src_holder = self._source_fetch(stage.dataset, split,
+                                                   attempt.node)
+        if src_bytes > 0 and src_holder is not None:
+            fetch_evs.append(self.cluster.transfer(src_holder, attempt.node,
+                                                   src_bytes))
+            metrics.input_fetch_bytes += src_bytes
+        if fetch_evs:
+            yield sim.all_of(fetch_evs)
+        # memory pressure: shuffle input beyond the executor's memory
+        # spills — an external-sort pass (write + read back the excess)
+        input_bytes = sum(b for _s, b in runtime.fetches) + src_bytes
+        overflow = input_bytes - self.config.executor_memory
+        if overflow > 0:
+            metrics.spill_bytes += overflow
+            yield node.disk_write(overflow)
+            yield node.disk_read(overflow)
+        # charge compute
+        n_source = source_record_count(stage.dataset, split)
+        depth = narrow_op_depth(stage.dataset)
+        work = self.cost.compute_work(
+            len(records) + runtime.records_in + n_source, max(depth, 1))
+        yield node.compute(work)
+        # produce output
+        if stage.is_result:
+            value: Any = per_partition(records) if per_partition else records
+        else:
+            dep = stage.shuffle_dep
+            buckets, _written, bucket_bytes = write_buckets(
+                dep, records, self.cost)
+            if self.config.shuffle_to_disk:
+                total = sum(bucket_bytes)
+                if total > 0:
+                    yield node.disk_write(total)
+            if attempt.alive:
+                self._map_outputs.setdefault(dep.shuffle_id, {})[split] = \
+                    _MapOutput(attempt.node, buckets, bucket_bytes)
+            value = None
+        if attempt.alive:
+            attempt.alive = False
+            yield inbox.put(_TaskResult(split, attempt.node, True, None,
+                                        value, sim.now - t0, attempt,
+                                        acc_stashes=acc_stashes))
+
+    def _source_fetch(self, ds: Dataset, split: int,
+                      node: str) -> Tuple[float, Optional[str]]:
+        """Bytes (and holder) to fetch when source data is not node-local."""
+        prefs = ds.preferred_locations(split)
+        prefs = [p for p in prefs if p in self.cluster.nodes
+                 and self.cluster.nodes[p].alive]
+        if not prefs or node in prefs:
+            return 0.0, None
+        n_records = source_record_count(ds, split)
+        if n_records == 0:
+            return 0.0, None
+        # estimate from record count with the model's per-record floor;
+        # real sizes are unknown without materializing the source here.
+        nbytes = n_records * self.cost.min_record_bytes
+        rack = self.cluster.rack_of(node)
+        same_rack = [p for p in prefs if self.cluster.rack_of(p) == rack]
+        return nbytes, (same_rack[0] if same_rack else prefs[0])
+
+    # ------------------------------------------------------------ failures
+
+    def _on_node_event(self, node: Node, kind: str) -> None:
+        if kind == "recover":
+            self._free_slots[node.name] = node.spec.cores
+            return
+        # node lost: fail running attempts, drop its map outputs & cache
+        self._free_slots[node.name] = 0
+        for attempt in list(self._running_by_node.get(node.name, ())):
+            attempt.alive = False
+            self._running_by_node[node.name].discard(attempt)
+            # notify the owning stage loop through a synthetic failure; the
+            # stage's inbox reference lives in the task process, so instead
+            # we re-enqueue via a watchdog process that the stage polls.
+            self._fail_async(attempt)
+        for sid, outputs in self._map_outputs.items():
+            dead = [m for m, mo in outputs.items() if mo.node == node.name]
+            for m in dead:
+                del outputs[m]
+        for key in [k for k, e in self._cache.items() if e.node == node.name]:
+            del self._cache[key]
+
+    def _fail_async(self, attempt: _Attempt) -> None:
+        """Deliver a node-lost failure for an attempt to its stage inbox."""
+        inbox = getattr(attempt, "_inbox", None)
+        if inbox is None:
+            return
+
+        def _notify(sim: Simulator):
+            yield sim.timeout(0.0)
+            yield inbox.put(_TaskResult(attempt.split, attempt.node, False,
+                                        "node_lost", None, 0.0, attempt))
+        self.sim.process(_notify(self.sim), name="task-fail-notify")

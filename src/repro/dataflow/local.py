@@ -1,0 +1,169 @@
+"""The local executor: reference, in-process evaluation of dataflow plans.
+
+Evaluates the same plan DAG the simulated engine runs, but directly in
+this process — it is both the single-node *baseline* for the scaling
+experiments and the semantic oracle the distributed results are checked
+against.  Shuffle volumes (records and estimated bytes, before and after
+map-side combining) are recorded per shuffle id in :attr:`LocalExecutor.
+shuffle_metrics` — experiment F1 reads them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..common.errors import PlanError
+from .plan import (
+    Dataset,
+    NarrowDependency,
+    ShuffleDependency,
+    TaskRuntime,
+)
+
+__all__ = ["LocalExecutor", "ShuffleMetrics"]
+
+
+@dataclass
+class ShuffleMetrics:
+    """Volume accounting for one materialized shuffle."""
+
+    shuffle_id: int
+    records_in: int = 0          # records entering the shuffle write
+    records_written: int = 0     # records after optional map-side combine
+    bytes_written: float = 0.0   # estimated serialized bytes on the wire
+
+    @property
+    def combine_ratio(self) -> float:
+        """records_written / records_in (1.0 when no reduction)."""
+        return self.records_written / self.records_in if self.records_in else 1.0
+
+
+class _LocalRuntime(TaskRuntime):
+    def __init__(self, executor: "LocalExecutor") -> None:
+        self._ex = executor
+
+    def fetch_shuffle(self, shuffle_id: int, reduce_id: int):
+        return self._ex._shuffle_store[shuffle_id][reduce_id]
+
+    def cache_get(self, dataset: Dataset, split: int):
+        return self._ex._cache.get((dataset.dataset_id, split))
+
+    def cache_put(self, dataset: Dataset, split: int, records: List) -> None:
+        self._ex._cache[(dataset.dataset_id, split)] = records
+
+
+class LocalExecutor:
+    """Evaluates plans in-process, materializing shuffles bottom-up."""
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self._shuffle_store: Dict[int, List[List]] = {}
+        self._cache: Dict[Tuple[int, int], List] = {}
+        self.shuffle_metrics: Dict[int, ShuffleMetrics] = {}
+        self._runtime = _LocalRuntime(self)
+
+    # -- public actions --------------------------------------------------
+
+    def collect_partitions(self, ds: Dataset) -> List[List]:
+        """All partitions of ``ds`` as lists (runs the plan)."""
+        self._materialize_shuffles(ds)
+        return [self._materialize(ds, i) for i in range(ds.n_partitions)]
+
+    def collect(self, ds: Dataset) -> List:
+        """All records, concatenated in partition order."""
+        return [x for part in self.collect_partitions(ds) for x in part]
+
+    def count(self, ds: Dataset) -> int:
+        """Number of records."""
+        self._materialize_shuffles(ds)
+        return sum(len(self._materialize(ds, i))
+                   for i in range(ds.n_partitions))
+
+    def take(self, ds: Dataset, n: int) -> List:
+        """First ``n`` records, scanning partitions in order."""
+        if n <= 0:
+            return []
+        self._materialize_shuffles(ds)
+        out: List = []
+        for i in range(ds.n_partitions):
+            for x in self._materialize(ds, i):
+                out.append(x)
+                if len(out) >= n:
+                    return out
+        return out
+
+    def reduce(self, ds: Dataset, f: Callable[[Any, Any], Any]) -> Any:
+        """Fold every record with ``f``; raises on an empty dataset."""
+        acc = None
+        seen = False
+        for part in self.collect_partitions(ds):
+            for x in part:
+                acc = x if not seen else f(acc, x)
+                seen = True
+        if not seen:
+            raise PlanError("reduce() on empty dataset")
+        return acc
+
+    def _materialize(self, ds: Dataset, split: int) -> List:
+        """Compute one partition with accumulator exactly-once bookkeeping."""
+        accs = self.ctx.accumulators
+        for a in accs:
+            a._begin_task()
+        try:
+            records = list(ds.iterate(split, self._runtime))
+        finally:
+            stashes = [(a, a._end_task()) for a in accs]
+        # the local executor never fails a task: every stash is a winner
+        for a, stash in stashes:
+            a._apply(stash)
+        return records
+
+    # -- shuffle materialization -----------------------------------------
+
+    def _materialize_shuffles(self, ds: Dataset,
+                              visiting: Optional[Set[int]] = None) -> None:
+        """Depth-first: materialize every shuffle below ``ds`` once."""
+        if visiting is None:
+            visiting = set()
+        if ds.dataset_id in visiting:
+            return
+        visiting.add(ds.dataset_id)
+        for dep in ds.deps:
+            self._materialize_shuffles(dep.parent, visiting)
+            if isinstance(dep, ShuffleDependency) and \
+                    dep.shuffle_id not in self._shuffle_store:
+                self._write_shuffle(dep)
+
+    def _write_shuffle(self, dep: ShuffleDependency) -> None:
+        from .shuffleio import write_buckets
+
+        parent = dep.parent
+        n_out = dep.partitioner.n_partitions
+        buckets: List[List] = [[] for _ in range(n_out)]
+        metrics = ShuffleMetrics(dep.shuffle_id)
+        cost = self.ctx.cost_model
+        for split in range(parent.n_partitions):
+            records = self._materialize(parent, split)
+            metrics.records_in += len(records)
+            split_buckets, written, bucket_bytes = write_buckets(
+                dep, records, cost)
+            metrics.records_written += written
+            metrics.bytes_written += sum(bucket_bytes)
+            for rid in range(n_out):
+                buckets[rid].extend(split_buckets[rid])
+        self._shuffle_store[dep.shuffle_id] = buckets
+        self.shuffle_metrics[dep.shuffle_id] = metrics
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all materialized shuffles, caches, and metrics."""
+        self._shuffle_store.clear()
+        self._cache.clear()
+        self.shuffle_metrics.clear()
+
+    def uncache(self, ds: Dataset) -> None:
+        """Evict a dataset's partitions from the in-process cache."""
+        for key in [k for k in self._cache if k[0] == ds.dataset_id]:
+            del self._cache[key]

@@ -1,0 +1,128 @@
+"""Partitioners: how keyed records map to reduce partitions.
+
+Hash partitioning uses a *deterministic* hash (CRC32 of the pickled key),
+not Python's salted ``hash()``, so shuffles are reproducible across
+processes and runs.  Range partitioning picks boundaries from a sample of
+keys — the TeraSort approach — producing globally sorted output with
+approximately balanced partitions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import pickle
+import zlib
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..common.rng import RandomState, ensure_rng
+
+__all__ = ["Partitioner", "HashPartitioner", "RangePartitioner", "stable_hash"]
+
+
+def stable_hash(key: Any) -> int:
+    """A process-stable, deterministic 32-bit hash of any picklable key."""
+    if isinstance(key, int) and not isinstance(key, bool):
+        # fast path; mix bits so sequential ints spread
+        x = key & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        return (x ^ (x >> 31)) & 0xFFFFFFFF
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8", "surrogatepass"))
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    return zlib.crc32(pickle.dumps(key, protocol=4))
+
+
+class Partitioner:
+    """Maps keys to partition ids ``0..n_partitions-1``."""
+
+    def __init__(self, n_partitions: int) -> None:
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.n_partitions = n_partitions
+
+    def partition(self, key: Any) -> int:
+        """Partition id for ``key``."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and \
+            self.n_partitions == other.n_partitions  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return hash((type(self).__name__, self.n_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """``stable_hash(key) mod n`` — the default for aggregations and joins."""
+
+    def partition(self, key: Any) -> int:
+        return stable_hash(key) % self.n_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Order-preserving partitioning by sampled key boundaries.
+
+    Partition ``i`` receives keys in ``(boundary[i-1], boundary[i]]``;
+    concatenating partitions in order yields globally sorted data.
+    """
+
+    def __init__(self, n_partitions: int, boundaries: Sequence[Any],
+                 ascending: bool = True) -> None:
+        super().__init__(n_partitions)
+        self.boundaries: List[Any] = list(boundaries)
+        if len(self.boundaries) != n_partitions - 1:
+            raise ValueError(
+                f"need {n_partitions - 1} boundaries, got {len(self.boundaries)}")
+        if any(self.boundaries[i] > self.boundaries[i + 1]
+               for i in range(len(self.boundaries) - 1)):
+            raise ValueError("boundaries must be nondecreasing")
+        self.ascending = ascending
+
+    @classmethod
+    def from_sample(cls, keys: Sequence[Any], n_partitions: int,
+                    ascending: bool = True,
+                    seed: RandomState = None,
+                    max_sample: int = 10_000) -> "RangePartitioner":
+        """Build boundaries from a (sub)sample of ``keys``.
+
+        With an empty sample all records land in partition 0.
+        """
+        keys = list(keys)
+        rng = ensure_rng(seed)
+        if len(keys) > max_sample:
+            idx = rng.choice(len(keys), size=max_sample, replace=False)
+            keys = [keys[i] for i in idx]
+        keys.sort()
+        if not keys or n_partitions == 1:
+            return cls(n_partitions, [keys[0]] * (n_partitions - 1) if keys
+                       else cls._degenerate(n_partitions), ascending)
+        boundaries = []
+        for i in range(1, n_partitions):
+            pos = int(i * len(keys) / n_partitions)
+            pos = min(pos, len(keys) - 1)
+            boundaries.append(keys[pos])
+        return cls(n_partitions, boundaries, ascending)
+
+    @staticmethod
+    def _degenerate(n_partitions: int) -> List[Any]:
+        # no data sampled: every key goes to partition 0 via +inf boundaries
+        return [float("inf")] * (n_partitions - 1)
+
+    def partition(self, key: Any) -> int:
+        idx = bisect.bisect_left(self.boundaries, key)
+        if not self.ascending:
+            idx = self.n_partitions - 1 - idx
+        return idx
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RangePartitioner)
+            and self.n_partitions == other.n_partitions
+            and self.boundaries == other.boundaries
+            and self.ascending == other.ascending
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return hash((type(self).__name__, self.n_partitions, self.ascending))

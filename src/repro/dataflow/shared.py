@@ -1,0 +1,115 @@
+"""Shared variables: broadcast values and accumulators.
+
+The two classic dataflow side-channels:
+
+* :class:`Broadcast` — a read-only value shipped once per node rather than
+  once per task.  The simulated engine charges one network transfer per
+  node that runs a task of the job (not per task), which is the entire
+  point of broadcasting.
+* :class:`Accumulator` — an add-only aggregation of task-side updates.
+  Updates from *successful, first-winning* task attempts are applied
+  exactly once: failed attempts and speculative losers are discarded —
+  matching the only-counted-once guarantee real engines give for actions.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Dict, Generic, List, Optional, Tuple, TypeVar
+
+from ..common.errors import DataflowError
+
+__all__ = ["Broadcast", "Accumulator"]
+
+T = TypeVar("T")
+
+
+class Broadcast(Generic[T]):
+    """A read-only value with one-per-node distribution semantics.
+
+    Create via :meth:`DataflowContext.broadcast`.  Access the value with
+    ``.value`` inside closures.  ``size_bytes`` is the serialized size the
+    engine charges per node.
+    """
+
+    _next_id = [0]
+
+    def __init__(self, value: T) -> None:
+        self._value = value
+        self.bc_id = Broadcast._next_id[0]
+        Broadcast._next_id[0] += 1
+        try:
+            self.size_bytes = len(pickle.dumps(value, protocol=4))
+        except Exception:
+            self.size_bytes = 1024  # unpicklable: nominal charge
+        self._destroyed = False
+
+    @property
+    def value(self) -> T:
+        """The broadcast value (read-only by convention)."""
+        if self._destroyed:
+            raise DataflowError(f"broadcast {self.bc_id} was destroyed")
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the value; later reads raise."""
+        self._destroyed = True
+        self._value = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Broadcast #{self.bc_id} ~{self.size_bytes}B>"
+
+
+class Accumulator(Generic[T]):
+    """Add-only shared variable with exactly-once semantics per task.
+
+    Tasks buffer their updates in a :class:`TaskRuntime`-scoped stash; the
+    executor merges a task's stash only when that task attempt *wins*
+    (first successful completion).  ``add`` outside a task applies
+    immediately (driver-side use).
+    """
+
+    _next_id = [0]
+
+    def __init__(self, zero: T, op: Callable[[T, T], T] = None,
+                 name: str = "") -> None:
+        self.acc_id = Accumulator._next_id[0]
+        Accumulator._next_id[0] += 1
+        self.zero = zero
+        self.op = op or (lambda a, b: a + b)   # type: ignore[operator]
+        self.name = name or f"acc{self.acc_id}"
+        self._value = zero
+        #: set by executors while a task is computing
+        self._task_stash: Optional[List[T]] = None
+
+    @property
+    def value(self) -> T:
+        """Driver-visible accumulated value."""
+        return self._value
+
+    def add(self, update: T) -> None:
+        """Contribute ``update`` (task-side: buffered; driver-side: direct)."""
+        if self._task_stash is not None:
+            self._task_stash.append(update)
+        else:
+            self._value = self.op(self._value, update)
+
+    # -- executor protocol -------------------------------------------------
+
+    def _begin_task(self) -> None:
+        self._task_stash = []
+
+    def _end_task(self) -> List[T]:
+        stash, self._task_stash = self._task_stash or [], None
+        return stash
+
+    def _apply(self, stash: List[T]) -> None:
+        for u in stash:
+            self._value = self.op(self._value, u)
+
+    def reset(self) -> None:
+        """Reset to the zero value (between experiments)."""
+        self._value = self.zero
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Accumulator {self.name}={self._value!r}>"

@@ -1,0 +1,43 @@
+"""Shared shuffle-write logic (map-side partitioning and combining).
+
+Both executors funnel map output through :func:`write_buckets` so the
+combiner semantics — and the volume accounting the experiments read —
+are identical in local and simulated execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .costmodel import CostModel
+from .plan import ShuffleDependency
+
+__all__ = ["write_buckets"]
+
+
+def write_buckets(dep: ShuffleDependency, records: Sequence,
+                  cost: CostModel) -> Tuple[List[List], int, List[float]]:
+    """Partition ``records`` into reduce buckets for ``dep``.
+
+    Applies map-side combining when the dependency asks for it.  Returns
+    ``(buckets, records_written, bytes_per_bucket)`` where byte counts are
+    cost-model estimates of the serialized bucket sizes.
+    """
+    n_out = dep.partitioner.n_partitions
+    buckets: List[List] = [[] for _ in range(n_out)]
+    if dep.map_side_combine and dep.aggregator is not None:
+        agg = dep.aggregator
+        combined: List[Dict[Any, Any]] = [dict() for _ in range(n_out)]
+        for k, v in records:
+            b = combined[dep.partitioner.partition(k)]
+            b[k] = agg.merge_value(b[k], v) if k in b else agg.create(v)
+        written = 0
+        for rid, d in enumerate(combined):
+            buckets[rid].extend(d.items())
+            written += len(d)
+    else:
+        for rec in records:
+            buckets[dep.partitioner.partition(rec[0])].append(rec)
+        written = len(records)
+    bucket_bytes = [cost.estimate_bytes(b) for b in buckets]
+    return buckets, written, bucket_bytes

@@ -1,0 +1,150 @@
+"""DAG scheduling: cut the plan into stages at shuffle boundaries.
+
+A *map stage* computes the parent dataset of one
+:class:`~repro.dataflow.plan.ShuffleDependency` and writes its output
+buckets; the *result stage* computes the job's final dataset.  Stages form
+their own DAG (parents must finish first); :func:`topo_order` linearizes
+it deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .plan import (
+    Dataset,
+    MappedDataset,
+    NarrowDependency,
+    ShuffleDependency,
+    SourceDataset,
+)
+
+__all__ = ["Stage", "build_stages", "topo_order", "narrow_op_depth",
+           "source_record_count"]
+
+
+class Stage:
+    """A set of tasks (one per partition) with no internal shuffle."""
+
+    def __init__(self, stage_id: int, dataset: Dataset,
+                 shuffle_dep: Optional[ShuffleDependency]) -> None:
+        self.stage_id = stage_id
+        self.dataset = dataset
+        self.shuffle_dep = shuffle_dep     # None => result stage
+        self.parents: List["Stage"] = []
+
+    @property
+    def is_result(self) -> bool:
+        """True for the job's final stage."""
+        return self.shuffle_dep is None
+
+    @property
+    def n_tasks(self) -> int:
+        """One task per partition of the stage's dataset."""
+        return self.dataset.n_partitions
+
+    def input_shuffles(self) -> List[ShuffleDependency]:
+        """Shuffle dependencies this stage's tasks read from."""
+        out: List[ShuffleDependency] = []
+        seen: Set[int] = set()
+
+        def visit(ds: Dataset) -> None:
+            if ds.dataset_id in seen:
+                return
+            seen.add(ds.dataset_id)
+            for dep in ds.deps:
+                if isinstance(dep, ShuffleDependency):
+                    out.append(dep)
+                else:
+                    visit(dep.parent)
+        visit(self.dataset)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "result" if self.is_result else f"shuffle{self.shuffle_dep.shuffle_id}"
+        return f"<Stage {self.stage_id} [{kind}] tasks={self.n_tasks}>"
+
+
+def build_stages(final: Dataset) -> Stage:
+    """Return the result stage for ``final``, parents wired recursively.
+
+    Stages for a given shuffle id are shared (diamonds in the plan reuse
+    one map stage).
+    """
+    memo: Dict[int, Stage] = {}
+    counter = [0]
+
+    def stage_for(dep: ShuffleDependency) -> Stage:
+        hit = memo.get(dep.shuffle_id)
+        if hit is not None:
+            return hit
+        stage = Stage(counter[0], dep.parent, dep)
+        counter[0] += 1
+        memo[dep.shuffle_id] = stage
+        stage.parents = parents_of(dep.parent)
+        return stage
+
+    def parents_of(ds: Dataset) -> List[Stage]:
+        out: List[Stage] = []
+        seen: Set[int] = set()
+
+        def visit(d: Dataset) -> None:
+            if d.dataset_id in seen:
+                return
+            seen.add(d.dataset_id)
+            for dep in d.deps:
+                if isinstance(dep, ShuffleDependency):
+                    out.append(stage_for(dep))
+                else:
+                    visit(dep.parent)
+        visit(ds)
+        return out
+
+    result = Stage(-1, final, None)
+    result.parents = parents_of(final)
+    result.stage_id = counter[0]
+    return result
+
+
+def topo_order(result: Stage) -> List[Stage]:
+    """All stages, parents before children, result last; deterministic."""
+    order: List[Stage] = []
+    seen: Set[int] = set()
+
+    def visit(stage: Stage) -> None:
+        if id(stage) in seen:
+            return
+        seen.add(id(stage))
+        for p in sorted(stage.parents, key=lambda s: s.stage_id):
+            visit(p)
+        order.append(stage)
+    visit(result)
+    return order
+
+
+def narrow_op_depth(ds: Dataset) -> int:
+    """Longest chain of narrow operators inside ``ds``'s stage.
+
+    Used by the cost model: records pay CPU per pipelined operator.
+    """
+    if isinstance(ds, SourceDataset):
+        return 0
+    depth = 0
+    for dep in ds.deps:
+        if isinstance(dep, NarrowDependency):
+            depth = max(depth, narrow_op_depth(dep.parent))
+    return depth + 1
+
+
+def source_record_count(ds: Dataset, split: int) -> int:
+    """Records in the source partitions feeding ``split`` through narrow deps.
+
+    Walks narrow lineage down to :class:`SourceDataset` leaves; shuffle
+    inputs are counted separately by the runtime's fetch counters.
+    """
+    if isinstance(ds, SourceDataset):
+        return len(ds._partitions[split])
+    total = 0
+    for parent, psplit in ds.parent_splits(split):
+        total += source_record_count(parent, psplit)
+    return total

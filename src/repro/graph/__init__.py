@@ -1,0 +1,27 @@
+"""Graph analytics: structures, generators, direct and dataflow algorithms."""
+
+from .algorithms import (
+    bfs_distances,
+    connected_components,
+    core_numbers,
+    degeneracy_ordering,
+    pagerank,
+    sssp_dijkstra,
+    triangle_count,
+)
+from .dataflow_algos import (
+    cc_dataflow,
+    edges_dataset,
+    pagerank_dataflow,
+    pagerank_dataflow_plan,
+)
+from .generators import erdos_renyi, grid2d, ring, rmat
+from .structure import Graph
+
+__all__ = [
+    "Graph", "erdos_renyi", "rmat", "ring", "grid2d",
+    "pagerank", "connected_components", "bfs_distances", "sssp_dijkstra",
+    "triangle_count", "core_numbers", "degeneracy_ordering",
+    "edges_dataset", "pagerank_dataflow", "pagerank_dataflow_plan",
+    "cc_dataflow",
+]

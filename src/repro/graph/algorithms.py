@@ -1,0 +1,230 @@
+"""Direct (numpy-vectorized) graph algorithms.
+
+These are the single-machine reference implementations; the
+dataflow-backed versions in :mod:`repro.graph.dataflow_algos` must agree
+with them (tests assert it).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..common.errors import ReproError
+from .structure import Graph
+
+__all__ = [
+    "pagerank", "connected_components", "bfs_distances", "sssp_dijkstra",
+    "triangle_count", "core_numbers", "degeneracy_ordering",
+]
+
+
+def pagerank(g: Graph, damping: float = 0.85, tol: float = 1e-8,
+             max_iter: int = 100) -> np.ndarray:
+    """Power-iteration PageRank with dangling-mass redistribution.
+
+    Returns a probability vector (sums to 1).  Vectorized: each iteration
+    is one scatter-add over the edge arrays.
+    """
+    if not (0 < damping < 1):
+        raise ReproError("damping must be in (0, 1)")
+    n = g.n
+    if n == 0:
+        return np.zeros(0)
+    out_deg = g.out_degrees().astype(np.float64)
+    dangling = out_deg == 0
+    rank = np.full(n, 1.0 / n)
+    contrib_per_edge_src = np.where(dangling, 0.0, 1.0 / np.maximum(out_deg, 1))
+    for _ in range(max_iter):
+        weights = rank * contrib_per_edge_src
+        incoming = np.zeros(n)
+        np.add.at(incoming, g.dst, weights[g.src])
+        dangling_mass = rank[dangling].sum()
+        new_rank = (1.0 - damping) / n + damping * (
+            incoming + dangling_mass / n)
+        delta = np.abs(new_rank - rank).sum()
+        rank = new_rank
+        if delta < tol:
+            break
+    return rank / rank.sum()
+
+
+def connected_components(g: Graph) -> np.ndarray:
+    """Weakly connected components by vectorized label propagation.
+
+    Each vertex's label converges to the minimum vertex id in its
+    component.  Returns the label array.
+    """
+    labels = np.arange(g.n, dtype=np.int64)
+    if g.n_edges == 0:
+        return labels
+    src = np.concatenate([g.src, g.dst])
+    dst = np.concatenate([g.dst, g.src])
+    while True:
+        prop = labels.copy()
+        np.minimum.at(prop, dst, labels[src])
+        # pointer-jump: compress chains for fast convergence
+        changed = prop < labels
+        labels = prop
+        labels = labels[labels]      # one hop of path compression
+        if not changed.any():
+            break
+    # final compression to fixpoint
+    while True:
+        nxt = labels[labels]
+        if (nxt == labels).all():
+            break
+        labels = nxt
+    return labels
+
+
+def bfs_distances(g: Graph, source: int) -> np.ndarray:
+    """Hop distance from ``source`` (-1 for unreachable), frontier-vectorized."""
+    if not (0 <= source < g.n):
+        raise ReproError("source out of range")
+    dist = np.full(g.n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    indptr, indices = g.csr()
+    level = 0
+    while frontier.size:
+        level += 1
+        # gather all neighbors of the frontier
+        starts = indptr[frontier]
+        ends = indptr[frontier + 1]
+        total = int((ends - starts).sum())
+        if total == 0:
+            break
+        neigh = np.concatenate([indices[s:e] for s, e in zip(starts, ends)])
+        neigh = np.unique(neigh)
+        new = neigh[dist[neigh] == -1]
+        dist[new] = level
+        frontier = new
+    return dist
+
+
+def sssp_dijkstra(g: Graph, source: int,
+                  weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Single-source shortest paths (nonnegative weights; default 1.0)."""
+    if not (0 <= source < g.n):
+        raise ReproError("source out of range")
+    if weights is None:
+        w = np.ones(g.n_edges)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != g.src.shape:
+            raise ReproError("weights must align with edges")
+        if (w < 0).any():
+            raise ReproError("Dijkstra needs nonnegative weights")
+    # CSR with parallel weight array
+    order = np.argsort(g.src, kind="stable")
+    indices = g.dst[order]
+    wsorted = w[order]
+    counts = np.bincount(g.src, minlength=g.n)
+    indptr = np.zeros(g.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+
+    dist = np.full(g.n, np.inf)
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for ei in range(indptr[u], indptr[u + 1]):
+            v = indices[ei]
+            nd = d + wsorted[ei]
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, int(v)))
+    return dist
+
+
+def triangle_count(g: Graph) -> int:
+    """Number of triangles in the undirected view of ``g``.
+
+    Orients each edge low→high degree (degree ordering) and intersects
+    sorted adjacency lists — the standard exact algorithm.
+    """
+    und = g.symmetrized()
+    deg = und.out_degrees()
+    # keep edges (u, v) with rank(u) < rank(v); rank = (degree, id)
+    src, dst = und.src, und.dst
+    keep = (deg[src] < deg[dst]) | ((deg[src] == deg[dst]) & (src < dst))
+    fsrc, fdst = src[keep], dst[keep]
+    # adjacency (oriented) as python dict of sorted arrays
+    order = np.argsort(fsrc, kind="stable")
+    fsrc, fdst = fsrc[order], fdst[order]
+    counts = np.bincount(fsrc, minlength=und.n)
+    indptr = np.zeros(und.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    adj = {u: np.sort(fdst[indptr[u]:indptr[u + 1]])
+           for u in range(und.n) if counts[u]}
+    total = 0
+    for u, nbrs in adj.items():
+        for v in nbrs:
+            other = adj.get(int(v))
+            if other is not None:
+                total += int(np.intersect1d(nbrs, other,
+                                            assume_unique=True).size)
+    return total
+
+
+def core_numbers(g: Graph, return_order: bool = False):
+    """k-core decomposition of the undirected view (Matula–Beck peeling).
+
+    The core number of v is the largest k such that v belongs to a
+    subgraph where every vertex has degree >= k.  Linear-time bucket
+    peeling; agrees with ``networkx.core_number`` (tests assert it).
+    Self-loops are ignored.  With ``return_order=True`` also returns the
+    peeling order (a valid degeneracy ordering).
+    """
+    und = g.symmetrized()
+    n = und.n
+    deg = und.out_degrees().astype(np.int64)
+    indptr, indices = und.csr()
+    # bucket sort vertices by degree
+    max_deg = int(deg.max()) if n else 0
+    bin_start = np.zeros(max_deg + 2, dtype=np.int64)
+    for d in deg:
+        bin_start[d + 1] += 1
+    np.cumsum(bin_start, out=bin_start)
+    pos = np.zeros(n, dtype=np.int64)
+    vert = np.zeros(n, dtype=np.int64)
+    fill = bin_start[:-1].copy()
+    for v in range(n):
+        pos[v] = fill[deg[v]]
+        vert[pos[v]] = v
+        fill[deg[v]] += 1
+    core = deg.copy()
+    bin_ptr = bin_start[:-1].copy()
+    for i in range(n):
+        v = vert[i]
+        for ei in range(indptr[v], indptr[v + 1]):
+            u = int(indices[ei])
+            if core[u] > core[v]:
+                du = core[u]
+                pu = pos[u]
+                pw = bin_ptr[du]
+                w = vert[pw]
+                if u != w:
+                    vert[pu], vert[pw] = w, u
+                    pos[u], pos[w] = pw, pu
+                bin_ptr[du] += 1
+                core[u] -= 1
+    if return_order:
+        return core, vert.copy()
+    return core
+
+
+def degeneracy_ordering(g: Graph) -> np.ndarray:
+    """Vertices in the exact peeling order of :func:`core_numbers`.
+
+    A valid degeneracy ordering: every vertex has at most ``degeneracy``
+    neighbors later in the order (property-tested).  Its reverse is the
+    classic seed ordering for greedy coloring and clique enumeration.
+    """
+    _core, order = core_numbers(g, return_order=True)
+    return order

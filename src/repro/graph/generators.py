@@ -1,0 +1,89 @@
+"""Graph generators: Erdős–Rényi, R-MAT, rings, grids.
+
+All deterministic per seed; R-MAT is the generator the graph-systems
+literature benchmarks on (power-law degrees, community structure).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..common.errors import ReproError
+from ..common.rng import RandomState, ensure_rng
+from .structure import Graph
+
+__all__ = ["erdos_renyi", "rmat", "ring", "grid2d"]
+
+
+def erdos_renyi(n: int, m: int, seed: RandomState = None,
+                allow_self_loops: bool = False) -> Graph:
+    """G(n, m): ``m`` directed edges drawn uniformly (dedup'd, so the
+    result may have slightly fewer)."""
+    if n < 1 or m < 0:
+        raise ReproError("need n >= 1, m >= 0")
+    rng = ensure_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    g = Graph(n, src, dst)
+    return g if allow_self_loops else g.dedup()
+
+
+def rmat(scale: int, edge_factor: int = 16,
+         a: float = 0.57, b: float = 0.19, c: float = 0.19,
+         seed: RandomState = None) -> Graph:
+    """R-MAT graph with ``2**scale`` vertices, ``edge_factor`` edges/vertex.
+
+    Each edge picks its quadrant recursively with probabilities
+    (a, b, c, d=1-a-b-c) — the Graph500 generator.  Vectorized across all
+    edges per recursion level.
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ReproError("quadrant probabilities must be nonnegative")
+    if scale < 1:
+        raise ReproError("scale must be >= 1")
+    rng = ensure_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        bit = 1 << (scale - 1 - level)
+        # quadrants: [a | b ; c | d] — b sets dst bit, c sets src bit, d both
+        src_bit = (r >= a + b) & (r < a + b + c) | (r >= a + b + c)
+        dst_bit = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        src += bit * src_bit
+        dst += bit * dst_bit
+    return Graph(n, src, dst).dedup()
+
+
+def ring(n: int) -> Graph:
+    """A directed cycle 0→1→…→n-1→0."""
+    if n < 2:
+        raise ReproError("ring needs n >= 2")
+    v = np.arange(n, dtype=np.int64)
+    return Graph(n, v, (v + 1) % n)
+
+
+def grid2d(rows: int, cols: int) -> Graph:
+    """Undirected 2-D grid (edges stored in both directions)."""
+    if rows < 1 or cols < 1:
+        raise ReproError("grid needs positive dimensions")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    src_parts = []
+    dst_parts = []
+    if cols > 1:
+        src_parts.append(idx[:, :-1].ravel())
+        dst_parts.append(idx[:, 1:].ravel())
+    if rows > 1:
+        src_parts.append(idx[:-1, :].ravel())
+        dst_parts.append(idx[1:, :].ravel())
+    if src_parts:
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+    else:
+        src = dst = np.zeros(0, dtype=np.int64)
+    return Graph(rows * cols, src, dst).symmetrized()

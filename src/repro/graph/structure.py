@@ -1,0 +1,98 @@
+"""Graph container backed by numpy edge arrays (CSR built on demand)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..common.errors import ReproError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A directed graph over vertices ``0..n-1`` stored as edge arrays.
+
+    Undirected algorithms symmetrize on demand.  Construction is
+    vectorized; duplicate edges may be removed with :meth:`dedup`.
+    """
+
+    def __init__(self, n_vertices: int, src: Sequence[int],
+                 dst: Sequence[int]) -> None:
+        if n_vertices < 0:
+            raise ReproError("vertex count must be nonnegative")
+        self.n = int(n_vertices)
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape:
+            raise ReproError("src/dst must align")
+        if self.src.size and (self.src.min() < 0 or self.src.max() >= self.n
+                              or self.dst.min() < 0 or self.dst.max() >= self.n):
+            raise ReproError("edge endpoint out of range")
+        self._csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]],
+                   n_vertices: Optional[int] = None) -> "Graph":
+        """Build from an iterable of (u, v) pairs."""
+        pairs = list(edges)
+        if pairs:
+            arr = np.asarray(pairs, dtype=np.int64)
+            src, dst = arr[:, 0], arr[:, 1]
+        else:
+            src = dst = np.zeros(0, dtype=np.int64)
+        if n_vertices is None:
+            n_vertices = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+        return cls(n_vertices, src, dst)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of (directed) edges."""
+        return int(self.src.size)
+
+    def dedup(self) -> "Graph":
+        """Remove duplicate directed edges (and self-loops)."""
+        if not self.n_edges:
+            return self
+        keep = self.src != self.dst
+        key = self.src[keep] * self.n + self.dst[keep]
+        uniq = np.unique(key)
+        return Graph(self.n, uniq // self.n, uniq % self.n)
+
+    def symmetrized(self) -> "Graph":
+        """Both directions of every edge (dedup'd)."""
+        src = np.concatenate([self.src, self.dst])
+        dst = np.concatenate([self.dst, self.src])
+        return Graph(self.n, src, dst).dedup()
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of each vertex."""
+        return np.bincount(self.src, minlength=self.n).astype(np.int64)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of each vertex."""
+        return np.bincount(self.dst, minlength=self.n).astype(np.int64)
+
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(indptr, indices) adjacency in CSR order, cached."""
+        if self._csr is None:
+            order = np.argsort(self.src, kind="stable")
+            indices = self.dst[order]
+            counts = np.bincount(self.src, minlength=self.n)
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._csr = (indptr, indices)
+        return self._csr
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of ``v``."""
+        indptr, indices = self.csr()
+        return indices[indptr[v]:indptr[v + 1]]
+
+    def edge_list(self) -> List[Tuple[int, int]]:
+        """Edges as Python tuples (tests/interchange)."""
+        return list(zip(self.src.tolist(), self.dst.tolist()))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Graph n={self.n} m={self.n_edges}>"

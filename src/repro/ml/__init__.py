@@ -1,0 +1,21 @@
+"""Data-parallel machine learning: SGD kernels and distributed training sim."""
+
+from .data import make_classification, make_regression
+from .distributed import DistTrainConfig, DistTrainResult, train_distributed
+from .sgd import (
+    SGDHistory,
+    accuracy,
+    logistic_grad,
+    logistic_loss,
+    predict_logistic,
+    sgd_local,
+    squared_grad,
+    squared_loss,
+)
+
+__all__ = [
+    "make_classification", "make_regression",
+    "logistic_loss", "logistic_grad", "squared_loss", "squared_grad",
+    "predict_logistic", "accuracy", "sgd_local", "SGDHistory",
+    "DistTrainConfig", "DistTrainResult", "train_distributed",
+]

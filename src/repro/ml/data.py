@@ -1,0 +1,44 @@
+"""Synthetic dataset generators for the ML experiments."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..common.errors import ReproError
+from ..common.rng import RandomState, ensure_rng
+
+__all__ = ["make_classification", "make_regression"]
+
+
+def make_classification(n: int, d: int, separation: float = 2.0,
+                        noise: float = 1.0,
+                        seed: RandomState = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Two Gaussian blobs: X (n, d), y in {0, 1}.
+
+    ``separation`` is the distance between class means along a random
+    direction; larger = easier.
+    """
+    if n < 2 or d < 1:
+        raise ReproError("need n >= 2 and d >= 1")
+    rng = ensure_rng(seed)
+    direction = rng.normal(size=d)
+    direction /= np.linalg.norm(direction)
+    y = (rng.random(n) < 0.5).astype(np.int64)
+    X = rng.normal(scale=noise, size=(n, d))
+    X += np.outer(np.where(y == 1, separation / 2, -separation / 2),
+                  direction)
+    return X, y
+
+
+def make_regression(n: int, d: int, noise: float = 0.1,
+                    seed: RandomState = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Linear data: X (n, d), y = X @ w* + noise; returns (X, y, w*)."""
+    if n < 2 or d < 1:
+        raise ReproError("need n >= 2 and d >= 1")
+    rng = ensure_rng(seed)
+    w_star = rng.normal(size=d)
+    X = rng.normal(size=(n, d))
+    y = X @ w_star + rng.normal(scale=noise, size=n)
+    return X, y, w_star

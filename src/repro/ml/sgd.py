@@ -1,0 +1,106 @@
+"""Mini-batch SGD for linear and logistic models (vectorized numpy).
+
+The gradient/loss kernels here are shared by the local trainer and the
+distributed training simulator; keeping them pure functions of
+``(w, X, y)`` makes sync/async equivalence tests straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..common.errors import ReproError
+from ..common.rng import RandomState, ensure_rng
+
+__all__ = [
+    "logistic_loss", "logistic_grad", "squared_loss", "squared_grad",
+    "predict_logistic", "accuracy", "sgd_local", "SGDHistory",
+]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def logistic_loss(w: np.ndarray, X: np.ndarray, y: np.ndarray,
+                  l2: float = 0.0) -> float:
+    """Mean log-loss (labels in {0,1}) + L2 penalty."""
+    z = X @ w
+    # log(1 + e^-z) stable form
+    loss = np.mean(np.logaddexp(0.0, z) - y * z)
+    return float(loss + 0.5 * l2 * (w @ w))
+
+
+def logistic_grad(w: np.ndarray, X: np.ndarray, y: np.ndarray,
+                  l2: float = 0.0) -> np.ndarray:
+    """Gradient of :func:`logistic_loss`."""
+    p = _sigmoid(X @ w)
+    return X.T @ (p - y) / len(y) + l2 * w
+
+
+def squared_loss(w: np.ndarray, X: np.ndarray, y: np.ndarray,
+                 l2: float = 0.0) -> float:
+    """Mean squared error / 2 + L2 penalty."""
+    r = X @ w - y
+    return float(0.5 * np.mean(r * r) + 0.5 * l2 * (w @ w))
+
+
+def squared_grad(w: np.ndarray, X: np.ndarray, y: np.ndarray,
+                 l2: float = 0.0) -> np.ndarray:
+    """Gradient of :func:`squared_loss`."""
+    r = X @ w - y
+    return X.T @ r / len(y) + l2 * w
+
+
+def predict_logistic(w: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Class predictions in {0,1}."""
+    return (X @ w >= 0).astype(np.int64)
+
+
+def accuracy(w: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+    """Classification accuracy of the logistic model."""
+    return float(np.mean(predict_logistic(w, X) == y))
+
+
+@dataclass
+class SGDHistory:
+    """Loss trajectory of a training run."""
+
+    steps: List[int] = field(default_factory=list)
+    losses: List[float] = field(default_factory=list)
+
+    def final_loss(self) -> float:
+        """Last recorded loss."""
+        if not self.losses:
+            raise ReproError("empty history")
+        return self.losses[-1]
+
+
+def sgd_local(X: np.ndarray, y: np.ndarray,
+              grad_fn: Callable = logistic_grad,
+              loss_fn: Callable = logistic_loss,
+              lr: float = 0.5, batch_size: int = 32, steps: int = 200,
+              l2: float = 0.0, eval_every: int = 10,
+              seed: RandomState = None) -> Tuple[np.ndarray, SGDHistory]:
+    """Plain single-process mini-batch SGD (the T8 convergence baseline)."""
+    if batch_size < 1 or steps < 1:
+        raise ReproError("batch_size and steps must be >= 1")
+    rng = ensure_rng(seed)
+    n, d = X.shape
+    w = np.zeros(d)
+    hist = SGDHistory()
+    for step in range(steps):
+        idx = rng.integers(0, n, size=min(batch_size, n))
+        w = w - lr * grad_fn(w, X[idx], y[idx], l2)
+        if step % eval_every == 0 or step == steps - 1:
+            hist.steps.append(step)
+            hist.losses.append(loss_fn(w, X, y, l2))
+    return w, hist

@@ -1,0 +1,155 @@
+"""Collective-communication algorithms over the simulated network.
+
+The three classic allreduce schedules, executed as real transfer patterns
+on a :class:`~repro.net.netsim.NetworkSim` (so topology and contention
+matter), plus closed-form cost models for sanity checks:
+
+* **ring** — 2(n-1) steps of size ``bytes/n``; bandwidth-optimal,
+  latency-heavy: ``T ≈ 2(n-1)/n * B / bw + 2(n-1) * lat``.
+* **tree** (binomial reduce + broadcast) — ``2*log2(n)`` rounds of the
+  full payload; latency-optimal for small messages.
+* **all-to-all (naive)** — every rank sends the full payload to every
+  other; the strawman baseline.
+
+Experiment A6 sweeps message size to reproduce the published crossover:
+trees win small messages, rings win large ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..common.errors import NetworkError
+from ..simcore.events import Event
+from ..simcore.kernel import Simulator
+from .netsim import NetworkSim
+
+__all__ = [
+    "CollectiveResult", "ring_allreduce", "tree_allreduce",
+    "naive_allreduce", "ring_allreduce_model", "tree_allreduce_model",
+]
+
+
+@dataclass
+class CollectiveResult:
+    """Timing/traffic outcome of one collective."""
+
+    algorithm: str
+    n_ranks: int
+    payload_bytes: float
+    duration: float
+    bytes_on_wire: float
+
+
+def _check(hosts: Sequence[str], nbytes: float) -> None:
+    if len(hosts) < 2:
+        raise NetworkError("collectives need at least 2 ranks")
+    if nbytes <= 0:
+        raise NetworkError("payload must be positive")
+
+
+def ring_allreduce(net: NetworkSim, hosts: Sequence[str],
+                   nbytes: float) -> Event:
+    """Ring allreduce: reduce-scatter + allgather, chunked by rank count.
+
+    Fires with a :class:`CollectiveResult` when the slowest rank finishes.
+    """
+    _check(hosts, nbytes)
+    sim = net.sim
+    n = len(hosts)
+    chunk = nbytes / n
+    done = sim.event()
+    t0 = sim.now
+    wire = [0.0]
+
+    def rank_proc(i: int):
+        right = hosts[(i + 1) % n]
+        # 2(n-1) steps; each rank sends one chunk to its right neighbor
+        # per step; steps synchronize via all_of barriers below
+        for _step in range(2 * (n - 1)):
+            stats = yield net.transfer(hosts[i], right, chunk)
+            wire[0] += chunk
+
+    def driver(sim_: Simulator):
+        procs = [sim_.process(rank_proc(i), name=f"ring{i}")
+                 for i in range(n)]
+        yield sim_.all_of(procs)
+        done.succeed(CollectiveResult("ring", n, nbytes, sim_.now - t0,
+                                      wire[0]))
+    sim.process(driver(sim), name="ring-allreduce")
+    return done
+
+
+def tree_allreduce(net: NetworkSim, hosts: Sequence[str],
+                   nbytes: float) -> Event:
+    """Binomial-tree reduce to rank 0, then binomial broadcast back."""
+    _check(hosts, nbytes)
+    sim = net.sim
+    n = len(hosts)
+    done = sim.event()
+    t0 = sim.now
+    wire = [0.0]
+    rounds = int(math.ceil(math.log2(n)))
+
+    def driver(sim_: Simulator):
+        # reduce: in round r, ranks with bit r set send to (rank - 2^r)
+        for r in range(rounds):
+            evs = []
+            for i in range(n):
+                if i & (1 << r) and i % (1 << r) == 0 and i < n:
+                    dst = i - (1 << r)
+                    evs.append(net.transfer(hosts[i], hosts[dst], nbytes))
+                    wire[0] += nbytes
+            if evs:
+                yield sim_.all_of(evs)
+        # broadcast: mirror image
+        for r in reversed(range(rounds)):
+            evs = []
+            for i in range(n):
+                if i & (1 << r) and i % (1 << r) == 0 and i < n:
+                    src = i - (1 << r)
+                    evs.append(net.transfer(hosts[src], hosts[i], nbytes))
+                    wire[0] += nbytes
+            if evs:
+                yield sim_.all_of(evs)
+        done.succeed(CollectiveResult("tree", n, nbytes, sim_.now - t0,
+                                      wire[0]))
+    sim.process(driver(sim), name="tree-allreduce")
+    return done
+
+
+def naive_allreduce(net: NetworkSim, hosts: Sequence[str],
+                    nbytes: float) -> Event:
+    """All-to-all strawman: every rank ships the payload to every other."""
+    _check(hosts, nbytes)
+    sim = net.sim
+    n = len(hosts)
+    done = sim.event()
+    t0 = sim.now
+
+    def driver(sim_: Simulator):
+        evs = []
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    evs.append(net.transfer(hosts[i], hosts[j], nbytes))
+        yield sim_.all_of(evs)
+        done.succeed(CollectiveResult("naive", n, nbytes, sim_.now - t0,
+                                      n * (n - 1) * nbytes))
+    sim.process(driver(sim), name="naive-allreduce")
+    return done
+
+
+def ring_allreduce_model(n: int, nbytes: float, bandwidth: float,
+                         latency: float = 0.0) -> float:
+    """Closed-form ring time: 2(n-1) chunk steps at full link speed."""
+    return 2 * (n - 1) * (nbytes / n / bandwidth + latency)
+
+
+def tree_allreduce_model(n: int, nbytes: float, bandwidth: float,
+                         latency: float = 0.0) -> float:
+    """Closed-form binomial tree time: 2*ceil(log2 n) full-payload rounds."""
+    rounds = math.ceil(math.log2(n))
+    return 2 * rounds * (nbytes / bandwidth + latency)

@@ -1,0 +1,22 @@
+"""Cluster job scheduling: policies, job models, and the scheduler simulator."""
+
+from .backfill import BatchScheduleResult, RigidJob, simulate_batch
+from .jobs import Job, JobSpec, Resources
+from .policies import (
+    CapacityPolicy,
+    DRFPolicy,
+    FIFOPolicy,
+    FairPolicy,
+    SchedulingPolicy,
+    SRPTPolicy,
+    make_scheduling_policy,
+)
+from .sim import ScheduleResult, SchedulerSim, run_schedule
+
+__all__ = [
+    "Job", "JobSpec", "Resources",
+    "SchedulingPolicy", "FIFOPolicy", "FairPolicy", "CapacityPolicy",
+    "SRPTPolicy", "DRFPolicy", "make_scheduling_policy",
+    "SchedulerSim", "ScheduleResult", "run_schedule",
+    "RigidJob", "BatchScheduleResult", "simulate_batch",
+]

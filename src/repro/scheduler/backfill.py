@@ -1,0 +1,187 @@
+"""HPC batch scheduling for rigid jobs: FCFS and EASY backfilling.
+
+The supercomputer-queue model (distinct from the elastic task scheduler in
+:mod:`repro.scheduler.sim`): each job demands a fixed number of nodes for
+a user-estimated walltime and runs only when that many nodes are free
+simultaneously.
+
+* **FCFS** — strict queue order; a wide job at the head leaves nodes idle
+  ("draining") while it waits.
+* **EASY backfilling** (Lifka) — compute the head job's *reservation*
+  (earliest time enough nodes free up, using walltime estimates); any
+  later job may jump ahead iff it fits in the idle nodes *and* its
+  estimated completion does not delay the reservation.
+
+Experiment A7 reproduces the canonical result: backfilling lifts
+utilization and slashes mean wait with zero delay to head-of-queue jobs
+(a hard guarantee of EASY, asserted in tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import SchedulingError
+from ..common.stats import percentile
+
+__all__ = ["RigidJob", "BatchScheduleResult", "simulate_batch"]
+
+
+@dataclass(frozen=True)
+class RigidJob:
+    """A rigid (fixed-width) batch job.
+
+    ``walltime_estimate`` is what the user requested (used for
+    reservations); ``runtime`` is the true duration (often shorter).
+    """
+
+    job_id: int
+    arrival: float
+    n_nodes: int
+    runtime: float
+    walltime_estimate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise SchedulingError("job needs at least one node")
+        if self.runtime <= 0:
+            raise SchedulingError("runtime must be positive")
+        if self.arrival < 0:
+            raise SchedulingError("arrival must be nonnegative")
+        est = self.walltime_estimate
+        if est is not None and est < self.runtime:
+            raise SchedulingError(
+                "walltime estimate below true runtime (job would be killed)")
+
+    @property
+    def estimate(self) -> float:
+        """The reservation-relevant walltime."""
+        return self.walltime_estimate or self.runtime
+
+
+@dataclass
+class BatchScheduleResult:
+    """Outcome of one batch-queue simulation."""
+
+    policy: str
+    n_nodes: int
+    start_times: Dict[int, float] = field(default_factory=dict)
+    finish_times: Dict[int, float] = field(default_factory=dict)
+    waits: Dict[int, float] = field(default_factory=dict)
+    makespan: float = 0.0
+    utilization: float = 0.0
+    backfilled: int = 0
+
+    @property
+    def mean_wait(self) -> float:
+        """Average queue wait."""
+        vals = list(self.waits.values())
+        return sum(vals) / len(vals) if vals else 0.0
+
+    @property
+    def p95_wait(self) -> float:
+        """95th-percentile queue wait."""
+        return percentile(list(self.waits.values()), 95)
+
+
+def simulate_batch(jobs: Sequence[RigidJob], n_nodes: int,
+                   policy: str = "easy") -> BatchScheduleResult:
+    """Replay rigid jobs through a batch queue of ``n_nodes`` nodes.
+
+    ``policy`` is ``"fcfs"`` or ``"easy"``.  Event-driven and exact: jobs
+    start the instant the policy allows.  Returns per-job starts/waits and
+    cluster utilization over the makespan.
+    """
+    if policy not in ("fcfs", "easy"):
+        raise SchedulingError("policy must be 'fcfs' or 'easy'")
+    if n_nodes < 1:
+        raise SchedulingError("need at least one node")
+    for j in jobs:
+        if j.n_nodes > n_nodes:
+            raise SchedulingError(
+                f"job {j.job_id} wants {j.n_nodes} > {n_nodes} nodes")
+
+    result = BatchScheduleResult(policy, n_nodes)
+    pending: List[RigidJob] = []          # queue order = arrival order
+    running: List[Tuple[float, int, RigidJob]] = []   # (finish, id, job)
+    by_arrival = sorted(jobs, key=lambda j: (j.arrival, j.job_id))
+    i = 0
+    now = 0.0
+    free = n_nodes
+    busy_node_seconds = 0.0
+    last_t = 0.0
+
+    def advance_to(t: float) -> None:
+        nonlocal busy_node_seconds, last_t
+        busy_node_seconds += (n_nodes - free) * (t - last_t)
+        last_t = t
+
+    def try_start() -> None:
+        nonlocal free
+        # FCFS: start queue-order jobs while they fit
+        while pending and pending[0].n_nodes <= free:
+            job = pending.pop(0)
+            _start(job)
+        if policy != "easy" or not pending:
+            return
+        # EASY: reservation for the head job
+        head = pending[0]
+        # when will enough nodes be free for the head?
+        avail = free
+        reservation = now
+        for finish, _jid, rjob in sorted(running):
+            if avail >= head.n_nodes:
+                break
+            avail += rjob.n_nodes
+            reservation = finish
+        if avail < head.n_nodes:
+            return   # impossible until something else changes
+        # backfill candidates (queue order after the head)
+        for job in list(pending[1:]):
+            if job.n_nodes <= free and \
+                    now + job.estimate <= reservation + 1e-9:
+                pending.remove(job)
+                _start(job, backfilled=True)
+            elif job.n_nodes <= free:
+                # would run past the reservation: allowed only if it still
+                # leaves enough nodes for the head at reservation time
+                nodes_at_res = free - job.n_nodes
+                for finish, _jid, rjob in running:
+                    if finish <= reservation + 1e-9:
+                        nodes_at_res += rjob.n_nodes
+                if nodes_at_res >= head.n_nodes:
+                    pending.remove(job)
+                    _start(job, backfilled=True)
+
+    def _start(job: RigidJob, backfilled: bool = False) -> None:
+        nonlocal free
+        free -= job.n_nodes
+        result.start_times[job.job_id] = now
+        result.waits[job.job_id] = now - job.arrival
+        heapq.heappush(running, (now + job.runtime, job.job_id, job))
+        if backfilled:
+            result.backfilled += 1
+
+    while i < len(by_arrival) or pending or running:
+        # next event: arrival or completion
+        t_arr = by_arrival[i].arrival if i < len(by_arrival) else float("inf")
+        t_fin = running[0][0] if running else float("inf")
+        t = min(t_arr, t_fin)
+        if t == float("inf"):
+            break
+        advance_to(t)
+        now = t
+        while running and running[0][0] <= now + 1e-12:
+            finish, jid, job = heapq.heappop(running)
+            free += job.n_nodes
+            result.finish_times[jid] = finish
+        while i < len(by_arrival) and by_arrival[i].arrival <= now + 1e-12:
+            pending.append(by_arrival[i])
+            i += 1
+        try_start()
+
+    result.makespan = now
+    result.utilization = busy_node_seconds / (n_nodes * now) if now else 0.0
+    return result

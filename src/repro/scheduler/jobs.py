@@ -1,0 +1,140 @@
+"""Job and task models for cluster-scheduling experiments.
+
+A :class:`JobSpec` is a bag of tasks with explicit durations and a
+multi-resource demand vector per task — the abstraction every policy in
+:mod:`repro.scheduler.policies` operates on.  Runtime state lives in
+:class:`Job`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..common.errors import SchedulingError
+
+__all__ = ["Resources", "JobSpec", "Job"]
+
+
+@dataclass(frozen=True)
+class Resources:
+    """A (cpus, mem) demand or capacity vector.
+
+    Memory is in abstract units (GiB-ish); only ratios matter to DRF.
+    """
+
+    cpus: float = 1.0
+    mem: float = 0.0
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(self.cpus + other.cpus, self.mem + other.mem)
+
+    def __sub__(self, other: "Resources") -> "Resources":
+        return Resources(self.cpus - other.cpus, self.mem - other.mem)
+
+    def fits_in(self, capacity: "Resources") -> bool:
+        """True when this demand fits inside ``capacity``."""
+        return self.cpus <= capacity.cpus + 1e-9 and \
+            self.mem <= capacity.mem + 1e-9
+
+    def dominant_share(self, total: "Resources") -> float:
+        """max over resources of (this / total) — the DRF dominant share."""
+        shares = []
+        if total.cpus > 0:
+            shares.append(self.cpus / total.cpus)
+        if total.mem > 0:
+            shares.append(self.mem / total.mem)
+        return max(shares) if shares else 0.0
+
+    def scaled(self, k: float) -> "Resources":
+        """This vector times ``k``."""
+        return Resources(self.cpus * k, self.mem * k)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Static description of one job for the scheduler simulator."""
+
+    job_id: int
+    arrival: float
+    task_durations: Tuple[float, ...]
+    demand: Resources = Resources(1.0, 0.0)   # per task
+    user: str = "default"
+    queue: str = "default"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.task_durations:
+            raise SchedulingError(f"job {self.job_id} has no tasks")
+        if any(d <= 0 for d in self.task_durations):
+            raise SchedulingError("task durations must be positive")
+        if self.arrival < 0 or self.weight <= 0:
+            raise SchedulingError("invalid arrival or weight")
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks."""
+        return len(self.task_durations)
+
+    @property
+    def total_work(self) -> float:
+        """Sum of task durations (serial work)."""
+        return float(sum(self.task_durations))
+
+
+class Job:
+    """Runtime state of a job inside the scheduler simulator."""
+
+    def __init__(self, spec: JobSpec) -> None:
+        self.spec = spec
+        self.pending: List[int] = list(range(spec.n_tasks))  # task indices
+        self.running = 0
+        self.completed = 0
+        self.start_time: Optional[float] = None   # first task launch
+        self.finish_time: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        """True when every task completed."""
+        return self.completed >= self.spec.n_tasks
+
+    @property
+    def remaining_work(self) -> float:
+        """Pending task durations (SRPT uses this; running tasks excluded)."""
+        return float(sum(self.spec.task_durations[i] for i in self.pending))
+
+    @property
+    def allocated(self) -> Resources:
+        """Resources currently held."""
+        return self.spec.demand.scaled(self.running)
+
+    def next_task(self) -> int:
+        """Pop the next pending task index."""
+        if not self.pending:
+            raise SchedulingError(f"job {self.spec.job_id} has no pending tasks")
+        self.running += 1
+        return self.pending.pop(0)
+
+    def task_finished(self) -> None:
+        """Record a completion."""
+        self.running -= 1
+        self.completed += 1
+
+    def jct(self) -> float:
+        """Job completion time (finish - arrival); raises while unfinished."""
+        if self.finish_time is None:
+            raise SchedulingError(f"job {self.spec.job_id} not finished")
+        return self.finish_time - self.spec.arrival
+
+    def ideal_duration(self, capacity: Resources) -> float:
+        """Lower-bound runtime alone on the cluster (for slowdown metrics)."""
+        max_parallel = capacity.cpus / max(self.spec.demand.cpus, 1e-9)
+        if self.spec.demand.mem > 0 and capacity.mem > 0:
+            max_parallel = min(max_parallel,
+                               capacity.mem / self.spec.demand.mem)
+        max_parallel = max(1.0, max_parallel)
+        bound_work = self.spec.total_work / max_parallel
+        bound_critical = max(self.spec.task_durations)
+        return max(bound_work, bound_critical)

@@ -1,0 +1,175 @@
+"""Scheduling policies: who gets the next free resources.
+
+Every policy implements :meth:`SchedulingPolicy.select` — given the jobs
+that still have pending tasks and the free capacity, return the job to
+grant one task, or ``None`` to leave resources idle.  The simulator calls
+it repeatedly until it declines or nothing fits.
+
+Implemented policies (experiment T3):
+
+* :class:`FIFOPolicy` — strict arrival order (head-of-line blocking).
+* :class:`FairPolicy` — weighted max-min on running tasks (Hadoop Fair
+  Scheduler / Spark fair pools).
+* :class:`CapacityPolicy` — queues with guaranteed shares, work-conserving
+  borrowing (YARN Capacity Scheduler).
+* :class:`SRPTPolicy` — shortest remaining processing time first.
+* :class:`DRFPolicy` — dominant resource fairness across users
+  (Ghodsi et al., multi-resource max-min).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..common.errors import SchedulingError
+from .jobs import Job, Resources
+
+__all__ = [
+    "SchedulingPolicy", "FIFOPolicy", "FairPolicy", "CapacityPolicy",
+    "SRPTPolicy", "DRFPolicy", "make_scheduling_policy",
+]
+
+
+class SchedulingPolicy:
+    """Base interface; stateless unless a subclass says otherwise."""
+
+    name = "base"
+
+    def select(self, jobs: Sequence[Job], free: Resources,
+               total: Resources) -> Optional[Job]:
+        """The job that should receive one more task slot, or None."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _eligible(jobs: Sequence[Job], free: Resources) -> List[Job]:
+        return [j for j in jobs
+                if j.pending and j.spec.demand.fits_in(free)]
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """All capacity to the earliest-arrived unfinished job, in order."""
+
+    name = "fifo"
+
+    def select(self, jobs, free, total):
+        elig = self._eligible(jobs, free)
+        if not elig:
+            return None
+        return min(elig, key=lambda j: (j.spec.arrival, j.spec.job_id))
+
+
+class FairPolicy(SchedulingPolicy):
+    """Weighted fair sharing: feed the job with the lowest
+    allocated-share-per-weight; ties go to the earlier arrival."""
+
+    name = "fair"
+
+    def select(self, jobs, free, total):
+        elig = self._eligible(jobs, free)
+        if not elig:
+            return None
+        return min(
+            elig,
+            key=lambda j: (j.running / j.spec.weight,
+                           j.spec.arrival, j.spec.job_id),
+        )
+
+
+class CapacityPolicy(SchedulingPolicy):
+    """Queues with guaranteed fractions of the cluster.
+
+    ``guarantees`` maps queue name → fraction (should sum to <= 1).  A
+    queue under its guarantee beats any queue over its guarantee; within a
+    queue, FIFO.  Spare capacity is borrowed by the least-over queue
+    (work-conserving).
+    """
+
+    name = "capacity"
+
+    def __init__(self, guarantees: Dict[str, float]) -> None:
+        if not guarantees:
+            raise SchedulingError("capacity policy needs queue guarantees")
+        if any(g < 0 for g in guarantees.values()):
+            raise SchedulingError("guarantees must be nonnegative")
+        self.guarantees = dict(guarantees)
+
+    def select(self, jobs, free, total):
+        elig = self._eligible(jobs, free)
+        if not elig:
+            return None
+        by_queue: Dict[str, List[Job]] = {}
+        usage: Dict[str, float] = {}
+        for j in jobs:
+            usage[j.spec.queue] = usage.get(j.spec.queue, 0.0) + \
+                j.allocated.cpus
+        for j in elig:
+            by_queue.setdefault(j.spec.queue, []).append(j)
+
+        def queue_key(q: str) -> tuple:
+            guarantee = self.guarantees.get(q, 0.0) * max(total.cpus, 1e-9)
+            used = usage.get(q, 0.0)
+            # normalized overage; under-guarantee queues sort first
+            over = (used - guarantee) / max(guarantee, 1e-9)
+            return (over, q)
+        queue = min(by_queue, key=queue_key)
+        return min(by_queue[queue],
+                   key=lambda j: (j.spec.arrival, j.spec.job_id))
+
+
+class SRPTPolicy(SchedulingPolicy):
+    """Shortest remaining processing time — optimal mean JCT on one machine,
+    near-optimal here; starves long jobs under load."""
+
+    name = "srpt"
+
+    def select(self, jobs, free, total):
+        elig = self._eligible(jobs, free)
+        if not elig:
+            return None
+        return min(elig,
+                   key=lambda j: (j.remaining_work, j.spec.arrival,
+                                  j.spec.job_id))
+
+
+class DRFPolicy(SchedulingPolicy):
+    """Dominant Resource Fairness across users.
+
+    Each user's *dominant share* is the max over resources of their
+    allocated fraction.  Grant the next task to (a job of) the user with
+    the smallest dominant share — the multi-resource generalization of
+    max-min fairness, strategy-proof and sharing-incentive-compatible.
+    """
+
+    name = "drf"
+
+    def select(self, jobs, free, total):
+        elig = self._eligible(jobs, free)
+        if not elig:
+            return None
+        usage: Dict[str, Resources] = {}
+        for j in jobs:
+            got = usage.get(j.spec.user, Resources(0.0, 0.0))
+            usage[j.spec.user] = got + j.allocated
+        def user_share(u: str) -> float:
+            return usage.get(u, Resources(0.0, 0.0)).dominant_share(total)
+        users = sorted({j.spec.user for j in elig}, key=lambda u: (user_share(u), u))
+        user = users[0]
+        cand = [j for j in elig if j.spec.user == user]
+        return min(cand, key=lambda j: (j.spec.arrival, j.spec.job_id))
+
+
+def make_scheduling_policy(name: str, **kwargs) -> SchedulingPolicy:
+    """Policy factory: 'fifo', 'fair', 'capacity', 'srpt', 'drf'."""
+    table = {
+        "fifo": FIFOPolicy,
+        "fair": FairPolicy,
+        "capacity": CapacityPolicy,
+        "srpt": SRPTPolicy,
+        "drf": DRFPolicy,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown policy {name!r}; choose from {sorted(table)}")
+    return cls(**kwargs)

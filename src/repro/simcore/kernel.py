@@ -1,0 +1,242 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the clock and the event queue; :class:`Process`
+wraps a generator coroutine that yields :class:`~repro.simcore.events.Event`
+instances to wait on them.  The design follows the classic process-based
+DES structure (SimPy-style), implemented from scratch on the indexed heap
+from :mod:`repro.common.pqueue` with deterministic tie-breaking:
+
+    events fire in (time, priority, sequence-number) order
+
+so two runs with the same seeds replay identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from ..common.errors import SimulationError
+from ..common.pqueue import IndexedHeap
+from .events import AllOf, AnyOf, Event, Interrupt, PENDING, Timeout
+
+__all__ = ["Simulator", "Process", "NORMAL", "URGENT"]
+
+#: Priority for ordinary events.
+NORMAL = 1
+#: Priority for events that must precede same-time NORMAL events
+#: (used by interrupts so the victim sees the interrupt first).
+URGENT = 0
+
+ProcessGen = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running generator coroutine inside the simulation.
+
+    A process *is* an event: it triggers with the generator's return value
+    when the generator finishes (or fails with its exception), so other
+    processes can ``yield proc`` to join it.
+    """
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process body must be a generator, got {type(gen)!r}")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        # bootstrap: resume once at the current time
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        sim._schedule(init)
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside this process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        if self._target is self:
+            raise RuntimeError("a process cannot interrupt itself at spawn")
+        ev = Event(self.sim)
+        ev._ok = False
+        ev._value = Interrupt(cause)
+        ev.defused = True  # the interrupt is delivered, never "unhandled"
+        ev.callbacks.append(self._resume)
+        self.sim._schedule(ev, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_proc = self
+        # detach from the event we were waiting on, if interrupted away
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        try:
+            if event.ok:
+                next_ev = self.gen.send(event.value)
+            else:
+                # mark consumed, then throw into the generator
+                event.defused = True
+                next_ev = self.gen.throw(event.value)
+        except StopIteration as stop:
+            self.sim._active_proc = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_proc = None
+            self.fail(exc)
+            return
+        self.sim._active_proc = None
+
+        if not isinstance(next_ev, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {next_ev!r}; processes must "
+                f"yield Event instances")
+        if next_ev.sim is not self.sim:
+            raise SimulationError("yielded event belongs to a different simulator")
+        if next_ev.callbacks is not None:
+            self._target = next_ev
+            next_ev.callbacks.append(self._resume)
+        else:
+            # already processed: resume immediately at the current time
+            resume = Event(self.sim)
+            resume._ok = next_ev.ok
+            resume._value = next_ev._value
+            if next_ev.ok is False:
+                next_ev.defused = True
+            self.sim._schedule(resume)
+            resume.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "alive" if self.is_alive else "done"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """Event loop for discrete-event simulation.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(2.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 2.0 and proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._queue = IndexedHeap()
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- event construction ------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event; complete with succeed()/fail()."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a process from generator ``gen``; returns the joinable handle."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when any of ``events`` fires."""
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when all of ``events`` have fired."""
+        return AllOf(self, list(events))
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_proc
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        self._queue.push(event, (self.now + delay, priority, self._seq))
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        if not self._queue:
+            return float("inf")
+        _, (t, _, _) = self._queue.peek()
+        return t
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on empty event queue")
+        event, (t, _, _) = self._queue.pop()
+        self.now = t
+        event._run_callbacks()
+        if event.ok is False and not event.defused:
+            # an unhandled failure: surface it instead of dropping it
+            raise event._value
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time when the loop stopped.  When ``until``
+        is given the clock is advanced to exactly ``until`` even if the last
+        event fired earlier.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} precedes now={self.now}")
+        n = 0
+        while self._queue:
+            t = self.peek()
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            self.step()
+            n += 1
+            if max_events is not None and n >= max_events:
+                return self.now
+        if until is not None:
+            self.now = until
+        return self.now
+
+    def run_until_done(self, event: Event) -> Any:
+        """Run until ``event`` triggers; returns its value (raises if failed).
+
+        Handy at the top of experiments: drive the sim until a root process
+        completes without caring about background housekeeping processes.
+        """
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    "event queue drained before the awaited event triggered")
+            self.step()
+        if event.ok:
+            return event.value
+        event.defused = True
+        raise event.value

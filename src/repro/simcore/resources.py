@@ -1,0 +1,221 @@
+"""Shared-resource primitives for the DES kernel.
+
+* :class:`Resource` — ``capacity`` identical servers with a FIFO (optionally
+  priority-ordered) wait queue.  ``request()`` returns an event; yield it,
+  do work, then ``release()``.
+* :class:`Container` — a continuous level (fuel-tank semantics) with
+  blocking ``put``/``get`` of amounts.
+* :class:`Store` — a queue of Python objects with blocking ``put``/``get``.
+
+All three record time-weighted occupancy so experiments can report
+utilization without extra instrumentation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from ..common.errors import SimulationError
+from ..common.stats import TimeWeighted
+from .events import Event
+from .kernel import Simulator
+
+__all__ = ["Resource", "Request", "Container", "Store"]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self.granted = False
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (no-op if already granted)."""
+        if not self.granted:
+            self.resource._cancel(self)
+
+
+class Resource:
+    """``capacity`` identical servers with a wait queue.
+
+    With ``priority=True`` waiters are served lowest-``priority``-value
+    first (ties FIFO); otherwise strictly FIFO.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1,
+                 priority: bool = False, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._priority = priority
+        self._users: List[Request] = []
+        self._queue: List[Request] = []
+        self._seq = 0
+        self.occupancy = TimeWeighted()
+        self.occupancy.update(sim.now, 0.0)
+        self.queue_length = TimeWeighted()
+        self.queue_length.update(sim.now, 0.0)
+
+    @property
+    def in_use(self) -> int:
+        """Number of servers currently held."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting."""
+        return len(self._queue)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Claim one server; the returned event fires when granted."""
+        req = Request(self, priority)
+        self._seq += 1
+        req._seq = self._seq
+        self._queue.append(req)
+        self._dispatch()
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return the server held by ``req``."""
+        if req not in self._users:
+            raise SimulationError("release() of a request that holds no server")
+        self._users.remove(req)
+        self._record()
+        self._dispatch()
+
+    def _cancel(self, req: Request) -> None:
+        if req in self._queue:
+            self._queue.remove(req)
+            self._record()
+
+    def _dispatch(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            if self._priority:
+                req = min(self._queue, key=lambda r: (r.priority, r._seq))
+                self._queue.remove(req)
+            else:
+                req = self._queue.pop(0)
+            self._users.append(req)
+            req.granted = True
+            req.succeed(req)
+        self._record()
+
+    def _record(self) -> None:
+        self.occupancy.update(self.sim.now, len(self._users))
+        self.queue_length.update(self.sim.now, len(self._queue))
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Time-averaged fraction of capacity in use."""
+        return self.occupancy.average(now) / self.capacity
+
+
+class Container:
+    """A continuous level with blocking put/get of amounts."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"),
+                 init: float = 0.0) -> None:
+        if init < 0 or init > capacity:
+            raise ValueError("init must lie in [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque = deque()
+        self._putters: Deque = deque()
+        self.level_stat = TimeWeighted()
+        self.level_stat.update(sim.now, self._level)
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; blocks while it would overflow capacity."""
+        if amount < 0:
+            raise ValueError("amount must be nonnegative")
+        ev = Event(self.sim)
+        self._putters.append((ev, amount))
+        self._dispatch()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; blocks until that much is available."""
+        if amount < 0:
+            raise ValueError("amount must be nonnegative")
+        ev = Event(self.sim)
+        self._getters.append((ev, amount))
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self._level + amount <= self.capacity + 1e-12:
+                    self._putters.popleft()
+                    self._level += amount
+                    ev.succeed(amount)
+                    progress = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if self._level >= amount - 1e-12:
+                    self._getters.popleft()
+                    self._level -= amount
+                    ev.succeed(amount)
+                    progress = True
+        self.level_stat.update(self.sim.now, self._level)
+
+
+class Store:
+    """A FIFO queue of Python objects with blocking put/get."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque = deque()
+        self.size_stat = TimeWeighted()
+        self.size_stat.update(sim.now, 0.0)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Append ``item``; blocks while the store is full."""
+        ev = Event(self.sim)
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
+    def get(self) -> Event:
+        """Pop the oldest item; blocks while empty."""
+        ev = Event(self.sim)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed(item)
+                progress = True
+            if self._getters and self.items:
+                ev = self._getters.popleft()
+                ev.succeed(self.items.popleft())
+                progress = True
+        self.size_stat.update(self.sim.now, len(self.items))

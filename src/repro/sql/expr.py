@@ -1,0 +1,223 @@
+"""Column expressions for the structured (DataFrame) layer.
+
+An :class:`Expr` is an evaluable tree over named-column rows (dicts).
+Build them with :func:`col` and :func:`lit` plus Python operators::
+
+    (col("price") * col("qty")).alias("revenue")
+    (col("age") >= 18) & (col("country") == "BR")
+
+Expressions know which columns they reference (:meth:`Expr.references`),
+which is what makes predicate pushdown and column pruning in the
+optimizer safe.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, FrozenSet, Optional, Set
+
+from ..common.errors import PlanError
+
+__all__ = ["Expr", "Column", "Literal", "col", "lit"]
+
+
+class Expr:
+    """Base class: an evaluable expression over a row dict."""
+
+    def eval(self, row: Dict[str, Any]) -> Any:
+        """The expression's value on ``row``."""
+        raise NotImplementedError
+
+    def references(self) -> FrozenSet[str]:
+        """Column names this expression reads."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """Output column name (explicit alias or derived)."""
+        raise NotImplementedError
+
+    def alias(self, name: str) -> "Expr":
+        """Rename the expression's output column."""
+        return _Aliased(self, name)
+
+    # -- operator sugar ---------------------------------------------------
+
+    def _bin(self, other: Any, op: Callable, symbol: str) -> "Expr":
+        other_e = other if isinstance(other, Expr) else Literal(other)
+        return _BinOp(self, other_e, op, symbol)
+
+    def __add__(self, other):
+        return self._bin(other, operator.add, "+")
+
+    def __radd__(self, other):
+        return Literal(other)._bin(self, operator.add, "+")
+
+    def __sub__(self, other):
+        return self._bin(other, operator.sub, "-")
+
+    def __rsub__(self, other):
+        return Literal(other)._bin(self, operator.sub, "-")
+
+    def __mul__(self, other):
+        return self._bin(other, operator.mul, "*")
+
+    def __rmul__(self, other):
+        return Literal(other)._bin(self, operator.mul, "*")
+
+    def __truediv__(self, other):
+        return self._bin(other, operator.truediv, "/")
+
+    def __mod__(self, other):
+        return self._bin(other, operator.mod, "%")
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._bin(other, operator.eq, "==")
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._bin(other, operator.ne, "!=")
+
+    def __lt__(self, other):
+        return self._bin(other, operator.lt, "<")
+
+    def __le__(self, other):
+        return self._bin(other, operator.le, "<=")
+
+    def __gt__(self, other):
+        return self._bin(other, operator.gt, ">")
+
+    def __ge__(self, other):
+        return self._bin(other, operator.ge, ">=")
+
+    def __and__(self, other):
+        return self._bin(other, lambda a, b: bool(a) and bool(b), "AND")
+
+    def __or__(self, other):
+        return self._bin(other, lambda a, b: bool(a) or bool(b), "OR")
+
+    def __invert__(self):
+        return _UnaryOp(self, operator.not_, "NOT")
+
+    def __neg__(self):
+        return _UnaryOp(self, operator.neg, "-")
+
+    def __hash__(self) -> int:  # exprs are identity-hashed (== is builder)
+        return id(self)
+
+    def apply(self, fn: Callable[[Any], Any], fn_name: str = "f") -> "Expr":
+        """Arbitrary scalar function of this expression."""
+        return _UnaryOp(self, fn, fn_name)
+
+
+class Column(Expr):
+    """A reference to a named input column."""
+
+    def __init__(self, column_name: str) -> None:
+        self._column = column_name
+
+    def eval(self, row):
+        try:
+            return row[self._column]
+        except KeyError:
+            raise PlanError(f"row has no column {self._column!r}")
+
+    def references(self):
+        return frozenset((self._column,))
+
+    @property
+    def name(self):
+        return self._column
+
+    def __repr__(self) -> str:
+        return f"col({self._column!r})"
+
+
+class Literal(Expr):
+    """A constant value."""
+
+    def __init__(self, value: Any) -> None:
+        self._value = value
+
+    def eval(self, row):
+        return self._value
+
+    def references(self):
+        return frozenset()
+
+    @property
+    def name(self):
+        return f"lit_{self._value!r}"
+
+    def __repr__(self) -> str:
+        return f"lit({self._value!r})"
+
+
+class _BinOp(Expr):
+    def __init__(self, left: Expr, right: Expr, op: Callable,
+                 symbol: str) -> None:
+        self._l = left
+        self._r = right
+        self._op = op
+        self._symbol = symbol
+
+    def eval(self, row):
+        return self._op(self._l.eval(row), self._r.eval(row))
+
+    def references(self):
+        return self._l.references() | self._r.references()
+
+    @property
+    def name(self):
+        return f"({self._l.name} {self._symbol} {self._r.name})"
+
+    def __repr__(self) -> str:
+        return f"({self._l!r} {self._symbol} {self._r!r})"
+
+
+class _UnaryOp(Expr):
+    def __init__(self, inner: Expr, op: Callable, symbol: str) -> None:
+        self._inner = inner
+        self._op = op
+        self._symbol = symbol
+
+    def eval(self, row):
+        return self._op(self._inner.eval(row))
+
+    def references(self):
+        return self._inner.references()
+
+    @property
+    def name(self):
+        return f"{self._symbol}({self._inner.name})"
+
+    def __repr__(self) -> str:
+        return f"{self._symbol}({self._inner!r})"
+
+
+class _Aliased(Expr):
+    def __init__(self, inner: Expr, name: str) -> None:
+        self._inner = inner
+        self._name = name
+
+    def eval(self, row):
+        return self._inner.eval(row)
+
+    def references(self):
+        return self._inner.references()
+
+    @property
+    def name(self):
+        return self._name
+
+    def __repr__(self) -> str:
+        return f"{self._inner!r}.alias({self._name!r})"
+
+
+def col(name: str) -> Column:
+    """Reference an input column by name."""
+    return Column(name)
+
+
+def lit(value: Any) -> Literal:
+    """A literal constant expression."""
+    return Literal(value)

@@ -1,0 +1,325 @@
+"""The DataFrame API and the logical-plan → Dataset compiler.
+
+A thin, typed structured layer over the dataflow engine::
+
+    df = DataFrame.from_rows(ctx, rows)          # rows: list[dict]
+    out = (df.where(col("qty") > 0)
+             .with_column("revenue", col("price") * col("qty"))
+             .group_by("region")
+             .agg(total=sum_(col("revenue")), orders=count_())
+             .order_by("total", ascending=False)
+             .collect())
+
+``collect(optimize=False)`` skips the optimizer, which is how ablation A5
+quantifies what pushdown + pruning buy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..common.errors import PlanError
+from ..dataflow.context import DataflowContext
+from ..dataflow.plan import Dataset
+from .expr import Column, Expr, col
+from .logical import (
+    AggSpec,
+    Distinct,
+    Filter,
+    GroupAgg,
+    Join,
+    Limit,
+    LogicalPlan,
+    OrderBy,
+    Project,
+    Scan,
+)
+from .optimizer import optimize
+
+__all__ = ["DataFrame", "GroupedFrame",
+           "sum_", "count_", "avg_", "min_", "max_"]
+
+
+class _PartialAgg:
+    """An aggregate awaiting its output name (given by .agg(name=...))."""
+
+    def __init__(self, fn: str, expr: Optional[Expr]) -> None:
+        self.fn = fn
+        self.expr = expr
+
+
+def sum_(expr: Expr) -> _PartialAgg:
+    """SUM(expr)."""
+    return _PartialAgg("sum", expr)
+
+
+def count_() -> _PartialAgg:
+    """COUNT(*)."""
+    return _PartialAgg("count", None)
+
+
+def avg_(expr: Expr) -> _PartialAgg:
+    """AVG(expr)."""
+    return _PartialAgg("avg", expr)
+
+
+def min_(expr: Expr) -> _PartialAgg:
+    """MIN(expr)."""
+    return _PartialAgg("min", expr)
+
+
+def max_(expr: Expr) -> _PartialAgg:
+    """MAX(expr)."""
+    return _PartialAgg("max", expr)
+
+
+class DataFrame:
+    """An immutable named-column relation backed by a logical plan."""
+
+    def __init__(self, ctx: DataflowContext, plan: LogicalPlan,
+                 n_partitions: Optional[int] = None) -> None:
+        self.ctx = ctx
+        self.plan = plan
+        self.n_partitions = n_partitions or ctx.default_parallelism
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, ctx: DataflowContext,
+                  rows: Sequence[Dict[str, Any]],
+                  schema: Optional[List[str]] = None,
+                  name: str = "table",
+                  n_partitions: Optional[int] = None) -> "DataFrame":
+        """A DataFrame over in-memory dict rows.
+
+        ``schema`` defaults to the keys of the first row (ordered).
+        """
+        rows = list(rows)
+        if schema is None:
+            if not rows:
+                raise PlanError("schema required for an empty table")
+            schema = list(rows[0].keys())
+        return cls(ctx, Scan(rows, schema, name=name), n_partitions)
+
+    # -- relational operators --------------------------------------------------
+
+    @property
+    def schema(self) -> List[str]:
+        """Ordered output column names."""
+        return self.plan.schema
+
+    def _with(self, plan: LogicalPlan) -> "DataFrame":
+        return DataFrame(self.ctx, plan, self.n_partitions)
+
+    def select(self, *cols: Union[str, Expr]) -> "DataFrame":
+        """Project columns/expressions."""
+        exprs = [col(c) if isinstance(c, str) else c for c in cols]
+        return self._with(Project(self.plan, exprs))
+
+    def where(self, predicate: Expr) -> "DataFrame":
+        """Keep rows satisfying ``predicate``."""
+        return self._with(Filter(self.plan, predicate))
+
+    def with_column(self, name: str, expr: Expr) -> "DataFrame":
+        """Current columns plus one computed column."""
+        exprs: List[Expr] = [col(c) for c in self.schema if c != name]
+        exprs.append(expr.alias(name))
+        return self._with(Project(self.plan, exprs))
+
+    def group_by(self, *keys: str) -> "GroupedFrame":
+        """Start a grouped aggregation."""
+        for k in keys:
+            if k not in self.schema:
+                raise PlanError(f"group key {k!r} not in schema")
+        return GroupedFrame(self, list(keys))
+
+    def join(self, other: "DataFrame", on: Union[str, List[str]],
+             how: str = "inner") -> "DataFrame":
+        """Equi-join on shared columns."""
+        on_list = [on] if isinstance(on, str) else list(on)
+        clash = (set(self.schema) & set(other.schema)) - set(on_list)
+        if clash:
+            raise PlanError(
+                f"ambiguous non-key columns {sorted(clash)}; rename first")
+        return self._with(Join(self.plan, other.plan, on_list, how))
+
+    def order_by(self, key: str, ascending: bool = True) -> "DataFrame":
+        """Global sort by a column."""
+        return self._with(OrderBy(self.plan, key, ascending))
+
+    def limit(self, n: int) -> "DataFrame":
+        """First ``n`` rows."""
+        return self._with(Limit(self.plan, n))
+
+    def distinct(self) -> "DataFrame":
+        """Unique rows."""
+        return self._with(Distinct(self.plan))
+
+    # -- execution ------------------------------------------------------------
+
+    def explain(self, optimized: bool = True) -> str:
+        """The logical plan tree as text (optionally after optimization)."""
+        plan = optimize(_clone(self.plan)) if optimized else self.plan
+        return plan.describe()
+
+    def to_dataset(self, optimized: bool = True) -> Dataset:
+        """Compile to a Dataset of dict rows."""
+        plan = optimize(_clone(self.plan)) if optimized else self.plan
+        return _compile(plan, self.ctx, self.n_partitions)
+
+    def collect(self, optimized: bool = True) -> List[Dict[str, Any]]:
+        """All rows as dicts."""
+        return self.to_dataset(optimized).collect()
+
+    def count(self, optimized: bool = True) -> int:
+        """Number of rows."""
+        return self.to_dataset(optimized).count()
+
+    def show(self, n: int = 20) -> None:
+        """Print up to ``n`` rows as an aligned table."""
+        from ..bench.harness import Table
+        rows = self.to_dataset().collect()[:n]
+        t = Table(f"DataFrame ({len(rows)} rows shown)", self.schema)
+        for r in rows:
+            t.add_row([r.get(c) for c in self.schema])
+        t.show()
+
+
+class GroupedFrame:
+    """Intermediate grouped state: finish with :meth:`agg`."""
+
+    def __init__(self, df: DataFrame, keys: List[str]) -> None:
+        self._df = df
+        self._keys = keys
+
+    def agg(self, **named: _PartialAgg) -> DataFrame:
+        """Compute named aggregates, e.g. ``agg(total=sum_(col("x")))``."""
+        if not named:
+            raise PlanError("agg() needs at least one aggregate")
+        specs = [AggSpec(p.fn, p.expr, out) for out, p in named.items()]
+        return self._df._with(GroupAgg(self._df.plan, self._keys, specs))
+
+
+# -- compiler -------------------------------------------------------------------
+
+
+def _clone(plan: LogicalPlan) -> LogicalPlan:
+    """Structural copy so the optimizer can mutate safely."""
+    if isinstance(plan, Scan):
+        return Scan(plan.rows, plan.full_schema, plan.name,
+                    columns=list(plan.columns))
+    if isinstance(plan, Project):
+        return Project(_clone(plan.child), plan.exprs)
+    if isinstance(plan, Filter):
+        return Filter(_clone(plan.child), plan.predicate)
+    if isinstance(plan, GroupAgg):
+        return GroupAgg(_clone(plan.child), plan.keys, plan.aggs)
+    if isinstance(plan, Join):
+        return Join(_clone(plan.left), _clone(plan.right), plan.on, plan.how)
+    if isinstance(plan, OrderBy):
+        return OrderBy(_clone(plan.child), plan.key, plan.ascending)
+    if isinstance(plan, Limit):
+        return Limit(_clone(plan.child), plan.n)
+    if isinstance(plan, Distinct):
+        return Distinct(_clone(plan.child))
+    raise PlanError(f"cannot clone {type(plan).__name__}")
+
+
+def _compile(plan: LogicalPlan, ctx: DataflowContext,
+             n_partitions: int) -> Dataset:
+    if isinstance(plan, Scan):
+        cols_ = plan.columns
+        rows = [{c: r[c] for c in cols_} for r in plan.rows]
+        return ctx.parallelize(rows, n_partitions)
+
+    if isinstance(plan, Project):
+        child = _compile(plan.child, ctx, n_partitions)
+        exprs = plan.exprs
+        return child.map(
+            lambda row, _e=tuple(exprs): {e.name: e.eval(row) for e in _e})
+
+    if isinstance(plan, Filter):
+        child = _compile(plan.child, ctx, n_partitions)
+        pred = plan.predicate
+        return child.filter(lambda row, _p=pred: bool(_p.eval(row)))
+
+    if isinstance(plan, GroupAgg):
+        child = _compile(plan.child, ctx, n_partitions)
+        keys, aggs = plan.keys, plan.aggs
+
+        def to_kv(row, _k=tuple(keys), _a=tuple(aggs)):
+            key = tuple(row[c] for c in _k)
+            vals = tuple(a.expr.eval(row) if a.expr is not None else None
+                         for a in _a)
+            return (key, vals)
+
+        def create(vals, _a=tuple(aggs)):
+            return tuple(a.create(v) for a, v in zip(_a, vals))
+
+        def merge_value(acc, vals, _a=tuple(aggs)):
+            return tuple(a.merge_value(s, v)
+                         for a, s, v in zip(_a, acc, vals))
+
+        def merge_states(a1, a2, _a=tuple(aggs)):
+            return tuple(a.merge_states(x, y)
+                         for a, x, y in zip(_a, a1, a2))
+
+        def to_row(kv, _k=tuple(keys), _a=tuple(aggs)):
+            key, states = kv
+            row = dict(zip(_k, key))
+            for a, s in zip(_a, states):
+                row[a.out] = a.finish(s)
+            return row
+        return (child.map(to_kv)
+                .combine_by_key(create, merge_value, merge_states,
+                                n_partitions)
+                .map(to_row))
+
+    if isinstance(plan, Join):
+        left = _compile(plan.left, ctx, n_partitions)
+        right = _compile(plan.right, ctx, n_partitions)
+        on = tuple(plan.on)
+        right_extra = tuple(c for c in plan.right.schema if c not in plan.on)
+        lkv = left.map(lambda r, _on=on: (tuple(r[c] for c in _on), r))
+        rkv = right.map(lambda r, _on=on: (tuple(r[c] for c in _on), r))
+        grouped = lkv.cogroup(rkv, n_partitions)
+        how = plan.how
+
+        def emit(kv, _extra=right_extra, _how=how):
+            _key, (lefts, rights) = kv
+            if not rights and _how == "left":
+                rights = [dict.fromkeys(_extra)]
+            out = []
+            for lr in lefts:
+                for rr in rights:
+                    merged = dict(lr)
+                    for c in _extra:
+                        merged[c] = rr.get(c)
+                    out.append(merged)
+            return out
+        return grouped.flat_map(emit)
+
+    if isinstance(plan, OrderBy):
+        child = _compile(plan.child, ctx, n_partitions)
+        key = plan.key
+        return child.sort_by(lambda r, _k=key: r[_k],
+                             ascending=plan.ascending,
+                             n_partitions=n_partitions)
+
+    if isinstance(plan, Limit):
+        child = _compile(plan.child, ctx, n_partitions)
+        n = plan.n
+        # classic distributed limit: truncate per partition, funnel to one
+        return (child.map_partitions(
+                    lambda it, _n=n: list(it)[:_n])
+                .coalesce(1)
+                .map_partitions(lambda it, _n=n: list(it)[:_n]))
+
+    if isinstance(plan, Distinct):
+        child = _compile(plan.child, ctx, n_partitions)
+        schema = tuple(plan.schema)
+        return (child.map(lambda r, _s=schema: tuple(r[c] for c in _s))
+                .distinct(n_partitions)
+                .map(lambda t, _s=schema: dict(zip(_s, t))))
+
+    raise PlanError(f"cannot compile {type(plan).__name__}")

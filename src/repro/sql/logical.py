@@ -1,0 +1,282 @@
+"""Logical plan nodes for the structured layer.
+
+DataFrame methods build this tree; the optimizer rewrites it; the
+compiler lowers it onto :class:`~repro.dataflow.plan.Dataset` pipelines.
+Every node knows its output schema, which the optimizer leans on for
+column pruning and pushdown safety.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import PlanError
+from .expr import Column, Expr
+
+__all__ = [
+    "LogicalPlan", "Scan", "Project", "Filter", "GroupAgg", "Join",
+    "OrderBy", "Limit", "Distinct", "AggSpec",
+]
+
+
+class LogicalPlan:
+    """Base node; ``schema`` is the ordered list of output column names."""
+
+    children: List["LogicalPlan"] = []
+
+    @property
+    def schema(self) -> List[str]:
+        raise NotImplementedError
+
+    def describe(self, indent: int = 0) -> str:
+        """Readable plan tree (EXPLAIN output)."""
+        pad = "  " * indent
+        line = f"{pad}{self._label()}"
+        return "\n".join([line] + [c.describe(indent + 1)
+                                   for c in self.children])
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+class Scan(LogicalPlan):
+    """A source table: in-memory rows with a declared schema.
+
+    ``columns`` may be narrowed by the optimizer (column pruning); the
+    compiler then projects early, shrinking everything downstream.
+    """
+
+    def __init__(self, rows: Sequence[Dict[str, Any]], schema: List[str],
+                 name: str = "table",
+                 columns: Optional[List[str]] = None) -> None:
+        self.rows = rows
+        self._full_schema = list(schema)
+        self.name = name
+        self.columns = list(columns) if columns is not None else list(schema)
+        bad = [c for c in self.columns if c not in self._full_schema]
+        if bad:
+            raise PlanError(f"unknown columns {bad} in scan of {name!r}")
+        self.children = []
+
+    @property
+    def schema(self):
+        return list(self.columns)
+
+    @property
+    def full_schema(self):
+        """The table's complete column set (before pruning)."""
+        return list(self._full_schema)
+
+    def _label(self):
+        pruned = "" if set(self.columns) == set(self._full_schema) \
+            else f" cols={self.columns}"
+        return f"Scan({self.name}{pruned})"
+
+
+class Project(LogicalPlan):
+    """Evaluate expressions into output columns."""
+
+    def __init__(self, child: LogicalPlan, exprs: List[Expr]) -> None:
+        self.children = [child]
+        self.exprs = list(exprs)
+        if not self.exprs:
+            raise PlanError("projection needs at least one expression")
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    @property
+    def schema(self):
+        return [e.name for e in self.exprs]
+
+    def _label(self):
+        return f"Project({', '.join(e.name for e in self.exprs)})"
+
+
+class Filter(LogicalPlan):
+    """Keep rows where the predicate is truthy."""
+
+    def __init__(self, child: LogicalPlan, predicate: Expr) -> None:
+        self.children = [child]
+        self.predicate = predicate
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    @property
+    def schema(self):
+        return self.child.schema
+
+    def _label(self):
+        return f"Filter({self.predicate.name})"
+
+
+class AggSpec:
+    """One aggregate: (function, input expression, output name).
+
+    ``fn`` in {"sum", "count", "min", "max", "avg"}.
+    """
+
+    FNS = ("sum", "count", "min", "max", "avg")
+
+    def __init__(self, fn: str, expr: Optional[Expr], out: str) -> None:
+        if fn not in self.FNS:
+            raise PlanError(f"unknown aggregate {fn!r}")
+        if fn != "count" and expr is None:
+            raise PlanError(f"{fn} needs an input expression")
+        self.fn = fn
+        self.expr = expr
+        self.out = out
+
+    def references(self):
+        return self.expr.references() if self.expr else frozenset()
+
+    # running-state protocol: (create, merge_value, merge_states, finish)
+    def create(self, v):
+        if self.fn == "count":
+            return 1
+        if self.fn == "avg":
+            return (v, 1)
+        return v
+
+    def merge_value(self, acc, v):
+        if self.fn == "sum":
+            return acc + v
+        if self.fn == "count":
+            return acc + 1
+        if self.fn == "min":
+            return acc if acc <= v else v
+        if self.fn == "max":
+            return acc if acc >= v else v
+        return (acc[0] + v, acc[1] + 1)          # avg
+
+    def merge_states(self, a, b):
+        if self.fn in ("sum", "count"):
+            return a + b
+        if self.fn == "min":
+            return a if a <= b else b
+        if self.fn == "max":
+            return a if a >= b else b
+        return (a[0] + b[0], a[1] + b[1])        # avg
+
+    def finish(self, acc):
+        if self.fn == "avg":
+            return acc[0] / acc[1] if acc[1] else None
+        return acc
+
+
+class GroupAgg(LogicalPlan):
+    """Group by key columns, compute aggregates per group."""
+
+    def __init__(self, child: LogicalPlan, keys: List[str],
+                 aggs: List[AggSpec]) -> None:
+        self.children = [child]
+        self.keys = list(keys)
+        self.aggs = list(aggs)
+        if not self.aggs:
+            raise PlanError("group-by needs at least one aggregate")
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    @property
+    def schema(self):
+        return self.keys + [a.out for a in self.aggs]
+
+    def _label(self):
+        return (f"GroupAgg(keys={self.keys}, "
+                f"aggs={[f'{a.fn}->{a.out}' for a in self.aggs]})")
+
+
+class Join(LogicalPlan):
+    """Equi-join on shared key columns; ``how`` in {'inner', 'left'}."""
+
+    def __init__(self, left: LogicalPlan, right: LogicalPlan,
+                 on: List[str], how: str = "inner") -> None:
+        if how not in ("inner", "left"):
+            raise PlanError("how must be 'inner' or 'left'")
+        for k in on:
+            if k not in left.schema or k not in right.schema:
+                raise PlanError(f"join key {k!r} missing from a side")
+        self.children = [left, right]
+        self.on = list(on)
+        self.how = how
+
+    @property
+    def left(self) -> LogicalPlan:
+        return self.children[0]
+
+    @property
+    def right(self) -> LogicalPlan:
+        return self.children[1]
+
+    @property
+    def schema(self):
+        right_extra = [c for c in self.right.schema if c not in self.on]
+        return list(self.left.schema) + right_extra
+
+    def _label(self):
+        return f"Join(on={self.on}, how={self.how})"
+
+
+class OrderBy(LogicalPlan):
+    """Global sort by one column."""
+
+    def __init__(self, child: LogicalPlan, key: str,
+                 ascending: bool = True) -> None:
+        if key not in child.schema:
+            raise PlanError(f"order-by column {key!r} not in schema")
+        self.children = [child]
+        self.key = key
+        self.ascending = ascending
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    @property
+    def schema(self):
+        return self.child.schema
+
+    def _label(self):
+        direction = "asc" if self.ascending else "desc"
+        return f"OrderBy({self.key} {direction})"
+
+
+class Limit(LogicalPlan):
+    """First ``n`` rows (after any ordering)."""
+
+    def __init__(self, child: LogicalPlan, n: int) -> None:
+        if n < 0:
+            raise PlanError("limit must be nonnegative")
+        self.children = [child]
+        self.n = n
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    @property
+    def schema(self):
+        return self.child.schema
+
+    def _label(self):
+        return f"Limit({self.n})"
+
+
+class Distinct(LogicalPlan):
+    """Unique rows."""
+
+    def __init__(self, child: LogicalPlan) -> None:
+        self.children = [child]
+
+    @property
+    def child(self) -> LogicalPlan:
+        return self.children[0]
+
+    @property
+    def schema(self):
+        return self.child.schema

@@ -1,0 +1,24 @@
+"""Storage substrate: DFS, erasure coding, caches, tiering."""
+
+from .cache import (
+    CachePolicy,
+    CacheStats,
+    ClockCache,
+    FIFOCache,
+    LFUCache,
+    LRUCache,
+    TwoQCache,
+    belady_hit_rate,
+    make_policy,
+    run_trace,
+)
+from .dfs import BlockInfo, DFSConfig, DistributedFS, FileInfo
+from .reedsolomon import RSCode
+from .tiered import Tier, TieredStats, TieredStore
+
+__all__ = [
+    "DistributedFS", "DFSConfig", "BlockInfo", "FileInfo", "RSCode",
+    "CachePolicy", "CacheStats", "FIFOCache", "LRUCache", "ClockCache",
+    "LFUCache", "TwoQCache", "make_policy", "run_trace", "belady_hit_rate",
+    "Tier", "TieredStore", "TieredStats",
+]

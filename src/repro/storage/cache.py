@@ -1,0 +1,333 @@
+"""Block-cache replacement policies and a trace-driven cache simulator.
+
+Policies implement one interface (:class:`CachePolicy`) so experiments can
+sweep them: FIFO, LRU, CLOCK (second-chance), LFU (in-cache frequencies),
+and 2Q (the A1in/Am variant).  :func:`belady_hit_rate` computes the
+clairvoyant optimum (Belady's MIN) as an upper bound for figure F4.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict, deque
+from typing import Deque, Dict, Hashable, List, Optional, Sequence
+
+from ..common.pqueue import IndexedHeap
+
+__all__ = [
+    "CachePolicy", "FIFOCache", "LRUCache", "ClockCache", "LFUCache",
+    "TwoQCache", "CacheStats", "run_trace", "belady_hit_rate", "make_policy",
+]
+
+
+class CacheStats:
+    """Hit/miss counters kept by every policy."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when no accesses)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CacheStats(hit_rate={self.hit_rate:.3f}, n={self.accesses})"
+
+
+class CachePolicy:
+    """A fixed-capacity cache of keys; ``access`` returns hit/miss."""
+
+    name = "base"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+
+    def access(self, key: Hashable) -> bool:
+        """Touch ``key``; inserts on miss.  Returns True on hit."""
+        if self._contains(key):
+            self.stats.hits += 1
+            self._touch(key)
+            return True
+        self.stats.misses += 1
+        self._insert(key)
+        return False
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self._contains(key)
+
+    def __len__(self) -> int:
+        return self._size()
+
+    # subclass hooks -----------------------------------------------------
+    def _contains(self, key: Hashable) -> bool:
+        raise NotImplementedError
+
+    def _touch(self, key: Hashable) -> None:
+        raise NotImplementedError
+
+    def _insert(self, key: Hashable) -> None:
+        raise NotImplementedError
+
+    def _size(self) -> int:
+        raise NotImplementedError
+
+
+class FIFOCache(CachePolicy):
+    """Evicts the oldest-inserted key; ignores recency of use."""
+
+    name = "fifo"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._queue: Deque[Hashable] = deque()
+        self._set: set = set()
+
+    def _contains(self, key):
+        return key in self._set
+
+    def _touch(self, key):
+        pass
+
+    def _insert(self, key):
+        if len(self._queue) >= self.capacity:
+            old = self._queue.popleft()
+            self._set.discard(old)
+            self.stats.evictions += 1
+        self._queue.append(key)
+        self._set.add(key)
+
+    def _size(self):
+        return len(self._queue)
+
+
+class LRUCache(CachePolicy):
+    """Evicts the least-recently-used key."""
+
+    name = "lru"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._od: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def _contains(self, key):
+        return key in self._od
+
+    def _touch(self, key):
+        self._od.move_to_end(key)
+
+    def _insert(self, key):
+        if len(self._od) >= self.capacity:
+            self._od.popitem(last=False)
+            self.stats.evictions += 1
+        self._od[key] = None
+
+    def _size(self):
+        return len(self._od)
+
+
+class ClockCache(CachePolicy):
+    """Second-chance / CLOCK: LRU approximation with one reference bit."""
+
+    name = "clock"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._keys: List[Hashable] = []
+        self._ref: Dict[Hashable, bool] = {}
+        self._hand = 0
+
+    def _contains(self, key):
+        return key in self._ref
+
+    def _touch(self, key):
+        self._ref[key] = True
+
+    def _insert(self, key):
+        # cold insert (ref = 0): a page earns its second chance only by
+        # being re-referenced, which is what makes CLOCK approximate LRU
+        if len(self._keys) < self.capacity:
+            self._keys.append(key)
+            self._ref[key] = False
+            return
+        while True:
+            victim = self._keys[self._hand]
+            if self._ref[victim]:
+                self._ref[victim] = False
+                self._hand = (self._hand + 1) % len(self._keys)
+            else:
+                del self._ref[victim]
+                self._keys[self._hand] = key
+                self._ref[key] = False
+                self._hand = (self._hand + 1) % len(self._keys)
+                self.stats.evictions += 1
+                return
+
+    def _size(self):
+        return len(self._keys)
+
+
+class LFUCache(CachePolicy):
+    """Evicts the least-frequently-used key (ties: least recent).
+
+    Frequencies count only while resident (standard in-cache LFU).
+    """
+
+    name = "lfu"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._heap = IndexedHeap()
+        self._freq: Dict[Hashable, int] = {}
+        self._seq = 0
+
+    def _contains(self, key):
+        return key in self._freq
+
+    def _touch(self, key):
+        self._freq[key] += 1
+        self._seq += 1
+        self._heap.update(key, (self._freq[key], self._seq))
+
+    def _insert(self, key):
+        if len(self._freq) >= self.capacity:
+            victim, _ = self._heap.pop()
+            del self._freq[victim]
+            self.stats.evictions += 1
+        self._freq[key] = 1
+        self._seq += 1
+        self._heap.push(key, (1, self._seq))
+
+    def _size(self):
+        return len(self._freq)
+
+
+class TwoQCache(CachePolicy):
+    """2Q: a FIFO probation queue (A1in) plus an LRU main queue (Am).
+
+    First touch lands in A1in; a hit while in A1in (or shortly after, via
+    the A1out ghost list) promotes to Am.  Scans that touch blocks once
+    wash through A1in without polluting the main queue.
+    """
+
+    name = "2q"
+
+    def __init__(self, capacity: int, in_fraction: float = 0.25,
+                 ghost_fraction: float = 0.5) -> None:
+        super().__init__(capacity)
+        # the two resident queues must sum to the declared capacity; with
+        # capacity 1 the cache degenerates to probation-only
+        self._in_cap = max(1, min(int(capacity * in_fraction), capacity - 1)) \
+            if capacity > 1 else 1
+        self._main_cap = capacity - self._in_cap
+        self._ghost_cap = max(1, int(capacity * ghost_fraction))
+        self._a1in: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._a1out: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._am: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def _contains(self, key):
+        return key in self._a1in or key in self._am
+
+    def _touch(self, key):
+        if key in self._am:
+            self._am.move_to_end(key)
+        elif key in self._a1in:
+            # promote on re-reference
+            del self._a1in[key]
+            self._insert_am(key)
+
+    def _insert_am(self, key):
+        if self._main_cap == 0:
+            # degenerate capacity-1 cache: no main queue to promote into
+            self.stats.evictions += 1
+            return
+        if len(self._am) >= self._main_cap:
+            self._am.popitem(last=False)
+            self.stats.evictions += 1
+        self._am[key] = None
+
+    def _insert(self, key):
+        if key in self._a1out:
+            # recently evicted from probation: treat as hot
+            del self._a1out[key]
+            self._insert_am(key)
+            return
+        if len(self._a1in) >= self._in_cap:
+            old, _ = self._a1in.popitem(last=False)
+            self.stats.evictions += 1
+            self._a1out[old] = None
+            if len(self._a1out) > self._ghost_cap:
+                self._a1out.popitem(last=False)
+        self._a1in[key] = None
+
+    def _size(self):
+        return len(self._a1in) + len(self._am)
+
+
+_POLICIES = {
+    "fifo": FIFOCache,
+    "lru": LRUCache,
+    "clock": ClockCache,
+    "lfu": LFUCache,
+    "2q": TwoQCache,
+}
+
+
+def make_policy(name: str, capacity: int) -> CachePolicy:
+    """Instantiate a policy by name ('fifo', 'lru', 'clock', 'lfu', '2q')."""
+    try:
+        return _POLICIES[name](capacity)
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; choose from {sorted(_POLICIES)}")
+
+
+def run_trace(policy: CachePolicy, trace: Sequence[Hashable]) -> CacheStats:
+    """Replay an access trace through a policy; returns its stats."""
+    for key in trace:
+        policy.access(key)
+    return policy.stats
+
+
+def belady_hit_rate(trace: Sequence[Hashable], capacity: int) -> float:
+    """Hit rate of Belady's clairvoyant MIN algorithm on ``trace``.
+
+    Evicts the resident key whose next use is farthest in the future —
+    the provably optimal offline policy; used as the upper bound in
+    cache-policy figures.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    trace = list(trace)
+    # next-use index for each position
+    next_use: List[int] = [0] * len(trace)
+    last_seen: Dict[Hashable, int] = {}
+    INF = len(trace) + 1
+    for i in range(len(trace) - 1, -1, -1):
+        key = trace[i]
+        next_use[i] = last_seen.get(key, INF)
+        last_seen[key] = i
+    resident: Dict[Hashable, int] = {}   # key -> its next use index
+    heap = IndexedHeap()                 # max-heap via negative next-use
+    hits = 0
+    for i, key in enumerate(trace):
+        nu = next_use[i]
+        if key in resident:
+            hits += 1
+            resident[key] = nu
+            heap.update(key, -nu)
+            continue
+        if len(resident) >= capacity:
+            victim, _ = heap.pop()
+            del resident[victim]
+        resident[key] = nu
+        heap.push(key, -nu)
+    return hits / len(trace) if trace else 0.0

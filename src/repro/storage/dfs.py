@@ -1,0 +1,545 @@
+"""A block-structured distributed filesystem on the simulated cluster.
+
+Models the HDFS architecture: files split into fixed-size blocks, each
+block either *replicated* (rack-aware placement: first copy on the writer,
+second on another rack, third on a different node of that second rack) or
+*erasure-coded* with a systematic RS(k, m) stripe spread over k+m nodes.
+
+Every operation charges realistic costs to the simulation: disk bandwidth
+at each storing node and network transfers along the real topology.  Reads
+pick the closest live replica (local → rack-local → remote) and fall back
+to degraded EC decoding when data shards are on dead nodes.  Node failures
+trigger re-replication / fragment reconstruction after a detection delay,
+with the repair traffic accounted.
+
+When actual ``data`` is supplied, content is stored (and erasure-coded)
+for real, so tests can verify byte-exact reads through failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import (
+    BlockNotFoundError,
+    CapacityError,
+    ConfigError,
+    InsufficientReplicasError,
+)
+from ..common.rng import RandomState, ensure_rng
+from ..common.units import MB
+from ..cluster.cluster import Cluster
+from ..simcore.events import Event
+from ..simcore.kernel import Simulator
+from .reedsolomon import RSCode
+
+__all__ = ["DFSConfig", "BlockInfo", "FileInfo", "DistributedFS"]
+
+
+@dataclass(frozen=True)
+class DFSConfig:
+    """Filesystem-wide settings."""
+
+    block_size: int = MB(128)
+    replication: int = 3
+    ec_k: int = 6
+    ec_m: int = 3
+    default_mode: str = "replicate"      # or "ec"
+    rack_aware: bool = True
+    auto_repair: bool = True
+    detection_delay: float = 5.0         # seconds until a failure is acted on
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ConfigError("block_size must be positive")
+        if self.replication < 1:
+            raise ConfigError("replication must be >= 1")
+        if self.ec_k < 1 or self.ec_m < 0:
+            raise ConfigError("invalid EC parameters")
+        if self.default_mode not in ("replicate", "ec"):
+            raise ConfigError("default_mode must be 'replicate' or 'ec'")
+
+
+@dataclass
+class BlockInfo:
+    """One block (or EC stripe) of a file."""
+
+    block_id: int
+    path: str
+    index: int
+    size: int
+    mode: str                             # "replicate" | "ec"
+    locations: Dict[int, str] = field(default_factory=dict)
+    # replica index -> node (replicated) / fragment index -> node (ec)
+
+    def nodes(self) -> List[str]:
+        """All nodes currently holding a piece of this block."""
+        return list(self.locations.values())
+
+
+@dataclass
+class FileInfo:
+    """Namespace entry."""
+
+    path: str
+    size: int
+    mode: str
+    blocks: List[BlockInfo] = field(default_factory=list)
+
+
+class DistributedFS:
+    """The filesystem facade; all mutating calls return simulation events."""
+
+    def __init__(self, cluster: Cluster, config: Optional[DFSConfig] = None,
+                 seed: RandomState = None) -> None:
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.config = config or DFSConfig()
+        self.rng = ensure_rng(seed)
+        self.files: Dict[str, FileInfo] = {}
+        self._blocks: Dict[int, BlockInfo] = {}
+        self._next_block_id = 0
+        self._content: Dict[Tuple[int, int], bytes] = {}   # (block_id, frag) -> bytes
+        self._block_data_len: Dict[int, int] = {}
+        self.codec = RSCode(self.config.ec_k, self.config.ec_m)
+        # metrics
+        self.bytes_written = 0.0
+        self.bytes_read = 0.0
+        self.degraded_reads = 0
+        self.repairs_started = 0
+        self.repair_bytes = 0.0
+        self._watching = False
+        if self.config.auto_repair:
+            self._watch_failures()
+
+    # ------------------------------------------------------------------ write
+
+    def write(self, path: str, size: Optional[int] = None,
+              data: Optional[bytes] = None, writer: Optional[str] = None,
+              mode: Optional[str] = None) -> Event:
+        """Create file ``path`` of ``size`` bytes (or actual ``data``).
+
+        ``writer`` is the client node (defaults to a random live node).
+        The returned event fires with the :class:`FileInfo` once every
+        block is durably stored.
+        """
+        if path in self.files:
+            raise ConfigError(f"file {path!r} already exists")
+        if (size is None) == (data is None):
+            raise ConfigError("pass exactly one of size= or data=")
+        if data is not None:
+            size = len(data)
+        if size < 0:
+            raise ConfigError("size must be nonnegative")
+        mode = mode or self.config.default_mode
+        if mode not in ("replicate", "ec"):
+            raise ConfigError("mode must be 'replicate' or 'ec'")
+        writer = writer or self._random_live_node()
+        info = FileInfo(path, size, mode)
+        self.files[path] = info
+        done = self.sim.event()
+        self.sim.process(self._write_proc(info, data, writer, done),
+                         name=f"dfs-write:{path}")
+        return done
+
+    def _write_proc(self, info: FileInfo, data: Optional[bytes],
+                    writer: str, done: Event):
+        bs = self.config.block_size
+        n_blocks = max(1, -(-info.size // bs)) if info.size else 1
+        for i in range(n_blocks):
+            blk_size = min(bs, info.size - i * bs) if info.size else 0
+            blk_data = None
+            if data is not None:
+                blk_data = data[i * bs: i * bs + blk_size]
+            block = BlockInfo(self._next_block_id, info.path, i, blk_size,
+                              info.mode)
+            self._next_block_id += 1
+            self._blocks[block.block_id] = block
+            info.blocks.append(block)
+            if info.mode == "replicate":
+                yield from self._write_replicated(block, blk_data, writer)
+            else:
+                yield from self._write_ec(block, blk_data, writer)
+        done.succeed(info)
+
+    def _write_replicated(self, block: BlockInfo, data: Optional[bytes],
+                          writer: str):
+        nodes = self._choose_replica_nodes(writer, self.config.replication)
+        if data is not None:
+            self._content[(block.block_id, 0)] = data
+        # pipelined: the client streams to replica 1 which streams to 2, ...
+        # modeled as concurrent hop transfers plus a disk write per replica.
+        pending = []
+        prev = writer
+        for r, node in enumerate(nodes):
+            block.locations[r] = node
+            pending.append(self.cluster.transfer(prev, node, block.size))
+            pending.append(self.cluster.nodes[node].disk_write(block.size))
+            prev = node
+        if pending:
+            yield self.sim.all_of(pending)
+        self.bytes_written += block.size * len(nodes)
+
+    def _write_ec(self, block: BlockInfo, data: Optional[bytes], writer: str):
+        k, m = self.codec.k, self.codec.m
+        frag_size = self.codec.fragment_size(block.size)
+        nodes = self._choose_stripe_nodes(k + m)
+        if data is not None:
+            frags = self.codec.encode(data)
+            self._block_data_len[block.block_id] = len(data)
+            for idx in range(k + m):
+                self._content[(block.block_id, idx)] = frags[idx]
+        pending = []
+        for idx, node in enumerate(nodes):
+            block.locations[idx] = node
+            pending.append(self.cluster.transfer(writer, node, frag_size))
+            pending.append(self.cluster.nodes[node].disk_write(frag_size))
+        if pending:
+            yield self.sim.all_of(pending)
+        self.bytes_written += frag_size * (k + m)
+
+    # ------------------------------------------------------------------- read
+
+    def read(self, path: str, reader: Optional[str] = None) -> Event:
+        """Read the whole file to ``reader``; fires with (data|None, nbytes).
+
+        Blocks are fetched in parallel (the analytics access pattern).
+        ``data`` is the original byte content when the file was written
+        with ``data=``, else ``None``.
+        """
+        info = self._file(path)
+        reader = reader or self._random_live_node()
+        done = self.sim.event()
+
+        def _proc(sim: Simulator):
+            evs = [self.read_block(b, reader) for b in info.blocks]
+            if evs:
+                results = yield sim.all_of(evs)
+                parts = [results[i] for i in range(len(evs))]
+            else:
+                parts = []
+            if all(p is not None for p in parts) and parts:
+                payload: Optional[bytes] = b"".join(parts)
+            else:
+                payload = None
+            done.succeed((payload, info.size))
+        self.sim.process(_proc(self.sim), name=f"dfs-read:{path}")
+        return done
+
+    def read_block(self, block: BlockInfo, reader: str) -> Event:
+        """Read one block to ``reader``; fires with the content bytes or None."""
+        done = self.sim.event()
+        if block.mode == "replicate":
+            proc = self._read_replicated(block, reader, done)
+        else:
+            proc = self._read_ec(block, reader, done)
+        self.sim.process(proc, name=f"dfs-readblk:{block.block_id}")
+        return done
+
+    def _live_replicas(self, block: BlockInfo) -> List[str]:
+        return [n for n in block.locations.values()
+                if self.cluster.nodes[n].alive]
+
+    def _read_replicated(self, block: BlockInfo, reader: str, done: Event):
+        live = self._live_replicas(block)
+        if not live:
+            done.fail(InsufficientReplicasError(
+                f"block {block.block_id} of {block.path} has no live replica"))
+            return
+            yield  # pragma: no cover
+        src = self._closest(reader, live)
+        yield self.cluster.nodes[src].disk_read(block.size)
+        if src != reader:
+            yield self.cluster.transfer(src, reader, block.size)
+        self.bytes_read += block.size
+        done.succeed(self._content.get((block.block_id, 0)))
+
+    def _read_ec(self, block: BlockInfo, reader: str, done: Event):
+        k = self.codec.k
+        frag_size = self.codec.fragment_size(block.size)
+        live = {idx: node for idx, node in block.locations.items()
+                if self.cluster.nodes[node].alive}
+        data_live = [i for i in range(k) if i in live]
+        if len(live) < k:
+            done.fail(InsufficientReplicasError(
+                f"block {block.block_id}: only {len(live)} of {k} fragments live"))
+            return
+            yield  # pragma: no cover
+        degraded = len(data_live) < k
+        if degraded:
+            self.degraded_reads += 1
+            chosen = sorted(live)[:k]
+        else:
+            chosen = data_live
+        evs = []
+        for idx in chosen:
+            node = live[idx]
+            evs.append(self.cluster.nodes[node].disk_read(frag_size))
+            if node != reader:
+                evs.append(self.cluster.transfer(node, reader, frag_size))
+        yield self.sim.all_of(evs)
+        self.bytes_read += frag_size * len(chosen)
+        payload = None
+        if (block.block_id, 0) in self._content or any(
+                (block.block_id, i) in self._content for i in chosen):
+            frags = {i: self._content[(block.block_id, i)] for i in chosen
+                     if (block.block_id, i) in self._content}
+            if len(frags) >= k:
+                orig_len = self._block_data_len.get(block.block_id, block.size)
+                payload = self.codec.decode(frags, orig_len)
+        done.succeed(payload)
+
+    # ------------------------------------------------------------ placement
+
+    def _random_live_node(self) -> str:
+        live = [n.name for n in self.cluster.live_nodes()]
+        if not live:
+            raise CapacityError("no live nodes")
+        return str(self.rng.choice(live))
+
+    def _choose_replica_nodes(self, writer: str, n: int) -> List[str]:
+        """HDFS-style: writer-local, then off-rack, then that rack again."""
+        live = [nd.name for nd in self.cluster.live_nodes()]
+        if len(live) < 1:
+            raise CapacityError("no live nodes for placement")
+        n = min(n, len(live))
+        chosen: List[str] = []
+        if writer in live:
+            chosen.append(writer)
+        else:
+            chosen.append(str(self.rng.choice(live)))
+        if not self.config.rack_aware:
+            pool = [x for x in live if x not in chosen]
+            while len(chosen) < n and pool:
+                pick = str(self.rng.choice(pool))
+                chosen.append(pick)
+                pool.remove(pick)
+            return chosen
+        first_rack = self.cluster.rack_of(chosen[0])
+        off_rack = [x for x in live if self.cluster.rack_of(x) != first_rack]
+        if len(chosen) < n and off_rack:
+            second = str(self.rng.choice(off_rack))
+            chosen.append(second)
+            second_rack = self.cluster.rack_of(second)
+            same_as_second = [x for x in live
+                              if self.cluster.rack_of(x) == second_rack
+                              and x not in chosen]
+            if len(chosen) < n and same_as_second:
+                chosen.append(str(self.rng.choice(same_as_second)))
+        pool = [x for x in live if x not in chosen]
+        while len(chosen) < n and pool:
+            pick = str(self.rng.choice(pool))
+            chosen.append(pick)
+            pool.remove(pick)
+        return chosen
+
+    def _choose_stripe_nodes(self, n: int) -> List[str]:
+        """Spread a stripe round-robin over racks for failure independence."""
+        by_rack: Dict[str, List[str]] = {}
+        for node in self.cluster.live_nodes():
+            by_rack.setdefault(node.rack, []).append(node.name)
+        for members in by_rack.values():
+            idx = self.rng.permutation(len(members))
+            members[:] = [members[i] for i in idx]
+        racks = sorted(by_rack)
+        chosen: List[str] = []
+        r = 0
+        while len(chosen) < n and any(by_rack.values()):
+            rack = racks[r % len(racks)]
+            if by_rack[rack]:
+                chosen.append(by_rack[rack].pop())
+            r += 1
+        if len(chosen) < n:
+            raise CapacityError(f"stripe needs {n} nodes, only {len(chosen)} live")
+        return chosen
+
+    def _closest(self, reader: str, candidates: List[str]) -> str:
+        """local > rack-local > remote; ties broken deterministically."""
+        def rank(node: str):
+            if node == reader:
+                return (0, node)
+            if reader in self.cluster.nodes and \
+                    self.cluster.same_rack(node, reader):
+                return (1, node)
+            return (2, node)
+        return min(candidates, key=rank)
+
+    # ------------------------------------------------------------ repair
+
+    def _watch_failures(self) -> None:
+        if self._watching:
+            return
+        self._watching = True
+        for node in self.cluster.nodes.values():
+            node.listeners.append(self._on_node_event)
+
+    def _on_node_event(self, node, kind: str) -> None:
+        if kind != "fail":
+            return
+
+        def _repair(sim: Simulator):
+            yield sim.timeout(self.config.detection_delay)
+            if node.alive:           # transient blip, nothing to do
+                return
+            yield from self._repair_node(node.name)
+        self.sim.process(_repair(self.sim), name=f"dfs-repair:{node.name}")
+
+    def _repair_node(self, dead: str):
+        """Re-protect every block that lost a piece on ``dead``."""
+        affected = [b for b in self._blocks.values()
+                    if dead in b.locations.values()]
+        for block in affected:
+            slots = [idx for idx, n in block.locations.items() if n == dead]
+            for idx in slots:
+                self.repairs_started += 1
+                if block.mode == "replicate":
+                    yield from self._rereplicate(block, idx)
+                else:
+                    yield from self._reconstruct_fragment(block, idx)
+
+    def _rereplicate(self, block: BlockInfo, slot: int):
+        live = self._live_replicas(block)
+        live = [n for n in live if n != block.locations.get(slot)]
+        if not live:
+            return   # unrecoverable; surfaced on next read
+        exclude = set(block.nodes())
+        candidates = [n.name for n in self.cluster.live_nodes()
+                      if n.name not in exclude]
+        if not candidates:
+            return
+        target = str(self.rng.choice(candidates))
+        src = self._closest(target, live)
+        yield self.cluster.nodes[src].disk_read(block.size)
+        yield self.cluster.transfer(src, target, block.size)
+        yield self.cluster.nodes[target].disk_write(block.size)
+        self.repair_bytes += block.size
+        block.locations[slot] = target
+
+    def _reconstruct_fragment(self, block: BlockInfo, slot: int):
+        k = self.codec.k
+        frag_size = self.codec.fragment_size(block.size)
+        live = {idx: n for idx, n in block.locations.items()
+                if self.cluster.nodes[n].alive and idx != slot}
+        if len(live) < k:
+            return   # unrecoverable for now
+        exclude = set(block.nodes())
+        candidates = [n.name for n in self.cluster.live_nodes()
+                      if n.name not in exclude]
+        if not candidates:
+            return
+        target = str(self.rng.choice(candidates))
+        sources = sorted(live)[:k]
+        evs = []
+        for idx in sources:
+            node = live[idx]
+            evs.append(self.cluster.nodes[node].disk_read(frag_size))
+            if node != target:
+                evs.append(self.cluster.transfer(node, target, frag_size))
+        yield self.sim.all_of(evs)
+        yield self.cluster.nodes[target].disk_write(frag_size)
+        self.repair_bytes += frag_size * k
+        # regenerate real content when stored
+        frags = {i: self._content[(block.block_id, i)] for i in sources
+                 if (block.block_id, i) in self._content}
+        if len(frags) >= k:
+            orig_len = self._block_data_len.get(block.block_id, block.size)
+            self._content[(block.block_id, slot)] = \
+                self.codec.reconstruct_fragment(frags, slot, orig_len)
+        block.locations[slot] = target
+
+    # ------------------------------------------------------------ queries
+
+    def _file(self, path: str) -> FileInfo:
+        try:
+            return self.files[path]
+        except KeyError:
+            raise BlockNotFoundError(f"no such file {path!r}")
+
+    def locations(self, path: str) -> List[List[str]]:
+        """Per-block lists of nodes holding pieces of ``path``."""
+        return [b.nodes() for b in self._file(path).blocks]
+
+    def blocks_of(self, path: str) -> List[BlockInfo]:
+        """Block metadata for ``path``."""
+        return list(self._file(path).blocks)
+
+    def balance(self, threshold: float = 0.1) -> "Event":
+        """Rebalance block placement across live nodes (HDFS balancer).
+
+        Computes each node's stored bytes; while the spread between the
+        fullest and emptiest node exceeds ``threshold`` x mean, moves one
+        block replica from the fullest to the emptiest node that does not
+        already hold a piece of that block.  Every move is charged as a
+        disk read + network transfer + disk write.  The returned event
+        fires with the number of replicas moved.
+        """
+        done = self.sim.event()
+
+        def _usage() -> Dict[str, float]:
+            usage = {n.name: 0.0 for n in self.cluster.live_nodes()}
+            for b in self._blocks.values():
+                size = (b.size if b.mode == "replicate"
+                        else self.codec.fragment_size(b.size))
+                for node in b.locations.values():
+                    if node in usage:
+                        usage[node] += size
+            return usage
+
+        def _proc(sim: Simulator):
+            moves = 0
+            for _round in range(10_000):
+                usage = _usage()
+                if len(usage) < 2:
+                    break
+                mean = sum(usage.values()) / len(usage)
+                if mean <= 0:
+                    break
+                fullest = max(usage, key=lambda n: (usage[n], n))
+                emptiest = min(usage, key=lambda n: (usage[n], n))
+                if usage[fullest] - usage[emptiest] <= threshold * mean:
+                    break
+                moved = False
+                for block in self._blocks.values():
+                    holders = set(block.nodes())
+                    if fullest in holders and emptiest not in holders:
+                        size = (block.size if block.mode == "replicate"
+                                else self.codec.fragment_size(block.size))
+                        if usage[fullest] - size < usage[emptiest] + size \
+                                - threshold * mean:
+                            continue   # this move would overshoot
+                        slot = next(i for i, n in block.locations.items()
+                                    if n == fullest)
+                        yield self.cluster.nodes[fullest].disk_read(size)
+                        yield self.cluster.transfer(fullest, emptiest, size)
+                        yield self.cluster.nodes[emptiest].disk_write(size)
+                        block.locations[slot] = emptiest
+                        moves += 1
+                        moved = True
+                        break
+                if not moved:
+                    break
+            done.succeed(moves)
+        self.sim.process(_proc(self.sim), name="dfs-balancer")
+        return done
+
+    def node_usage(self) -> Dict[str, float]:
+        """Bytes stored per live node (balancer metric)."""
+        usage = {n.name: 0.0 for n in self.cluster.live_nodes()}
+        for b in self._blocks.values():
+            size = (b.size if b.mode == "replicate"
+                    else self.codec.fragment_size(b.size))
+            for node in b.locations.values():
+                if node in usage:
+                    usage[node] += size
+        return usage
+
+    def stored_bytes(self) -> float:
+        """Total bytes currently stored across all replicas/fragments."""
+        total = 0.0
+        for b in self._blocks.values():
+            if b.mode == "replicate":
+                total += b.size * len(b.locations)
+            else:
+                total += self.codec.fragment_size(b.size) * len(b.locations)
+        return total

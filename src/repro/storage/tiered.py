@@ -1,0 +1,182 @@
+"""Tiered storage: a memory/SSD/HDD hierarchy with migration policies.
+
+Models the multi-tier data-management problem (the "Data Jockey" /
+DYRS-style setting): objects live in exactly one tier; accesses hit the
+tier's latency/bandwidth; a policy promotes hot objects upward and demotes
+cold ones when a tier fills.  Deterministic and trace-driven, so policies
+are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..common.errors import CapacityError, ConfigError
+
+__all__ = ["Tier", "TieredStore", "TieredStats"]
+
+
+@dataclass(frozen=True)
+class Tier:
+    """One storage level."""
+
+    name: str
+    capacity: int                 # bytes
+    latency: float                # seconds per access
+    bandwidth: float              # bytes/second
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.latency < 0 or self.bandwidth <= 0:
+            raise ConfigError(f"invalid tier {self.name}")
+
+    def access_time(self, nbytes: int) -> float:
+        """Modeled time to read/write ``nbytes`` once positioned."""
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass
+class TieredStats:
+    """Access accounting for one run."""
+
+    accesses: int = 0
+    total_time: float = 0.0
+    hits_per_tier: Dict[str, int] = field(default_factory=dict)
+    promotions: int = 0
+    demotions: int = 0
+    migration_bytes: float = 0.0
+
+    def mean_access_time(self) -> float:
+        """Average modeled access latency."""
+        return self.total_time / self.accesses if self.accesses else 0.0
+
+
+class TieredStore:
+    """An inclusive-of-nothing (exclusive) tier hierarchy.
+
+    ``tiers`` are ordered fastest-first.  New objects land in the top tier
+    (write-back placement).  On access, an object in a lower tier is
+    *promoted* to the top when ``promote_on_access`` is set.  When a tier
+    overflows, its least-recently-used object is demoted one level (or
+    evicted entirely from the last tier — then re-inserting counts as a
+    miss to the top).
+    """
+
+    def __init__(self, tiers: List[Tier],
+                 promote_on_access: bool = True) -> None:
+        if not tiers:
+            raise ConfigError("need at least one tier")
+        names = [t.name for t in tiers]
+        if len(set(names)) != len(names):
+            raise ConfigError("tier names must be unique")
+        self.tiers = list(tiers)
+        self.promote_on_access = promote_on_access
+        # per-tier LRU order: list of keys, most recent last
+        self._lru: Dict[str, List[Hashable]] = {t.name: [] for t in tiers}
+        self._where: Dict[Hashable, int] = {}     # key -> tier index
+        self._sizes: Dict[Hashable, int] = {}
+        self._used: Dict[str, int] = {t.name: 0 for t in tiers}
+        self.stats = TieredStats(hits_per_tier={t.name: 0 for t in tiers})
+
+    # -- public -------------------------------------------------------------
+
+    def put(self, key: Hashable, nbytes: int) -> None:
+        """Insert (or overwrite) an object into the top tier."""
+        if nbytes <= 0:
+            raise ConfigError("object size must be positive")
+        if nbytes > max(t.capacity for t in self.tiers):
+            raise CapacityError(f"object {key!r} larger than every tier")
+        if key in self._where:
+            self._remove(key)
+        if nbytes > self.tiers[0].capacity:
+            # too big for the top tier: place in the first tier that fits
+            idx = next(i for i, t in enumerate(self.tiers)
+                       if nbytes <= t.capacity)
+        else:
+            idx = 0
+        self._sizes[key] = nbytes
+        self._insert(key, idx)
+        self.stats.total_time += self.tiers[idx].access_time(nbytes)
+
+    def access(self, key: Hashable) -> float:
+        """Read an object; returns the modeled access time.
+
+        Raises ``KeyError`` for unknown objects.
+        """
+        idx = self._where[key]
+        tier = self.tiers[idx]
+        nbytes = self._sizes[key]
+        t = tier.access_time(nbytes)
+        self.stats.accesses += 1
+        self.stats.hits_per_tier[tier.name] += 1
+        self.stats.total_time += t
+        # refresh recency
+        lru = self._lru[tier.name]
+        lru.remove(key)
+        lru.append(key)
+        if self.promote_on_access and idx > 0:
+            self._remove(key)
+            self._insert(key, 0)
+            self.stats.promotions += 1
+            self.stats.migration_bytes += nbytes
+            # promotion pays the copy between tiers
+            self.stats.total_time += nbytes / min(
+                tier.bandwidth, self.tiers[0].bandwidth)
+        return t
+
+    def tier_of(self, key: Hashable) -> Optional[str]:
+        """The tier currently holding ``key`` (None if absent)."""
+        idx = self._where.get(key)
+        return self.tiers[idx].name if idx is not None else None
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._where
+
+    def used_bytes(self, tier_name: str) -> int:
+        """Bytes resident in a tier."""
+        return self._used[tier_name]
+
+    # -- internals ------------------------------------------------------------
+
+    def _remove(self, key: Hashable) -> None:
+        idx = self._where.pop(key)
+        name = self.tiers[idx].name
+        self._lru[name].remove(key)
+        self._used[name] -= self._sizes[key]
+
+    def _insert(self, key: Hashable, idx: int) -> None:
+        nbytes = self._sizes[key]
+        tier = self.tiers[idx]
+        # make room, demoting LRU victims downward
+        while self._used[tier.name] + nbytes > tier.capacity:
+            victim = self._lru[tier.name][0]
+            self._demote(victim, idx)
+        self._where[key] = idx
+        self._lru[tier.name].append(key)
+        self._used[tier.name] += nbytes
+
+    def _demote(self, key: Hashable, from_idx: int) -> None:
+        self._remove(key)
+        nbytes = self._sizes[key]
+        if from_idx + 1 >= len(self.tiers):
+            # evicted from the hierarchy entirely
+            del self._sizes[key]
+            self.stats.demotions += 1
+            return
+        self.stats.demotions += 1
+        self.stats.migration_bytes += nbytes
+        self._where[key] = from_idx  # transient, fixed by _insert
+        del self._where[key]
+        # recursive insert may cascade demotions further down
+        self._sizes[key] = nbytes
+        self._insert_at(key, from_idx + 1)
+
+    def _insert_at(self, key: Hashable, idx: int) -> None:
+        nbytes = self._sizes[key]
+        if nbytes > self.tiers[idx].capacity:
+            if idx + 1 < len(self.tiers):
+                self._insert_at(key, idx + 1)
+            else:
+                del self._sizes[key]
+            return
+        self._insert(key, idx)

@@ -1,0 +1,23 @@
+"""Micro-batch streaming: windows, watermarks, and the batch engine."""
+
+from .checkpoint import (
+    CheckpointConfig,
+    RecoveryStats,
+    StatefulRun,
+    run_stateful_stream,
+)
+from .microbatch import MicroBatchConfig, StreamingResult, run_microbatch
+from .windows import (
+    WatermarkAggregator,
+    WindowResult,
+    session_windows,
+    sliding_windows,
+    tumbling_window,
+)
+
+__all__ = [
+    "MicroBatchConfig", "StreamingResult", "run_microbatch",
+    "tumbling_window", "sliding_windows", "session_windows",
+    "WatermarkAggregator", "WindowResult",
+    "CheckpointConfig", "RecoveryStats", "StatefulRun", "run_stateful_stream",
+]

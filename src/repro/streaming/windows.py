@@ -1,0 +1,180 @@
+"""Window assignment and watermark-driven aggregation.
+
+Pure, deterministic operators over timestamped records, independent of the
+DES engine so they unit-test directly:
+
+* :func:`tumbling_window` / :func:`sliding_windows` — window assignment,
+* :func:`session_windows` — gap-based session merging,
+* :class:`WatermarkAggregator` — event-time aggregation with watermarks
+  and allowed lateness: windows fire when the watermark passes their end;
+  later records within lateness trigger corrections; beyond it they're
+  dropped (and counted).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..common.errors import StreamingError
+
+__all__ = [
+    "tumbling_window", "sliding_windows", "session_windows",
+    "WatermarkAggregator", "WindowResult",
+]
+
+
+def tumbling_window(ts: float, size: float, offset: float = 0.0) -> Tuple[float, float]:
+    """The [start, end) tumbling window of size ``size`` containing ``ts``."""
+    if size <= 0:
+        raise StreamingError("window size must be positive")
+    start = math.floor((ts - offset) / size) * size + offset
+    # float underflow (subnormal ts/size ratios) can misplace the window by
+    # one slot; nudge until the half-open contract holds exactly
+    while start > ts:
+        start -= size
+    while start + size <= ts:
+        start += size
+    return (start, start + size)
+
+
+def sliding_windows(ts: float, size: float, slide: float) -> List[Tuple[float, float]]:
+    """All [start, end) sliding windows containing ``ts``.
+
+    ``slide <= size``; a record belongs to ``ceil(size/slide)`` windows.
+    """
+    if size <= 0 or slide <= 0:
+        raise StreamingError("size and slide must be positive")
+    if slide > size:
+        raise StreamingError("slide must not exceed size (gaps would drop data)")
+    first = math.floor(ts / slide) * slide
+    out = []
+    start = first
+    while start > ts - size:
+        # float residue can land `start` a few ulps above ts - size; keep
+        # the half-open contract [start, start + size) exact
+        if start <= ts < start + size:
+            out.append((start, start + size))
+        start -= slide
+    out.reverse()
+    return out
+
+
+def session_windows(timestamps: Iterable[float], gap: float) -> List[Tuple[float, float]]:
+    """Merge sorted-or-not event times into sessions split by ``gap``.
+
+    A session extends while consecutive events are less than ``gap``
+    apart; each returned window is [first event, last event + gap).
+    """
+    if gap <= 0:
+        raise StreamingError("session gap must be positive")
+    ts = sorted(timestamps)
+    if not ts:
+        return []
+    sessions = []
+    start = prev = ts[0]
+    for t in ts[1:]:
+        if t - prev >= gap:
+            sessions.append((start, prev + gap))
+            start = t
+        prev = t
+    sessions.append((start, prev + gap))
+    return sessions
+
+
+@dataclass
+class WindowResult:
+    """One emitted (or corrected) window aggregate."""
+
+    key: Hashable
+    window: Tuple[float, float]
+    value: Any
+    correction: bool = False    # True when re-emitted due to a late record
+
+
+class WatermarkAggregator:
+    """Event-time windowed aggregation with bounded lateness.
+
+    Feed ``(event_time, key, value)`` records via :meth:`add`; the
+    watermark is ``max event time seen - watermark_delay``.  A window fires
+    when the watermark passes its end.  Records arriving after their
+    window fired but within ``allowed_lateness`` re-fire the window as a
+    *correction*; beyond that they are dropped (:attr:`dropped`).
+    """
+
+    def __init__(self, window_size: float,
+                 agg: Callable[[Any, Any], Any],
+                 init: Callable[[Any], Any] = lambda v: v,
+                 watermark_delay: float = 0.0,
+                 allowed_lateness: float = 0.0) -> None:
+        if window_size <= 0:
+            raise StreamingError("window size must be positive")
+        if watermark_delay < 0 or allowed_lateness < 0:
+            raise StreamingError("delays must be nonnegative")
+        self.window_size = window_size
+        self.agg = agg
+        self.init = init
+        self.watermark_delay = watermark_delay
+        self.allowed_lateness = allowed_lateness
+        self._state: Dict[Tuple[Hashable, float], Any] = {}
+        self._fired: Dict[Tuple[Hashable, float], bool] = {}
+        self._max_ts = -math.inf
+        self.dropped = 0
+        self.late_corrections = 0
+
+    @property
+    def watermark(self) -> float:
+        """Current watermark (-inf before any record)."""
+        return self._max_ts - self.watermark_delay
+
+    def add(self, ts: float, key: Hashable, value: Any) -> List[WindowResult]:
+        """Ingest one record; returns any windows that fire as a result."""
+        out: List[WindowResult] = []
+        start, end = tumbling_window(ts, self.window_size)
+        wkey = (key, start)
+        if ts <= self.watermark - self.allowed_lateness and \
+                end + self.allowed_lateness <= self.watermark:
+            self.dropped += 1
+            return out
+        if wkey in self._state:
+            self._state[wkey] = self.agg(self._state[wkey], value)
+        else:
+            self._state[wkey] = self.init(value)
+        if self._fired.get(wkey):
+            # window already emitted: immediate correction
+            self.late_corrections += 1
+            out.append(WindowResult(key, (start, start + self.window_size),
+                                    self._state[wkey], correction=True))
+        self._max_ts = max(self._max_ts, ts)
+        out.extend(self._advance())
+        return out
+
+    def _advance(self) -> List[WindowResult]:
+        wm = self.watermark
+        out: List[WindowResult] = []
+        for wkey in sorted(self._state,
+                           key=lambda kv: (kv[1], repr(kv[0]))):
+            key, start = wkey
+            end = start + self.window_size
+            if end <= wm and not self._fired.get(wkey):
+                self._fired[wkey] = True
+                out.append(WindowResult(key, (start, end), self._state[wkey]))
+            if end + self.allowed_lateness <= wm and self._fired.get(wkey):
+                # state can be garbage-collected
+                del self._state[wkey]
+        return out
+
+    def flush(self) -> List[WindowResult]:
+        """Fire every remaining window (end of stream)."""
+        out = []
+        for wkey in sorted(self._state,
+                           key=lambda kv: (kv[1], repr(kv[0]))):
+            if not self._fired.get(wkey):
+                key, start = wkey
+                self._fired[wkey] = True
+                out.append(WindowResult(
+                    key, (start, start + self.window_size),
+                    self._state[wkey]))
+        self._state.clear()
+        return out

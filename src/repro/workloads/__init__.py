@@ -1,0 +1,16 @@
+"""Deterministic workload generators for every experiment."""
+
+from .generators import (
+    job_mix,
+    mmpp_rate_trace,
+    poisson_rate_trace,
+    teragen,
+    web_sessions,
+    zipf_block_trace,
+    zipf_text,
+)
+
+__all__ = [
+    "zipf_text", "teragen", "job_mix", "poisson_rate_trace",
+    "mmpp_rate_trace", "web_sessions", "zipf_block_trace",
+]

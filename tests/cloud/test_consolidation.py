@@ -1,0 +1,117 @@
+"""VM consolidation: host draining, correctness, cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    ConsolidationResult,
+    Host,
+    HostSpec,
+    VM,
+    VMSpec,
+    consolidate,
+    place_online,
+)
+
+
+def fragmented_fleet():
+    """Eight hosts each deliberately left one-quarter full."""
+    hosts = [Host(f"h{i}", HostSpec(16, 64)) for i in range(8)]
+    vid = 0
+    for h in hosts:
+        h.place(VM(vid, VMSpec(4, 16)))
+        vid += 1
+    return hosts
+
+
+class TestConsolidation:
+    def test_frees_hosts(self):
+        hosts = fragmented_fleet()
+        res = consolidate(hosts)
+        assert res.hosts_before == 8
+        assert res.hosts_after == 2     # 8 quarter-VMs fit on 2 hosts
+        assert res.hosts_freed == 6
+        assert res.energy_saving_frac == pytest.approx(0.75)
+
+    def test_no_capacity_violated(self):
+        hosts = fragmented_fleet()
+        consolidate(hosts)
+        for h in hosts:
+            assert h.used_cpus <= h.spec.cpus + 1e-9
+            assert h.used_mem <= h.spec.mem + 1e-9
+
+    def test_all_vms_still_placed(self):
+        hosts = fragmented_fleet()
+        consolidate(hosts)
+        placed = sum(len(h.vms) for h in hosts)
+        assert placed == 8
+
+    def test_plan_records_moves(self):
+        hosts = fragmented_fleet()
+        res = consolidate(hosts)
+        assert len(res.plan) == res.migrations == 6
+        for vm_id, src, dst in res.plan:
+            assert src != dst
+
+    def test_full_fleet_nothing_to_do(self):
+        hosts = [Host(f"h{i}", HostSpec(8, 32)) for i in range(2)]
+        vid = 0
+        for h in hosts:
+            for _ in range(2):
+                h.place(VM(vid, VMSpec(4, 16)))
+                vid += 1
+        res = consolidate(hosts)
+        assert res.migrations == 0
+        assert res.hosts_freed == 0
+
+    def test_unmovable_vm_skips_host(self):
+        hosts = [Host("a", HostSpec(8, 32)), Host("b", HostSpec(8, 32))]
+        hosts[0].place(VM(0, VMSpec(6, 24)))   # won't fit beside b's VM
+        hosts[1].place(VM(1, VMSpec(6, 24)))
+        res = consolidate(hosts)
+        assert res.migrations == 0
+        assert res.hosts_after == 2
+
+    def test_migration_cost_scales_with_moved_memory(self):
+        hosts = fragmented_fleet()
+        res = consolidate(hosts, mem_bytes_per_unit=1 << 30,
+                          bandwidth=1.25e9)
+        assert res.moved_mem == pytest.approx(6 * 16)
+        # 16 GiB over 1.25 GB/s ~ 13.7 s per VM, 6 VMs
+        assert res.migration_time == pytest.approx(6 * 16 * (1 << 30) /
+                                                   1.25e9, rel=0.01)
+
+    def test_dirty_rate_inflates_migration_time(self):
+        quiet = consolidate(fragmented_fleet(), dirty_rate=0.0)
+        busy = consolidate(fragmented_fleet(), dirty_rate=0.5 * 1.25e9)
+        assert busy.migration_time > 1.5 * quiet.migration_time
+
+    def test_idempotent(self):
+        hosts = fragmented_fleet()
+        consolidate(hosts)
+        res2 = consolidate(hosts)
+        assert res2.migrations == 0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            consolidate([], max_passes=0)
+
+
+class TestRealisticMix:
+    def test_packing_after_churn(self):
+        """Place a mix, remove half the VMs (churn), consolidate."""
+        rng = np.random.default_rng(4)
+        specs = [VMSpec(float(rng.choice([1, 2, 4])),
+                        float(rng.choice([4, 8, 16]))) for _ in range(120)]
+        res = place_online(specs, HostSpec(16, 64), "first_fit")
+        hosts, vms = res.hosts, res.vms
+        for vm in vms[::2]:
+            hosts_by_name = {h.name: h for h in hosts}
+            hosts_by_name[vm.host].remove(vm)
+        before = sum(1 for h in hosts if not h.empty)
+        cres = consolidate(hosts)
+        assert cres.hosts_after < before
+        # capacity never violated
+        for h in hosts:
+            assert h.used_cpus <= h.spec.cpus + 1e-9
+            assert h.used_mem <= h.spec.mem + 1e-9

@@ -1,0 +1,222 @@
+"""Live migration models, autoscaling simulation, spot market."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CloudError, MigrationError
+from repro.common.units import GiB, Gbit_per_s, MiB
+from repro.cloud import (
+    PredictivePolicy,
+    SpotPriceModel,
+    StaticPolicy,
+    ThresholdPolicy,
+    post_copy,
+    pre_copy,
+    run_spot_job,
+    simulate_pre_copy,
+    stop_and_copy,
+)
+from repro.cloud.autoscale import simulate_autoscaling
+from repro.net import NetworkSim, dumbbell
+from repro.simcore import Simulator
+
+B = Gbit_per_s(10)
+M = GiB(8)
+
+
+class TestStopAndCopy:
+    def test_downtime_equals_total(self):
+        r = stop_and_copy(M, B)
+        assert r.downtime == r.total_time == pytest.approx(M / B)
+        assert r.transferred_bytes == M
+
+    def test_validation(self):
+        with pytest.raises(MigrationError):
+            stop_and_copy(0, B)
+        with pytest.raises(MigrationError):
+            stop_and_copy(M, 0)
+
+
+class TestPreCopy:
+    def test_zero_dirty_one_round(self):
+        r = pre_copy(M, B, 0.0)
+        assert r.rounds == 1
+        assert r.downtime == pytest.approx(0.0, abs=1e-9)
+        assert r.total_time == pytest.approx(M / B)
+
+    def test_downtime_far_below_stop_and_copy(self):
+        r = pre_copy(M, B, 0.3 * B)
+        sc = stop_and_copy(M, B)
+        assert r.downtime < sc.downtime / 20
+
+    def test_transferred_grows_with_dirty_rate(self):
+        low = pre_copy(M, B, 0.1 * B)
+        high = pre_copy(M, B, 0.8 * B)
+        assert high.transferred_bytes > low.transferred_bytes
+        assert high.total_time > low.total_time
+
+    def test_divergence_when_dirty_exceeds_bandwidth(self):
+        r = pre_copy(M, B, 1.5 * B)
+        # cannot converge: downtime comparable to stop-and-copy
+        assert r.downtime >= 0.5 * (M / B)
+
+    def test_geometric_series_total_time(self):
+        # with ratio r = D/B, total bytes ~ M * 1/(1 - r)
+        ratio = 0.5
+        r = pre_copy(M, B, ratio * B, stop_threshold_bytes=1.0)
+        expected = M / B / (1 - ratio)
+        assert r.total_time == pytest.approx(expected, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(MigrationError):
+            pre_copy(M, B, -1)
+        with pytest.raises(MigrationError):
+            pre_copy(M, B, 1, max_rounds=0)
+
+
+class TestPostCopy:
+    def test_constant_downtime(self):
+        a = post_copy(GiB(4), B)
+        b = post_copy(GiB(64), B)
+        assert a.downtime == pytest.approx(b.downtime)
+
+    def test_degraded_period_scales_with_memory(self):
+        a = post_copy(GiB(4), B)
+        b = post_copy(GiB(8), B)
+        assert b.degraded_time == pytest.approx(2 * a.degraded_time)
+
+    def test_fault_overhead_validation(self):
+        with pytest.raises(MigrationError):
+            post_copy(M, B, fault_overhead=0.5)
+
+
+class TestSimulatedPreCopy:
+    def test_matches_analytic_on_idle_network(self):
+        topo = dumbbell(1, 1, bottleneck_bw=Gbit_per_s(1))
+        sim = Simulator()
+        net = NetworkSim(sim, topo)
+        mem = GiB(1)
+        dirty = 0.3 * Gbit_per_s(1)
+        r = sim.run_until_done(simulate_pre_copy(net, "l0", "r0", mem, dirty))
+        a = pre_copy(mem, Gbit_per_s(1), dirty)
+        assert r.total_time == pytest.approx(a.total_time, rel=0.05)
+        assert r.rounds == a.rounds
+
+    def test_contention_stretches_migration(self):
+        def run(with_noise):
+            topo = dumbbell(2, 2, bottleneck_bw=Gbit_per_s(1))
+            sim = Simulator()
+            net = NetworkSim(sim, topo)
+            if with_noise:
+                # long-lived competing flow
+                net.transfer("l1", "r1", GiB(10))
+            ev = simulate_pre_copy(net, "l0", "r0", GiB(1),
+                                   0.2 * Gbit_per_s(1))
+            return sim.run_until_done(ev).total_time
+        assert run(True) > run(False) * 1.5
+
+
+class TestAutoscaling:
+    def make_load(self):
+        t = np.arange(0, 1800, 1.0)
+        return 50 + 40 * np.sin(2 * np.pi * t / 900)
+
+    def test_overprovision_low_violations(self):
+        r = simulate_autoscaling(StaticPolicy(30), self.make_load(), mu=10,
+                                 slo_threshold=0.5)
+        assert r.slo_violation_frac < 0.05
+        assert r.mean_instances == pytest.approx(30)
+
+    def test_underprovision_high_violations(self):
+        r = simulate_autoscaling(StaticPolicy(5), self.make_load(), mu=10,
+                                 slo_threshold=0.5)
+        assert r.slo_violation_frac > 0.3
+
+    def test_threshold_scales_out_under_load(self):
+        r = simulate_autoscaling(ThresholdPolicy(high=0.7, low=0.3),
+                                 self.make_load(), mu=10,
+                                 initial_instances=2, slo_threshold=0.5)
+        assert r.instances.max() > 2
+
+    def test_predictive_beats_threshold_under_bursty_load(self):
+        # the F7 premise: on a traffic spike, forecasting + backlog-aware
+        # provisioning yields fewer violations at no more cost
+        t = np.arange(0, 3600, 1.0)
+        load = 30 + (t > 1200) * (t < 1800) * 120
+        thr = simulate_autoscaling(ThresholdPolicy(), load, mu=10,
+                                   initial_instances=5, slo_threshold=0.5)
+        pred = simulate_autoscaling(PredictivePolicy(mu=10), load, mu=10,
+                                    initial_instances=5, slo_threshold=0.5)
+        assert pred.slo_violation_frac < thr.slo_violation_frac
+        assert pred.mean_instances <= thr.mean_instances * 1.1
+
+    def test_bounds_respected(self):
+        r = simulate_autoscaling(ThresholdPolicy(), self.make_load(), mu=10,
+                                 min_instances=3, max_instances=6,
+                                 initial_instances=3)
+        assert r.instances.min() >= 3 and r.instances.max() <= 6
+
+    def test_boot_delay_billed(self):
+        load = np.full(600, 100.0)
+        r = simulate_autoscaling(ThresholdPolicy(), load, mu=10,
+                                 initial_instances=1, boot_delay=120)
+        assert r.instance_seconds > 0
+
+    def test_validation(self):
+        with pytest.raises(CloudError):
+            simulate_autoscaling(StaticPolicy(1), [1.0], mu=0)
+        with pytest.raises(CloudError):
+            StaticPolicy(0)
+        with pytest.raises(CloudError):
+            ThresholdPolicy(high=0.2, low=0.5)
+
+
+class TestSpot:
+    def test_price_trace_deterministic_and_bounded(self):
+        m = SpotPriceModel(seed=5)
+        p1, p2 = m.trace(3600), SpotPriceModel(seed=5).trace(3600)
+        assert np.array_equal(p1, p2)
+        assert p1.min() >= m.floor and p1.max() <= m.cap
+
+    def test_bid_above_cap_never_preempted(self):
+        m = SpotPriceModel(seed=1)
+        prices = m.trace(24 * 3600)
+        r = run_spot_job(4 * 3600, bid=2.0, prices=prices)
+        assert r.preemptions == 0
+        assert r.completion_time == pytest.approx(4 * 3600, rel=0.01)
+
+    def test_low_bid_preempts_and_wastes(self):
+        m = SpotPriceModel(mean=0.5, sigma=0.15, seed=3)
+        prices = m.trace(48 * 3600)
+        no_ck = run_spot_job(6 * 3600, bid=0.5, prices=prices)
+        assert no_ck.preemptions > 0
+        assert no_ck.wasted_work > 0
+
+    def test_checkpointing_reduces_wasted_work(self):
+        m = SpotPriceModel(mean=0.5, sigma=0.15, seed=3)
+        prices = m.trace(72 * 3600)
+        no_ck = run_spot_job(6 * 3600, bid=0.5, prices=prices)
+        ck = run_spot_job(6 * 3600, bid=0.5, prices=prices,
+                          checkpoint_interval=900)
+        assert ck.wasted_work < no_ck.wasted_work
+
+    def test_spot_cheaper_than_on_demand(self):
+        m = SpotPriceModel(mean=0.25, seed=2)
+        prices = m.trace(24 * 3600)
+        r = run_spot_job(4 * 3600, bid=0.6, prices=prices,
+                         on_demand_price=0.5)
+        assert 0 < r.savings <= 1
+
+    def test_unfinished_job_inf_time(self):
+        m = SpotPriceModel(mean=0.5, floor=0.4, seed=0)
+        prices = m.trace(3600)
+        r = run_spot_job(100 * 3600, bid=0.45, prices=prices)
+        assert r.completion_time == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(CloudError):
+            run_spot_job(0, 1.0, np.array([0.1]))
+        with pytest.raises(CloudError):
+            run_spot_job(10, 0, np.array([0.1]))
+        with pytest.raises(CloudError):
+            SpotPriceModel(mean=0.01, floor=0.05)

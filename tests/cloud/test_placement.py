@@ -1,0 +1,140 @@
+"""VM/host model and bin-packing placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CloudError, PlacementError
+from repro.cloud import (
+    Host,
+    HostSpec,
+    VM,
+    VMSpec,
+    best_fit,
+    first_fit,
+    lower_bound_hosts,
+    place_offline,
+    place_online,
+    worst_fit,
+)
+
+
+class TestHostModel:
+    def test_place_and_remove(self):
+        h = Host("h", HostSpec(8, 16))
+        vm = VM(0, VMSpec(2, 4))
+        h.place(vm)
+        assert vm.host == "h" and h.used_cpus == 2 and h.used_mem == 4
+        h.remove(vm)
+        assert vm.host is None and h.empty
+
+    def test_overflow_rejected(self):
+        h = Host("h", HostSpec(4, 8))
+        h.place(VM(0, VMSpec(3, 4)))
+        with pytest.raises(PlacementError):
+            h.place(VM(1, VMSpec(2, 2)))
+
+    def test_remove_foreign_vm(self):
+        h = Host("h", HostSpec(4, 8))
+        with pytest.raises(CloudError):
+            h.remove(VM(9, VMSpec(1, 1)))
+
+    def test_utilization_binding_dimension(self):
+        h = Host("h", HostSpec(10, 100))
+        h.place(VM(0, VMSpec(5, 10)))
+        assert h.utilization() == pytest.approx(0.5)   # cpu binds
+
+    def test_invalid_specs(self):
+        with pytest.raises(CloudError):
+            VMSpec(0, 1)
+        with pytest.raises(CloudError):
+            HostSpec(0, 1)
+
+
+class TestStrategies:
+    def test_first_fit_picks_earliest(self):
+        hosts = [Host("a", HostSpec(4, 8)), Host("b", HostSpec(4, 8))]
+        hosts[0].place(VM(0, VMSpec(3, 1)))
+        assert first_fit(hosts, VMSpec(2, 2)) is hosts[1]
+        assert first_fit(hosts, VMSpec(1, 1)) is hosts[0]
+
+    def test_best_fit_picks_tightest(self):
+        hosts = [Host("a", HostSpec(4, 8)), Host("b", HostSpec(4, 8))]
+        hosts[0].place(VM(0, VMSpec(2, 4)))
+        assert best_fit(hosts, VMSpec(1, 1)) is hosts[0]
+
+    def test_worst_fit_picks_loosest(self):
+        hosts = [Host("a", HostSpec(4, 8)), Host("b", HostSpec(4, 8))]
+        hosts[0].place(VM(0, VMSpec(2, 4)))
+        assert worst_fit(hosts, VMSpec(1, 1)) is hosts[1]
+
+    def test_none_when_nothing_fits(self):
+        hosts = [Host("a", HostSpec(2, 2))]
+        hosts[0].place(VM(0, VMSpec(2, 2)))
+        assert first_fit(hosts, VMSpec(1, 1)) is None
+
+
+class TestPacking:
+    def test_exact_pack(self):
+        specs = [VMSpec(2, 4)] * 16     # 4 per host exactly
+        res = place_online(specs, HostSpec(8, 16), "first_fit")
+        assert res.hosts_used == 4
+        assert res.fragmentation() == pytest.approx(0.0)
+
+    def test_oversize_vm_rejected(self):
+        with pytest.raises(PlacementError):
+            place_online([VMSpec(64, 1)], HostSpec(32, 128))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(PlacementError):
+            place_online([VMSpec(1, 1)], HostSpec(8, 8), "psychic")
+
+    def test_offline_preserves_vm_ids(self):
+        specs = [VMSpec(1, 1, f"vm{i}") for i in range(5)]
+        res = place_offline(specs, HostSpec(8, 8))
+        assert sorted(vm.vm_id for vm in res.vms) == [0, 1, 2, 3, 4]
+
+    def test_ffd_not_worse_than_ff_on_adversarial_mix(self):
+        rng = np.random.default_rng(7)
+        specs = [VMSpec(float(rng.choice([1, 2, 5, 7])),
+                        float(rng.choice([1, 4, 14]))) for _ in range(300)]
+        hs = HostSpec(8, 16)
+        ff = place_online(specs, hs, "first_fit").hosts_used
+        ffd = place_offline(specs, hs, "first_fit").hosts_used
+        assert ffd <= ff
+
+    def test_lower_bound_is_a_bound(self):
+        rng = np.random.default_rng(3)
+        specs = [VMSpec(float(rng.integers(1, 8)),
+                        float(rng.integers(1, 16))) for _ in range(150)]
+        hs = HostSpec(16, 48)
+        lb = lower_bound_hosts(specs, hs)
+        for strat in ["first_fit", "best_fit", "worst_fit"]:
+            assert place_online(specs, hs, strat).hosts_used >= lb
+
+    def test_ffd_within_classic_ratio(self):
+        """FFD uses at most ~11/9 OPT + 1; test against the LP bound."""
+        rng = np.random.default_rng(11)
+        specs = [VMSpec(float(rng.uniform(0.5, 8)), 1.0)
+                 for _ in range(400)]
+        hs = HostSpec(8, 1000)     # effectively 1-D packing on cpus
+        lb = lower_bound_hosts(specs, hs)
+        used = place_offline(specs, hs, "first_fit").hosts_used
+        assert used <= np.ceil(11 / 9 * lb) + 1
+
+    def test_lower_bound_empty(self):
+        assert lower_bound_hosts([], HostSpec()) == 0
+
+    @given(st.lists(st.tuples(st.floats(0.5, 8), st.floats(0.5, 16)),
+                    min_size=1, max_size=60),
+           st.sampled_from(["first_fit", "best_fit", "worst_fit"]))
+    @settings(max_examples=50, deadline=None)
+    def test_all_vms_placed_and_capacity_respected(self, shapes, strat):
+        specs = [VMSpec(c, m) for c, m in shapes]
+        hs = HostSpec(8, 16)
+        res = place_online(specs, hs, strat)
+        assert all(vm.placed for vm in res.vms)
+        for h in res.hosts:
+            assert h.used_cpus <= hs.cpus + 1e-9
+            assert h.used_mem <= hs.mem + 1e-9

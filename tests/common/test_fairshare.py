@@ -1,0 +1,84 @@
+"""Max-min fair sharing: exact cases and property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.fairshare import max_min_fair_share, weighted_max_min
+
+
+class TestExactCases:
+    def test_all_satisfiable(self):
+        alloc = max_min_fair_share(100, [10, 20, 30])
+        assert np.allclose(alloc, [10, 20, 30])
+
+    def test_equal_split_when_scarce(self):
+        alloc = max_min_fair_share(30, [100, 100, 100])
+        assert np.allclose(alloc, [10, 10, 10])
+
+    def test_classic_waterfill(self):
+        # capacity 10 among demands 2, 2.6, 4, 5 -> 2, 2.6, 2.7, 2.7
+        alloc = max_min_fair_share(10, [2, 2.6, 4, 5])
+        assert np.allclose(alloc, [2, 2.6, 2.7, 2.7])
+
+    def test_empty(self):
+        assert max_min_fair_share(10, []).size == 0
+
+    def test_zero_capacity(self):
+        assert np.allclose(max_min_fair_share(0, [1, 2]), [0, 0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_fair_share(10, [-1])
+        with pytest.raises(ValueError):
+            max_min_fair_share(-1, [1])
+
+
+class TestWeighted:
+    def test_weights_proportional_when_scarce(self):
+        alloc = weighted_max_min(30, [100, 100], [1, 2])
+        assert np.allclose(alloc, [10, 20])
+
+    def test_weight_capped_by_demand(self):
+        alloc = weighted_max_min(30, [5, 100], [1, 1])
+        assert np.allclose(alloc, [5, 25])
+
+    def test_zero_weight_gets_leftovers_only(self):
+        alloc = weighted_max_min(30, [10, 100], [1, 0])
+        assert alloc[0] == pytest.approx(10)
+        assert alloc[1] == pytest.approx(20)
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_max_min(10, [1, 2], [1])
+
+
+demands = st.lists(st.floats(0, 1000), min_size=1, max_size=20)
+
+
+class TestProperties:
+    @given(st.floats(0, 5000), demands)
+    @settings(max_examples=100, deadline=None)
+    def test_feasible_and_demand_capped(self, cap, ds):
+        alloc = max_min_fair_share(cap, ds)
+        assert (alloc <= np.asarray(ds) + 1e-6).all()
+        assert alloc.sum() <= cap + 1e-6
+
+    @given(st.floats(0, 5000), demands)
+    @settings(max_examples=100, deadline=None)
+    def test_work_conserving(self, cap, ds):
+        alloc = max_min_fair_share(cap, ds)
+        expected = min(cap, float(sum(ds)))
+        assert alloc.sum() == pytest.approx(expected, abs=1e-5 * max(expected, 1))
+
+    @given(st.floats(1, 5000), demands)
+    @settings(max_examples=100, deadline=None)
+    def test_max_min_optimality(self, cap, ds):
+        """Any unsatisfied flow gets >= every other flow's allocation."""
+        alloc = max_min_fair_share(cap, ds)
+        d = np.asarray(ds)
+        unsat = alloc < d - 1e-6
+        if unsat.any():
+            min_unsat = alloc[unsat].min()
+            assert (alloc <= min_unsat + 1e-6).all()

@@ -1,0 +1,122 @@
+"""Indexed heap: ordering, update, removal, and a hypothesis model test."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.pqueue import IndexedHeap
+
+
+class TestBasics:
+    def test_push_pop_order(self):
+        h = IndexedHeap()
+        for k, p in [("a", 3), ("b", 1), ("c", 2)]:
+            h.push(k, p)
+        assert [h.pop()[0] for _ in range(3)] == ["b", "c", "a"]
+
+    def test_peek_does_not_remove(self):
+        h = IndexedHeap()
+        h.push("x", 1)
+        assert h.peek() == ("x", 1)
+        assert len(h) == 1
+
+    def test_duplicate_key_rejected(self):
+        h = IndexedHeap()
+        h.push("x", 1)
+        with pytest.raises(KeyError):
+            h.push("x", 2)
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            IndexedHeap().pop()
+        with pytest.raises(IndexError):
+            IndexedHeap().peek()
+
+    def test_contains_and_bool(self):
+        h = IndexedHeap()
+        assert not h
+        h.push(1, 1)
+        assert h and 1 in h and 2 not in h
+
+
+class TestUpdateRemove:
+    def test_decrease_key(self):
+        h = IndexedHeap()
+        h.push("a", 10)
+        h.push("b", 5)
+        h.update("a", 1)
+        assert h.pop()[0] == "a"
+
+    def test_increase_key(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        h.push("b", 5)
+        h.update("a", 10)
+        assert h.pop()[0] == "b"
+
+    def test_remove_middle(self):
+        h = IndexedHeap()
+        for i in range(10):
+            h.push(i, i)
+        h.remove(5)
+        assert 5 not in h
+        out = [h.pop()[0] for _ in range(len(h))]
+        assert out == [0, 1, 2, 3, 4, 6, 7, 8, 9]
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexedHeap().remove("nope")
+
+    def test_push_or_update(self):
+        h = IndexedHeap()
+        h.push_or_update("a", 5)
+        h.push_or_update("a", 1)
+        assert h.priority("a") == 1
+
+    def test_get_priority_default(self):
+        h = IndexedHeap()
+        assert h.get_priority("missing", default=-1) == -1
+
+    def test_remove_returns_priority(self):
+        h = IndexedHeap()
+        h.push("a", 42)
+        assert h.remove("a") == 42
+
+
+@st.composite
+def operations(draw):
+    ops = draw(st.lists(st.tuples(
+        st.sampled_from(["push", "pop", "update", "remove"]),
+        st.integers(0, 20),
+        st.integers(-100, 100)), max_size=80))
+    return ops
+
+
+class TestModelBased:
+    @given(operations())
+    @settings(max_examples=100, deadline=None)
+    def test_against_reference_model(self, ops):
+        """Replay random op sequences against a dict+sort reference."""
+        h = IndexedHeap()
+        model = {}
+        for op, key, prio in ops:
+            if op == "push" and key not in model:
+                h.push(key, prio)
+                model[key] = prio
+            elif op == "pop" and model:
+                k, p = h.pop()
+                best = min(model.items(), key=lambda kv: (kv[1], 0))
+                assert p == best[1]       # may differ in key on ties
+                assert model.pop(k) == p
+            elif op == "update" and key in model:
+                h.update(key, prio)
+                model[key] = prio
+            elif op == "remove" and key in model:
+                h.remove(key)
+                del model[key]
+            h.check_invariants()
+        # drain: priorities must come out sorted
+        drained = [h.pop()[1] for _ in range(len(h))]
+        assert drained == sorted(drained)

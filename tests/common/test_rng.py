@@ -1,0 +1,98 @@
+"""Deterministic RNG plumbing and Zipf sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import ensure_rng, spawn, zipf_pmf, zipf_sample
+
+
+class TestEnsureRng:
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert ensure_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent_of_consumption(self):
+        # consuming the parent between spawns must not change children
+        r1 = ensure_rng(7)
+        kids1 = spawn(r1, 2)
+        r2 = ensure_rng(7)
+        _ = r2.random(100)          # consume parent
+        kids2 = spawn(r2, 2)
+        assert np.array_equal(kids1[0].random(4), kids2[0].random(4))
+
+    def test_children_mutually_distinct(self):
+        kids = spawn(ensure_rng(3), 2)
+        assert not np.array_equal(kids[0].random(8), kids[1].random(8))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+    def test_zero_children(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+
+class TestZipfPmf:
+    def test_sums_to_one(self):
+        assert zipf_pmf(100, 1.2).sum() == pytest.approx(1.0)
+
+    def test_zero_skew_uniform(self):
+        pmf = zipf_pmf(10, 0.0)
+        assert np.allclose(pmf, 0.1)
+
+    def test_monotone_decreasing(self):
+        pmf = zipf_pmf(50, 1.0)
+        assert (np.diff(pmf) <= 1e-15).all()
+
+    def test_higher_skew_more_head_mass(self):
+        assert zipf_pmf(100, 1.5)[0] > zipf_pmf(100, 0.5)[0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_pmf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_pmf(10, -0.5)
+
+    @given(st.integers(1, 200), st.floats(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_pmf_is_distribution(self, n, s):
+        pmf = zipf_pmf(n, s)
+        assert pmf.shape == (n,)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert (pmf >= 0).all()
+
+
+class TestZipfSample:
+    def test_range(self):
+        xs = zipf_sample(ensure_rng(0), 10, 1.0, 1000)
+        assert xs.min() >= 0 and xs.max() < 10
+
+    def test_items_mapping(self):
+        items = ["a", "b", "c"]
+        xs = zipf_sample(ensure_rng(0), 3, 0.0, 50, items=items)
+        assert set(xs) <= set(items)
+
+    def test_items_length_mismatch(self):
+        with pytest.raises(ValueError):
+            zipf_sample(ensure_rng(0), 3, 1.0, 10, items=["a"])
+
+    def test_deterministic(self):
+        a = zipf_sample(ensure_rng(5), 20, 1.0, 100)
+        b = zipf_sample(ensure_rng(5), 20, 1.0, 100)
+        assert np.array_equal(a, b)
+
+    def test_skew_concentrates_on_head(self):
+        xs = zipf_sample(ensure_rng(1), 100, 2.0, 5000)
+        assert np.mean(xs == 0) > 0.5

@@ -1,0 +1,90 @@
+"""Units and formatting helpers."""
+
+import pytest
+
+from repro.common import units as u
+
+
+class TestDecimalSizes:
+    def test_kb(self):
+        assert u.KB(1) == 1000
+
+    def test_mb(self):
+        assert u.MB(2) == 2_000_000
+
+    def test_gb(self):
+        assert u.GB(1) == 10 ** 9
+
+    def test_tb(self):
+        assert u.TB(0.5) == 5 * 10 ** 11
+
+    def test_fractional(self):
+        assert u.MB(1.5) == 1_500_000
+
+
+class TestBinarySizes:
+    def test_kib(self):
+        assert u.KiB(1) == 1024
+
+    def test_mib(self):
+        assert u.MiB(1) == 1024 ** 2
+
+    def test_gib(self):
+        assert u.GiB(3) == 3 * 1024 ** 3
+
+    def test_tib(self):
+        assert u.TiB(1) == 1024 ** 4
+
+
+class TestRates:
+    def test_gbit(self):
+        assert u.Gbit_per_s(8) == 10 ** 9   # 8 gigabit = 1 GB/s
+
+    def test_mbit(self):
+        assert u.Mbit_per_s(8) == 10 ** 6
+
+    def test_kbit(self):
+        assert u.Kbit_per_s(8) == 1000
+
+
+class TestTimes:
+    def test_ms(self):
+        assert u.ms(250) == pytest.approx(0.25)
+
+    def test_us(self):
+        assert u.us(5) == pytest.approx(5e-6)
+
+    def test_minutes(self):
+        assert u.minutes(2) == 120.0
+
+    def test_hours(self):
+        assert u.hours(1.5) == 5400.0
+
+
+class TestFormatting:
+    def test_fmt_bytes_small(self):
+        assert u.fmt_bytes(512) == "512 B"
+
+    def test_fmt_bytes_kib(self):
+        assert u.fmt_bytes(2048) == "2.00 KiB"
+
+    def test_fmt_bytes_large(self):
+        assert "TiB" in u.fmt_bytes(3 * 1024 ** 4)
+
+    def test_fmt_rate(self):
+        assert u.fmt_rate(u.Gbit_per_s(10)) == "10.00 Gbit/s"
+
+    def test_fmt_time_us(self):
+        assert "us" in u.fmt_time(5e-5)
+
+    def test_fmt_time_ms(self):
+        assert "ms" in u.fmt_time(0.05)
+
+    def test_fmt_time_s(self):
+        assert u.fmt_time(42.0) == "42.00 s"
+
+    def test_fmt_time_min(self):
+        assert "min" in u.fmt_time(600)
+
+    def test_fmt_time_hours(self):
+        assert "h" in u.fmt_time(7200)

@@ -1,0 +1,138 @@
+"""Extended Dataset operators: set ops, cartesian, coalesce, indexing."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import PlanError
+from repro.dataflow import DataflowContext
+
+
+@pytest.fixture
+def ctx():
+    return DataflowContext(default_parallelism=4)
+
+
+class TestSetOps:
+    def test_subtract_keeps_duplicates(self, ctx):
+        a = ctx.parallelize([1, 1, 2, 3], 2)
+        b = ctx.parallelize([2], 1)
+        assert sorted(a.subtract(b).collect()) == [1, 1, 3]
+
+    def test_subtract_empty_other(self, ctx):
+        a = ctx.parallelize([1, 2], 2)
+        assert sorted(a.subtract(ctx.parallelize([], 1)).collect()) == [1, 2]
+
+    def test_intersection_distinct(self, ctx):
+        a = ctx.parallelize([1, 1, 2, 3], 2)
+        b = ctx.parallelize([1, 1, 3, 4], 2)
+        assert sorted(a.intersection(b).collect()) == [1, 3]
+
+    def test_subtract_by_key(self, ctx):
+        a = ctx.parallelize([("x", 1), ("y", 2), ("x", 3)], 2)
+        b = ctx.parallelize([("x", 99)], 1)
+        assert sorted(a.subtract_by_key(b).collect()) == [("y", 2)]
+
+    @given(st.lists(st.integers(0, 20), max_size=60),
+           st.lists(st.integers(0, 20), max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_set_ops_match_reference(self, xs, ys):
+        ctx = DataflowContext()
+        a = ctx.parallelize(xs, 3)
+        b = ctx.parallelize(ys, 2)
+        assert sorted(a.subtract(b).collect()) == \
+            sorted(x for x in xs if x not in set(ys))
+        assert sorted(a.intersection(b).collect()) == \
+            sorted(set(xs) & set(ys))
+
+
+class TestCartesian:
+    def test_all_pairs(self, ctx):
+        a = ctx.parallelize([1, 2], 2)
+        b = ctx.parallelize(["x", "y", "z"], 2)
+        got = sorted(a.cartesian(b).collect())
+        assert got == sorted((i, c) for i in [1, 2] for c in "xyz")
+
+    def test_partition_count(self, ctx):
+        a = ctx.parallelize(range(4), 2)
+        b = ctx.parallelize(range(6), 3)
+        assert a.cartesian(b).n_partitions == 6
+
+    def test_empty_side(self, ctx):
+        a = ctx.parallelize([1], 1)
+        b = ctx.parallelize([], 1)
+        assert a.cartesian(b).collect() == []
+
+    def test_on_sim_engine(self, ctx):
+        from repro.cluster import make_cluster
+        from repro.dataflow import SimEngine
+        from repro.simcore import Simulator
+        sim = Simulator()
+        eng = SimEngine(make_cluster(sim, 1, 2))
+        a = ctx.parallelize(range(5), 2)
+        b = ctx.parallelize(range(3), 1)
+        res = sim.run_until_done(eng.collect(a.cartesian(b)))
+        assert sorted(res.value) == sorted((i, j) for i in range(5)
+                                           for j in range(3))
+
+
+class TestCoalesce:
+    def test_preserves_order(self, ctx):
+        ds = ctx.range(20, 10).coalesce(3)
+        assert ds.n_partitions == 3
+        assert ds.collect() == list(range(20))
+
+    def test_to_one(self, ctx):
+        assert ctx.range(9, 4).coalesce(1).glom().collect() == \
+            [list(range(9))]
+
+    def test_more_than_parent_caps(self, ctx):
+        ds = ctx.range(4, 2).coalesce(100)
+        assert ds.n_partitions == 2
+
+    def test_invalid(self, ctx):
+        with pytest.raises(PlanError):
+            ctx.range(4).coalesce(0)
+
+    def test_keeps_locations(self, ctx):
+        src = ctx.from_partitions([[1], [2], [3], [4]],
+                                  locations=[["a"], ["a"], ["b"], ["b"]])
+        c = src.coalesce(2)
+        assert c.preferred_locations(0) == ["a"]
+        assert c.preferred_locations(1) == ["b"]
+
+
+class TestZipWithIndex:
+    def test_global_indices(self, ctx):
+        got = ctx.parallelize("abcdef", 3).zip_with_index().collect()
+        assert got == [(c, i) for i, c in enumerate("abcdef")]
+
+    def test_after_filter(self, ctx):
+        ds = ctx.range(10, 3).filter(lambda x: x % 2 == 0).zip_with_index()
+        assert ds.collect() == [(0, 0), (2, 1), (4, 2), (6, 3), (8, 4)]
+
+
+class TestFoldTakeOrdered:
+    def test_fold_by_key_neutral_zero(self, ctx):
+        kv = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+        got = dict(kv.fold_by_key(0, operator.add).collect())
+        assert got == {"a": 4, "b": 2}
+
+    def test_fold_by_key_zero_per_partition(self, ctx):
+        # Spark semantics: the zero applies once per partition a key
+        # appears in — ("a",1) and ("a",3) land in different partitions
+        kv = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+        got = dict(kv.fold_by_key(100, operator.add).collect())
+        assert got == {"a": 204, "b": 102}
+
+    def test_fold_zero_not_shared(self, ctx):
+        kv = ctx.parallelize([("a", 1), ("b", 2)], 1)
+        got = dict(kv.fold_by_key([], lambda acc, v: acc + [v]).collect())
+        assert got == {"a": [1], "b": [2]}
+
+    def test_take_ordered(self, ctx):
+        ds = ctx.parallelize([7, 1, 9, 3, 5], 2)
+        assert ds.take_ordered(3) == [1, 3, 5]
+        assert ds.take_ordered(2, key=lambda x: -x) == [9, 7]

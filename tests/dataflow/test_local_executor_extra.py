@@ -1,0 +1,54 @@
+"""Local-executor housekeeping: clear(), shuffle reuse, metrics access."""
+
+import operator
+
+import pytest
+
+from repro.dataflow import DataflowContext
+
+
+@pytest.fixture
+def ctx():
+    return DataflowContext(default_parallelism=4)
+
+
+def test_shuffle_materialized_once_per_plan(ctx):
+    ds = ctx.range(100, 4).map(lambda x: (x % 5, x)) \
+        .reduce_by_key(operator.add)
+    ds.collect()
+    ds.collect()            # reuses the stored shuffle
+    assert len(ctx.local_executor.shuffle_metrics) == 1
+
+
+def test_clear_drops_state(ctx):
+    calls = []
+    ds = ctx.range(10, 2).map(lambda x: (calls.append(x) or x, 1)) \
+        .reduce_by_key(operator.add)
+    ds.collect()
+    n1 = len(calls)
+    ctx.local_executor.clear()
+    ds.collect()
+    assert len(calls) == 2 * n1
+    assert len(ctx.local_executor.shuffle_metrics) == 1   # re-recorded
+
+
+def test_combine_ratio_property(ctx):
+    ds = ctx.parallelize([("k", 1)] * 100, 4) \
+        .reduce_by_key(operator.add)
+    ds.collect()
+    m = list(ctx.local_executor.shuffle_metrics.values())[0]
+    assert m.combine_ratio == pytest.approx(4 / 100)
+    empty_ratio = type(m)(99).combine_ratio
+    assert empty_ratio == 1.0
+
+
+def test_collect_partitions_structure(ctx):
+    parts = ctx.local_executor.collect_partitions(ctx.range(10, 3))
+    assert [len(p) for p in parts] == [4, 3, 3]
+    assert [x for p in parts for x in p] == list(range(10))
+
+
+def test_reduce_uses_partition_order(ctx):
+    # subtraction is order-sensitive: result must follow partition order
+    got = ctx.parallelize([100, 1, 2, 3], 1).reduce(operator.sub)
+    assert got == 100 - 1 - 2 - 3

@@ -1,0 +1,116 @@
+"""Partitioners: determinism, ranges, balance."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.partitioner import (
+    HashPartitioner,
+    RangePartitioner,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic_for_strings(self):
+        assert stable_hash("hello") == stable_hash("hello")
+
+    def test_known_types(self):
+        for key in [42, "s", b"b", (1, "x"), 3.14, None, True]:
+            h = stable_hash(key)
+            assert 0 <= h < 2 ** 32
+
+    def test_ints_spread(self):
+        # sequential ints should not all collide mod small n
+        buckets = {stable_hash(i) % 8 for i in range(100)}
+        assert len(buckets) == 8
+
+    @given(st.one_of(st.integers(), st.text(), st.binary(),
+                     st.tuples(st.integers(), st.text())))
+    @settings(max_examples=100, deadline=None)
+    def test_stable_and_in_range(self, key):
+        assert stable_hash(key) == stable_hash(key)
+        assert 0 <= stable_hash(key) < 2 ** 32
+
+
+class TestHashPartitioner:
+    def test_range(self):
+        p = HashPartitioner(7)
+        for k in ["a", "b", 1, 2, (3, 4)]:
+            assert 0 <= p.partition(k) < 7
+
+    def test_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    def test_roughly_balanced(self):
+        p = HashPartitioner(10)
+        counts = [0] * 10
+        for i in range(10_000):
+            counts[p.partition(f"key{i}")] += 1
+        assert max(counts) < 2 * min(counts)
+
+
+class TestRangePartitioner:
+    def test_order_preserving(self):
+        p = RangePartitioner.from_sample(list(range(1000)), 4, seed=0)
+        parts = [p.partition(k) for k in range(1000)]
+        assert parts == sorted(parts)
+        assert set(parts) == {0, 1, 2, 3}
+
+    def test_descending(self):
+        p = RangePartitioner.from_sample(list(range(1000)), 4,
+                                         ascending=False, seed=0)
+        parts = [p.partition(k) for k in range(1000)]
+        assert parts == sorted(parts, reverse=True)
+
+    def test_balanced_on_uniform(self):
+        import numpy as np
+        keys = np.random.default_rng(0).random(20_000).tolist()
+        p = RangePartitioner.from_sample(keys, 8, seed=1)
+        counts = [0] * 8
+        for k in keys:
+            counts[p.partition(k)] += 1
+        assert max(counts) < 1.5 * (len(keys) / 8)
+
+    def test_single_partition(self):
+        p = RangePartitioner.from_sample([5, 1, 3], 1)
+        assert p.partition(100) == 0
+
+    def test_empty_sample(self):
+        p = RangePartitioner.from_sample([], 4)
+        assert p.partition(123) == 0
+
+    def test_boundary_count_validation(self):
+        with pytest.raises(ValueError):
+            RangePartitioner(4, [1, 2])      # needs 3
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            RangePartitioner(3, [5, 1])
+
+    def test_string_keys(self):
+        words = ["apple", "banana", "cherry", "fig", "grape", "kiwi"] * 50
+        p = RangePartitioner.from_sample(words, 3, seed=2)
+        parts = [p.partition(w) for w in sorted(set(words))]
+        assert parts == sorted(parts)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=300),
+           st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_concatenation_is_sorted(self, keys, n):
+        """Range partitioning + per-partition sort = global sort."""
+        p = RangePartitioner.from_sample(keys, n, seed=3)
+        buckets = [[] for _ in range(n)]
+        for k in keys:
+            buckets[p.partition(k)].append(k)
+        merged = []
+        for b in buckets:
+            merged.extend(sorted(b))
+        assert merged == sorted(keys)

@@ -1,0 +1,315 @@
+"""Dataset transformation semantics vs plain-Python references."""
+
+import operator
+from collections import Counter, defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import PlanError
+from repro.dataflow import DataflowContext
+
+
+@pytest.fixture
+def ctx():
+    return DataflowContext(default_parallelism=4)
+
+
+class TestCreation:
+    def test_parallelize_preserves_order(self, ctx):
+        data = list(range(100))
+        assert ctx.parallelize(data, 7).collect() == data
+
+    def test_parallelize_empty(self, ctx):
+        ds = ctx.parallelize([])
+        assert ds.collect() == [] and ds.count() == 0
+
+    def test_range(self, ctx):
+        assert ctx.range(10).collect() == list(range(10))
+
+    def test_partition_count_capped_by_data(self, ctx):
+        ds = ctx.parallelize([1, 2], 10)
+        assert ds.n_partitions == 2
+
+    def test_from_partitions_locations_must_align(self, ctx):
+        with pytest.raises(PlanError):
+            ctx.from_partitions([[1], [2]], locations=[["a"]])
+
+
+class TestNarrowOps:
+    def test_map(self, ctx):
+        assert ctx.range(5).map(lambda x: x * x).collect() == [0, 1, 4, 9, 16]
+
+    def test_filter(self, ctx):
+        assert ctx.range(10).filter(lambda x: x % 3 == 0).collect() == [0, 3, 6, 9]
+
+    def test_flat_map(self, ctx):
+        got = ctx.parallelize(["a b", "c"], 2).flat_map(str.split).collect()
+        assert got == ["a", "b", "c"]
+
+    def test_map_partitions(self, ctx):
+        ds = ctx.range(10, 2).map_partitions(lambda it: [sum(it)])
+        assert ds.collect() == [10, 35]
+
+    def test_key_by(self, ctx):
+        assert ctx.parallelize(["ab", "c"], 1).key_by(len).collect() == \
+            [(2, "ab"), (1, "c")]
+
+    def test_map_values(self, ctx):
+        ds = ctx.parallelize([(1, 2), (3, 4)], 1).map_values(lambda v: v * 10)
+        assert ds.collect() == [(1, 20), (3, 40)]
+
+    def test_keys_values(self, ctx):
+        ds = ctx.parallelize([(1, "a"), (2, "b")], 1)
+        assert ds.keys().collect() == [1, 2]
+        assert ds.values().collect() == ["a", "b"]
+
+    def test_glom(self, ctx):
+        assert ctx.range(4, 2).glom().collect() == [[0, 1], [2, 3]]
+
+    def test_union(self, ctx):
+        a = ctx.parallelize([1, 2], 1)
+        b = ctx.parallelize([3], 1)
+        assert a.union(b).collect() == [1, 2, 3]
+        assert ctx.union([a, b, a]).collect() == [1, 2, 3, 1, 2]
+
+    def test_sample_deterministic_and_bounded(self, ctx):
+        ds = ctx.range(1000, 4)
+        s1 = ds.sample(0.1, seed=5).collect()
+        s2 = ds.sample(0.1, seed=5).collect()
+        assert s1 == s2
+        assert 40 < len(s1) < 250
+        with pytest.raises(PlanError):
+            ds.sample(1.5)
+
+    def test_distinct(self, ctx):
+        got = ctx.parallelize([1, 2, 2, 3, 3, 3], 3).distinct().collect()
+        assert sorted(got) == [1, 2, 3]
+
+    def test_chaining_is_lazy(self, ctx):
+        calls = []
+        ds = ctx.range(3).map(lambda x: calls.append(x) or x)
+        assert calls == []        # nothing ran yet
+        ds.collect()
+        assert sorted(calls) == [0, 1, 2]
+
+
+class TestShuffleOps:
+    def test_reduce_by_key(self, ctx):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)]
+        got = dict(ctx.parallelize(pairs, 3)
+                   .reduce_by_key(operator.add).collect())
+        assert got == {"a": 4, "b": 7, "c": 4}
+
+    def test_reduce_by_key_no_combine_same_result(self, ctx):
+        pairs = [(i % 5, i) for i in range(100)]
+        with_c = dict(ctx.parallelize(pairs, 4)
+                      .reduce_by_key(operator.add).collect())
+        without = dict(ctx.parallelize(pairs, 4)
+                       .reduce_by_key(operator.add,
+                                      map_side_combine=False).collect())
+        assert with_c == without
+
+    def test_group_by_key(self, ctx):
+        pairs = [("x", 1), ("y", 2), ("x", 3)]
+        got = {k: sorted(v) for k, v in
+               ctx.parallelize(pairs, 2).group_by_key().collect()}
+        assert got == {"x": [1, 3], "y": [2]}
+
+    def test_group_by(self, ctx):
+        got = {k: sorted(v) for k, v in
+               ctx.range(10, 3).group_by(lambda x: x % 2).collect()}
+        assert got == {0: [0, 2, 4, 6, 8], 1: [1, 3, 5, 7, 9]}
+
+    def test_aggregate_by_key(self, ctx):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        got = dict(ctx.parallelize(pairs, 2).aggregate_by_key(
+            [], lambda acc, v: acc + [v], lambda x, y: x + y)
+            .map_values(sorted).collect())
+        assert got == {"a": [1, 2], "b": [3]}
+
+    def test_combine_by_key_types(self, ctx):
+        # combiner with a result type different from the value type
+        pairs = [("a", 1), ("a", 2), ("b", 5)]
+        got = dict(ctx.parallelize(pairs, 2).combine_by_key(
+            create=lambda v: (v, 1),
+            merge_value=lambda c, v: (c[0] + v, c[1] + 1),
+            merge_combiners=lambda c1, c2: (c1[0] + c2[0], c1[1] + c2[1]),
+        ).collect())
+        assert got == {"a": (3, 2), "b": (5, 1)}
+
+    def test_count_by_key(self, ctx):
+        pairs = [("a", 0)] * 3 + [("b", 0)] * 2
+        assert ctx.parallelize(pairs, 2).count_by_key() == {"a": 3, "b": 2}
+
+    def test_partition_by_places_keys_correctly(self, ctx):
+        from repro.dataflow import HashPartitioner
+        p = HashPartitioner(4)
+        ds = ctx.parallelize([(i, i) for i in range(40)], 3).partition_by(p)
+        parts = ctx.local_executor.collect_partitions(ds)
+        for pid, part in enumerate(parts):
+            for k, _ in part:
+                assert p.partition(k) == pid
+
+    def test_partition_by_same_partitioner_noop(self, ctx):
+        from repro.dataflow import HashPartitioner
+        p = HashPartitioner(4)
+        ds = ctx.parallelize([(1, 1)], 1).partition_by(p)
+        assert ds.partition_by(HashPartitioner(4)) is ds
+
+    def test_repartition(self, ctx):
+        ds = ctx.range(100, 2).repartition(8)
+        assert ds.n_partitions == 8
+        assert sorted(ds.collect()) == list(range(100))
+
+    def test_reduce_after_reduce_uses_narrow_path(self, ctx):
+        # second reduce_by_key with same partitioner should not add a shuffle
+        ds = ctx.parallelize([(i % 10, 1) for i in range(100)], 4)
+        r1 = ds.reduce_by_key(operator.add, 4)
+        r2 = r1.map_values(lambda v: v).reduce_by_key(operator.add, 4)
+        r2.collect()
+        shuffles = ctx.local_executor.shuffle_metrics
+        assert len(shuffles) == 1
+
+
+class TestSorting:
+    def test_sort_by_matches_sorted(self, ctx):
+        import random
+        random.seed(0)
+        data = [random.randint(-500, 500) for _ in range(700)]
+        got = ctx.parallelize(data, 6).sort_by(lambda x: x).collect()
+        assert got == sorted(data)
+
+    def test_sort_descending(self, ctx):
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+        got = ctx.parallelize(data, 3).sort_by(lambda x: x,
+                                               ascending=False).collect()
+        assert got == sorted(data, reverse=True)
+
+    def test_sort_by_key(self, ctx):
+        pairs = [(3, "c"), (1, "a"), (2, "b")]
+        got = ctx.parallelize(pairs, 2).sort_by_key().collect()
+        assert got == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_sort_with_key_function(self, ctx):
+        words = ["ccc", "a", "bb"]
+        got = ctx.parallelize(words, 2).sort_by(len).collect()
+        assert got == ["a", "bb", "ccc"]
+
+    def test_sort_empty(self, ctx):
+        assert ctx.parallelize([], 1).sort_by(lambda x: x).collect() == []
+
+
+class TestJoins:
+    def test_inner_join(self, ctx):
+        a = ctx.parallelize([(1, "a"), (2, "b"), (2, "B")], 2)
+        b = ctx.parallelize([(2, "x"), (3, "y")], 2)
+        got = sorted(a.join(b).collect())
+        assert got == [(2, ("B", "x")), (2, ("b", "x"))]
+
+    def test_left_outer_join(self, ctx):
+        a = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        b = ctx.parallelize([(2, "x")], 1)
+        got = sorted(a.left_outer_join(b).collect())
+        assert got == [(1, ("a", None)), (2, ("b", "x"))]
+
+    def test_cogroup(self, ctx):
+        a = ctx.parallelize([(1, "a"), (1, "A")], 2)
+        b = ctx.parallelize([(1, "x"), (2, "y")], 2)
+        got = {k: (sorted(v[0]), sorted(v[1]))
+               for k, v in a.cogroup(b).collect()}
+        assert got == {1: (["A", "a"], ["x"]), 2: ([], ["y"])}
+
+    def test_join_matches_reference(self, ctx):
+        import random
+        random.seed(1)
+        a = [(random.randint(0, 20), i) for i in range(150)]
+        b = [(random.randint(0, 20), -i) for i in range(100)]
+        expected = sorted((k, (v, w)) for k, v in a for k2, w in b if k == k2)
+        got = sorted(ctx.parallelize(a, 5).join(ctx.parallelize(b, 3))
+                     .collect())
+        assert got == expected
+
+
+class TestActions:
+    def test_count(self, ctx):
+        assert ctx.range(42, 5).count() == 42
+
+    def test_take_less_than_available(self, ctx):
+        assert ctx.range(100, 5).take(3) == [0, 1, 2]
+
+    def test_take_more_than_available(self, ctx):
+        assert ctx.range(3).take(10) == [0, 1, 2]
+        assert ctx.range(3).take(0) == []
+
+    def test_first(self, ctx):
+        assert ctx.range(5).first() == 0
+        with pytest.raises(PlanError):
+            ctx.parallelize([], 1).first()
+
+    def test_reduce(self, ctx):
+        assert ctx.range(10, 3).reduce(operator.add) == 45
+        with pytest.raises(PlanError):
+            ctx.parallelize([], 1).reduce(operator.add)
+
+    def test_sum_max_min(self, ctx):
+        ds = ctx.parallelize([3, -1, 7, 2], 2)
+        assert ds.sum() == 11 and ds.max() == 7 and ds.min() == -1
+
+    def test_top(self, ctx):
+        assert ctx.parallelize([5, 1, 9, 3], 2).top(2) == [9, 5]
+        assert ctx.parallelize(["bb", "a", "ccc"], 2).top(1, key=len) == ["ccc"]
+
+    def test_collect_as_map(self, ctx):
+        assert ctx.parallelize([(1, "a"), (2, "b")], 2).collect_as_map() == \
+            {1: "a", 2: "b"}
+
+
+class TestCaching:
+    def test_cache_avoids_recompute(self, ctx):
+        calls = []
+        ds = ctx.range(10, 2).map(lambda x: calls.append(x) or x).cache()
+        ds.collect()
+        ds.collect()
+        ds.count()
+        assert len(calls) == 10
+
+    def test_uncache_forces_recompute(self, ctx):
+        calls = []
+        ds = ctx.range(5, 1).map(lambda x: calls.append(x) or x).cache()
+        ds.collect()
+        ctx.local_executor.uncache(ds)
+        ds.collect()
+        assert len(calls) == 10
+
+
+class TestPropertyBased:
+    kvs = st.lists(st.tuples(st.integers(0, 15), st.integers(-100, 100)),
+                   max_size=150)
+
+    @given(kvs, st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_reduce_by_key_matches_counter(self, pairs, n_parts):
+        ctx = DataflowContext()
+        expected = defaultdict(int)
+        for k, v in pairs:
+            expected[k] += v
+        got = dict(ctx.parallelize(pairs, n_parts)
+                   .reduce_by_key(operator.add).collect())
+        assert got == dict(expected)
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=150),
+           st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_sort_matches_sorted(self, xs, n_parts):
+        ctx = DataflowContext()
+        got = ctx.parallelize(xs, n_parts).sort_by(lambda x: x).collect()
+        assert got == sorted(xs)
+
+    @given(st.lists(st.integers(0, 50), max_size=120), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_matches_set(self, xs, n_parts):
+        ctx = DataflowContext()
+        got = ctx.parallelize(xs, n_parts).distinct().collect()
+        assert sorted(got) == sorted(set(xs))

@@ -1,0 +1,142 @@
+"""Broadcast variables and accumulators (local + simulated engines)."""
+
+import operator
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.common.errors import DataflowError
+from repro.dataflow import (
+    CostModel,
+    DataflowContext,
+    EngineConfig,
+    SimEngine,
+)
+from repro.simcore import Simulator
+
+
+class TestBroadcastBasics:
+    def test_value_roundtrip(self):
+        ctx = DataflowContext()
+        bc = ctx.broadcast({"a": 1})
+        assert bc.value == {"a": 1}
+        assert bc.size_bytes > 0
+
+    def test_destroy_blocks_reads(self):
+        ctx = DataflowContext()
+        bc = ctx.broadcast([1, 2, 3])
+        bc.destroy()
+        with pytest.raises(DataflowError):
+            _ = bc.value
+
+    def test_usable_in_closures_locally(self):
+        ctx = DataflowContext()
+        table = ctx.broadcast({i: i * 10 for i in range(5)})
+        got = ctx.range(5).map(lambda x: table.value[x]).collect()
+        assert got == [0, 10, 20, 30, 40]
+
+
+class TestBroadcastOnEngine:
+    def test_shipped_once_per_node(self):
+        sim = Simulator()
+        cl = make_cluster(sim, 2, 4)     # 8 nodes, 32 slots
+        ctx = DataflowContext()
+        eng = SimEngine(cl)
+        bc = ctx.broadcast(list(range(1000)))
+        ds = ctx.range(64, 32).map(lambda x: bc.value[x % 1000])
+        res = sim.run_until_done(eng.collect(ds))
+        # at most (nodes - 1) transfers (first node is driver-local),
+        # NOT one per task
+        assert res.metrics.broadcast_bytes <= 7 * bc.size_bytes
+        assert res.metrics.broadcast_bytes > 0
+
+    def test_not_reshipped_across_jobs(self):
+        sim = Simulator()
+        cl = make_cluster(sim, 1, 4)
+        ctx = DataflowContext()
+        eng = SimEngine(cl)
+        bc = ctx.broadcast("payload" * 100)
+        ds = ctx.range(16, 8).map(lambda x: len(bc.value) + x)
+        r1 = sim.run_until_done(eng.collect(ds))
+        r2 = sim.run_until_done(eng.collect(ds.map(lambda x: x + 1)))
+        assert r2.metrics.broadcast_bytes == 0.0   # already everywhere
+
+
+class TestAccumulatorLocal:
+    def test_counts_once_per_record(self):
+        ctx = DataflowContext()
+        acc = ctx.accumulator(0)
+        ds = ctx.range(50, 4).map(lambda x: (acc.add(1), x)[1])
+        ds.collect()
+        assert acc.value == 50
+
+    def test_custom_op(self):
+        ctx = DataflowContext()
+        acc = ctx.accumulator(1.0, op=lambda a, b: a * b, name="product")
+        ctx.parallelize([2.0, 3.0, 4.0], 3).map(
+            lambda x: (acc.add(x), x)[1]).collect()
+        assert acc.value == pytest.approx(24.0)
+
+    def test_driver_side_add(self):
+        ctx = DataflowContext()
+        acc = ctx.accumulator(0)
+        acc.add(5)
+        assert acc.value == 5
+
+    def test_reset(self):
+        ctx = DataflowContext()
+        acc = ctx.accumulator(0)
+        acc.add(3)
+        acc.reset()
+        assert acc.value == 0
+
+    def test_cached_dataset_counts_once(self):
+        ctx = DataflowContext()
+        acc = ctx.accumulator(0)
+        ds = ctx.range(10, 2).map(lambda x: (acc.add(1), x)[1]).cache()
+        ds.collect()
+        ds.collect()      # served from cache, no re-count
+        assert acc.value == 10
+
+
+class TestAccumulatorExactlyOnce:
+    def test_engine_normal_run(self):
+        sim = Simulator()
+        cl = make_cluster(sim, 2, 4)
+        ctx = DataflowContext()
+        eng = SimEngine(cl)
+        acc = ctx.accumulator(0)
+        ds = ctx.range(500, 8).map(lambda x: (acc.add(1), x)[1])
+        sim.run_until_done(eng.collect(ds))
+        assert acc.value == 500
+
+    def test_failed_attempts_not_counted(self):
+        sim = Simulator()
+        cl = make_cluster(sim, 2, 4)
+        ctx = DataflowContext()
+        eng = SimEngine(cl, cost_model=CostModel(cpu_per_record=2e-4))
+        acc = ctx.accumulator(0)
+        ds = ctx.range(20_000, 16).map(lambda x: (acc.add(1), x)[1])
+        ev = eng.collect(ds)
+
+        def killer(s):
+            yield s.timeout(0.3)
+            cl.nodes["h0_0"].fail()
+        sim.process(killer(sim))
+        res = sim.run_until_done(ev)
+        assert res.metrics.n_failed_attempts > 0
+        assert acc.value == 20_000     # retried work counted exactly once
+
+    def test_speculative_losers_not_counted(self):
+        sim = Simulator()
+        cl = make_cluster(sim, 2, 4,
+                          speed_factors=[1, 1, 1, 1, 1, 1, 1, 0.1])
+        ctx = DataflowContext()
+        eng = SimEngine(cl, EngineConfig(speculation=True,
+                                         check_interval=0.05),
+                        cost_model=CostModel(cpu_per_record=2e-4))
+        acc = ctx.accumulator(0)
+        ds = ctx.range(40_000, 16).map(lambda x: (acc.add(1), x)[1])
+        res = sim.run_until_done(eng.collect(ds))
+        assert res.metrics.n_speculative > 0
+        assert acc.value == 40_000     # clone + original counted once

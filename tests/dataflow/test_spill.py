@@ -1,0 +1,48 @@
+"""Executor memory pressure: spill accounting and cost."""
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.common.units import MB
+from repro.dataflow import CostModel, DataflowContext, EngineConfig, SimEngine
+from repro.simcore import Simulator
+
+COST = CostModel(min_record_bytes=2000.0)
+
+
+def run_job(memory):
+    sim = Simulator()
+    cl = make_cluster(sim, 2, 4)
+    ctx = DataflowContext()
+    eng = SimEngine(cl, EngineConfig(executor_memory=memory),
+                    cost_model=COST)
+    ds = ctx.parallelize([(i % 8, i) for i in range(16_000)], 16) \
+        .group_by_key(8)
+    res = sim.run_until_done(eng.collect(ds))
+    return res
+
+
+class TestSpill:
+    def test_no_spill_with_infinite_memory(self):
+        res = run_job(float("inf"))
+        assert res.metrics.spill_bytes == 0.0
+
+    def test_spill_recorded_under_pressure(self):
+        res = run_job(MB(1))
+        assert res.metrics.spill_bytes > 0
+
+    def test_results_identical_regardless_of_memory(self):
+        a = run_job(float("inf"))
+        b = run_job(MB(1))
+        norm = lambda rows: sorted((k, sorted(v)) for k, v in rows)
+        assert norm(a.value) == norm(b.value)
+
+    def test_spilling_costs_time(self):
+        fast = run_job(float("inf"))
+        slow = run_job(MB(1))
+        assert slow.metrics.duration > fast.metrics.duration * 1.5
+
+    def test_spill_monotone_in_pressure(self):
+        tight = run_job(MB(1)).metrics.spill_bytes
+        loose = run_job(MB(8)).metrics.spill_bytes
+        assert tight >= loose

@@ -1,0 +1,106 @@
+"""Stage planning: boundaries, sharing, topological order, depths."""
+
+import operator
+
+import pytest
+
+from repro.dataflow import DataflowContext
+from repro.dataflow.stages import (
+    build_stages,
+    narrow_op_depth,
+    source_record_count,
+    topo_order,
+)
+
+
+@pytest.fixture
+def ctx():
+    return DataflowContext(default_parallelism=4)
+
+
+def test_narrow_only_job_is_one_stage(ctx):
+    ds = ctx.range(10).map(lambda x: x).filter(lambda x: True)
+    result = build_stages(ds)
+    assert result.is_result
+    assert result.parents == []
+    assert len(topo_order(result)) == 1
+
+
+def test_single_shuffle_two_stages(ctx):
+    ds = ctx.range(10).map(lambda x: (x % 2, x)).reduce_by_key(operator.add)
+    stages = topo_order(build_stages(ds))
+    assert len(stages) == 2
+    assert not stages[0].is_result and stages[1].is_result
+
+
+def test_chained_shuffles(ctx):
+    ds = (ctx.range(100).map(lambda x: (x % 10, x))
+          .reduce_by_key(operator.add)
+          .map(lambda kv: (kv[1] % 3, kv[0]))
+          .group_by_key())
+    stages = topo_order(build_stages(ds))
+    assert len(stages) == 3
+
+
+def test_join_has_two_parent_stages(ctx):
+    a = ctx.parallelize([(1, "a")], 2)
+    b = ctx.parallelize([(1, "b")], 2)
+    j = a.join(b)
+    result = build_stages(j)
+    stages = topo_order(result)
+    # cogroup shuffles both sides -> 2 map stages + result
+    assert len(stages) == 3
+    assert len(result.parents) == 2
+
+
+def test_diamond_shares_map_stage(ctx):
+    base = ctx.range(50).map(lambda x: (x % 5, x)).reduce_by_key(operator.add)
+    j = base.join(base)
+    stages = topo_order(build_stages(j))
+    # base's shuffle stage appears once, not twice
+    map_stages = [s for s in stages if not s.is_result]
+    assert len(map_stages) == 1
+
+
+def test_topo_order_parents_first(ctx):
+    ds = (ctx.range(100).map(lambda x: (x % 10, x))
+          .reduce_by_key(operator.add)
+          .map(lambda kv: (kv[1] % 3, kv[0]))
+          .group_by_key())
+    stages = topo_order(build_stages(ds))
+    seen = set()
+    for s in stages:
+        for p in s.parents:
+            assert id(p) in seen
+        seen.add(id(s))
+
+
+def test_input_shuffles_listed(ctx):
+    ds = ctx.range(10).map(lambda x: (x, 1)).reduce_by_key(operator.add)
+    stages = topo_order(build_stages(ds))
+    result = stages[-1]
+    shuffles = result.input_shuffles()
+    assert len(shuffles) == 1
+    assert shuffles[0].shuffle_id == stages[0].shuffle_dep.shuffle_id
+
+
+def test_narrow_op_depth(ctx):
+    src = ctx.range(10)
+    assert narrow_op_depth(src) == 0
+    assert narrow_op_depth(src.map(lambda x: x)) == 1
+    assert narrow_op_depth(src.map(lambda x: x).filter(bool)) == 2
+
+
+def test_source_record_count(ctx):
+    src = ctx.parallelize(list(range(10)), 2)
+    mapped = src.map(lambda x: x)
+    assert source_record_count(mapped, 0) == 5
+    assert source_record_count(mapped, 1) == 5
+
+
+def test_stage_task_count_matches_partitions(ctx):
+    ds = ctx.range(100, 8).map(lambda x: (x, 1)).reduce_by_key(
+        operator.add, 3)
+    stages = topo_order(build_stages(ds))
+    assert stages[0].n_tasks == 8     # map side
+    assert stages[1].n_tasks == 3     # reduce side

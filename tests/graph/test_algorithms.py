@@ -1,0 +1,163 @@
+"""Graph algorithms validated against networkx as the oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    connected_components,
+    erdos_renyi,
+    grid2d,
+    pagerank,
+    ring,
+    rmat,
+    sssp_dijkstra,
+    triangle_count,
+)
+
+
+def to_nx(g: Graph, directed=True):
+    G = nx.DiGraph() if directed else nx.Graph()
+    G.add_nodes_from(range(g.n))
+    G.add_edges_from(g.edge_list())
+    return G
+
+
+@pytest.fixture(params=[0, 1, 2])
+def random_graph(request):
+    return erdos_renyi(60, 240, seed=request.param)
+
+
+class TestPageRank:
+    def test_uniform_on_ring(self):
+        pr = pagerank(ring(8))
+        assert np.allclose(pr, 1 / 8, atol=1e-6)
+
+    def test_sums_to_one(self, random_graph):
+        assert pagerank(random_graph).sum() == pytest.approx(1.0)
+
+    def test_matches_networkx(self, random_graph):
+        ours = pagerank(random_graph, damping=0.85, tol=1e-12,
+                        max_iter=200)
+        theirs = nx.pagerank(to_nx(random_graph), alpha=0.85, tol=1e-12,
+                             max_iter=200)
+        vec = np.array([theirs[i] for i in range(random_graph.n)])
+        assert np.abs(ours - vec).max() < 1e-8
+
+    def test_dangling_nodes_handled(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], 4)   # 2 and 3 dangle
+        ours = pagerank(g, tol=1e-12, max_iter=200)
+        theirs = nx.pagerank(to_nx(g), tol=1e-12, max_iter=200)
+        vec = np.array([theirs[i] for i in range(4)])
+        assert np.abs(ours - vec).max() < 1e-8
+
+    def test_damping_validation(self):
+        with pytest.raises(Exception):
+            pagerank(ring(4), damping=1.5)
+
+
+class TestConnectedComponents:
+    def test_simple(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4)], 6)
+        assert list(connected_components(g)) == [0, 0, 0, 3, 3, 5]
+
+    def test_matches_networkx(self, random_graph):
+        ours = connected_components(random_graph)
+        theirs = list(nx.connected_components(
+            to_nx(random_graph, directed=False)))
+        # same partition: min-label per component
+        label_of = {}
+        for comp in theirs:
+            m = min(comp)
+            for v in comp:
+                label_of[v] = m
+        assert all(ours[v] == label_of[v] for v in range(random_graph.n))
+
+    def test_all_isolated(self):
+        g = Graph(4, [], [])
+        assert list(connected_components(g)) == [0, 1, 2, 3]
+
+    def test_long_chain(self):
+        n = 500
+        g = Graph.from_edges([(i, i + 1) for i in range(n - 1)], n)
+        assert (connected_components(g) == 0).all()
+
+
+class TestBFS:
+    def test_matches_networkx(self, random_graph):
+        ours = bfs_distances(random_graph, 0)
+        theirs = nx.single_source_shortest_path_length(
+            to_nx(random_graph), 0)
+        for v in range(random_graph.n):
+            expect = theirs.get(v, -1)
+            assert ours[v] == expect
+
+    def test_unreachable_is_minus_one(self):
+        g = Graph.from_edges([(0, 1)], 3)
+        d = bfs_distances(g, 0)
+        assert d[2] == -1
+
+    def test_grid_manhattan(self):
+        g = grid2d(5, 5)
+        d = bfs_distances(g, 0)
+        assert d[24] == 8
+
+    def test_bad_source(self):
+        with pytest.raises(Exception):
+            bfs_distances(ring(3), 99)
+
+
+class TestDijkstra:
+    def test_matches_networkx_weighted(self):
+        g = erdos_renyi(40, 200, seed=5)
+        rng = np.random.default_rng(0)
+        w = rng.uniform(0.1, 5.0, g.n_edges)
+        ours = sssp_dijkstra(g, 0, w)
+        G = nx.DiGraph()
+        G.add_nodes_from(range(g.n))
+        for (u, v), wt in zip(g.edge_list(), w):
+            G.add_edge(u, v, weight=min(
+                wt, G.edges[u, v]["weight"]) if G.has_edge(u, v) else wt)
+        theirs = nx.single_source_dijkstra_path_length(G, 0)
+        for v in range(g.n):
+            expect = theirs.get(v, np.inf)
+            assert ours[v] == pytest.approx(expect)
+
+    def test_unit_weights_match_bfs(self):
+        g = erdos_renyi(50, 250, seed=2)
+        d1 = sssp_dijkstra(g, 3)
+        d2 = bfs_distances(g, 3)
+        for v in range(g.n):
+            if d2[v] == -1:
+                assert d1[v] == np.inf
+            else:
+                assert d1[v] == pytest.approx(d2[v])
+
+    def test_negative_weight_rejected(self):
+        g = ring(3)
+        with pytest.raises(Exception):
+            sssp_dijkstra(g, 0, np.array([-1.0, 1.0, 1.0]))
+
+
+class TestTriangles:
+    def test_known_counts(self):
+        tri = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert triangle_count(tri) == 1
+        k4 = Graph.from_edges([(i, j) for i in range(4)
+                               for j in range(i + 1, 4)])
+        assert triangle_count(k4) == 4
+        assert triangle_count(ring(5)) == 0
+
+    def test_matches_networkx(self, random_graph):
+        ours = triangle_count(random_graph)
+        theirs = sum(nx.triangles(
+            to_nx(random_graph, directed=False)).values()) // 3
+        assert ours == theirs
+
+    def test_rmat_triangles_match(self):
+        g = rmat(7, 4, seed=3)
+        ours = triangle_count(g)
+        theirs = sum(nx.triangles(to_nx(g, directed=False)).values()) // 3
+        assert ours == theirs

@@ -1,0 +1,87 @@
+"""k-core decomposition and degeneracy ordering vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    core_numbers,
+    degeneracy_ordering,
+    erdos_renyi,
+    grid2d,
+    ring,
+    rmat,
+)
+
+
+def nx_cores(g: Graph):
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    G.add_edges_from(g.edge_list())
+    G.remove_edges_from(nx.selfloop_edges(G))
+    return nx.core_number(G)
+
+
+class TestCoreNumbers:
+    def test_clique(self):
+        k5 = Graph.from_edges([(i, j) for i in range(5)
+                               for j in range(i + 1, 5)])
+        assert (core_numbers(k5) == 4).all()
+
+    def test_star(self):
+        star = Graph.from_edges([(0, i) for i in range(1, 6)])
+        assert (core_numbers(star) == 1).all()
+
+    def test_ring_is_2core(self):
+        assert (core_numbers(ring(10)) == 2).all()
+
+    def test_grid(self):
+        g = grid2d(4, 4)
+        ours = core_numbers(g)
+        theirs = nx_cores(g)
+        assert all(ours[v] == theirs[v] for v in range(g.n))
+
+    def test_isolated_vertices(self):
+        g = Graph(4, [0], [1])
+        cores = core_numbers(g)
+        assert list(cores) == [1, 1, 0, 0]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx_er(self, seed):
+        g = erdos_renyi(100, 500, seed=seed)
+        ours = core_numbers(g)
+        theirs = nx_cores(g)
+        assert all(ours[v] == theirs[v] for v in range(g.n))
+
+    def test_matches_networkx_rmat(self):
+        g = rmat(8, 8, seed=9)
+        ours = core_numbers(g)
+        theirs = nx_cores(g)
+        assert all(ours[v] == theirs[v] for v in range(g.n))
+
+
+class TestDegeneracyOrdering:
+    def test_is_permutation(self):
+        g = erdos_renyi(60, 300, seed=1)
+        order = degeneracy_ordering(g)
+        assert sorted(order.tolist()) == list(range(g.n))
+
+    @pytest.mark.parametrize("maker", [
+        lambda: erdos_renyi(80, 400, seed=2),
+        lambda: rmat(7, 6, seed=3),
+        lambda: Graph.from_edges([(0, i) for i in range(1, 8)]),  # star
+    ])
+    def test_valid_degeneracy_ordering(self, maker):
+        """Every vertex has <= degeneracy neighbors later in the order."""
+        g = maker()
+        und = g.symmetrized()
+        order = degeneracy_ordering(g)
+        degeneracy = int(core_numbers(g).max())
+        position = np.empty(g.n, dtype=np.int64)
+        position[order] = np.arange(g.n)
+        later_neighbors = np.zeros(g.n, dtype=np.int64)
+        for u, v in und.edge_list():
+            if position[v] > position[u]:
+                later_neighbors[u] += 1
+        assert later_neighbors.max() <= degeneracy

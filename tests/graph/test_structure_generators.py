@@ -1,0 +1,85 @@
+"""Graph container and generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.graph import Graph, erdos_renyi, grid2d, ring, rmat
+
+
+class TestGraph:
+    def test_from_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.n == 3 and g.n_edges == 2
+
+    def test_explicit_vertex_count(self):
+        g = Graph.from_edges([(0, 1)], n_vertices=10)
+        assert g.n == 10
+
+    def test_out_in_degrees(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2)])
+        assert list(g.out_degrees()) == [2, 1, 0]
+        assert list(g.in_degrees()) == [0, 1, 2]
+
+    def test_neighbors(self):
+        g = Graph.from_edges([(0, 2), (0, 1), (1, 2)])
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+        assert g.neighbors(2).size == 0
+
+    def test_dedup(self):
+        g = Graph.from_edges([(0, 1), (0, 1), (1, 1)])
+        d = g.dedup()
+        assert d.n_edges == 1
+
+    def test_symmetrized(self):
+        g = Graph.from_edges([(0, 1)])
+        s = g.symmetrized()
+        assert sorted(s.edge_list()) == [(0, 1), (1, 0)]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ReproError):
+            Graph(2, [0], [5])
+
+    def test_empty_graph(self):
+        g = Graph(5, [], [])
+        assert g.n_edges == 0
+        assert list(g.out_degrees()) == [0] * 5
+
+
+class TestGenerators:
+    def test_erdos_renyi_deterministic(self):
+        a = erdos_renyi(50, 200, seed=1)
+        b = erdos_renyi(50, 200, seed=1)
+        assert a.edge_list() == b.edge_list()
+        assert erdos_renyi(50, 200, seed=2).edge_list() != a.edge_list()
+
+    def test_erdos_renyi_no_self_loops(self):
+        g = erdos_renyi(30, 500, seed=0)
+        assert not any(u == v for u, v in g.edge_list())
+
+    def test_rmat_size(self):
+        g = rmat(7, 8, seed=0)
+        assert g.n == 128
+        assert 0 < g.n_edges <= 128 * 8
+
+    def test_rmat_skewed_degrees(self):
+        g = rmat(10, 16, seed=1)
+        uniform = erdos_renyi(1024, g.n_edges, seed=1)
+        assert g.out_degrees().max() > 3 * uniform.out_degrees().max()
+
+    def test_rmat_validation(self):
+        with pytest.raises(ReproError):
+            rmat(0)
+        with pytest.raises(ReproError):
+            rmat(4, a=0.9, b=0.2, c=0.2)
+
+    def test_ring(self):
+        g = ring(5)
+        assert g.n_edges == 5
+        assert all(d == 1 for d in g.out_degrees())
+
+    def test_grid_degrees(self):
+        g = grid2d(3, 3)
+        deg = g.out_degrees()
+        assert deg.min() == 2 and deg.max() == 4   # corners vs center
+        assert g.n_edges == 2 * 12                 # 12 undirected edges

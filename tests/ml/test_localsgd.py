@@ -1,0 +1,65 @@
+"""Local SGD (periodic averaging) mode."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.ml import DistTrainConfig, accuracy, make_classification, \
+    train_distributed
+
+X, Y = make_classification(3000, 8, separation=4.0, seed=0)
+
+
+class TestLocalSGD:
+    def test_converges(self):
+        cfg = DistTrainConfig(mode="localsgd", n_workers=8,
+                              total_updates=16, local_steps=8,
+                              eval_every=1)
+        r = train_distributed(X, Y, cfg, seed=1)
+        assert r.losses[-1] < 0.15
+        assert accuracy(r.w, X, Y) > 0.9
+
+    def test_h1_equals_parameter_averaging_each_step(self):
+        """H=1 local SGD averages parameters every step — close to sync
+        gradient averaging for small lr (identical for linear models'
+        first step)."""
+        cfg_l = DistTrainConfig(mode="localsgd", n_workers=4,
+                                total_updates=1, local_steps=1, lr=0.1,
+                                eval_every=1)
+        cfg_s = DistTrainConfig(mode="sync", n_workers=4, total_updates=1,
+                                lr=0.1, eval_every=1)
+        rl = train_distributed(X, Y, cfg_l, seed=3)
+        rs = train_distributed(X, Y, cfg_s, seed=3)
+        # first step from w=0: avg of per-worker single steps == sync step
+        assert np.allclose(rl.w, rs.w)
+
+    def test_wall_time_falls_with_h_at_fixed_budget(self):
+        def wall(h):
+            cfg = DistTrainConfig(mode="localsgd", n_workers=8,
+                                  total_updates=32 // h, local_steps=h,
+                                  comm_time=0.5, grad_compute_time=0.01,
+                                  eval_every=1)
+            return train_distributed(X, Y, cfg, seed=2).wall_time
+        assert wall(8) < wall(2) < wall(1)
+
+    def test_straggler_still_hurts_rounds(self):
+        # localsgd rounds are barriers: the slow worker stretches them
+        cfg = DistTrainConfig(mode="localsgd", n_workers=4,
+                              total_updates=8, local_steps=4,
+                              grad_compute_time=0.1, comm_time=0.0,
+                              eval_every=1)
+        fast = train_distributed(X, Y, cfg, seed=1)
+        slow = train_distributed(X, Y, cfg,
+                                 worker_speeds=[1, 1, 1, 0.25], seed=1)
+        assert slow.wall_time == pytest.approx(4 * fast.wall_time)
+
+    def test_deterministic(self):
+        cfg = DistTrainConfig(mode="localsgd", n_workers=4,
+                              total_updates=5, local_steps=3, eval_every=1)
+        a = train_distributed(X, Y, cfg, seed=9)
+        b = train_distributed(X, Y, cfg, seed=9)
+        assert np.array_equal(a.w, b.w)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            DistTrainConfig(mode="localsgd", local_steps=0)

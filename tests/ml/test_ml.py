@@ -1,0 +1,164 @@
+"""SGD kernels, local training, distributed sync/async simulation."""
+
+import numpy as np
+import pytest
+from scipy.optimize import check_grad
+
+from repro.common.errors import ReproError
+from repro.ml import (
+    DistTrainConfig,
+    accuracy,
+    logistic_grad,
+    logistic_loss,
+    make_classification,
+    make_regression,
+    sgd_local,
+    squared_grad,
+    squared_loss,
+    train_distributed,
+)
+
+
+class TestData:
+    def test_classification_shapes(self):
+        X, y = make_classification(100, 5, seed=0)
+        assert X.shape == (100, 5) and set(np.unique(y)) <= {0, 1}
+
+    def test_classification_deterministic(self):
+        X1, y1 = make_classification(50, 3, seed=7)
+        X2, y2 = make_classification(50, 3, seed=7)
+        assert np.array_equal(X1, X2) and np.array_equal(y1, y2)
+
+    def test_separation_controls_difficulty(self):
+        Xe, ye = make_classification(2000, 5, separation=6.0, seed=1)
+        Xh, yh = make_classification(2000, 5, separation=0.5, seed=1)
+        we, _ = sgd_local(Xe, ye, steps=200, seed=0)
+        wh, _ = sgd_local(Xh, yh, steps=200, seed=0)
+        assert accuracy(we, Xe, ye) > accuracy(wh, Xh, yh)
+
+    def test_regression_recoverable(self):
+        X, y, w_star = make_regression(5000, 4, noise=0.01, seed=2)
+        w, _ = sgd_local(X, y, grad_fn=squared_grad, loss_fn=squared_loss,
+                         lr=0.1, steps=2000, seed=3)
+        assert np.abs(w - w_star).max() < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            make_classification(1, 2)
+
+
+class TestGradients:
+    def test_logistic_grad_matches_finite_diff(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 6))
+        y = (rng.random(40) < 0.5).astype(np.int64)
+        err = check_grad(lambda w: logistic_loss(w, X, y, l2=0.1),
+                         lambda w: logistic_grad(w, X, y, l2=0.1),
+                         rng.normal(size=6))
+        assert err < 1e-5
+
+    def test_squared_grad_matches_finite_diff(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(30, 4))
+        y = rng.normal(size=30)
+        err = check_grad(lambda w: squared_loss(w, X, y, l2=0.05),
+                         lambda w: squared_grad(w, X, y, l2=0.05),
+                         rng.normal(size=4))
+        assert err < 1e-5
+
+    def test_loss_stable_for_large_logits(self):
+        X = np.array([[1000.0], [-1000.0]])
+        y = np.array([1, 0])
+        w = np.array([1.0])
+        assert np.isfinite(logistic_loss(w, X, y))
+
+
+class TestLocalSGD:
+    def test_loss_decreases(self):
+        X, y = make_classification(1000, 8, separation=3.0, seed=0)
+        _, hist = sgd_local(X, y, steps=300, seed=1)
+        assert hist.losses[-1] < hist.losses[0] / 2
+
+    def test_deterministic(self):
+        X, y = make_classification(500, 4, seed=0)
+        w1, _ = sgd_local(X, y, steps=100, seed=9)
+        w2, _ = sgd_local(X, y, steps=100, seed=9)
+        assert np.array_equal(w1, w2)
+
+    def test_accuracy_on_separable(self):
+        X, y = make_classification(2000, 10, separation=4.0, seed=0)
+        w, _ = sgd_local(X, y, steps=400, seed=1)
+        assert accuracy(w, X, y) > 0.95
+
+    def test_validation(self):
+        X, y = make_classification(10, 2, seed=0)
+        with pytest.raises(ReproError):
+            sgd_local(X, y, steps=0)
+
+
+class TestDistributed:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return make_classification(3000, 10, separation=4.0, seed=0)
+
+    def test_both_modes_converge(self, data):
+        X, y = data
+        for mode in ["sync", "async"]:
+            cfg = DistTrainConfig(mode=mode, n_workers=4, total_updates=300)
+            r = train_distributed(X, y, cfg, seed=1)
+            assert r.losses[-1] < 0.15
+            assert accuracy(r.w, X, y) > 0.9
+
+    def test_sync_step_time_is_slowest_worker(self, data):
+        X, y = data
+        cfg = DistTrainConfig(mode="sync", n_workers=4, total_updates=100,
+                              grad_compute_time=0.1, comm_time=0.0)
+        uniform = train_distributed(X, y, cfg, seed=1)
+        strag = train_distributed(X, y, cfg,
+                                  worker_speeds=[1, 1, 1, 0.25], seed=1)
+        assert strag.wall_time == pytest.approx(4 * uniform.wall_time)
+
+    def test_async_immune_to_single_straggler(self, data):
+        X, y = data
+        cfg = DistTrainConfig(mode="async", n_workers=8, total_updates=400)
+        uniform = train_distributed(X, y, cfg, seed=1)
+        strag = train_distributed(X, y, cfg,
+                                  worker_speeds=[1] * 7 + [0.1], seed=1)
+        assert strag.wall_time < uniform.wall_time * 1.6
+
+    def test_async_records_staleness(self, data):
+        X, y = data
+        cfg = DistTrainConfig(mode="async", n_workers=8, total_updates=200)
+        r = train_distributed(X, y, cfg, seed=2)
+        assert r.staleness_mean > 0
+        sync = train_distributed(
+            X, y, DistTrainConfig(mode="sync", n_workers=8,
+                                  total_updates=50), seed=2)
+        assert sync.staleness_mean == 0.0
+
+    def test_time_to_loss_monotone_api(self, data):
+        X, y = data
+        cfg = DistTrainConfig(mode="sync", n_workers=4, total_updates=200)
+        r = train_distributed(X, y, cfg, seed=3)
+        t_easy = r.time_to_loss(0.5)
+        t_hard = r.time_to_loss(0.08)
+        assert t_easy <= t_hard
+
+    def test_deterministic(self, data):
+        X, y = data
+        cfg = DistTrainConfig(mode="async", n_workers=4, total_updates=150)
+        r1 = train_distributed(X, y, cfg, seed=5)
+        r2 = train_distributed(X, y, cfg, seed=5)
+        assert np.array_equal(r1.w, r2.w)
+        assert r1.losses == r2.losses
+
+    def test_validation(self, data):
+        X, y = data
+        with pytest.raises(ReproError):
+            DistTrainConfig(mode="magic")
+        with pytest.raises(ReproError):
+            train_distributed(X, y, DistTrainConfig(n_workers=2),
+                              worker_speeds=[1.0])
+        with pytest.raises(ReproError):
+            train_distributed(X, y, DistTrainConfig(n_workers=1),
+                              worker_speeds=[0.0])

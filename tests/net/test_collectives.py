@@ -1,0 +1,111 @@
+"""Collective communication: correctness of schedules and cost shapes."""
+
+import math
+
+import pytest
+
+from repro.common.errors import NetworkError
+from repro.common.units import Gbit_per_s, KB, MB, us
+from repro.net import (
+    NetworkSim,
+    naive_allreduce,
+    ring_allreduce,
+    ring_allreduce_model,
+    star,
+    tree_allreduce,
+    tree_allreduce_model,
+)
+from repro.simcore import Simulator
+
+
+def run(algo, nbytes, n=8, latency=us(50), bw=Gbit_per_s(10)):
+    topo = star(n, host_bw=bw, latency=latency)
+    sim = Simulator()
+    net = NetworkSim(sim, topo)
+    ev = algo(net, topo.hosts, nbytes)
+    return sim.run_until_done(ev)
+
+
+class TestWireVolume:
+    def test_ring_volume(self):
+        r = run(ring_allreduce, MB(8), n=8)
+        # 2(n-1) steps x n ranks x (payload/n) per chunk
+        assert r.bytes_on_wire == pytest.approx(2 * 7 * MB(8), rel=1e-6)
+
+    def test_tree_volume_power_of_two(self):
+        r = run(tree_allreduce, MB(8), n=8)
+        # (n-1) sends each way for a full binomial tree
+        assert r.bytes_on_wire == pytest.approx(2 * 7 * MB(8), rel=1e-6)
+
+    def test_naive_volume_quadratic(self):
+        r = run(naive_allreduce, MB(1), n=8)
+        assert r.bytes_on_wire == pytest.approx(8 * 7 * MB(1), rel=1e-6)
+
+
+class TestShapes:
+    def test_tree_wins_small_messages(self):
+        ring = run(ring_allreduce, KB(4))
+        tree = run(tree_allreduce, KB(4))
+        assert tree.duration < ring.duration
+
+    def test_ring_wins_large_messages(self):
+        ring = run(ring_allreduce, MB(16))
+        tree = run(tree_allreduce, MB(16))
+        assert ring.duration < tree.duration
+
+    def test_naive_worst_at_scale(self):
+        naive = run(naive_allreduce, MB(4))
+        ring = run(ring_allreduce, MB(4))
+        assert naive.duration > ring.duration
+
+    def test_latency_dominates_ring_at_tiny_sizes(self):
+        fast = run(ring_allreduce, KB(1), latency=us(1))
+        slow = run(ring_allreduce, KB(1), latency=us(500))
+        assert slow.duration > 5 * fast.duration
+
+
+class TestModels:
+    def test_tree_model_matches_sim(self):
+        # star with shared-capacity links: each round is payload at full bw
+        # plus two link latencies per hop
+        n, size, bw = 8, MB(16), Gbit_per_s(10)
+        sim = run(tree_allreduce, size, n=n, latency=us(5), bw=bw)
+        model = tree_allreduce_model(n, size, bw, latency=2 * us(5))
+        assert sim.duration == pytest.approx(model, rel=0.05)
+
+    def test_ring_model_shape(self):
+        # model scales ~linearly in payload for big messages
+        a = ring_allreduce_model(8, MB(8), Gbit_per_s(10))
+        b = ring_allreduce_model(8, MB(16), Gbit_per_s(10))
+        assert b == pytest.approx(2 * a, rel=1e-6)
+
+    def test_models_cross(self):
+        bw, lat = Gbit_per_s(10), 2 * us(50)
+        small_ring = ring_allreduce_model(8, KB(4), bw, lat)
+        small_tree = tree_allreduce_model(8, KB(4), bw, lat)
+        big_ring = ring_allreduce_model(8, MB(64), bw, lat)
+        big_tree = tree_allreduce_model(8, MB(64), bw, lat)
+        assert small_tree < small_ring
+        assert big_ring < big_tree
+
+
+class TestValidation:
+    def test_need_two_ranks(self):
+        topo = star(2)
+        sim = Simulator()
+        net = NetworkSim(sim, topo)
+        with pytest.raises(NetworkError):
+            ring_allreduce(net, ["h0"], 100)
+
+    def test_positive_payload(self):
+        topo = star(2)
+        sim = Simulator()
+        net = NetworkSim(sim, topo)
+        with pytest.raises(NetworkError):
+            tree_allreduce(net, topo.hosts, 0)
+
+    def test_non_power_of_two_ranks(self):
+        r = run(tree_allreduce, MB(1), n=6)
+        assert r.duration > 0
+        r2 = run(ring_allreduce, MB(1), n=6)
+        assert r2.bytes_on_wire == pytest.approx(2 * 5 * MB(1), rel=1e-6)

@@ -1,0 +1,118 @@
+"""Max-min fair flow allocation over links: cases + invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flows import FlowSpec, allocate_rates
+
+
+def lk(a, b):
+    return frozenset((a, b))
+
+
+class TestExactAllocations:
+    def test_single_flow_full_link(self):
+        rates = allocate_rates([FlowSpec(0, (lk("a", "b"),))],
+                               {lk("a", "b"): 10.0})
+        assert rates[0] == pytest.approx(10.0)
+
+    def test_two_flows_share_bottleneck(self):
+        caps = {lk("a", "b"): 10.0}
+        flows = [FlowSpec(i, (lk("a", "b"),)) for i in range(2)]
+        rates = allocate_rates(flows, caps)
+        assert rates[0] == pytest.approx(5.0)
+        assert rates[1] == pytest.approx(5.0)
+
+    def test_classic_two_link_chain(self):
+        # f0 crosses both links; f1 only L1; f2 only L2. caps 10 each.
+        caps = {lk("a", "b"): 10.0, lk("b", "c"): 10.0}
+        flows = [
+            FlowSpec("f0", (lk("a", "b"), lk("b", "c"))),
+            FlowSpec("f1", (lk("a", "b"),)),
+            FlowSpec("f2", (lk("b", "c"),)),
+        ]
+        rates = allocate_rates(flows, caps)
+        assert rates["f0"] == pytest.approx(5.0)
+        assert rates["f1"] == pytest.approx(5.0)
+        assert rates["f2"] == pytest.approx(5.0)
+
+    def test_asymmetric_bottlenecks(self):
+        # L1 cap 2 shared by f0, f1; L2 cap 10 used by f0 and f2.
+        caps = {lk("a", "b"): 2.0, lk("b", "c"): 10.0}
+        flows = [
+            FlowSpec("f0", (lk("a", "b"), lk("b", "c"))),
+            FlowSpec("f1", (lk("a", "b"),)),
+            FlowSpec("f2", (lk("b", "c"),)),
+        ]
+        rates = allocate_rates(flows, caps)
+        assert rates["f0"] == pytest.approx(1.0)
+        assert rates["f1"] == pytest.approx(1.0)
+        assert rates["f2"] == pytest.approx(9.0)
+
+    def test_limit_respected_and_redistributed(self):
+        caps = {lk("a", "b"): 10.0}
+        flows = [FlowSpec(0, (lk("a", "b"),), limit=2.0),
+                 FlowSpec(1, (lk("a", "b"),))]
+        rates = allocate_rates(flows, caps)
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(8.0)
+
+    def test_empty_path_gets_limit(self):
+        rates = allocate_rates([FlowSpec(0, (), limit=3.0)], {})
+        assert rates[0] == 3.0
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(KeyError):
+            allocate_rates([FlowSpec(0, (lk("x", "y"),))], {})
+
+
+@st.composite
+def random_network(draw):
+    n_links = draw(st.integers(1, 6))
+    links = [lk(f"n{i}", f"n{i+1}") for i in range(n_links)]
+    caps = {l: draw(st.floats(0.5, 100)) for l in links}
+    n_flows = draw(st.integers(1, 8))
+    flows = []
+    for f in range(n_flows):
+        a = draw(st.integers(0, n_links - 1))
+        b = draw(st.integers(a, n_links - 1))
+        flows.append(FlowSpec(f, tuple(links[a:b + 1])))
+    return flows, caps
+
+
+class TestInvariants:
+    @given(random_network())
+    @settings(max_examples=150, deadline=None)
+    def test_feasibility(self, net):
+        flows, caps = net
+        rates = allocate_rates(flows, caps)
+        for link, cap in caps.items():
+            used = sum(rates[f.flow_id] for f in flows if link in f.links)
+            assert used <= cap + 1e-6
+
+    @given(random_network())
+    @settings(max_examples=150, deadline=None)
+    def test_every_flow_bottlenecked(self, net):
+        """Each flow is either at its limit or saturates some link."""
+        flows, caps = net
+        rates = allocate_rates(flows, caps)
+        for f in flows:
+            if rates[f.flow_id] >= f.limit - 1e-9:
+                continue
+            saturated = False
+            for link in f.links:
+                used = sum(rates[g.flow_id] for g in flows
+                           if link in g.links)
+                if used >= caps[link] - 1e-6:
+                    saturated = True
+                    break
+            assert saturated, f"flow {f.flow_id} has slack everywhere"
+
+    @given(random_network())
+    @settings(max_examples=100, deadline=None)
+    def test_positive_rates(self, net):
+        flows, caps = net
+        rates = allocate_rates(flows, caps)
+        for f in flows:
+            assert rates[f.flow_id] > 0

@@ -1,0 +1,139 @@
+"""Topology construction, routing, and the standard fabric builders."""
+
+import pytest
+
+from repro.common.errors import RoutingError
+from repro.common.units import Gbit_per_s
+from repro.net import Topology, dumbbell, fat_tree, leaf_spine, star, torus_2d
+
+
+class TestTopologyBasics:
+    def test_duplicate_node_rejected(self):
+        t = Topology()
+        t.add_host("a")
+        with pytest.raises(ValueError):
+            t.add_host("a")
+
+    def test_link_requires_nodes(self):
+        t = Topology()
+        t.add_host("a")
+        with pytest.raises(ValueError):
+            t.add_link("a", "b", 1.0)
+
+    def test_self_link_rejected(self):
+        t = Topology()
+        t.add_host("a")
+        with pytest.raises(ValueError):
+            t.add_link("a", "a", 1.0)
+
+    def test_duplicate_link_rejected(self):
+        t = Topology()
+        t.add_host("a")
+        t.add_host("b")
+        t.add_link("a", "b", 1.0)
+        with pytest.raises(ValueError):
+            t.add_link("b", "a", 1.0)
+
+    def test_bad_capacity(self):
+        t = Topology()
+        t.add_host("a")
+        t.add_host("b")
+        with pytest.raises(ValueError):
+            t.add_link("a", "b", 0.0)
+
+    def test_no_route_raises(self):
+        t = Topology()
+        t.add_host("a")
+        t.add_host("b")
+        with pytest.raises(RoutingError):
+            t.path("a", "b")
+
+    def test_path_to_self_empty(self):
+        t = star(2)
+        assert t.path("h0", "h0") == []
+        assert t.hop_count("h0", "h0") == 0
+
+
+class TestRouting:
+    def test_star_two_hops(self):
+        t = star(4)
+        p = t.path("h0", "h3")
+        assert len(p) == 2
+        assert t.hop_count("h0", "h3") == 2
+
+    def test_path_is_connected_chain(self):
+        t = fat_tree(4)
+        src, dst = "h0_0_0", "h3_1_1"
+        path = t.path(src, dst)
+        cur = src
+        for link in path:
+            assert cur in (link.u, link.v)
+            cur = link.v if cur == link.u else link.u
+        assert cur == dst
+
+    def test_ecmp_deterministic_per_flow(self):
+        t = fat_tree(4)
+        p1 = t.path("h0_0_0", "h1_0_0", flow_id=7)
+        p2 = t.path("h0_0_0", "h1_0_0", flow_id=7)
+        assert [l.key for l in p1] == [l.key for l in p2]
+
+    def test_ecmp_spreads_flows(self):
+        t = fat_tree(4)
+        paths = {tuple(sorted(tuple(l.key) for l in
+                             t.path("h0_0_0", "h1_0_0", flow_id=i)))
+                 for i in range(64)}
+        assert len(paths) > 1   # multiple equal-cost paths used
+
+    def test_path_latency(self):
+        t = star(2, latency=1e-3)
+        assert t.path_latency(t.path("h0", "h1")) == pytest.approx(2e-3)
+
+
+class TestBuilders:
+    def test_star_shape(self):
+        t = star(5)
+        assert len(t.hosts) == 5 and len(t.switches) == 1
+        assert len(t.links) == 5
+
+    def test_dumbbell_shape(self):
+        t = dumbbell(3, 2)
+        assert len(t.hosts) == 5 and len(t.switches) == 2
+        assert len(t.links) == 6
+
+    def test_leaf_spine_shape(self):
+        t = leaf_spine(4, 2, 8)
+        assert len(t.hosts) == 32
+        assert len(t.switches) == 6
+        assert len(t.links) == 4 * 2 + 32
+
+    def test_fat_tree_counts(self):
+        # k-ary fat tree: k^3/4 hosts, 5k^2/4 switches
+        for k in (2, 4, 6):
+            t = fat_tree(k)
+            assert len(t.hosts) == k ** 3 // 4
+            assert len(t.switches) == 5 * k * k // 4
+
+    def test_fat_tree_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
+
+    def test_fat_tree_all_pairs_connected(self):
+        t = fat_tree(4)
+        hosts = t.hosts
+        for dst in hosts[:4]:
+            for src in hosts[-4:]:
+                assert t.hop_count(src, dst) <= 6
+
+    def test_torus_shape(self):
+        t = torus_2d(3, 4)
+        assert len(t.hosts) == 12
+        assert len(t.links) == 2 * 12   # 2D torus: 2 links per node
+
+    def test_torus_wraparound(self):
+        t = torus_2d(4, 4)
+        # opposite corners are 2+2 hops via wraparound, not 3+3
+        assert t.hop_count("t0_0", "t3_3") == 2
+
+    def test_torus_too_small(self):
+        with pytest.raises(ValueError):
+            torus_2d(1, 5)

@@ -1,0 +1,86 @@
+"""Weighted (QoS) flow sharing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import Gbit_per_s, MB
+from repro.net import NetworkSim, dumbbell
+from repro.net.flows import FlowSpec, allocate_rates
+from repro.simcore import Simulator
+
+
+def lk(a, b):
+    return frozenset((a, b))
+
+
+class TestWeightedAllocation:
+    def test_weights_split_bottleneck(self):
+        caps = {lk("a", "b"): 12.0}
+        flows = [FlowSpec(0, (lk("a", "b"),), weight=3.0),
+                 FlowSpec(1, (lk("a", "b"),), weight=1.0)]
+        rates = allocate_rates(flows, caps)
+        assert rates[0] == pytest.approx(9.0)
+        assert rates[1] == pytest.approx(3.0)
+
+    def test_weight_with_limit(self):
+        caps = {lk("a", "b"): 12.0}
+        flows = [FlowSpec(0, (lk("a", "b"),), weight=3.0, limit=4.0),
+                 FlowSpec(1, (lk("a", "b"),), weight=1.0)]
+        rates = allocate_rates(flows, caps)
+        assert rates[0] == pytest.approx(4.0)
+        assert rates[1] == pytest.approx(8.0)   # leftover flows to the other
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_rates([FlowSpec(0, (lk("a", "b"),), weight=0.0)],
+                           {lk("a", "b"): 1.0})
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=2, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_single_link_shares_proportional(self, weights):
+        caps = {lk("a", "b"): 100.0}
+        flows = [FlowSpec(i, (lk("a", "b"),), weight=w)
+                 for i, w in enumerate(weights)]
+        rates = allocate_rates(flows, caps)
+        total_w = sum(weights)
+        for i, w in enumerate(weights):
+            assert rates[i] == pytest.approx(100.0 * w / total_w, rel=1e-6)
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_feasibility_preserved(self, weights):
+        caps = {lk("a", "b"): 50.0, lk("b", "c"): 30.0}
+        flows = [FlowSpec(i, (lk("a", "b"), lk("b", "c")), weight=w)
+                 for i, w in enumerate(weights)]
+        rates = allocate_rates(flows, caps)
+        assert sum(rates.values()) <= 30.0 + 1e-6
+
+
+class TestWeightedTransfers:
+    def test_priority_flow_finishes_first(self):
+        topo = dumbbell(2, 2, bottleneck_bw=Gbit_per_s(1))
+        sim = Simulator()
+        net = NetworkSim(sim, topo)
+        hi = net.transfer("l0", "r0", MB(125), weight=3.0)
+        lo = net.transfer("l1", "r1", MB(125), weight=1.0)
+        sim.run()
+        # hi at 0.75 Gbit/s -> 4/3 s; lo then gets the full link -> 2.0 s
+        assert hi.value.end == pytest.approx(4 / 3, rel=1e-3)
+        assert lo.value.end == pytest.approx(2.0, rel=1e-3)
+
+    def test_equal_weights_unchanged_behaviour(self):
+        topo = dumbbell(2, 2, bottleneck_bw=Gbit_per_s(1))
+        sim = Simulator()
+        net = NetworkSim(sim, topo)
+        a = net.transfer("l0", "r0", MB(125), weight=2.0)
+        b = net.transfer("l1", "r1", MB(125), weight=2.0)
+        sim.run()
+        assert a.value.duration == pytest.approx(2.0, rel=1e-3)
+        assert b.value.duration == pytest.approx(2.0, rel=1e-3)
+
+    def test_invalid_weight(self):
+        topo = dumbbell(1, 1)
+        net = NetworkSim(Simulator(), topo)
+        with pytest.raises(Exception):
+            net.transfer("l0", "r0", 100, weight=0)

@@ -1,0 +1,89 @@
+"""Job model and resource vectors."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.scheduler import Job, JobSpec, Resources
+
+
+class TestResources:
+    def test_add_sub(self):
+        a = Resources(2, 4)
+        b = Resources(1, 1)
+        assert (a + b).cpus == 3 and (a - b).mem == 3
+
+    def test_fits_in(self):
+        assert Resources(1, 2).fits_in(Resources(2, 2))
+        assert not Resources(3, 0).fits_in(Resources(2, 10))
+
+    def test_dominant_share(self):
+        total = Resources(10, 100)
+        assert Resources(5, 10).dominant_share(total) == pytest.approx(0.5)
+        assert Resources(1, 80).dominant_share(total) == pytest.approx(0.8)
+
+    def test_dominant_share_zero_total(self):
+        assert Resources(1, 1).dominant_share(Resources(0, 0)) == 0.0
+
+    def test_scaled(self):
+        r = Resources(1, 2).scaled(3)
+        assert r.cpus == 3 and r.mem == 6
+
+
+class TestJobSpec:
+    def test_valid(self):
+        s = JobSpec(0, 0.0, (1.0, 2.0))
+        assert s.n_tasks == 2 and s.total_work == pytest.approx(3.0)
+
+    def test_no_tasks_rejected(self):
+        with pytest.raises(SchedulingError):
+            JobSpec(0, 0.0, ())
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(SchedulingError):
+            JobSpec(0, 0.0, (1.0, 0.0))
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(SchedulingError):
+            JobSpec(0, -1.0, (1.0,))
+
+
+class TestJobRuntime:
+    def test_task_lifecycle(self):
+        job = Job(JobSpec(0, 0.0, (1.0, 2.0, 3.0)))
+        assert job.remaining_work == pytest.approx(6.0)
+        idx = job.next_task()
+        assert idx == 0 and job.running == 1
+        assert job.remaining_work == pytest.approx(5.0)
+        job.task_finished()
+        assert job.completed == 1 and not job.done
+
+    def test_done(self):
+        job = Job(JobSpec(0, 0.0, (1.0,)))
+        job.next_task()
+        job.task_finished()
+        assert job.done
+
+    def test_next_task_when_empty_raises(self):
+        job = Job(JobSpec(0, 0.0, (1.0,)))
+        job.next_task()
+        with pytest.raises(SchedulingError):
+            job.next_task()
+
+    def test_jct_requires_finish(self):
+        job = Job(JobSpec(0, 5.0, (1.0,)))
+        with pytest.raises(SchedulingError):
+            job.jct()
+        job.finish_time = 25.0
+        assert job.jct() == pytest.approx(20.0)
+
+    def test_allocated(self):
+        job = Job(JobSpec(0, 0.0, (1.0, 1.0), demand=Resources(2, 3)))
+        job.next_task()
+        assert job.allocated.cpus == 2 and job.allocated.mem == 3
+
+    def test_ideal_duration_bounds(self):
+        # 4 tasks x 10s on 2 cpus: work bound = 20s; critical path 10s
+        job = Job(JobSpec(0, 0.0, (10.0,) * 4))
+        assert job.ideal_duration(Resources(2, 0)) == pytest.approx(20.0)
+        # plenty of cpus: critical path dominates
+        assert job.ideal_duration(Resources(100, 0)) == pytest.approx(10.0)

@@ -1,0 +1,165 @@
+"""Scheduling policies on canonical workloads (the T3 result shapes)."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.scheduler import (
+    CapacityPolicy,
+    JobSpec,
+    Resources,
+    make_scheduling_policy,
+    run_schedule,
+)
+from repro.workloads import job_mix
+
+
+def wave_workload():
+    """One long many-task job plus short jobs arriving just after."""
+    specs = [JobSpec(0, 0.0, tuple([4.0] * 200))]
+    specs += [JobSpec(i, 1.0, tuple([1.0] * 4)) for i in range(1, 11)]
+    return specs
+
+
+CAP = Resources(cpus=8)
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ["fifo", "fair", "srpt", "drf"]:
+            assert make_scheduling_policy(name).name == name
+
+    def test_capacity_needs_guarantees(self):
+        p = make_scheduling_policy("capacity", guarantees={"q": 1.0})
+        assert p.name == "capacity"
+        with pytest.raises(SchedulingError):
+            CapacityPolicy({})
+
+    def test_unknown_name(self):
+        with pytest.raises(SchedulingError):
+            make_scheduling_policy("mystery")
+
+
+class TestBasicExecution:
+    def test_single_job_runs_to_completion(self):
+        r = run_schedule([JobSpec(0, 0.0, (2.0, 2.0))], CAP,
+                         make_scheduling_policy("fifo"))
+        assert r.jcts[0] == pytest.approx(2.0)     # both tasks parallel
+
+    def test_serialization_when_one_cpu(self):
+        r = run_schedule([JobSpec(0, 0.0, (2.0, 2.0))], Resources(1),
+                         make_scheduling_policy("fifo"))
+        assert r.jcts[0] == pytest.approx(4.0)
+
+    def test_arrival_time_respected(self):
+        r = run_schedule([JobSpec(0, 10.0, (1.0,))], CAP,
+                         make_scheduling_policy("fifo"))
+        assert r.makespan == pytest.approx(11.0)
+        assert r.jcts[0] == pytest.approx(1.0)
+
+    def test_utilization_bounds(self):
+        specs = [JobSpec(i, 0.0, (5.0,) * 8) for i in range(4)]
+        r = run_schedule(specs, CAP, make_scheduling_policy("fifo"))
+        assert 0.9 <= r.cpu_utilization <= 1.0
+
+    def test_all_jobs_finish(self):
+        specs = job_mix(30, 200.0, seed=5)
+        for name in ["fifo", "fair", "srpt", "drf"]:
+            r = run_schedule(specs, Resources(16, 64),
+                             make_scheduling_policy(name))
+            assert len(r.jcts) == 30
+
+    def test_run_before_submit_rejected(self):
+        from repro.scheduler import SchedulerSim
+        from repro.simcore import Simulator
+        sched = SchedulerSim(Simulator(), CAP, make_scheduling_policy("fifo"))
+        with pytest.raises(SchedulingError):
+            sched.run()
+
+
+class TestPolicyShapes:
+    def test_fifo_starves_short_jobs(self):
+        r = run_schedule(wave_workload(), CAP, make_scheduling_policy("fifo"))
+        short_mean = sum(r.jcts[i] for i in range(1, 11)) / 10
+        assert short_mean > 50     # stuck behind the long job
+
+    def test_fair_rescues_short_jobs(self):
+        fifo = run_schedule(wave_workload(), CAP,
+                            make_scheduling_policy("fifo"))
+        fair = run_schedule(wave_workload(), CAP,
+                            make_scheduling_policy("fair"))
+        fifo_short = sum(fifo.jcts[i] for i in range(1, 11)) / 10
+        fair_short = sum(fair.jcts[i] for i in range(1, 11)) / 10
+        assert fair_short < fifo_short / 5
+        # long job pays only a little
+        assert fair.jcts[0] < fifo.jcts[0] * 1.2
+
+    def test_srpt_minimizes_mean_jct(self):
+        specs = wave_workload()
+        results = {name: run_schedule(specs, CAP,
+                                      make_scheduling_policy(name))
+                   for name in ["fifo", "fair", "srpt"]}
+        assert results["srpt"].mean_jct == min(
+            r.mean_jct for r in results.values())
+
+    def test_fair_improves_fairness_index(self):
+        fifo = run_schedule(wave_workload(), CAP,
+                            make_scheduling_policy("fifo"))
+        fair = run_schedule(wave_workload(), CAP,
+                            make_scheduling_policy("fair"))
+        assert fair.fairness > fifo.fairness
+
+    def test_weights_shift_allocation(self):
+        # two identical jobs, one with weight 3 -> it finishes earlier
+        specs = [JobSpec(0, 0.0, (1.0,) * 64, weight=3.0),
+                 JobSpec(1, 0.0, (1.0,) * 64, weight=1.0)]
+        r = run_schedule(specs, Resources(4),
+                         make_scheduling_policy("fair"))
+        assert r.jcts[0] < r.jcts[1]
+
+    def test_capacity_guarantees_protect_queue(self):
+        # dev queue guaranteed 50%: its jobs shouldn't wait for all of prod
+        specs = [JobSpec(i, 0.0, (10.0,) * 8, queue="prod")
+                 for i in range(4)]
+        specs.append(JobSpec(99, 0.1, (10.0,) * 4, queue="dev"))
+        pol = CapacityPolicy({"prod": 0.5, "dev": 0.5})
+        r = run_schedule(specs, CAP, pol)
+        fifo = run_schedule(specs, CAP, make_scheduling_policy("fifo"))
+        assert r.jcts[99] < fifo.jcts[99]
+
+    def test_drf_equalizes_dominant_shares(self):
+        # classic DRF example: user A cpu-heavy, user B mem-heavy
+        specs = [
+            JobSpec(0, 0.0, (100.0,) * 100, demand=Resources(1, 4),
+                    user="A"),
+            JobSpec(1, 0.0, (100.0,) * 100, demand=Resources(3, 1),
+                    user="B"),
+        ]
+        from repro.scheduler import SchedulerSim
+        from repro.simcore import Simulator
+        sim = Simulator()
+        total = Resources(9, 18)
+        sched = SchedulerSim(sim, total, make_scheduling_policy("drf"))
+        sched.submit_all(specs)
+        sim.run(until=50.0)    # mid-flight snapshot
+        jobs = {j.spec.job_id: j for j in sched.jobs}
+        # Ghodsi et al. example: A gets 3 tasks (dominant mem 12/18=2/3),
+        # B gets 2 tasks (dominant cpu 6/9=2/3)
+        assert jobs[0].running == 3
+        assert jobs[1].running == 2
+
+    def test_drf_sharing_incentive(self):
+        # each user's dominant share >= what a 1/n static split gives
+        specs = [
+            JobSpec(0, 0.0, (50.0,) * 50, demand=Resources(2, 1), user="A"),
+            JobSpec(1, 0.0, (50.0,) * 50, demand=Resources(1, 2), user="B"),
+        ]
+        from repro.scheduler import SchedulerSim
+        from repro.simcore import Simulator
+        sim = Simulator()
+        total = Resources(12, 12)
+        sched = SchedulerSim(sim, total, make_scheduling_policy("drf"))
+        sched.submit_all(specs)
+        sim.run(until=10.0)
+        for j in sched.jobs:
+            share = j.allocated.dominant_share(total)
+            assert share >= 0.5 - 1e-6

@@ -1,0 +1,136 @@
+"""Event edge cases: double-trigger, failure plumbing, condition values."""
+
+import pytest
+
+from repro.simcore import AllOf, AnyOf, Simulator
+
+
+def test_double_succeed_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_succeed_after_fail_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("x"))
+    ev.defused = True
+    with pytest.raises(RuntimeError):
+        ev.succeed(1)
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(AttributeError):
+        _ = ev.value
+
+
+def test_ok_states():
+    sim = Simulator()
+    ev = sim.event()
+    assert ev.ok is None
+    ev.succeed()
+    assert ev.ok is True
+    ev2 = sim.event()
+    ev2.fail(RuntimeError())
+    ev2.defused = True
+    assert ev2.ok is False
+    sim.run()
+
+
+def test_all_of_value_indices_match_inputs():
+    sim = Simulator()
+
+    def p(sim, v, d):
+        yield sim.timeout(d)
+        return v
+    procs = [sim.process(p(sim, f"v{i}", 3 - i)) for i in range(3)]
+
+    def waiter(sim):
+        res = yield sim.all_of(procs)
+        return res
+    w = sim.process(waiter(sim))
+    sim.run()
+    assert w.value == {0: "v0", 1: "v1", 2: "v2"}
+
+
+def test_any_of_failure_propagates():
+    sim = Simulator()
+    caught = []
+
+    def bad(sim):
+        yield sim.timeout(1)
+        raise KeyError("boom")
+
+    def waiter(sim):
+        try:
+            yield sim.any_of([sim.process(bad(sim)), sim.timeout(100)])
+        except KeyError as e:
+            caught.append(str(e))
+    sim.process(waiter(sim))
+    sim.run()
+    assert caught == ["'boom'"]
+
+
+def test_all_of_failure_propagates():
+    sim = Simulator()
+    caught = []
+
+    def bad(sim):
+        yield sim.timeout(1)
+        raise ValueError("vboom")
+
+    def good(sim):
+        yield sim.timeout(2)
+
+    def waiter(sim):
+        try:
+            yield sim.all_of([sim.process(good(sim)),
+                              sim.process(bad(sim))])
+        except ValueError:
+            caught.append(True)
+    sim.process(waiter(sim))
+    sim.run()
+    assert caught == [True]
+
+
+def test_condition_of_mixed_simulators_rejected():
+    sim1, sim2 = Simulator(), Simulator()
+    t1 = sim1.timeout(1)
+    t2 = sim2.timeout(1)
+    with pytest.raises(ValueError):
+        AnyOf(sim1, [t1, t2])
+
+
+def test_peek_and_step():
+    sim = Simulator()
+    sim.timeout(5.0)
+    assert sim.peek() == 5.0
+    sim.step()
+    assert sim.now == 5.0
+    assert sim.peek() == float("inf")
+
+
+def test_step_on_empty_queue_raises():
+    sim = Simulator()
+    with pytest.raises(Exception):
+        sim.step()
+
+
+def test_max_events_cap():
+    sim = Simulator()
+    for i in range(10):
+        sim.timeout(float(i))
+    sim.run(max_events=3)
+    assert sim.now == 2.0

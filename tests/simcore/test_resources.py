@@ -1,0 +1,251 @@
+"""Resource, Container, Store semantics."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simcore import Container, Resource, Simulator, Store
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=2)
+        grants = []
+
+        def user(sim, r, name, hold):
+            req = r.request()
+            yield req
+            grants.append((sim.now, name))
+            yield sim.timeout(hold)
+            r.release(req)
+        for i in range(4):
+            sim.process(user(sim, r, i, 10))
+        sim.run()
+        assert grants == [(0, 0), (0, 1), (10, 2), (10, 3)]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=1)
+        order = []
+
+        def user(sim, r, name):
+            req = r.request()
+            yield req
+            order.append(name)
+            yield sim.timeout(1)
+            r.release(req)
+        for i in range(5):
+            sim.process(user(sim, r, i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_order(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=1, priority=True)
+        order = []
+
+        def holder(sim, r):
+            req = r.request()
+            yield req
+            yield sim.timeout(5)
+            r.release(req)
+
+        def user(sim, r, name, prio, delay):
+            yield sim.timeout(delay)
+            req = r.request(priority=prio)
+            yield req
+            order.append(name)
+            r.release(req)
+        sim.process(holder(sim, r))
+        sim.process(user(sim, r, "low", 10, 1))
+        sim.process(user(sim, r, "high", 1, 2))
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_utilization(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=2)
+
+        def user(sim, r):
+            req = r.request()
+            yield req
+            yield sim.timeout(10)
+            r.release(req)
+        sim.process(user(sim, r))
+        sim.run()
+        assert r.utilization(10.0) == pytest.approx(0.5)
+
+    def test_release_unowned_raises(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=1)
+
+        def bad(sim, r):
+            req = r.request()
+            yield req
+            r.release(req)
+            r.release(req)
+        sim.process(bad(sim, r))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_cancel_queued_request(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=1)
+
+        def holder(sim, r):
+            req = r.request()
+            yield req
+            yield sim.timeout(5)
+            r.release(req)
+
+        def canceller(sim, r):
+            yield sim.timeout(1)
+            req = r.request()
+            req.cancel()
+            assert r.queued == 0
+        sim.process(holder(sim, r))
+        sim.process(canceller(sim, r))
+        sim.run()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)
+
+    def test_counts(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=1)
+
+        def user(sim, r):
+            req = r.request()
+            yield req
+            yield sim.timeout(1)
+            r.release(req)
+        sim.process(user(sim, r))
+        sim.process(user(sim, r))
+        sim.run(until=0.5)
+        assert r.in_use == 1 and r.queued == 1
+
+
+class TestContainer:
+    def test_put_get(self):
+        sim = Simulator()
+        c = Container(sim, capacity=100, init=50)
+
+        def p(sim, c):
+            yield c.get(30)
+            assert c.level == 20
+            yield c.put(60)
+            assert c.level == 80
+        sim.process(p(sim, c))
+        sim.run()
+
+    def test_get_blocks_until_available(self):
+        sim = Simulator()
+        c = Container(sim, capacity=100, init=0)
+        times = []
+
+        def getter(sim, c):
+            yield c.get(10)
+            times.append(sim.now)
+
+        def putter(sim, c):
+            yield sim.timeout(5)
+            yield c.put(10)
+        sim.process(getter(sim, c))
+        sim.process(putter(sim, c))
+        sim.run()
+        assert times == [5.0]
+
+    def test_put_blocks_when_full(self):
+        sim = Simulator()
+        c = Container(sim, capacity=10, init=10)
+        times = []
+
+        def putter(sim, c):
+            yield c.put(5)
+            times.append(sim.now)
+
+        def getter(sim, c):
+            yield sim.timeout(3)
+            yield c.get(5)
+        sim.process(putter(sim, c))
+        sim.process(getter(sim, c))
+        sim.run()
+        assert times == [3.0]
+
+    def test_invalid_init(self):
+        with pytest.raises(ValueError):
+            Container(Simulator(), capacity=5, init=10)
+
+    def test_negative_amount(self):
+        c = Container(Simulator())
+        with pytest.raises(ValueError):
+            c.put(-1)
+        with pytest.raises(ValueError):
+            c.get(-1)
+
+
+class TestStore:
+    def test_fifo(self):
+        sim = Simulator()
+        s = Store(sim)
+        got = []
+
+        def producer(sim, s):
+            for i in range(3):
+                yield s.put(i)
+
+        def consumer(sim, s):
+            for _ in range(3):
+                v = yield s.get()
+                got.append(v)
+        sim.process(producer(sim, s))
+        sim.process(consumer(sim, s))
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_on_empty(self):
+        sim = Simulator()
+        s = Store(sim)
+        times = []
+
+        def consumer(sim, s):
+            v = yield s.get()
+            times.append((sim.now, v))
+
+        def producer(sim, s):
+            yield sim.timeout(7)
+            yield s.put("x")
+        sim.process(consumer(sim, s))
+        sim.process(producer(sim, s))
+        sim.run()
+        assert times == [(7.0, "x")]
+
+    def test_capacity_blocks_put(self):
+        sim = Simulator()
+        s = Store(sim, capacity=1)
+        done = []
+
+        def producer(sim, s):
+            yield s.put(1)
+            yield s.put(2)      # blocks until consumer takes 1
+            done.append(sim.now)
+
+        def consumer(sim, s):
+            yield sim.timeout(4)
+            yield s.get()
+        sim.process(producer(sim, s))
+        sim.process(consumer(sim, s))
+        sim.run()
+        assert done == [4.0]
+
+    def test_len(self):
+        sim = Simulator()
+        s = Store(sim)
+
+        def p(sim, s):
+            yield s.put(1)
+            yield s.put(2)
+        sim.process(p(sim, s))
+        sim.run()
+        assert len(s) == 2

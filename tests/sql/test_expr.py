@@ -1,0 +1,70 @@
+"""Column expressions: evaluation, references, operator sugar."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.sql import col, lit
+
+ROW = {"a": 3, "b": 4, "s": "hi", "flag": True}
+
+
+class TestEval:
+    def test_column(self):
+        assert col("a").eval(ROW) == 3
+
+    def test_missing_column(self):
+        with pytest.raises(PlanError):
+            col("zzz").eval(ROW)
+
+    def test_literal(self):
+        assert lit(42).eval(ROW) == 42
+
+    def test_arithmetic(self):
+        assert (col("a") + col("b")).eval(ROW) == 7
+        assert (col("a") - 1).eval(ROW) == 2
+        assert (col("a") * 2).eval(ROW) == 6
+        assert (col("b") / 2).eval(ROW) == 2.0
+        assert (col("b") % 3).eval(ROW) == 1
+        assert (10 - col("a")).eval(ROW) == 7
+        assert (2 * col("a")).eval(ROW) == 6
+        assert (1 + col("a")).eval(ROW) == 4
+
+    def test_comparisons(self):
+        assert (col("a") < col("b")).eval(ROW) is True
+        assert (col("a") >= 3).eval(ROW) is True
+        assert (col("a") == 3).eval(ROW) is True
+        assert (col("a") != 3).eval(ROW) is False
+        assert (col("a") > 10).eval(ROW) is False
+        assert (col("a") <= 2).eval(ROW) is False
+
+    def test_boolean_combinators(self):
+        e = (col("a") > 1) & (col("b") < 10)
+        assert e.eval(ROW) is True
+        e2 = (col("a") > 10) | (col("flag") == True)  # noqa: E712
+        assert e2.eval(ROW) is True
+        assert (~(col("a") > 1)).eval(ROW) is False
+
+    def test_negation(self):
+        assert (-col("a")).eval(ROW) == -3
+
+    def test_apply(self):
+        assert col("s").apply(str.upper).eval(ROW) == "HI"
+
+
+class TestReferencesAndNames:
+    def test_references_union(self):
+        e = (col("a") + col("b")) * lit(2)
+        assert e.references() == frozenset({"a", "b"})
+
+    def test_literal_no_references(self):
+        assert lit(5).references() == frozenset()
+
+    def test_alias_sets_name(self):
+        e = (col("a") + 1).alias("a_plus")
+        assert e.name == "a_plus"
+        assert e.eval(ROW) == 4
+        assert e.references() == frozenset({"a"})
+
+    def test_default_names(self):
+        assert col("a").name == "a"
+        assert (col("a") + col("b")).name == "(a + b)"

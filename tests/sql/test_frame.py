@@ -1,0 +1,229 @@
+"""DataFrame semantics vs plain-Python references."""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import PlanError
+from repro.dataflow import DataflowContext
+from repro.sql import DataFrame, avg_, col, count_, lit, max_, min_, sum_
+
+
+@pytest.fixture
+def ctx():
+    return DataflowContext(default_parallelism=4)
+
+
+def sales_rows():
+    rows = []
+    for i in range(120):
+        rows.append({
+            "region": ["na", "eu", "ap"][i % 3],
+            "product": f"p{i % 8}",
+            "price": 10 * (i % 7 + 1),
+            "qty": i % 5,
+        })
+    return rows
+
+
+class TestBasics:
+    def test_schema_inferred(self, ctx):
+        df = DataFrame.from_rows(ctx, sales_rows())
+        assert df.schema == ["region", "product", "price", "qty"]
+
+    def test_empty_needs_schema(self, ctx):
+        with pytest.raises(PlanError):
+            DataFrame.from_rows(ctx, [])
+        df = DataFrame.from_rows(ctx, [], schema=["a"])
+        assert df.collect() == []
+
+    def test_select_columns(self, ctx):
+        df = DataFrame.from_rows(ctx, sales_rows()).select("region", "qty")
+        assert df.schema == ["region", "qty"]
+        assert all(set(r) == {"region", "qty"} for r in df.collect())
+
+    def test_select_expressions(self, ctx):
+        df = DataFrame.from_rows(ctx, sales_rows()).select(
+            col("region"), (col("price") * col("qty")).alias("rev"))
+        first = df.collect()[0]
+        assert set(first) == {"region", "rev"}
+
+    def test_where(self, ctx):
+        df = DataFrame.from_rows(ctx, sales_rows()).where(col("qty") == 0)
+        rows = df.collect()
+        assert rows and all(r["qty"] == 0 for r in rows)
+        assert len(rows) == sum(1 for r in sales_rows() if r["qty"] == 0)
+
+    def test_with_column(self, ctx):
+        df = DataFrame.from_rows(ctx, sales_rows()).with_column(
+            "rev", col("price") * col("qty"))
+        assert df.schema[-1] == "rev"
+        for r in df.collect():
+            assert r["rev"] == r["price"] * r["qty"]
+
+    def test_count(self, ctx):
+        assert DataFrame.from_rows(ctx, sales_rows()).count() == 120
+
+    def test_limit(self, ctx):
+        assert DataFrame.from_rows(ctx, sales_rows()).limit(7).count() == 7
+        assert DataFrame.from_rows(ctx, sales_rows()).limit(0).count() == 0
+
+    def test_distinct(self, ctx):
+        got = DataFrame.from_rows(ctx, sales_rows()).select("region") \
+            .distinct().collect()
+        assert sorted(r["region"] for r in got) == ["ap", "eu", "na"]
+
+    def test_order_by(self, ctx):
+        got = DataFrame.from_rows(ctx, sales_rows()) \
+            .order_by("price", ascending=False).collect()
+        prices = [r["price"] for r in got]
+        assert prices == sorted(prices, reverse=True)
+
+
+class TestAggregation:
+    def test_all_agg_functions(self, ctx):
+        df = DataFrame.from_rows(ctx, sales_rows())
+        got = (df.group_by("region")
+               .agg(n=count_(), s=sum_(col("qty")), mn=min_(col("qty")),
+                    mx=max_(col("qty")), a=avg_(col("qty")))
+               .collect())
+        ref = defaultdict(list)
+        for r in sales_rows():
+            ref[r["region"]].append(r["qty"])
+        for row in got:
+            q = ref[row["region"]]
+            assert row["n"] == len(q)
+            assert row["s"] == sum(q)
+            assert row["mn"] == min(q) and row["mx"] == max(q)
+            assert row["a"] == pytest.approx(sum(q) / len(q))
+
+    def test_multi_key_grouping(self, ctx):
+        df = DataFrame.from_rows(ctx, sales_rows())
+        got = df.group_by("region", "product").agg(n=count_()).collect()
+        ref = defaultdict(int)
+        for r in sales_rows():
+            ref[(r["region"], r["product"])] += 1
+        assert {(g["region"], g["product"]): g["n"] for g in got} == dict(ref)
+
+    def test_agg_on_expression(self, ctx):
+        df = DataFrame.from_rows(ctx, sales_rows())
+        got = df.group_by("region").agg(
+            rev=sum_(col("price") * col("qty"))).collect()
+        ref = defaultdict(int)
+        for r in sales_rows():
+            ref[r["region"]] += r["price"] * r["qty"]
+        assert {g["region"]: g["rev"] for g in got} == dict(ref)
+
+    def test_empty_agg_rejected(self, ctx):
+        df = DataFrame.from_rows(ctx, sales_rows())
+        with pytest.raises(PlanError):
+            df.group_by("region").agg()
+
+    def test_unknown_group_key(self, ctx):
+        with pytest.raises(PlanError):
+            DataFrame.from_rows(ctx, sales_rows()).group_by("nope")
+
+
+class TestJoins:
+    def users(self, ctx):
+        return DataFrame.from_rows(
+            ctx, [{"uid": i, "country": ["br", "us", "jp"][i % 3]}
+                  for i in range(12)], name="users")
+
+    def orders(self, ctx):
+        return DataFrame.from_rows(
+            ctx, [{"uid": i % 15, "amount": i + 1} for i in range(60)],
+            name="orders")
+
+    def test_inner_join(self, ctx):
+        got = self.orders(ctx).join(self.users(ctx), on="uid").collect()
+        # uids 12..14 have no user: dropped
+        assert all(r["uid"] < 12 for r in got)
+        assert len(got) == sum(1 for i in range(60) if i % 15 < 12)
+        assert all({"uid", "amount", "country"} == set(r) for r in got)
+
+    def test_left_join_null_extends(self, ctx):
+        got = self.orders(ctx).join(self.users(ctx), on="uid",
+                                    how="left").collect()
+        assert len(got) == 60
+        unmatched = [r for r in got if r["uid"] >= 12]
+        assert unmatched and all(r["country"] is None for r in unmatched)
+
+    def test_ambiguous_columns_rejected(self, ctx):
+        a = DataFrame.from_rows(ctx, [{"k": 1, "x": 1}])
+        b = DataFrame.from_rows(ctx, [{"k": 1, "x": 2}])
+        with pytest.raises(PlanError):
+            a.join(b, on="k")
+
+    def test_join_then_aggregate(self, ctx):
+        got = (self.orders(ctx).join(self.users(ctx), on="uid")
+               .group_by("country").agg(total=sum_(col("amount")))
+               .collect())
+        ref = defaultdict(int)
+        for i in range(60):
+            uid = i % 15
+            if uid < 12:
+                ref[["br", "us", "jp"][uid % 3]] += i + 1
+        assert {g["country"]: g["total"] for g in got} == dict(ref)
+
+
+class TestOptimizedEquivalence:
+    """Optimizer must never change results."""
+
+    def test_pipeline_equivalence(self, ctx):
+        df = DataFrame.from_rows(ctx, sales_rows())
+        q = (df.with_column("rev", col("price") * col("qty"))
+             .where(col("rev") > 50)
+             .group_by("region")
+             .agg(total=sum_(col("rev")), n=count_())
+             .order_by("total"))
+        assert q.collect(optimized=True) == q.collect(optimized=False)
+
+    def test_join_filter_equivalence(self, ctx):
+        users = DataFrame.from_rows(
+            ctx, [{"uid": i, "vip": i % 4 == 0} for i in range(20)])
+        orders = DataFrame.from_rows(
+            ctx, [{"uid": i % 25, "amount": i} for i in range(100)])
+        q = (orders.join(users, on="uid", how="left")
+             .where(col("amount") % 2 == 0))
+        a = sorted(map(repr, q.collect(optimized=True)))
+        b = sorted(map(repr, q.collect(optimized=False)))
+        assert a == b
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(-20, 20)),
+                    min_size=1, max_size=60),
+           st.integers(-20, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_random_filter_agg_equivalence(self, pairs, threshold):
+        ctx = DataflowContext()
+        rows = [{"k": k, "v": v} for k, v in pairs]
+        df = DataFrame.from_rows(ctx, rows)
+        q = (df.where(col("v") > threshold)
+             .group_by("k").agg(s=sum_(col("v")), n=count_()))
+        a = sorted(map(repr, q.collect(optimized=True)))
+        b = sorted(map(repr, q.collect(optimized=False)))
+        assert a == b
+        # reference
+        ref = defaultdict(lambda: [0, 0])
+        for k, v in pairs:
+            if v > threshold:
+                ref[k][0] += v
+                ref[k][1] += 1
+        expect = sorted(repr({"k": k, "s": s, "n": n})
+                        for k, (s, n) in ref.items())
+        assert a == expect
+
+
+class TestExplainAndShow:
+    def test_explain_mentions_nodes(self, ctx):
+        q = (DataFrame.from_rows(ctx, sales_rows())
+             .where(col("qty") > 1).select("region"))
+        text = q.explain(optimized=False)
+        assert "Filter" in text and "Project" in text and "Scan" in text
+
+    def test_show_prints(self, ctx, capsys):
+        DataFrame.from_rows(ctx, sales_rows()).limit(2).show()
+        out = capsys.readouterr().out
+        assert "region" in out

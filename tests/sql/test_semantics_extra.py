@@ -1,0 +1,97 @@
+"""Extra structured-layer semantics: top-N queries, plan composition."""
+
+import pytest
+
+from repro.dataflow import DataflowContext
+from repro.sql import DataFrame, col, count_, lit, sum_
+
+
+@pytest.fixture
+def ctx():
+    return DataflowContext(default_parallelism=4)
+
+
+def rows():
+    return [{"k": i % 7, "v": (i * 37) % 101} for i in range(140)]
+
+
+class TestTopN:
+    def test_limit_after_order_by_is_global_top_n(self, ctx):
+        df = DataFrame.from_rows(ctx, rows())
+        got = df.order_by("v", ascending=False).limit(5).collect()
+        expect = sorted(rows(), key=lambda r: -r["v"])[:5]
+        assert [r["v"] for r in got] == [r["v"] for r in expect]
+
+    def test_limit_optimized_matches_naive(self, ctx):
+        df = DataFrame.from_rows(ctx, rows())
+        q = df.order_by("v").limit(10)
+        assert q.collect(optimized=True) == q.collect(optimized=False)
+
+    def test_top_groups_query(self, ctx):
+        q = (DataFrame.from_rows(ctx, rows())
+             .group_by("k").agg(total=sum_(col("v")), n=count_())
+             .order_by("total", ascending=False)
+             .limit(3))
+        got = q.collect()
+        assert len(got) == 3
+        totals = [r["total"] for r in got]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestComposition:
+    def test_filter_after_aggregate_having_semantics(self, ctx):
+        q = (DataFrame.from_rows(ctx, rows())
+             .group_by("k").agg(n=count_())
+             .where(col("n") == 20))
+        got = q.collect()
+        assert got and all(r["n"] == 20 for r in got)
+        assert q.collect(optimized=True) == q.collect(optimized=False)
+
+    def test_join_of_aggregates(self, ctx):
+        base = DataFrame.from_rows(ctx, rows())
+        sums = base.group_by("k").agg(total=sum_(col("v")))
+        counts = base.group_by("k").agg(n=count_())
+        j = sums.join(counts, on="k").with_column(
+            "mean", col("total") / col("n"))
+        for r in j.collect():
+            assert r["mean"] == pytest.approx(r["total"] / r["n"])
+
+    def test_literal_columns(self, ctx):
+        q = DataFrame.from_rows(ctx, rows()).select(
+            col("k"), lit("tag").alias("source")).limit(4)
+        assert all(r["source"] == "tag" for r in q.collect())
+
+    def test_distinct_after_projection(self, ctx):
+        q = (DataFrame.from_rows(ctx, rows())
+             .select((col("k") % 2).alias("parity"))
+             .distinct())
+        got = sorted(r["parity"] for r in q.collect())
+        assert got == [0, 1]
+
+    def test_chained_with_columns(self, ctx):
+        q = (DataFrame.from_rows(ctx, rows())
+             .with_column("a", col("v") + 1)
+             .with_column("b", col("a") * 2))
+        r = q.collect()[0]
+        assert r["b"] == (r["v"] + 1) * 2
+
+
+class TestDatasetInterop:
+    def test_to_dataset_is_plain_dataset(self, ctx):
+        ds = DataFrame.from_rows(ctx, rows()).where(col("v") > 50) \
+            .to_dataset()
+        # it's a regular Dataset: dataflow ops compose on top
+        n = ds.map(lambda r: r["v"]).filter(lambda v: v % 2 == 0).count()
+        expect = sum(1 for r in rows() if r["v"] > 50 and r["v"] % 2 == 0)
+        assert n == expect
+
+    def test_runs_on_sim_engine(self, ctx):
+        from repro.cluster import make_cluster
+        from repro.dataflow import SimEngine
+        from repro.simcore import Simulator
+        sim = Simulator()
+        eng = SimEngine(make_cluster(sim, 1, 4))
+        q = (DataFrame.from_rows(ctx, rows())
+             .group_by("k").agg(total=sum_(col("v"))))
+        res = sim.run_until_done(eng.collect(q.to_dataset()))
+        assert sorted(map(repr, res.value)) == sorted(map(repr, q.collect()))

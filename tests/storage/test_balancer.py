@@ -1,0 +1,81 @@
+"""HDFS-style balancer: spread reduction, invariants."""
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.common.units import MB
+from repro.simcore import Simulator
+from repro.storage import DFSConfig, DistributedFS
+
+
+def hoarding_fs(n_files=6, rack_aware=False):
+    sim = Simulator()
+    cl = make_cluster(sim, 2, 4)
+    fs = DistributedFS(cl, DFSConfig(block_size=MB(2),
+                                     rack_aware=rack_aware), seed=0)
+    for i in range(n_files):
+        sim.run_until_done(fs.write(f"/f{i}", size=MB(2), writer="h0_0"))
+    return sim, cl, fs
+
+
+class TestBalancer:
+    def test_reduces_spread(self):
+        sim, cl, fs = hoarding_fs()
+        before = fs.node_usage()
+        spread_before = max(before.values()) - min(before.values())
+        moves = sim.run_until_done(fs.balance(threshold=0.2))
+        after = fs.node_usage()
+        spread_after = max(after.values()) - min(after.values())
+        assert moves > 0
+        assert spread_after < spread_before
+
+    def test_threshold_respected(self):
+        sim, cl, fs = hoarding_fs()
+        sim.run_until_done(fs.balance(threshold=0.25))
+        usage = fs.node_usage()
+        mean = sum(usage.values()) / len(usage)
+        block = MB(2)
+        # spread is within threshold OR within one block granularity
+        assert max(usage.values()) - min(usage.values()) <= \
+            max(0.25 * mean, block) + 1e-9
+
+    def test_no_replica_duplicated_on_node(self):
+        sim, cl, fs = hoarding_fs()
+        sim.run_until_done(fs.balance(threshold=0.1))
+        for i in range(6):
+            for blk in fs.blocks_of(f"/f{i}"):
+                nodes = blk.nodes()
+                assert len(set(nodes)) == len(nodes)
+
+    def test_replication_factor_preserved(self):
+        sim, cl, fs = hoarding_fs()
+        sim.run_until_done(fs.balance(threshold=0.1))
+        for i in range(6):
+            assert all(len(b.locations) == 3 for b in fs.blocks_of(f"/f{i}"))
+
+    def test_data_still_readable_after_balance(self):
+        sim = Simulator()
+        cl = make_cluster(sim, 2, 4)
+        fs = DistributedFS(cl, DFSConfig(block_size=MB(1),
+                                         rack_aware=False), seed=0)
+        payload = bytes(range(256)) * 4096   # 1 MB
+        for i in range(4):
+            sim.run_until_done(fs.write(f"/d{i}", data=payload,
+                                        writer="h0_0"))
+        sim.run_until_done(fs.balance(threshold=0.1))
+        for i in range(4):
+            got, _ = sim.run_until_done(fs.read(f"/d{i}", reader="h1_2"))
+            assert got == payload
+
+    def test_balanced_fs_is_noop(self):
+        sim, cl, fs = hoarding_fs()
+        sim.run_until_done(fs.balance(threshold=0.2))
+        again = sim.run_until_done(fs.balance(threshold=0.2))
+        assert again == 0
+
+    def test_balance_moves_cost_network_traffic(self):
+        sim, cl, fs = hoarding_fs()
+        before = cl.net.total_bytes
+        moves = sim.run_until_done(fs.balance(threshold=0.2))
+        moved_bytes = cl.net.total_bytes - before
+        assert moved_bytes == pytest.approx(moves * MB(2), rel=0.01)

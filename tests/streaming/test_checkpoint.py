@@ -1,0 +1,108 @@
+"""Stateful streaming with checkpoint/replay recovery."""
+
+import operator
+
+import pytest
+
+from repro.common.errors import StreamingError
+from repro.streaming import CheckpointConfig, run_stateful_stream
+
+
+def make_events(n=200, keys=4):
+    return [(float(i), i % keys, 1) for i in range(n)]
+
+
+def crash_free_state(events):
+    state = {}
+    for _t, k, v in sorted(events):
+        state[k] = state.get(k, 0) + v
+    return state
+
+
+AGG = operator.add
+INIT = lambda v: v
+
+
+class TestNoFailure:
+    def test_state_matches_reference(self):
+        events = make_events()
+        run = run_stateful_stream(events, AGG, INIT,
+                                  CheckpointConfig(interval=10))
+        assert run.state == crash_free_state(events)
+        assert run.processed_events == len(events)
+        assert not run.recoveries
+
+    def test_checkpoint_count(self):
+        events = make_events(100)           # event times 0..99
+        run = run_stateful_stream(events, AGG, INIT,
+                                  CheckpointConfig(interval=25))
+        assert run.checkpoints_taken == 3   # t=25, 50, 75
+        assert run.checkpoint_overhead == pytest.approx(3 * 0.2)
+
+    def test_shorter_interval_higher_overhead(self):
+        events = make_events(400)
+        short = run_stateful_stream(events, AGG, INIT,
+                                    CheckpointConfig(interval=5))
+        long = run_stateful_stream(events, AGG, INIT,
+                                   CheckpointConfig(interval=100))
+        assert short.checkpoint_overhead > 5 * long.checkpoint_overhead
+
+
+class TestRecovery:
+    def test_state_exact_after_crash(self):
+        events = make_events(300)
+        run = run_stateful_stream(events, AGG, INIT,
+                                  CheckpointConfig(interval=50),
+                                  crash_times=[123.5])
+        assert run.state == crash_free_state(events)
+        assert len(run.recoveries) == 1
+        r = run.recoveries[0]
+        assert r.checkpoint_offset == 100.0
+        assert r.replayed_events == 24      # events 100..123
+
+    def test_multiple_crashes(self):
+        events = make_events(300)
+        run = run_stateful_stream(events, AGG, INIT,
+                                  CheckpointConfig(interval=30),
+                                  crash_times=[50.5, 200.5])
+        assert run.state == crash_free_state(events)
+        assert len(run.recoveries) == 2
+
+    def test_crash_before_first_checkpoint_replays_from_zero(self):
+        events = make_events(100)
+        run = run_stateful_stream(events, AGG, INIT,
+                                  CheckpointConfig(interval=1000),
+                                  crash_times=[60.5])
+        r = run.recoveries[0]
+        assert r.checkpoint_offset == 0.0
+        assert r.replayed_events == 61
+        assert run.state == crash_free_state(events)
+
+    def test_recovery_time_tradeoff(self):
+        """The A4 tradeoff: longer intervals -> cheaper steady state but
+        costlier recovery."""
+        events = make_events(1000)
+        crash = [799.5]
+        short = run_stateful_stream(events, AGG, INIT,
+                                    CheckpointConfig(interval=10),
+                                    crash_times=crash)
+        long = run_stateful_stream(events, AGG, INIT,
+                                   CheckpointConfig(interval=300),
+                                   crash_times=crash)
+        assert short.checkpoint_overhead > long.checkpoint_overhead
+        assert short.total_recovery_time < long.total_recovery_time
+        assert short.state == long.state == crash_free_state(events)
+
+    def test_unsorted_events_accepted(self):
+        events = [(3.0, "a", 1), (1.0, "a", 1), (2.0, "b", 5)]
+        run = run_stateful_stream(events, AGG, INIT,
+                                  CheckpointConfig(interval=10))
+        assert run.state == {"a": 2, "b": 5}
+
+
+class TestValidation:
+    def test_bad_config(self):
+        with pytest.raises(StreamingError):
+            CheckpointConfig(interval=0)
+        with pytest.raises(StreamingError):
+            CheckpointConfig(replay_speedup=0)

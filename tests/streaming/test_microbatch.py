@@ -1,0 +1,86 @@
+"""Micro-batch engine: stability knee, latency model, backpressure."""
+
+import pytest
+
+from repro.common.errors import StreamingError
+from repro.streaming import MicroBatchConfig, run_microbatch
+
+
+class TestConfig:
+    def test_batch_time_model(self):
+        cfg = MicroBatchConfig(per_record_cost=1e-3, parallelism=4,
+                               scheduling_overhead=0.1)
+        assert cfg.batch_time(4000) == pytest.approx(0.1 + 1.0)
+
+    def test_validation(self):
+        with pytest.raises(StreamingError):
+            MicroBatchConfig(batch_interval=0)
+        with pytest.raises(StreamingError):
+            MicroBatchConfig(throttle_factor=0)
+
+
+class TestStableRegime:
+    def test_latency_about_half_interval_plus_processing(self):
+        cfg = MicroBatchConfig(batch_interval=2.0, per_record_cost=1e-5,
+                               parallelism=4, scheduling_overhead=0.05)
+        r = run_microbatch(lambda t: 1000, cfg, duration=200)
+        # interval/2 + batch time ≈ 1.0 + 0.0525
+        assert r.latency.p50 == pytest.approx(1.05, rel=0.1)
+        assert r.stable
+
+    def test_throughput_matches_offered(self):
+        cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=1e-5,
+                               parallelism=4)
+        r = run_microbatch(lambda t: 5000, cfg, duration=100)
+        assert r.throughput == pytest.approx(5000, rel=0.1)
+
+    def test_zero_rate(self):
+        cfg = MicroBatchConfig()
+        r = run_microbatch(lambda t: 0, cfg, duration=20)
+        assert r.processed_records == 0
+
+
+class TestUnstableRegime:
+    def test_overload_grows_backlog(self):
+        cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=1e-4,
+                               parallelism=4)
+        # batch time = 0.05 + 50000*1e-4/4 = 1.3 > 1.0 -> unstable
+        r = run_microbatch(lambda t: 50_000, cfg, duration=120)
+        assert not r.stable
+        assert r.max_backlog > 10
+        assert r.latency.p95 > 10.0
+
+    def test_knee_location(self):
+        """Stability flips where batch processing time crosses the interval."""
+        cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=1e-4,
+                               parallelism=4, scheduling_overhead=0.05)
+        critical = (1.0 - 0.05) * 4 / 1e-4   # 38_000 rec/s
+        below = run_microbatch(lambda t: critical * 0.8, cfg, 150)
+        above = run_microbatch(lambda t: critical * 1.3, cfg, 150)
+        assert below.stable and not above.stable
+
+
+class TestBackpressure:
+    def test_bounds_latency_by_shedding(self):
+        over = 50_000
+        base = MicroBatchConfig(batch_interval=1.0, per_record_cost=1e-4,
+                                parallelism=4)
+        bp = MicroBatchConfig(batch_interval=1.0, per_record_cost=1e-4,
+                              parallelism=4, backpressure=True)
+        r_no = run_microbatch(lambda t: over, base, 120)
+        r_bp = run_microbatch(lambda t: over, bp, 120)
+        assert r_bp.latency.p95 < r_no.latency.p95 / 3
+        assert r_bp.dropped_records > 0
+
+    def test_no_shedding_when_stable(self):
+        cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=1e-5,
+                               parallelism=4, backpressure=True)
+        r = run_microbatch(lambda t: 1000, cfg, 60)
+        assert r.dropped_records == 0
+
+    def test_time_varying_rate(self):
+        cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=1e-5,
+                               parallelism=4)
+        r = run_microbatch(lambda t: 1000 if t < 50 else 3000, cfg, 100)
+        assert r.processed_records == pytest.approx(
+            50 * 1000 + 50 * 3000, rel=0.05)

@@ -1,0 +1,181 @@
+"""Window assignment and watermark aggregation semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import StreamingError
+from repro.streaming import (
+    WatermarkAggregator,
+    session_windows,
+    sliding_windows,
+    tumbling_window,
+)
+
+
+class TestTumbling:
+    def test_basic(self):
+        assert tumbling_window(12.3, 5) == (10.0, 15.0)
+
+    def test_boundary_belongs_to_next(self):
+        assert tumbling_window(10.0, 5) == (10.0, 15.0)
+
+    def test_negative_time(self):
+        assert tumbling_window(-0.5, 5) == (-5.0, 0.0)
+
+    def test_offset(self):
+        assert tumbling_window(12.0, 5, offset=2) == (12.0, 17.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(StreamingError):
+            tumbling_window(1, 0)
+
+    @given(st.floats(-1e6, 1e6), st.floats(0.1, 1e4))
+    @settings(max_examples=100, deadline=None)
+    def test_contains_ts(self, ts, size):
+        s, e = tumbling_window(ts, size)
+        assert s <= ts < e + 1e-6
+        assert e - s == pytest.approx(size)
+
+
+class TestSliding:
+    def test_count(self):
+        assert len(sliding_windows(7.0, 10, 5)) == 2
+        assert len(sliding_windows(7.0, 9, 3)) == 3
+
+    def test_all_contain_ts(self):
+        for s, e in sliding_windows(12.3, 10, 3):
+            assert s <= 12.3 < e
+
+    def test_slide_exceeding_size_rejected(self):
+        with pytest.raises(StreamingError):
+            sliding_windows(1.0, 5, 10)
+
+    def test_slide_equals_size_is_tumbling(self):
+        ws = sliding_windows(12.3, 5, 5)
+        assert ws == [tumbling_window(12.3, 5)]
+
+    @given(st.floats(0, 1e5), st.floats(1, 100), st.floats(0.5, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_window_alignment(self, ts, size, slide):
+        if slide > size:
+            return
+        ws = sliding_windows(ts, size, slide)
+        assert ws == sorted(ws)
+        for s, e in ws:
+            assert s <= ts < e
+            assert e - s == pytest.approx(size)
+
+
+class TestSessions:
+    def test_gap_splits(self):
+        assert session_windows([1, 2, 3, 10, 11, 30], gap=5) == \
+            [(1, 8), (10, 16), (30, 35)]
+
+    def test_single_event(self):
+        assert session_windows([5], gap=2) == [(5, 7)]
+
+    def test_unsorted_input(self):
+        assert session_windows([30, 1, 10], gap=5) == \
+            [(1, 6), (10, 15), (30, 35)]
+
+    def test_empty(self):
+        assert session_windows([], gap=5) == []
+
+    def test_invalid_gap(self):
+        with pytest.raises(StreamingError):
+            session_windows([1], gap=0)
+
+    @given(st.lists(st.floats(0, 1e4), max_size=200), st.floats(0.1, 100))
+    @settings(max_examples=80, deadline=None)
+    def test_sessions_partition_events(self, ts, gap):
+        sessions = session_windows(ts, gap)
+        # non-overlapping, ordered, and every event inside some session
+        for (s1, e1), (s2, e2) in zip(sessions, sessions[1:]):
+            assert e1 <= s2
+        for t in ts:
+            assert any(s <= t < e for s, e in sessions)
+
+
+class TestWatermarkAggregator:
+    def test_window_fires_when_watermark_passes(self):
+        agg = WatermarkAggregator(10.0, lambda a, b: a + b)
+        out = []
+        out += agg.add(1, "k", 5)
+        out += agg.add(5, "k", 5)
+        assert out == []                   # watermark at 5 < window end 10
+        out += agg.add(11, "k", 1)
+        assert len(out) == 1
+        assert out[0].value == 10 and out[0].window == (0.0, 10.0)
+
+    def test_watermark_delay_postpones_firing(self):
+        agg = WatermarkAggregator(10.0, lambda a, b: a + b,
+                                  watermark_delay=5.0)
+        assert agg.add(1, "k", 1) == []
+        assert agg.add(11, "k", 1) == []   # watermark only 6
+        fired = agg.add(16, "k", 1)
+        assert len(fired) == 1
+
+    def test_late_record_within_lateness_corrects(self):
+        agg = WatermarkAggregator(10.0, lambda a, b: a + b,
+                                  allowed_lateness=20.0)
+        agg.add(1, "k", 1)
+        agg.add(12, "k", 1)                # fires (0,10) with value 1
+        out = agg.add(5, "k", 100)         # late but allowed
+        assert any(r.correction and r.value == 101 for r in out)
+        assert agg.late_corrections == 1
+
+    def test_too_late_record_dropped(self):
+        agg = WatermarkAggregator(10.0, lambda a, b: a + b,
+                                  allowed_lateness=0.0)
+        agg.add(1, "k", 1)
+        agg.add(50, "k", 1)
+        agg.add(2, "k", 100)               # way past lateness
+        assert agg.dropped == 1
+
+    def test_per_key_isolation(self):
+        agg = WatermarkAggregator(10.0, lambda a, b: a + b)
+        agg.add(1, "a", 1)
+        agg.add(2, "b", 10)
+        fired = agg.add(15, "c", 0)
+        got = {r.key: r.value for r in fired}
+        assert got == {"a": 1, "b": 10}
+
+    def test_flush_emits_remaining(self):
+        agg = WatermarkAggregator(10.0, lambda a, b: a + b)
+        agg.add(3, "k", 7)
+        out = agg.flush()
+        assert len(out) == 1 and out[0].value == 7
+
+    def test_init_transform_count_semantics(self):
+        agg = WatermarkAggregator(10.0, lambda acc, v: acc + 1,
+                                  init=lambda v: 1)
+        agg.add(1, "k", "x")
+        agg.add(2, "k", "y")
+        out = agg.flush()
+        assert out[0].value == 2    # count semantics via init/agg
+
+    def test_validation(self):
+        with pytest.raises(StreamingError):
+            WatermarkAggregator(0, lambda a, b: a)
+        with pytest.raises(StreamingError):
+            WatermarkAggregator(1, lambda a, b: a, watermark_delay=-1)
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.integers(0, 3),
+                              st.integers(1, 5)), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_no_lateness_totals_match(self, events):
+        """With unlimited lateness, firing + flush account for every record."""
+        agg = WatermarkAggregator(10.0, lambda a, b: a + b,
+                                  allowed_lateness=1e9)
+        emitted = {}
+        for ts, key, v in events:
+            for r in agg.add(ts, key, v):
+                emitted[(r.key, r.window)] = r.value
+        for r in agg.flush():
+            emitted[(r.key, r.window)] = r.value
+        expected = {}
+        for ts, key, v in events:
+            w = tumbling_window(ts, 10.0)
+            expected[(key, w)] = expected.get((key, w), 0) + v
+        assert emitted == expected

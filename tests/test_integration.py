@@ -1,0 +1,121 @@
+"""End-to-end integration: whole-stack scenarios crossing subsystem seams."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.cluster import FailureInjector, make_cluster
+from repro.common.units import MB, Gbit_per_s
+from repro.dataflow import (
+    CostModel,
+    DataflowContext,
+    EngineConfig,
+    SimEngine,
+)
+from repro.graph import erdos_renyi, pagerank, pagerank_dataflow
+from repro.simcore import Simulator
+from repro.storage import DFSConfig, DistributedFS
+from repro.workloads import zipf_text
+
+
+class TestAnalyticsOnDFS:
+    """Write data to the DFS, run a locality-aware job over its blocks."""
+
+    def test_wordcount_over_dfs_blocks(self):
+        sim = Simulator()
+        cl = make_cluster(sim, n_racks=2, nodes_per_rack=4)
+        fs = DistributedFS(cl, DFSConfig(block_size=MB(1)), seed=0)
+        docs = zipf_text(200, 50, vocab_size=300, seed=1)
+        blob = "\n".join(docs).encode()
+        sim.run_until_done(fs.write("/corpus", data=blob, writer="h0_0"))
+
+        # partition the documents like the DFS blocks and carry the block
+        # locations as locality hints
+        blocks = fs.blocks_of("/corpus")
+        parts, locs = [], []
+        for blk in blocks:
+            start = blk.index * fs.config.block_size
+            chunk = blob[start:start + blk.size].decode(errors="ignore")
+            parts.append(chunk.split())
+            locs.append(blk.nodes())
+        ctx = DataflowContext()
+        src = ctx.from_partitions(parts, locations=locs)
+        wc = src.map(lambda w: (w, 1)).reduce_by_key(operator.add)
+
+        eng = SimEngine(cl, EngineConfig(locality_wait=2.0))
+        res = sim.run_until_done(eng.collect(wc))
+        # distributed result matches a plain Python count
+        from collections import Counter
+        expect = Counter(w for p in parts for w in p)
+        assert dict(res.value) == dict(expect)
+        # locality hints honored for most tasks
+        assert res.metrics.locality_fraction > 0.5
+
+
+class TestChaosPipeline:
+    """Run a multi-stage job while nodes randomly fail and recover."""
+
+    def test_job_survives_churn(self):
+        sim = Simulator()
+        cl = make_cluster(sim, n_racks=2, nodes_per_rack=4)
+        ctx = DataflowContext()
+        eng = SimEngine(cl, cost_model=CostModel(cpu_per_record=1e-4))
+        # keep one rack stable so progress is always possible
+        churn_targets = [f"h1_{i}" for i in range(4)]
+        fi = FailureInjector(cl, mtbf=3.0, mttr=1.0, targets=churn_targets,
+                             seed=4)
+        fi.start()
+        ds = (ctx.range(30_000, 16)
+              .map(lambda x: (x % 500, x))
+              .reduce_by_key(operator.add, 12)
+              .map(lambda kv: (kv[0] % 10, kv[1]))
+              .reduce_by_key(operator.add, 8))
+        res = sim.run_until_done(eng.collect(ds))
+        assert sorted(res.value) == sorted(ds.collect())
+        assert fi.failure_count() > 0
+
+
+class TestGraphPipelineOnEngine:
+    def test_pagerank_distributed_matches_direct(self):
+        g = erdos_renyi(60, 300, seed=3)
+        ctx = DataflowContext()
+        sim = Simulator()
+        cl = make_cluster(sim, 2, 4)
+        eng = SimEngine(cl)
+        plan_ranks = pagerank_dataflow(ctx, g, iterations=15)
+        direct = pagerank(g, max_iter=15, tol=0.0)
+        vec = np.array([plan_ranks[v] for v in range(g.n)])
+        assert np.abs(vec - direct).max() < 1e-9
+
+
+class TestHeterogeneousEndToEnd:
+    def test_speculation_plus_locality_together(self):
+        sim = Simulator()
+        cl = make_cluster(sim, 2, 4,
+                          speed_factors=[1, 1, 1, 1, 1, 1, 1, 0.15])
+        ctx = DataflowContext()
+        eng = SimEngine(cl, EngineConfig(speculation=True,
+                                         locality_wait=0.5,
+                                         check_interval=0.05),
+                        cost_model=CostModel(cpu_per_record=2e-4))
+        parts = [[i] * 2000 for i in range(16)]
+        locs = [[f"h{i % 2}_{(i // 2) % 4}"] for i in range(16)]
+        ds = (ctx.from_partitions(parts, locations=locs)
+              .map(lambda x: (x, 1)).reduce_by_key(operator.add, 8))
+        res = sim.run_until_done(eng.collect(ds))
+        assert sorted(res.value) == [(i, 2000) for i in range(16)]
+
+
+class TestStorageTrafficAccounting:
+    def test_network_bytes_match_dfs_activity(self):
+        sim = Simulator()
+        cl = make_cluster(sim, 2, 3, host_bw=Gbit_per_s(10))
+        fs = DistributedFS(cl, DFSConfig(block_size=MB(2),
+                                         auto_repair=False), seed=2)
+        before = cl.net.total_bytes
+        sim.run_until_done(fs.write("/f", size=MB(2), writer="h0_0"))
+        wrote = cl.net.total_bytes - before
+        # replication pipeline: writer->r1 is a local copy (replica 1 sits
+        # on the writer), so exactly two network hops carry the block
+        assert wrote == pytest.approx(2 * MB(2), rel=0.01)
