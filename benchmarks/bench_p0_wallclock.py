@@ -1,0 +1,47 @@
+"""P0 (perf) — wall-clock throughput of the engine's shuffle hot paths.
+
+Unlike the T*/F*/A* benchmarks (which report *simulated* metrics), P0
+measures the engine's own execution efficiency in real time: shuffle-write
+records/sec on a fixed basket (wordcount, terasort, pagerank, skewed
+combine), end-to-end job wall seconds, and DES-kernel event counts — the
+vectorized ``partition_many`` path A/B'd against the scalar reference,
+and the inbox-driven stage waits A/B'd against the legacy eager poll
+timer.  Writes ``BENCH_wallclock.json`` next to the repo root so every
+PR leaves a comparable perf trajectory.
+
+Run standalone:  ``PYTHONPATH=src python benchmarks/bench_p0_wallclock.py``
+"""
+
+import os
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import one_round
+
+from repro.bench.perfsuite import run_suite, write_report
+
+REPORT = os.path.join(os.path.dirname(__file__), os.pardir,
+                      "BENCH_wallclock.json")
+
+
+def run_p0(scale: float = 1.0, report_path: str = REPORT) -> dict:
+    payload = run_suite(scale=scale, verbose=True)
+    write_report(payload, report_path)
+    print(f"wrote {os.path.normpath(report_path)}")
+    return payload
+
+
+def test_p0(benchmark):
+    payload = one_round(benchmark, lambda: run_p0(scale=0.25))
+    summary = payload["summary"]
+    assert summary["records_per_sec_current"] > 0
+    assert set(payload["workloads"]) == {"wordcount", "terasort",
+                                         "pagerank", "skewed_combine"}
+    # both optimizations must actually help, at any scale
+    assert summary["speedup"] > 1.0
+    assert summary["wordcount_sim_event_reduction"] > 0.0
+
+
+if __name__ == "__main__":
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    run_p0(scale=scale)

@@ -1,0 +1,377 @@
+"""Wall-clock performance suite for the dataflow hot paths.
+
+Unlike the experiment harnesses (which report *simulated* time), this
+module measures **real wall-clock** behaviour of the engine over a fixed
+workload basket — wordcount, terasort, pagerank, and a skewed map-side
+combine.  ``benchmarks/bench_p0_wallclock.py`` drives it and writes
+``BENCH_wallclock.json`` so every PR leaves a comparable perf trajectory
+(SProBench-style: tracked, reproducible numbers make perf work credible).
+
+Two measurements per workload:
+
+* ``shuffle_write`` — records/sec through :func:`~repro.dataflow.
+  shuffleio.write_buckets` on that workload's map-task outputs, exactly
+  as the executors call it (one call per map task, one
+  :class:`~repro.dataflow.costmodel.SizeEstimator` per executor).  This
+  is the hot path this repo vectorizes, so it is where the headline
+  speedup is gated.  Profiling shows end-to-end simulated jobs are
+  dominated by the network-flow solver (max-min fair rate allocation),
+  which this suite deliberately excludes from the throughput number.
+* ``end_to_end`` — a full :class:`~repro.dataflow.engine.SimEngine` job:
+  real wall seconds, simulated seconds, and the number of DES-kernel
+  events processed.  The event count is the criterion for the idle-poll
+  removal (stage loops block on the inbox instead of arming a
+  ``check_interval`` timer per wake when speculation is off).
+
+Each measurement runs two legs:
+
+* ``current`` — vectorized ``partition_many`` + one-pass scatter,
+  memoized size estimation, inbox-driven stage waits.
+* ``baseline`` — the pre-optimization reference: per-record
+  ``partition()`` calls, per-bucket pickle sampling
+  (``shuffleio.set_vectorized(False)``), and the legacy always-armed
+  poll timer (``EngineConfig(eager_poll=True)``).
+
+Both legs compute byte-identical results (asserted on every run), so the
+ratios are pure execution-efficiency measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import make_cluster
+from ..common.units import Gbit_per_s
+from ..dataflow import (
+    Aggregator,
+    CostModel,
+    DataflowContext,
+    EngineConfig,
+    HashPartitioner,
+    RangePartitioner,
+    SimEngine,
+    SizeEstimator,
+)
+from ..dataflow import shuffleio
+from ..dataflow.plan import ShuffleDependency
+from ..graph.generators import erdos_renyi
+from ..graph.dataflow_algos import pagerank_dataflow_plan
+from ..simcore import Simulator
+from ..workloads import teragen, zipf_text
+
+__all__ = ["BASKET", "HEADLINE", "SCHEMA_VERSION", "run_suite",
+           "write_report", "measure_shuffle_write", "measure_end_to_end"]
+
+SCHEMA_VERSION = 2
+
+#: The fixed workload basket, in reporting order.
+BASKET = ("wordcount", "terasort", "pagerank", "skewed_combine")
+
+#: Workloads whose combined shuffle-write throughput gates acceptance.
+HEADLINE = ("wordcount", "terasort")
+
+#: Cost model for the end-to-end legs.  ``cpu_per_record`` is set so map
+#: tasks span many ``check_interval`` periods of simulated time — the
+#: big-data regime (tasks run seconds to minutes, the scheduler ticks
+#: every ~100 ms, as in Spark) where the legacy eager poll timer visibly
+#: churns the event queue.  Short tasks finish before the first timer
+#: would ever fire, hiding the difference.
+_SIM_COST = CostModel(cpu_per_record=1.5e-2, task_overhead=5e-3)
+
+#: Scheduler tick for the end-to-end legs (Spark's speculation interval
+#: default, 100 ms).
+_CHECK_INTERVAL = 0.1
+
+#: Cost model for the shuffle-write legs (defaults, as the executors use).
+_WRITE_COST = CostModel()
+
+
+# ---------------------------------------------------------------------------
+# shuffle-write throughput: the vectorized hot path
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShuffleWriteLeg:
+    seconds: float
+    records_per_sec: float
+
+
+def _chunk(records: List, n_tasks: int) -> List[List]:
+    size = (len(records) + n_tasks - 1) // n_tasks
+    return [records[i:i + size] for i in range(0, len(records), size)]
+
+
+def _run_write_leg(dep: ShuffleDependency, task_outputs: List[List],
+                   vectorized: bool) -> Tuple[float, List]:
+    """One executor's worth of map tasks; returns (seconds, all buckets)."""
+    prev = shuffleio.vectorized_enabled()
+    shuffleio.set_vectorized(vectorized)
+    try:
+        estimator = SizeEstimator(_WRITE_COST) if vectorized else None
+        all_buckets = []
+        t0 = time.perf_counter()
+        for records in task_outputs:
+            buckets, _written, _nbytes = shuffleio.write_buckets(
+                dep, records, _WRITE_COST, estimator)
+            all_buckets.append(buckets)
+        return time.perf_counter() - t0, all_buckets
+    finally:
+        shuffleio.set_vectorized(prev)
+
+
+def measure_shuffle_write(dep: ShuffleDependency, task_outputs: List[List],
+                          reps: int = 5) -> Dict[str, Any]:
+    """A/B-measure ``write_buckets`` over one stage's map-task outputs.
+
+    Asserts the scalar and vectorized legs produce identical buckets
+    (contents *and* order), then reports best-of-``reps`` throughput for
+    each leg and the speedup.  Legs are interleaved rep by rep so slow
+    machine-load drift hits both equally.
+    """
+    records = sum(len(t) for t in task_outputs)
+    times: Dict[str, List[float]] = {"baseline": [], "current": []}
+    reference: Optional[List] = None
+    for _ in range(reps):
+        for leg, vectorized in (("baseline", False), ("current", True)):
+            secs, buckets = _run_write_leg(dep, task_outputs, vectorized)
+            times[leg].append(secs)
+            if reference is None:
+                reference = buckets
+            elif buckets != reference:
+                raise AssertionError(
+                    "scalar and vectorized shuffle writes disagree")
+    best = {leg: min(ts) for leg, ts in times.items()}
+    return {
+        "records": records,
+        "map_tasks": len(task_outputs),
+        "baseline": {"seconds": best["baseline"],
+                     "records_per_sec": records / best["baseline"]},
+        "current": {"seconds": best["current"],
+                    "records_per_sec": records / best["current"]},
+        "speedup": best["baseline"] / best["current"],
+    }
+
+
+_SUM = Aggregator(create=lambda v: v,
+                  merge_value=lambda a, b: a + b,
+                  merge_combiners=lambda a, b: a + b)
+
+
+def _shuffle_dep(partitioner, aggregator=None,
+                 combine: bool = False) -> ShuffleDependency:
+    ctx = DataflowContext(default_parallelism=4)
+    parent = ctx.parallelize([("_", 0)], 1)
+    return ShuffleDependency(parent, partitioner, aggregator=aggregator,
+                             map_side_combine=combine)
+
+
+def _write_wordcount(scale: float) -> Tuple[ShuffleDependency, List[List]]:
+    docs = zipf_text(n_docs=int(6000 * scale), words_per_doc=120,
+                     vocab_size=2000, skew=1.0, seed=11)
+    pairs = [(w, 1) for d in docs for w in d.split()]
+    return (_shuffle_dep(HashPartitioner(16), _SUM, combine=True),
+            _chunk(pairs, 32))
+
+
+def _write_terasort(scale: float) -> Tuple[ShuffleDependency, List[List]]:
+    recs = teragen(int(48_000 * scale), key_bytes=10, payload_bytes=16,
+                   seed=12)
+    keys = [r[0] for r in recs]
+    sample = random.Random(0).sample(keys, min(1000, len(keys)))
+    return (_shuffle_dep(RangePartitioner.from_sample(sample, 16)),
+            _chunk(recs, 16))
+
+
+def _write_pagerank(scale: float) -> Tuple[ShuffleDependency, List[List]]:
+    g = erdos_renyi(int(3000 * scale), m=int(24_000 * scale), seed=13)
+    out_deg = g.out_degrees()
+    contribs = [(v, 1.0 / out_deg[u]) for u, v in g.edge_list()]
+    return _shuffle_dep(HashPartitioner(8)), _chunk(contribs, 8)
+
+
+def _write_skewed_combine(scale: float) -> Tuple[ShuffleDependency,
+                                                 List[List]]:
+    docs = zipf_text(n_docs=int(800 * scale), words_per_doc=150,
+                     vocab_size=300, skew=1.3, seed=14)
+    pairs = [(w, 1) for d in docs for w in d.split()]
+    return (_shuffle_dep(HashPartitioner(8), _SUM, combine=True),
+            _chunk(pairs, 8))
+
+
+_WRITE_BUILDERS: Dict[str, Callable] = {
+    "wordcount": _write_wordcount,
+    "terasort": _write_terasort,
+    "pagerank": _write_pagerank,
+    "skewed_combine": _write_skewed_combine,
+}
+
+
+# ---------------------------------------------------------------------------
+# end-to-end jobs: wall clock + DES event churn
+# ---------------------------------------------------------------------------
+
+def _fresh(eager_poll: bool) -> Tuple[Simulator, DataflowContext, SimEngine]:
+    sim = Simulator()
+    cluster = make_cluster(sim, 2, 4, host_bw=Gbit_per_s(10))
+    ctx = DataflowContext(default_parallelism=16, cost_model=_SIM_COST)
+    cfg = EngineConfig(eager_poll=eager_poll, check_interval=_CHECK_INTERVAL)
+    engine = SimEngine(cluster, config=cfg, cost_model=_SIM_COST)
+    return sim, ctx, engine
+
+
+def _checksum(values: Sequence[Any]) -> int:
+    from ..dataflow.partitioner import stable_hash
+    total = 0
+    for v in values:
+        total = (total + stable_hash(repr(v))) & 0xFFFFFFFFFFFFFFFF
+    return total
+
+
+def _job_wordcount(ctx: DataflowContext, scale: float):
+    docs = zipf_text(n_docs=int(300 * scale), words_per_doc=120,
+                     vocab_size=2000, skew=1.0, seed=11)
+    n_records = sum(len(d.split()) for d in docs)
+    ds = (ctx.parallelize(docs, 16)
+          .flat_map(str.split)
+          .map(lambda w: (w, 1))
+          .reduce_by_key(lambda a, b: a + b, 16))
+    return ds, n_records, _checksum
+
+
+def _job_terasort(ctx: DataflowContext, scale: float):
+    records = teragen(int(30_000 * scale), key_bytes=10, payload_bytes=16,
+                      seed=12)
+    ds = ctx.parallelize(records, 16).sort_by(lambda kv: kv[0],
+                                              n_partitions=16)
+    return ds, len(records), _checksum
+
+
+def _job_pagerank(ctx: DataflowContext, scale: float):
+    n_vertices = int(600 * scale)
+    g = erdos_renyi(n_vertices, m=8 * n_vertices, seed=13)
+    ds = pagerank_dataflow_plan(ctx, g, iterations=3, n_partitions=8)
+    return ds, g.n + g.n_edges, lambda v: _checksum(sorted(v))
+
+
+def _job_skewed_combine(ctx: DataflowContext, scale: float):
+    docs = zipf_text(n_docs=int(150 * scale), words_per_doc=150,
+                     vocab_size=300, skew=1.3, seed=14)
+    words = [w for d in docs for w in d.split()]
+    ds = (ctx.parallelize(words, 16)
+          .map(lambda w: (w, 1))
+          .reduce_by_key(lambda a, b: a + b, 8))
+    return ds, len(words), _checksum
+
+
+_JOB_BUILDERS: Dict[str, Callable] = {
+    "wordcount": _job_wordcount,
+    "terasort": _job_terasort,
+    "pagerank": _job_pagerank,
+    "skewed_combine": _job_skewed_combine,
+}
+
+
+def _run_end_to_end_leg(name: str, scale: float,
+                        vectorized: bool) -> Dict[str, Any]:
+    prev = shuffleio.vectorized_enabled()
+    shuffleio.set_vectorized(vectorized)
+    try:
+        sim, ctx, engine = _fresh(eager_poll=not vectorized)
+        ds, n_records, digest = _JOB_BUILDERS[name](ctx, scale)
+        t0 = time.perf_counter()
+        res = sim.run_until_done(engine.collect(ds))
+        wall = time.perf_counter() - t0
+        return {
+            "records": n_records,
+            "wall_seconds": wall,
+            "sim_events": sim.events_processed,
+            "sim_seconds": res.metrics.duration,
+            "n_tasks": res.metrics.n_tasks,
+            "checksum": digest(res.value),
+        }
+    finally:
+        shuffleio.set_vectorized(prev)
+
+
+def measure_end_to_end(name: str, scale: float = 1.0) -> Dict[str, Any]:
+    """Run one basket job on a fresh simulated cluster, both legs.
+
+    Asserts the legs produce identical results, then reports wall
+    seconds, simulated-event counts, and the event reduction (speculation
+    is off, so the current leg never arms the per-wake poll timer).
+    """
+    cur = _run_end_to_end_leg(name, scale, vectorized=True)
+    base = _run_end_to_end_leg(name, scale, vectorized=False)
+    if cur.pop("checksum") != base.pop("checksum"):
+        raise AssertionError(f"{name}: legs computed different results")
+    return {
+        "current": cur,
+        "baseline": base,
+        "wall_speedup": base["wall_seconds"] / cur["wall_seconds"],
+        "sim_event_reduction": 1.0 - cur["sim_events"] / base["sim_events"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# the suite
+# ---------------------------------------------------------------------------
+
+def run_suite(scale: float = 1.0, verbose: bool = True) -> Dict[str, Any]:
+    """Run the whole basket; returns the ``BENCH_wallclock.json`` payload."""
+    workloads: Dict[str, Any] = {}
+    for name in BASKET:
+        dep, task_outputs = _WRITE_BUILDERS[name](scale)
+        write = measure_shuffle_write(dep, task_outputs)
+        e2e = measure_end_to_end(name, scale)
+        workloads[name] = {"shuffle_write": write, "end_to_end": e2e}
+        if verbose:
+            cur = write["current"]["records_per_sec"]
+            print(f"{name:>15}: shuffle-write {cur:>12,.0f} rec/s "
+                  f"[{write['speedup']:.2f}x vs scalar]  "
+                  f"end-to-end {e2e['current']['wall_seconds']:.3f} s, "
+                  f"sim events "
+                  f"-{100 * e2e['sim_event_reduction']:.1f}%")
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "scale": scale,
+        "workloads": workloads,
+        "summary": _summarize(workloads),
+    }
+    if verbose:
+        s = payload["summary"]
+        print(f"{'basket':>15}: {s['records_per_sec_current']:,.0f} rec/s "
+              f"vs {s['records_per_sec_baseline']:,.0f} baseline "
+              f"= {s['speedup']:.2f}x; wordcount sim events "
+              f"-{100 * s['wordcount_sim_event_reduction']:.1f}%")
+    return payload
+
+
+def _summarize(workloads: Dict[str, Any]) -> Dict[str, Any]:
+    def _basket_rate(leg: str) -> float:
+        recs = sum(workloads[n]["shuffle_write"]["records"]
+                   for n in HEADLINE)
+        secs = sum(workloads[n]["shuffle_write"][leg]["seconds"]
+                   for n in HEADLINE)
+        return recs / secs
+
+    wc = workloads["wordcount"]["end_to_end"]
+    return {
+        "headline_workloads": list(HEADLINE),
+        "records_per_sec_current": _basket_rate("current"),
+        "records_per_sec_baseline": _basket_rate("baseline"),
+        "speedup": _basket_rate("current") / _basket_rate("baseline"),
+        "wordcount_sim_events_current": wc["current"]["sim_events"],
+        "wordcount_sim_events_baseline": wc["baseline"]["sim_events"],
+        "wordcount_sim_event_reduction": wc["sim_event_reduction"],
+    }
+
+
+def write_report(payload: Dict[str, Any], path: str) -> None:
+    """Write the payload as stable, diff-friendly JSON."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,19 +1,27 @@
 """The dataflow engine: lazy plans, local execution, simulated clusters."""
 
 from .context import DataflowContext
-from .costmodel import CostModel
+from .costmodel import CostModel, SizeEstimator
 from .engine import EngineConfig, JobMetrics, JobResult, SimEngine
 from .local import LocalExecutor, ShuffleMetrics
-from .partitioner import HashPartitioner, Partitioner, RangePartitioner, stable_hash
+from .partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    stable_hash,
+    stable_hash_many,
+)
 from .plan import Aggregator, Dataset, ShuffleDependency, SourceDataset
 from .shared import Accumulator, Broadcast
 from .stages import Stage, build_stages, narrow_op_depth, topo_order
 
 __all__ = [
     "DataflowContext", "Dataset", "SourceDataset", "Aggregator",
-    "ShuffleDependency", "CostModel", "LocalExecutor", "ShuffleMetrics",
+    "ShuffleDependency", "CostModel", "SizeEstimator",
+    "LocalExecutor", "ShuffleMetrics",
     "SimEngine", "EngineConfig", "JobMetrics", "JobResult",
-    "Partitioner", "HashPartitioner", "RangePartitioner", "stable_hash",
+    "Partitioner", "HashPartitioner", "RangePartitioner",
+    "stable_hash", "stable_hash_many",
     "Stage", "build_stages", "topo_order", "narrow_op_depth",
     "Broadcast", "Accumulator",
 ]

@@ -10,15 +10,21 @@ modeled costs:
 
 All knobs live in one dataclass so experiments can scale compute versus
 I/O intensity explicitly.
+
+:class:`SizeEstimator` memoizes the per-record size estimate per dataset
+or shuffle, so the hot shuffle-write path pickles one sample per map
+output instead of one sample per bucket.  Callers own the invalidation:
+drop a key (or everything) whenever the records behind it change shape —
+the executors invalidate on :meth:`clear`-style resets.
 """
 
 from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
-__all__ = ["CostModel"]
+__all__ = ["CostModel", "SizeEstimator"]
 
 
 @dataclass(frozen=True)
@@ -41,16 +47,86 @@ class CostModel:
         """Work units to pipeline ``n_records`` through ``n_ops`` operators."""
         return self.cpu_per_record * max(n_records, 0) * max(n_ops, 1)
 
+    def sample_indices(self, n: int) -> range:
+        """Indices of exactly ``min(n, sample_size)`` evenly spread records.
+
+        ``range(0, n, n // k)`` can overshoot and needs slicing; computing
+        the stride on an exact-count ``range`` yields precisely ``k``
+        indices in ``[0, n)`` with no intermediate list.
+        """
+        k = min(n, self.sample_size)
+        if k <= 0:
+            return range(0)
+        return range(0, k * (n // k), n // k)
+
+    def per_record_bytes(self, records: Sequence) -> float:
+        """Estimated serialized bytes per record from a bounded sample."""
+        n = len(records)
+        if n == 0:
+            return self.min_record_bytes
+        total = 0
+        count = 0
+        for i in self.sample_indices(n):
+            total += len(pickle.dumps(records[i], protocol=4))
+            count += 1
+        return max(self.min_record_bytes, total / count)
+
     def estimate_bytes(self, records: Sequence) -> float:
         """Approximate serialized size of ``records`` via a pickled sample."""
         n = len(records)
         if n == 0:
             return 0.0
-        k = min(n, self.sample_size)
-        step = max(1, n // k)
-        sample = [records[i] for i in range(0, n, step)][:k]
-        per = max(
-            self.min_record_bytes,
-            sum(len(pickle.dumps(r, protocol=4)) for r in sample) / len(sample),
-        )
-        return per * n * self.compression_ratio
+        return self.per_record_bytes(records) * n * self.compression_ratio
+
+
+class SizeEstimator:
+    """Memoized per-record size estimates, keyed by dataset/shuffle.
+
+    One executor owns one estimator.  The first call for a key samples
+    (pickles ``cost.sample_size`` records); subsequent calls for the same
+    key are pure arithmetic.  Keys are caller-chosen hashables — the
+    executors use ``("shuffle", shuffle_id)`` and ``("cache",
+    dataset_id)`` — and must be invalidated when the records they describe
+    change distribution (e.g. executor reset): that is the invalidation
+    story, explicit and owned by whoever owns the key.
+    """
+
+    def __init__(self, cost: CostModel) -> None:
+        self.cost = cost
+        self._per_record: Dict[Hashable, float] = {}
+
+    def per_record(self, key: Hashable, records: Sequence) -> float:
+        """The (memoized) per-record byte estimate for ``key``.
+
+        ``records`` is only sampled on the first call for ``key``; an
+        empty first sample is not cached so a later non-empty map output
+        can establish the estimate.
+        """
+        per = self._per_record.get(key)
+        if per is None:
+            if len(records) == 0:
+                return self.cost.min_record_bytes
+            per = self.cost.per_record_bytes(records)
+            self._per_record[key] = per
+        return per
+
+    def estimate(self, key: Hashable, records: Sequence) -> float:
+        """Estimated serialized size of ``records`` under ``key``'s profile."""
+        n = len(records)
+        if n == 0:
+            return 0.0
+        return self.per_record(key, records) * n * self.cost.compression_ratio
+
+    def estimate_count(self, key: Hashable, n: int,
+                       sample: Sequence) -> float:
+        """Size of ``n`` records whose profile comes from ``sample``."""
+        if n <= 0:
+            return 0.0
+        return self.per_record(key, sample) * n * self.cost.compression_ratio
+
+    def invalidate(self, key: Optional[Hashable] = None) -> None:
+        """Forget one memoized estimate, or all of them (``key=None``)."""
+        if key is None:
+            self._per_record.clear()
+        else:
+            self._per_record.pop(key, None)

@@ -28,7 +28,7 @@ from ..common.errors import DataflowError, TaskFailedError
 from ..simcore.events import Event
 from ..simcore.kernel import Simulator
 from ..simcore.resources import Store
-from .costmodel import CostModel
+from .costmodel import CostModel, SizeEstimator
 from .plan import Dataset, ShuffleDependency, TaskRuntime
 from .shuffleio import write_buckets
 from .stages import (
@@ -61,6 +61,9 @@ class EngineConfig:
     speculation_multiplier: float = 1.5  # straggler threshold vs median
     speculation_min_frac: float = 0.5    # completed fraction before speculating
     check_interval: float = 0.25         # scheduler poll period (s)
+    eager_poll: bool = False             # always arm the poll timer (legacy);
+    # by default idle stages wait purely on the task inbox, so a stage with
+    # everything launched and nothing to speculate creates zero timer events
     shuffle_to_disk: bool = True         # charge disk for map output writes
     executor_memory: float = float("inf")   # bytes a task may hold in RAM;
     # shuffle input beyond it spills (one disk write + read of the excess)
@@ -160,7 +163,8 @@ class _SimRuntime(TaskRuntime):
         return entry.records
 
     def cache_put(self, dataset: Dataset, split: int, records: List) -> None:
-        nbytes = self.engine.cost.estimate_bytes(records)
+        nbytes = self.engine._size_est.estimate(
+            ("cache", dataset.dataset_id), records)
         self.engine._cache[(dataset.dataset_id, split)] = _CacheEntry(
             self.node, records, nbytes)
 
@@ -210,6 +214,7 @@ class SimEngine:
         self.sim: Simulator = cluster.sim
         self.config = config or EngineConfig()
         self.cost = cost_model or CostModel()
+        self._size_est = SizeEstimator(self.cost)
         self._map_outputs: Dict[int, Dict[int, _MapOutput]] = {}
         self._shuffle_nmaps: Dict[int, int] = {}
         self._cache: Dict[Tuple[int, int], _CacheEntry] = {}
@@ -325,63 +330,80 @@ class SimEngine:
         def completed() -> int:
             return len(done_splits)
 
-        while completed() < len(todo):
-            self._launch_ready(stage, pending, wait_start, attempts,
-                               metrics, inbox, per_partition)
-            if pending_get is None:
-                pending_get = inbox.get()
-            timer = self.sim.timeout(cfg.check_interval)
-            yield self.sim.any_of([pending_get, timer])
-            if not pending_get.triggered:
-                # periodic tick: maybe speculate
-                if cfg.speculation:
-                    self._maybe_speculate(stage, attempts, done_splits,
-                                          durations, metrics, inbox,
-                                          per_partition, len(todo))
-                continue
-            res: _TaskResult = pending_get.value
-            pending_get = None
-            self._release_slot(res.attempt)
-            if res.split in done_splits:
-                continue   # speculative loser
-            if res.ok:
-                done_splits.add(res.split)
-                durations.append(res.duration)
-                metrics.task_durations.append(res.duration)
-                results[res.split] = res.value
-                for acc, stash in res.acc_stashes:
-                    acc._apply(stash)      # exactly once: winners only
-                if res.attempt.speculative:
-                    metrics.n_spec_wins += 1
-                continue
-            # failure handling
-            metrics.n_failed_attempts += 1
-            if isinstance(res.error, MissingShuffleError):
-                # several reduce tasks typically report the same loss at
-                # once; only re-run maps still absent from the registry
-                sid = res.error.shuffle_id
-                outputs = self._map_outputs.get(sid, {})
-                still_missing = [
-                    m for m in res.error.missing
-                    if m not in outputs
-                    or not self.cluster.nodes[outputs[m].node].alive
-                ]
-                if still_missing:
-                    parent = stage_by_shuffle[sid]
-                    metrics.n_recovered_maps += len(still_missing)
-                    yield from self._run_stage(parent, metrics,
-                                               stage_by_shuffle, None,
-                                               splits=still_missing)
+        try:
+            while completed() < len(todo):
+                self._launch_ready(stage, pending, wait_start, attempts,
+                                   metrics, inbox, per_partition)
+                if pending_get is None:
+                    pending_get = inbox.get()
+                # Arm the poll timer only when time passing (rather than a
+                # task completing) can change what this loop should do:
+                # speculation checks, or deferred tasks waiting out delay
+                # scheduling / a node recovery.  Idle stages wait purely on
+                # the inbox, which cuts simulated-event churn on large jobs.
+                if cfg.eager_poll or cfg.speculation or pending:
+                    timer = self.sim.timeout(cfg.check_interval)
+                    yield self.sim.any_of([pending_get, timer])
+                else:
+                    yield pending_get
+                if not pending_get.triggered:
+                    # periodic tick: maybe speculate
+                    if cfg.speculation:
+                        self._maybe_speculate(stage, attempts, done_splits,
+                                              durations, metrics, inbox,
+                                              per_partition, len(todo))
+                    continue
+                res: _TaskResult = pending_get.value
+                pending_get = None
+                self._release_slot(res.attempt)
+                if res.split in done_splits:
+                    continue   # speculative loser
+                if res.ok:
+                    done_splits.add(res.split)
+                    durations.append(res.duration)
+                    metrics.task_durations.append(res.duration)
+                    results[res.split] = res.value
+                    for acc, stash in res.acc_stashes:
+                        acc._apply(stash)      # exactly once: winners only
+                    if res.attempt.speculative:
+                        metrics.n_spec_wins += 1
+                    continue
+                # failure handling
+                metrics.n_failed_attempts += 1
+                if isinstance(res.error, MissingShuffleError):
+                    # several reduce tasks typically report the same loss at
+                    # once; only re-run maps still absent from the registry
+                    sid = res.error.shuffle_id
+                    outputs = self._map_outputs.get(sid, {})
+                    still_missing = [
+                        m for m in res.error.missing
+                        if m not in outputs
+                        or not self.cluster.nodes[outputs[m].node].alive
+                    ]
+                    if still_missing:
+                        parent = stage_by_shuffle[sid]
+                        metrics.n_recovered_maps += len(still_missing)
+                        yield from self._run_stage(parent, metrics,
+                                                   stage_by_shuffle, None,
+                                                   splits=still_missing)
+                    pending.append(res.split)
+                    wait_start[res.split] = self.sim.now
+                    continue
+                retries[res.split] += 1
+                if retries[res.split] > cfg.max_task_retries:
+                    raise TaskFailedError(
+                        f"task {res.split} of stage {stage.stage_id} failed "
+                        f"{retries[res.split]} times: {res.error}")
                 pending.append(res.split)
                 wait_start[res.split] = self.sim.now
-                continue
-            retries[res.split] += 1
-            if retries[res.split] > cfg.max_task_retries:
-                raise TaskFailedError(
-                    f"task {res.split} of stage {stage.stage_id} failed "
-                    f"{retries[res.split]} times: {res.error}")
-            pending.append(res.split)
-            wait_start[res.split] = self.sim.now
+        finally:
+            # Stale-get guard: a ``Store.get`` still outstanding when this
+            # stage finishes — normally, or unwound by an exception while
+            # waiting — must never swallow a late task result into a
+            # completed stage loop (late results belong in ``inbox.items``
+            # where they are harmless).  Withdraw it explicitly.
+            if pending_get is not None and not pending_get.triggered:
+                inbox.cancel_get(pending_get)
         return results
 
     # -------------------------------------------------------- scheduling
@@ -569,7 +591,7 @@ class SimEngine:
         else:
             dep = stage.shuffle_dep
             buckets, _written, bucket_bytes = write_buckets(
-                dep, records, self.cost)
+                dep, records, self.cost, size_estimator=self._size_est)
             if self.config.shuffle_to_disk:
                 total = sum(bucket_bytes)
                 if total > 0:

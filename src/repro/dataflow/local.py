@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..common.errors import PlanError
+from .costmodel import SizeEstimator
 from .plan import (
     Dataset,
     NarrowDependency,
@@ -61,6 +62,7 @@ class LocalExecutor:
         self._shuffle_store: Dict[int, List[List]] = {}
         self._cache: Dict[Tuple[int, int], List] = {}
         self.shuffle_metrics: Dict[int, ShuffleMetrics] = {}
+        self._size_est = SizeEstimator(ctx.cost_model)
         self._runtime = _LocalRuntime(self)
 
     # -- public actions --------------------------------------------------
@@ -147,7 +149,7 @@ class LocalExecutor:
             records = self._materialize(parent, split)
             metrics.records_in += len(records)
             split_buckets, written, bucket_bytes = write_buckets(
-                dep, records, cost)
+                dep, records, cost, size_estimator=self._size_est)
             metrics.records_written += written
             metrics.bytes_written += sum(bucket_bytes)
             for rid in range(n_out):
@@ -162,6 +164,7 @@ class LocalExecutor:
         self._shuffle_store.clear()
         self._cache.clear()
         self.shuffle_metrics.clear()
+        self._size_est.invalidate()
 
     def uncache(self, ds: Dataset) -> None:
         """Evict a dataset's partitions from the in-process cache."""

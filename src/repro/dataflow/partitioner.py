@@ -1,37 +1,136 @@
 """Partitioners: how keyed records map to reduce partitions.
 
-Hash partitioning uses a *deterministic* hash (CRC32 of the pickled key),
-not Python's salted ``hash()``, so shuffles are reproducible across
-processes and runs.  Range partitioning picks boundaries from a sample of
-keys — the TeraSort approach — producing globally sorted output with
-approximately balanced partitions.
+Hash partitioning uses a *deterministic* hash (splitmix finalizer for
+numeric keys, CRC32 for strings/bytes/pickled keys), not Python's salted
+``hash()``, so shuffles are reproducible across processes and runs.  Range
+partitioning picks boundaries from a sample of keys — the TeraSort
+approach — producing globally sorted output with approximately balanced
+partitions.
+
+Both partitioners expose a **vectorized batch API**,
+:meth:`Partitioner.partition_many`, which maps a whole sequence of keys to
+a numpy array of partition ids in one pass.  The batch path is guaranteed
+to agree element-wise with the scalar :meth:`Partitioner.partition`
+(property-tested in ``tests/dataflow/test_partition_vectorized.py``), so
+the shuffle layer can use it without changing any result bytes.
 """
 
 from __future__ import annotations
 
 import bisect
 import pickle
+import struct
 import zlib
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..common.rng import RandomState, ensure_rng
 
-__all__ = ["Partitioner", "HashPartitioner", "RangePartitioner", "stable_hash"]
+__all__ = ["Partitioner", "HashPartitioner", "RangePartitioner",
+           "stable_hash", "stable_hash_many"]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+# Memoized CRC32-of-pickle hashes for keys outside the typed fast paths.
+# Pickling is by far the dominant cost of hashing exotic keys, and real
+# workloads repeat keys heavily (that is why they are shuffle keys), so a
+# bounded map amortizes it to one pickle per distinct key per process.
+# The cache key pairs the value with its type so equal-but-distinct keys
+# of different types (``Decimal(1)`` vs ``1``) cannot alias.
+_PICKLE_HASH_CACHE: Dict[Any, int] = {}
+_PICKLE_HASH_CACHE_MAX = 1 << 16
+
+
+def _mix64(x: int) -> int:
+    """Splitmix64 finalizer folded to 32 bits (deterministic, well mixed)."""
+    x &= _MASK64
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK64
+    return (x ^ (x >> 31)) & 0xFFFFFFFF
+
+
+def _pickle_hash(key: Any) -> int:
+    try:
+        cache_key = (key.__class__, key)
+        h = _PICKLE_HASH_CACHE.get(cache_key)
+    except TypeError:                      # unhashable key: no memoization
+        return zlib.crc32(pickle.dumps(key, protocol=4))
+    if h is None:
+        h = zlib.crc32(pickle.dumps(key, protocol=4))
+        if len(_PICKLE_HASH_CACHE) >= _PICKLE_HASH_CACHE_MAX:
+            _PICKLE_HASH_CACHE.clear()
+        _PICKLE_HASH_CACHE[cache_key] = h
+    return h
 
 
 def stable_hash(key: Any) -> int:
     """A process-stable, deterministic 32-bit hash of any picklable key."""
     if isinstance(key, int) and not isinstance(key, bool):
         # fast path; mix bits so sequential ints spread
-        x = key & 0xFFFFFFFFFFFFFFFF
-        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
-        x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
-        return (x ^ (x >> 31)) & 0xFFFFFFFF
+        return _mix64(key)
     if isinstance(key, str):
         return zlib.crc32(key.encode("utf-8", "surrogatepass"))
     if isinstance(key, bytes):
         return zlib.crc32(key)
-    return zlib.crc32(pickle.dumps(key, protocol=4))
+    if isinstance(key, float):
+        # IEEE-754 bit pattern through the same mixer as ints; matches the
+        # vectorized path (float64 viewed as uint64) bit for bit.
+        return _mix64(int.from_bytes(struct.pack("<d", key), "little"))
+    if isinstance(key, tuple) and all(type(x) is int for x in key):
+        # FNV-1a over per-element mixes (no pickling for int tuples)
+        h = 2166136261 ^ len(key)
+        for x in key:
+            h = ((h ^ _mix64(x)) * 16777619) & 0xFFFFFFFF
+        return h
+    return _pickle_hash(key)
+
+
+def _mix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_mix64` over a uint64 array (wraps mod 2**64)."""
+    m1 = np.uint64(0xBF58476D1CE4E5B9)
+    m2 = np.uint64(0x94D049BB133111EB)
+    s30, s27, s31 = np.uint64(30), np.uint64(27), np.uint64(31)
+    x = (x ^ (x >> s30)) * m1
+    x = (x ^ (x >> s27)) * m2
+    x = x ^ (x >> s31)
+    return x & np.uint64(0xFFFFFFFF)
+
+
+def _hash_many_scalar(keys: Sequence[Any], n: int) -> np.ndarray:
+    return np.fromiter((stable_hash(k) for k in keys),
+                       dtype=np.uint64, count=n)
+
+
+def stable_hash_many(keys: Sequence[Any]) -> np.ndarray:
+    """Vectorized :func:`stable_hash`: a uint64 array of 32-bit hashes.
+
+    Homogeneous int and float key sequences hash with pure numpy
+    arithmetic; str/bytes sequences run CRC32 (a C primitive) in a tight
+    generator; everything else falls back to the scalar function per key.
+    Element-wise equal to ``[stable_hash(k) for k in keys]`` always.
+    """
+    n = len(keys)
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    kinds = set(map(type, keys))
+    if kinds == {int}:
+        try:
+            arr = np.fromiter(keys, dtype=np.int64, count=n)
+        except OverflowError:         # ints beyond 64 bits: scalar path
+            return _hash_many_scalar(keys, n)
+        return _mix64_array(arr.view(np.uint64))
+    if kinds == {float}:
+        arr = np.fromiter(keys, dtype=np.float64, count=n)
+        return _mix64_array(arr.view(np.uint64))
+    if kinds == {str}:
+        return np.fromiter(
+            (zlib.crc32(k.encode("utf-8", "surrogatepass")) for k in keys),
+            dtype=np.uint64, count=n)
+    if kinds == {bytes}:
+        return np.fromiter((zlib.crc32(k) for k in keys),
+                           dtype=np.uint64, count=n)
+    return _hash_many_scalar(keys, n)
 
 
 class Partitioner:
@@ -46,6 +145,16 @@ class Partitioner:
         """Partition id for ``key``."""
         raise NotImplementedError
 
+    def partition_many(self, keys: Sequence[Any]) -> np.ndarray:
+        """Partition ids for a whole key sequence as an int64 array.
+
+        Subclasses override with vectorized implementations; the base
+        implementation loops over :meth:`partition` so the batch API is
+        always available (and always agrees with the scalar one).
+        """
+        return np.fromiter((self.partition(k) for k in keys),
+                           dtype=np.int64, count=len(keys))
+
     def __eq__(self, other: object) -> bool:
         return type(self) is type(other) and \
             self.n_partitions == other.n_partitions  # type: ignore[attr-defined]
@@ -59,6 +168,12 @@ class HashPartitioner(Partitioner):
 
     def partition(self, key: Any) -> int:
         return stable_hash(key) % self.n_partitions
+
+    def partition_many(self, keys: Sequence[Any]) -> np.ndarray:
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.int64)
+        hashes = stable_hash_many(keys)
+        return (hashes % np.uint64(self.n_partitions)).astype(np.int64)
 
 
 class RangePartitioner(Partitioner):
@@ -79,6 +194,9 @@ class RangePartitioner(Partitioner):
                for i in range(len(self.boundaries) - 1)):
             raise ValueError("boundaries must be nondecreasing")
         self.ascending = ascending
+        # per-call dispatch caches (boundaries are fixed after init)
+        self._boundary_types = frozenset(map(type, self.boundaries))
+        self._boundary_prefixes: Optional[np.ndarray] = None
 
     @classmethod
     def from_sample(cls, keys: Sequence[Any], n_partitions: int,
@@ -114,6 +232,108 @@ class RangePartitioner(Partitioner):
         idx = bisect.bisect_left(self.boundaries, key)
         if not self.ascending:
             idx = self.n_partitions - 1 - idx
+        return idx
+
+    def partition_many(self, keys: Sequence[Any]) -> np.ndarray:
+        n = len(keys)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if not self.boundaries:
+            idx = np.zeros(n, dtype=np.int64)
+        else:
+            idx = self._bisect_many(keys)
+        if not self.ascending:
+            idx = self.n_partitions - 1 - idx
+        return idx
+
+    def _bisect_many(self, keys: Sequence[Any]) -> np.ndarray:
+        """Vectorized ``bisect_left(self.boundaries, k)`` for every key.
+
+        Pure-int and pure-float data use native numpy dtypes (int64 is
+        exact; float64 round-trips).  Byte strings go through a big-endian
+        uint64 prefix: a comparison decided within the first 8 bytes is
+        decided identically by the prefix integers, and keys whose prefix
+        collides with a boundary prefix (where padding or later bytes
+        could matter) are re-resolved with :func:`bisect.bisect_left` —
+        exact for every input, fast for the TeraSort-shaped common case.
+        Everything else — strings, tuples, mixed numerics — uses object
+        arrays, where searchsorted compares with Python semantics
+        (fixed-width 'S'/'U' dtypes would pad with NULs and break
+        ordering, so they are never used).
+        """
+        k0 = type(keys[0])
+        bt = self._boundary_types
+        if k0 is bytes and bt == {bytes}:
+            # no per-key type scan: ``b"".join`` / the prefix extraction
+            # reject non-bytes keys, falling back to the generic path
+            try:
+                return self._bisect_many_bytes(keys)
+            except (TypeError, AttributeError):
+                pass
+        elif k0 is int and bt == {int} and set(map(type, keys)) == {int}:
+            # the full type scan is required here: np.fromiter(int64)
+            # silently truncates floats instead of raising
+            try:
+                b_arr = np.fromiter(self.boundaries, dtype=np.int64,
+                                    count=len(self.boundaries))
+                k_arr = np.fromiter(keys, dtype=np.int64, count=len(keys))
+                return np.searchsorted(b_arr, k_arr,
+                                       side="left").astype(np.int64)
+            except OverflowError:
+                pass
+        elif k0 is float and bt == {float} and \
+                set(map(type, keys)) == {float}:
+            b_arr = np.fromiter(self.boundaries, dtype=np.float64,
+                                count=len(self.boundaries))
+            k_arr = np.fromiter(keys, dtype=np.float64, count=len(keys))
+            # NaN breaks the total order every binary search assumes
+            # (numpy sorts it last, Python comparisons all return False,
+            # and a NaN query can even poison numpy's subsequent object
+            # searches) — bisect per key is the only faithful semantics
+            if np.isnan(k_arr).any() or np.isnan(b_arr).any():
+                return np.fromiter(
+                    (bisect.bisect_left(self.boundaries, k) for k in keys),
+                    dtype=np.int64, count=len(keys))
+            return np.searchsorted(b_arr, k_arr, side="left").astype(np.int64)
+        b_arr = np.empty(len(self.boundaries), dtype=object)
+        b_arr[:] = self.boundaries
+        k_arr = np.empty(len(keys), dtype=object)
+        k_arr[:] = list(keys)
+        return np.searchsorted(b_arr, k_arr, side="left").astype(np.int64)
+
+    @staticmethod
+    def _prefix64(key: bytes) -> int:
+        return int.from_bytes(key[:8].ljust(8, b"\0"), "big")
+
+    def _bisect_many_bytes(self, keys: Sequence[bytes]) -> np.ndarray:
+        n = len(keys)
+        lengths = set(map(len, keys))
+        if len(lengths) == 1:
+            # uniform-length keys: one join + frombuffer, no per-key work
+            length = lengths.pop()
+            flat = np.frombuffer(b"".join(keys),
+                                 dtype=np.uint8).reshape(n, length)
+            if length >= 8:
+                pref = flat[:, :8].copy().view(">u8").ravel()
+            else:
+                padded = np.zeros((n, 8), dtype=np.uint8)
+                padded[:, :length] = flat
+                pref = padded.view(">u8").ravel()
+            pref = pref.astype(np.uint64, copy=False)
+        else:
+            pref = np.fromiter((self._prefix64(k) for k in keys),
+                               dtype=np.uint64, count=n)
+        if self._boundary_prefixes is None:
+            self._boundary_prefixes = np.fromiter(
+                (self._prefix64(b) for b in self.boundaries),
+                dtype=np.uint64, count=len(self.boundaries))
+        b_pref = self._boundary_prefixes
+        idx = np.searchsorted(b_pref, pref, side="left").astype(np.int64)
+        # keys sharing a prefix with any boundary need the full comparison
+        ambiguous = np.isin(pref, b_pref)
+        if ambiguous.any():
+            for i in np.nonzero(ambiguous)[0]:
+                idx[i] = bisect.bisect_left(self.boundaries, keys[i])
         return idx
 
     def __eq__(self, other: object) -> bool:

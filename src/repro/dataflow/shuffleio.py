@@ -3,26 +3,127 @@
 Both executors funnel map output through :func:`write_buckets` so the
 combiner semantics — and the volume accounting the experiments read —
 are identical in local and simulated execution.
+
+The write path is **vectorized**: keys are partitioned in one
+:meth:`~repro.dataflow.partitioner.Partitioner.partition_many` pass and
+records are scattered to buckets in one zip-append sweep over the id
+array instead of one ``partition()`` call per record.  With map-side combining, records
+are first merged into one dict (identical merge semantics, in record
+order) and only the *combined* items — typically far fewer — are
+partitioned and scattered.  Bucket contents and ordering are
+byte-identical to the scalar reference path, which is kept (behind
+:func:`set_vectorized`) for A/B benchmarking and as executable
+documentation of the semantics.
+
+Byte accounting goes through an optional
+:class:`~repro.dataflow.costmodel.SizeEstimator` so one map output
+pickles at most one bounded sample (memoized per shuffle), not one
+sample per bucket.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from .costmodel import CostModel
+import numpy as np
+
+from .costmodel import CostModel, SizeEstimator
 from .plan import ShuffleDependency
 
-__all__ = ["write_buckets"]
+__all__ = ["write_buckets", "set_vectorized", "vectorized_enabled"]
+
+# Global A/B switch: True = vectorized fast path (default), False = the
+# original scalar reference implementation.  The wall-clock perf suite
+# flips this to measure the speedup; semantics are identical either way.
+_VECTORIZED = True
+
+
+def set_vectorized(enabled: bool) -> None:
+    """Select the vectorized (default) or scalar-reference shuffle path."""
+    global _VECTORIZED
+    _VECTORIZED = bool(enabled)
+
+
+def vectorized_enabled() -> bool:
+    """Whether the vectorized shuffle-write path is active."""
+    return _VECTORIZED
+
+
+def _scatter(items: Sequence, part_ids: np.ndarray,
+             n_out: int) -> List[List]:
+    """Distribute ``items`` into ``n_out`` buckets by ``part_ids``.
+
+    Stable: each bucket preserves the original relative order of its
+    items.  A plain zip-append over ``part_ids.tolist()`` measures ~2x
+    faster than a stable argsort + fancy-index gather here, because the
+    items are arbitrary Python objects either way — the win of
+    ``partition_many`` is batching the per-key hashing/bisection, and the
+    scatter itself is cheapest as a tight Python loop.
+    """
+    buckets: List[List] = [[] for _ in range(n_out)]
+    for item, pid in zip(items, part_ids.tolist()):
+        buckets[pid].append(item)
+    return buckets
+
+
+def _combine(dep: ShuffleDependency, records: Sequence) -> List[Tuple]:
+    """Map-side combine into first-occurrence key order (dict semantics)."""
+    agg = dep.aggregator
+    merged: Dict[Any, Any] = {}
+    create, merge_value = agg.create, agg.merge_value
+    get = merged.get
+    sentinel = object()
+    for k, v in records:
+        prev = get(k, sentinel)
+        merged[k] = create(v) if prev is sentinel else merge_value(prev, v)
+    return list(merged.items())
+
+
+def _bucket_bytes(buckets: List[List], written_records: Sequence,
+                  shuffle_id: int, cost: CostModel,
+                  size_estimator: Optional[SizeEstimator]) -> List[float]:
+    if size_estimator is None:
+        return [cost.estimate_bytes(b) for b in buckets]
+    key = ("shuffle", shuffle_id)
+    return [size_estimator.estimate_count(key, len(b), written_records)
+            for b in buckets]
 
 
 def write_buckets(dep: ShuffleDependency, records: Sequence,
-                  cost: CostModel) -> Tuple[List[List], int, List[float]]:
+                  cost: CostModel,
+                  size_estimator: Optional[SizeEstimator] = None,
+                  ) -> Tuple[List[List], int, List[float]]:
     """Partition ``records`` into reduce buckets for ``dep``.
 
     Applies map-side combining when the dependency asks for it.  Returns
     ``(buckets, records_written, bytes_per_bucket)`` where byte counts are
-    cost-model estimates of the serialized bucket sizes.
+    cost-model estimates of the serialized bucket sizes (memoized per
+    shuffle when a ``size_estimator`` is supplied).
     """
+    if not _VECTORIZED:
+        return _write_buckets_scalar(dep, records, cost)
+    n_out = dep.partitioner.n_partitions
+    if dep.map_side_combine and dep.aggregator is not None:
+        items = _combine(dep, records)
+        written = len(items)
+    else:
+        items = records if isinstance(records, list) else list(records)
+        written = len(items)
+    if not items:
+        buckets: List[List] = [[] for _ in range(n_out)]
+    else:
+        keys = [rec[0] for rec in items]
+        part_ids = dep.partitioner.partition_many(keys)
+        buckets = _scatter(items, part_ids, n_out)
+    bucket_bytes = _bucket_bytes(buckets, items, dep.shuffle_id, cost,
+                                 size_estimator)
+    return buckets, written, bucket_bytes
+
+
+def _write_buckets_scalar(dep: ShuffleDependency, records: Sequence,
+                          cost: CostModel,
+                          ) -> Tuple[List[List], int, List[float]]:
+    """The original per-record reference path (kept for A/B benchmarks)."""
     n_out = dep.partitioner.n_partitions
     buckets: List[List] = [[] for _ in range(n_out)]
     if dep.map_side_combine and dep.aggregator is not None:

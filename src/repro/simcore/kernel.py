@@ -146,6 +146,8 @@ class Simulator:
         self._queue = IndexedHeap()
         self._seq = 0
         self._active_proc: Optional[Process] = None
+        #: total events processed by :meth:`step` (perf-suite telemetry)
+        self.events_processed = 0
 
     # -- event construction ------------------------------------------------
 
@@ -196,6 +198,7 @@ class Simulator:
             raise SimulationError("step() on empty event queue")
         event, (t, _, _) = self._queue.pop()
         self.now = t
+        self.events_processed += 1
         event._run_callbacks()
         if event.ok is False and not event.defused:
             # an unhandled failure: surface it instead of dropping it

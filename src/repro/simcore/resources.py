@@ -205,6 +205,18 @@ class Store:
         self._dispatch()
         return ev
 
+    def cancel_get(self, ev: Event) -> None:
+        """Withdraw an unfulfilled ``get()`` event.
+
+        No-op if the event was already fulfilled or never queued.  After
+        cancellation a later ``put`` stays in ``items`` instead of being
+        handed to the abandoned getter.
+        """
+        try:
+            self._getters.remove(ev)
+        except ValueError:
+            pass
+
     def _dispatch(self) -> None:
         progress = True
         while progress:

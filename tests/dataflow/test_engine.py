@@ -266,3 +266,55 @@ class TestCachingOnEngine:
         # second run skips the map stage: only reduce tasks
         assert r2.metrics.n_tasks == 4
         assert sorted(r2.value) == sorted(r1.value)
+
+
+class TestStaleInboxGuard:
+    """A ``Store.get`` outstanding when a stage loop exits must never
+    deliver a late task result into a completed stage: each ``_run_stage``
+    invocation owns a fresh inbox and withdraws its pending get on exit
+    (see the ``finally`` guard), so overlapping recovery re-runs of the
+    same stage cannot cross-deliver."""
+
+    def test_overlapping_recovery_reruns_correct(self):
+        sim, cl, ctx, eng = make_env(cost=CostModel(cpu_per_record=5e-4))
+        ds = (ctx.range(12_000, 12).map(lambda x: (x % 80, x))
+              .reduce_by_key(operator.add, 8)
+              .map(lambda kv: (kv[0] % 4, kv[1]))
+              .reduce_by_key(operator.add, 4))
+        ev = eng.collect(ds)
+
+        def chaos(s):
+            # repeated fail/recover while stages are mid-flight forces
+            # FetchFailed-driven re-runs that overlap live attempts
+            for name in ("h0_0", "h1_0", "h0_1"):
+                yield s.timeout(0.4)
+                cl.nodes[name].fail()
+                yield s.timeout(0.2)
+                cl.nodes[name].recover()
+        sim.process(chaos(sim))
+        res = sim.run_until_done(ev)
+        assert sorted(res.value) == sorted(ds.collect())
+        assert res.metrics.n_failed_attempts > 0
+
+    def test_speculation_with_recovery_reruns_correct(self):
+        # the any_of(inbox, timer) wait path plus straggler copies plus a
+        # node loss: maximum overlap between attempts and stage re-runs
+        sim = Simulator()
+        cl = make_cluster(sim, 2, 4,
+                          speed_factors=[1, 1, 1, 1, 1, 1, 1, 0.15])
+        ctx = DataflowContext(default_parallelism=8)
+        eng = SimEngine(cl, EngineConfig(speculation=True,
+                                         check_interval=0.05),
+                        cost_model=CostModel(cpu_per_record=5e-4))
+        ds = (ctx.range(10_000, 12).map(lambda x: (x % 50, 1))
+              .reduce_by_key(operator.add, 6))
+        ev = eng.collect(ds)
+
+        def killer(s):
+            yield s.timeout(0.5)
+            cl.nodes["h0_1"].fail()
+            yield s.timeout(0.3)
+            cl.nodes["h0_1"].recover()
+        sim.process(killer(sim))
+        res = sim.run_until_done(ev)
+        assert sorted(res.value) == sorted(ds.collect())

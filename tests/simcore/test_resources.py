@@ -249,3 +249,67 @@ class TestStore:
         sim.process(p(sim, s))
         sim.run()
         assert len(s) == 2
+
+
+class TestStoreCancelGet:
+    def test_cancelled_get_never_fires_and_item_stays(self):
+        sim = Simulator()
+        s = Store(sim)
+
+        def stage_a(sim, s):
+            ev = s.get()
+            s.cancel_get(ev)        # abandon the wait (stage finished)
+            yield sim.timeout(5)
+            assert not ev.triggered
+
+        def producer(sim, s):
+            yield sim.timeout(1)
+            yield s.put("late-result")
+        sim.process(stage_a(sim, s))
+        sim.process(producer(sim, s))
+        sim.run()
+        # the late put stays queued instead of feeding the abandoned getter
+        assert list(s.items) == ["late-result"]
+
+    def test_cancel_is_idempotent_and_ignores_fulfilled(self):
+        sim = Simulator()
+        s = Store(sim)
+        got = []
+
+        def consumer(sim, s):
+            ev = s.get()
+            v = yield ev
+            got.append(v)
+            s.cancel_get(ev)        # already fulfilled: must be a no-op
+            s.cancel_get(ev)
+
+        def producer(sim, s):
+            yield s.put(42)
+        sim.process(consumer(sim, s))
+        sim.process(producer(sim, s))
+        sim.run()
+        assert got == [42]
+
+    def test_cancel_preserves_fifo_for_other_getters(self):
+        sim = Simulator()
+        s = Store(sim)
+        got = []
+
+        def quitter(sim, s):
+            ev = s.get()
+            s.cancel_get(ev)
+            yield sim.timeout(0)
+
+        def patient(sim, s):
+            v = yield s.get()
+            got.append(v)
+
+        sim.process(quitter(sim, s))
+        sim.process(patient(sim, s))
+
+        def producer(sim, s):
+            yield sim.timeout(1)
+            yield s.put("for-patient")
+        sim.process(producer(sim, s))
+        sim.run()
+        assert got == ["for-patient"]
