@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Cross-layer chaos: one fault plan, five layers, equivalence everywhere.
+
+Demonstrates the chaos harness end to end:
+
+1. build a seed-deterministic renewal :class:`FaultPlan`,
+2. inject it into every layer of the stack through the thin adapters
+   (cluster nodes, dataflow engine, streaming operator, DFS, autoscaler),
+3. run the recovery-equivalence oracles: every faulted run must produce a
+   byte-identical answer to its fault-free twin, reproduce the identical
+   injection trace on a re-run, and conserve its records.
+
+Run:  PYTHONPATH=src python examples/chaos_demo.py [seeds...]
+"""
+
+import sys
+
+from repro.chaos import FaultEvent, FaultPlan, check_streaming, run_all
+
+
+def sweep_layers(seeds) -> bool:
+    print(f"{'layer':<12} {'seed':>4} {'faults':>6} {'checks':>6}  verdict")
+    print("-" * 48)
+    all_ok = True
+    for seed in seeds:
+        for report in run_all(seed):
+            verdict = "OK" if report.ok else \
+                f"FAIL: {', '.join(report.failures)}"
+            print(f"{report.layer:<12} {report.seed:>4} "
+                  f"{report.injections:>6} {len(report.checks):>6}  {verdict}")
+            all_ok &= report.ok
+    return all_ok
+
+
+def scripted_showcase() -> bool:
+    # a hand-written plan: crash the streaming operator twice, once in the
+    # middle of the stream and once long after the last event (the
+    # trailing-crash case that used to be silently dropped)
+    plan = FaultPlan.scripted([
+        FaultEvent(55.0, "operator_crash"),
+        FaultEvent(400.0, "operator_crash"),
+    ], seed=0, name="showcase")
+    report = check_streaming(0, plan)
+    print(f"\nscripted plan {plan!r}")
+    print(f"  -> {len(report.checks)} checks, "
+          f"{'all OK' if report.ok else report.failures}")
+    return report.ok
+
+
+def main() -> None:
+    seeds = [int(a) for a in sys.argv[1:]] or [0, 1, 2]
+    ok = sweep_layers(seeds)
+    ok &= scripted_showcase()
+    print("\nrecovery equivalence holds across all layers"
+          if ok else "\nORACLE FAILURES — see above")
+    if not ok:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

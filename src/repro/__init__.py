@@ -13,6 +13,7 @@ The package provides (bottom-up):
 * :mod:`repro.graph`     — graph generators + direct & dataflow algorithms
 * :mod:`repro.ml`        — SGD kernels and distributed-training simulation
 * :mod:`repro.workloads` — deterministic workload generators
+* :mod:`repro.chaos`     — cross-layer fault plans + recovery-equivalence oracles
 * :mod:`repro.bench`     — the experiment harness used by ``benchmarks/``
 
 Quickstart::
@@ -31,6 +32,7 @@ __version__ = "1.0.0"
 
 from . import (
     bench,
+    chaos,
     cloud,
     cluster,
     common,
@@ -49,6 +51,6 @@ from . import (
 __all__ = [
     "common", "simcore", "net", "cluster", "storage", "dataflow",
     "scheduler", "cloud", "streaming", "graph", "ml", "workloads", "bench",
-    "sql",
+    "sql", "chaos",
     "__version__",
 ]

@@ -1,0 +1,39 @@
+"""Cross-layer chaos harness: fault plans, injection adapters, oracles.
+
+One seed-deterministic :class:`FaultPlan` drives faults into every layer
+of the stack — cluster nodes, the dataflow engine, streaming operators,
+the DFS, and load-facing services — through thin adapters, while the
+recovery-equivalence oracles (:mod:`repro.chaos.oracle`) check that
+faulted runs produce byte-identical results to fault-free runs.
+"""
+
+from .adapters import (
+    ClusterChaos,
+    DFSChaos,
+    EngineChaos,
+    InjectionTrace,
+    burst_rate,
+    burst_series,
+    operator_crash_times,
+)
+from .oracle import (
+    LAYERS,
+    OracleReport,
+    check_autoscale,
+    check_dataflow,
+    check_dfs,
+    check_microbatch,
+    check_streaming,
+    run_all,
+    sweep,
+)
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS", "FaultEvent", "FaultPlan",
+    "InjectionTrace", "ClusterChaos", "EngineChaos", "DFSChaos",
+    "operator_crash_times", "burst_rate", "burst_series",
+    "OracleReport", "LAYERS", "run_all", "sweep",
+    "check_dataflow", "check_streaming", "check_microbatch",
+    "check_dfs", "check_autoscale",
+]

@@ -1,0 +1,368 @@
+"""Recovery-equivalence oracles: faulted runs must equal fault-free runs.
+
+The differential-testing core of the chaos harness.  Each ``check_*``
+function builds one layer's workload, runs it **fault-free** and **under a
+fault plan** (twice), and asserts three families of properties:
+
+1. **Recovery equivalence** — the faulted run's final answer is
+   byte-equal (``pickle``) to the fault-free run's.  Crashes, stragglers,
+   lost shuffle partitions and lost blocks may cost time, never
+   correctness.
+2. **Determinism** — two faulted runs from the same seed produce the
+   identical injection trace and the identical result.  This is the
+   mechanical check of the seed-determinism contract in
+   :mod:`repro.chaos.plan`.
+3. **Conservation** — layer-specific invariants: no record lost or
+   double-counted, backlog/queue bookkeeping conserved, event-queue heap
+   and index consistency (:meth:`IndexedHeap.check_invariants`) sampled
+   while faults are in flight.
+
+Use :func:`run_all` / :func:`sweep` to run every layer over one or many
+seeds; each returns :class:`OracleReport` objects whose ``ok`` flag and
+``failures`` list feed straight into property tests.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from operator import add
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cloud.autoscale import ThresholdPolicy, simulate_autoscaling
+from ..cluster import make_cluster
+from ..dataflow import CostModel, DataflowContext, EngineConfig, SimEngine
+from ..simcore.kernel import Simulator
+from ..storage.dfs import DFSConfig, DistributedFS
+from ..streaming.checkpoint import CheckpointConfig, run_stateful_stream
+from ..streaming.microbatch import MicroBatchConfig, run_microbatch
+from .adapters import (
+    ClusterChaos,
+    DFSChaos,
+    EngineChaos,
+    InjectionTrace,
+    burst_rate,
+    burst_series,
+    operator_crash_times,
+)
+from .plan import FaultPlan
+
+__all__ = ["OracleReport", "check_dataflow", "check_streaming",
+           "check_microbatch", "check_dfs", "check_autoscale",
+           "LAYERS", "run_all", "sweep"]
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one layer's recovery-equivalence check."""
+
+    layer: str
+    seed: int
+    plan: FaultPlan
+    ok: bool = True
+    checks: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+    injections: int = 0
+
+    def expect(self, cond: bool, label: str) -> bool:
+        """Record one assertion; flips ``ok`` on failure."""
+        if cond:
+            self.checks.append(label)
+        else:
+            self.ok = False
+            self.failures.append(label)
+        return bool(cond)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mark = "OK" if self.ok else f"FAIL({', '.join(self.failures)})"
+        return (f"<OracleReport {self.layer} seed={self.seed} "
+                f"{len(self.checks)} checks, {self.injections} faults: {mark}>")
+
+
+def _heap_monitor(sim: Simulator, report: OracleReport,
+                  period: float = 0.5, samples: int = 20) -> None:
+    """Sample the kernel's event-queue invariants while chaos is live.
+
+    Bounded (``samples`` probes) so the monitor never keeps the queue
+    alive after the workload drains.
+    """
+    def _mon():
+        for _ in range(samples):
+            yield sim.timeout(period)
+            try:
+                sim._queue.check_invariants()
+            except AssertionError:
+                report.expect(False, "heap_invariants")
+                return
+    sim.process(_mon(), name="chaos:heap-monitor")
+
+
+def _bytes(obj) -> bytes:
+    return pickle.dumps(obj, protocol=4)
+
+
+# --------------------------------------------------------------------- dataflow
+
+def _dataflow_words(seed: int, n: int = 3000) -> List[str]:
+    rng = np.random.default_rng([seed, 101])
+    vocab = [f"w{i:03d}" for i in range(40)]
+    return [vocab[j] for j in rng.integers(0, len(vocab), size=n)]
+
+def _run_dataflow(seed: int, plan: Optional[FaultPlan],
+                  monitor: Optional[Callable[[Simulator], None]] = None):
+    sim = Simulator()
+    cluster = make_cluster(sim, n_racks=2, nodes_per_rack=4)
+    ctx = DataflowContext(default_parallelism=8)
+    engine = SimEngine(cluster, config=EngineConfig(max_task_retries=8),
+                       cost_model=CostModel(cpu_per_record=2e-4))
+    words = _dataflow_words(seed)
+    ds = ctx.parallelize(words, 8).map(lambda w: (w, 1)).reduce_by_key(add, 6)
+    trace = InjectionTrace()
+    if plan is not None:
+        if monitor is not None:
+            monitor(sim)
+        ClusterChaos(cluster, plan, trace).start()
+        EngineChaos(engine, plan, trace).start()
+    res = sim.run_until_done(engine.collect(ds))
+    return sorted(res.value), trace, len(words)
+
+
+def check_dataflow(seed: int, plan: Optional[FaultPlan] = None) -> OracleReport:
+    """Wordcount under node loss, stragglers, task crashes, lost shuffles."""
+    if plan is None:
+        # the fault-free job runs ~0.17 simulated seconds, so the renewal
+        # horizon and rates are calibrated to land several faults while
+        # tasks are actually in flight
+        node_names = [f"h{r}_{i}" for r in range(2) for i in range(4)]
+        plan = FaultPlan.renewal(
+            seed, horizon=0.3,
+            rates={"node_fail": 3.0, "slow_node": 6.0,
+                   "task_crash": 15.0, "lost_shuffle": 10.0},
+            targets=node_names, mean_duration=0.08)
+    report = OracleReport("dataflow", seed, plan)
+    monitor = lambda sim: _heap_monitor(sim, report, period=0.02)
+    free, _t, n_records = _run_dataflow(seed, None)
+    faulted1, trace1, _ = _run_dataflow(seed, plan, monitor)
+    faulted2, trace2, _ = _run_dataflow(seed, plan, monitor)
+    report.injections = len(trace1)
+    report.expect(_bytes(faulted1) == _bytes(free), "recovery_equivalence")
+    report.expect(trace1.signature() == trace2.signature(),
+                  "trace_determinism")
+    report.expect(_bytes(faulted1) == _bytes(faulted2), "result_determinism")
+    report.expect(sum(c for _w, c in faulted1) == n_records,
+                  "record_conservation")
+    return report
+
+
+# --------------------------------------------------------------------- streaming
+
+class _ListState:
+    """A deliberately in-place-mutating aggregator (the satellite-2 trap)."""
+
+    @staticmethod
+    def agg(acc, v):
+        acc.append(v)
+        return acc
+
+    @staticmethod
+    def init(v):
+        return [v]
+
+
+def _stream_events(seed: int, n: int = 240, span: float = 120.0):
+    rng = np.random.default_rng([seed, 202])
+    times = np.sort(rng.uniform(0.0, span, size=n))
+    keys = rng.integers(0, 12, size=n)
+    vals = rng.integers(1, 100, size=n)
+    return [(float(t), int(k), int(v))
+            for t, k, v in zip(times, keys, vals)]
+
+
+def check_streaming(seed: int, plan: Optional[FaultPlan] = None) -> OracleReport:
+    """Checkpoint/replay under operator crashes (incl. trailing crashes)."""
+    if plan is None:
+        # horizon past the last event time so trailing crashes (the
+        # satellite-1 bug) are exercised by construction
+        plan = FaultPlan.renewal(seed, horizon=160.0,
+                                 rates={"operator_crash": 0.03})
+    report = OracleReport("streaming", seed, plan)
+    events = _stream_events(seed)
+    crashes = operator_crash_times(plan)
+    report.injections = len(crashes)
+    cfg = CheckpointConfig(interval=10.0)
+    for label, agg, init in (("sum", add, lambda v: v),
+                             ("mutating_list", _ListState.agg,
+                              _ListState.init)):
+        free = run_stateful_stream(events, agg, init, cfg)
+        faulted1 = run_stateful_stream(events, agg, init, cfg,
+                                       crash_times=crashes)
+        faulted2 = run_stateful_stream(events, agg, init, cfg,
+                                       crash_times=crashes)
+        report.expect(_bytes(faulted1.state) == _bytes(free.state),
+                      f"{label}:recovery_equivalence")
+        report.expect(_bytes(faulted1.state) == _bytes(faulted2.state),
+                      f"{label}:result_determinism")
+        report.expect(len(faulted1.recoveries) == len(crashes),
+                      f"{label}:all_crashes_recovered")
+        report.expect(faulted1.processed_events == len(events),
+                      f"{label}:record_conservation")
+        report.expect(all(r.recovery_seconds >= cfg.recovery_fixed_cost
+                          for r in faulted1.recoveries),
+                      f"{label}:recovery_cost_accounted")
+    return report
+
+
+# --------------------------------------------------------------------- microbatch
+
+def check_microbatch(seed: int, plan: Optional[FaultPlan] = None) -> OracleReport:
+    """Micro-batch engine under load bursts, with idle (zero-rate) windows."""
+    if plan is None:
+        plan = FaultPlan.renewal(seed, horizon=60.0,
+                                 rates={"load_burst": 0.05},
+                                 mean_duration=6.0)
+    report = OracleReport("microbatch", seed, plan)
+    report.injections = sum(1 for e in plan if e.kind == "load_burst")
+    cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=2e-4,
+                           parallelism=2, backpressure=True,
+                           backlog_threshold=2, throttle_factor=0.5)
+    duration = 60.0
+
+    def base_rate(t: float) -> float:
+        # periodic idle windows exercise the empty-batch path (satellite 4)
+        return 0.0 if int(t // 10) % 3 == 2 else 2000.0
+
+    rate = burst_rate(base_rate, plan)
+    r1 = run_microbatch(rate, cfg, duration)
+    r2 = run_microbatch(rate, cfg, duration)
+    offered = sum(int(max(0, round(rate(float(t)) * cfg.batch_interval)))
+                  for t in np.arange(0.0, duration, cfg.batch_interval))
+    report.expect(r1.processed_records + r1.dropped_records == offered,
+                  "record_conservation")
+    report.expect(
+        _bytes((r1.processed_records, r1.dropped_records, r1.max_backlog,
+                r1.batch_times, r1.latency.count))
+        == _bytes((r2.processed_records, r2.dropped_records, r2.max_backlog,
+                   r2.batch_times, r2.latency.count)),
+        "result_determinism")
+    report.expect(all(bt > cfg.scheduling_overhead for bt in r1.batch_times),
+                  "no_empty_batches")
+    report.expect(len(r1.batch_times) == r1.latency.count,
+                  "backlog_conservation")
+    return report
+
+
+# --------------------------------------------------------------------- dfs
+
+def _run_dfs(seed: int, plan: Optional[FaultPlan], horizon: float):
+    sim = Simulator()
+    cluster = make_cluster(sim, n_racks=3, nodes_per_rack=3)
+    dfs = DistributedFS(cluster,
+                        DFSConfig(block_size=64 * 1024, ec_k=4, ec_m=2,
+                                  detection_delay=1.0),
+                        seed=7)
+    rng = np.random.default_rng([seed, 303])
+    data_rep = rng.bytes(150_000)
+    data_ec = rng.bytes(200_000)
+    sim.run_until_done(dfs.write("/rep.bin", data=data_rep,
+                                 writer="h0_0", mode="replicate"))
+    sim.run_until_done(dfs.write("/ec.bin", data=data_ec,
+                                 writer="h1_0", mode="ec"))
+    trace = InjectionTrace()
+    if plan is not None:
+        ClusterChaos(cluster, plan, trace).start()
+        DFSChaos(dfs, plan, trace).start()
+    sim.run(until=horizon + 30.0)
+    got_rep, _ = sim.run_until_done(dfs.read("/rep.bin", reader="h2_0"))
+    got_ec, _ = sim.run_until_done(dfs.read("/ec.bin", reader="h0_1"))
+    counters = (dfs.repairs_started, dfs.degraded_reads)
+    return (data_rep, data_ec, got_rep, got_ec, counters, trace, sim)
+
+
+def check_dfs(seed: int, plan: Optional[FaultPlan] = None) -> OracleReport:
+    """DFS durability under transient node loss and silent block loss."""
+    horizon = 40.0
+    if plan is None:
+        node_names = [f"h{r}_{i}" for r in range(3) for i in range(3)]
+        plan = FaultPlan.renewal(
+            seed, horizon=horizon,
+            rates={"node_fail": 0.02, "lost_block": 0.05},
+            targets=node_names, mean_duration=5.0)
+    report = OracleReport("dfs", seed, plan)
+    want_rep, want_ec, got_rep, got_ec, c1, trace1, sim1 = \
+        _run_dfs(seed, plan, horizon)
+    _wr, _we, got_rep2, got_ec2, c2, trace2, _s2 = \
+        _run_dfs(seed, plan, horizon)
+    report.injections = len(trace1)
+    report.expect(got_rep == want_rep, "replicated_read_equivalence")
+    report.expect(got_ec == want_ec, "ec_read_equivalence")
+    report.expect(trace1.signature() == trace2.signature(),
+                  "trace_determinism")
+    report.expect((got_rep2, got_ec2, c2) == (got_rep, got_ec, c1),
+                  "result_determinism")
+    try:
+        sim1._queue.check_invariants()
+        report.expect(True, "heap_invariants")
+    except AssertionError:
+        report.expect(False, "heap_invariants")
+    return report
+
+
+# --------------------------------------------------------------------- autoscale
+
+def check_autoscale(seed: int, plan: Optional[FaultPlan] = None) -> OracleReport:
+    """Fluid autoscaler under load bursts: bounds, conservation, determinism."""
+    if plan is None:
+        plan = FaultPlan.renewal(seed, horizon=600.0,
+                                 rates={"load_burst": 0.005},
+                                 mean_duration=60.0)
+    report = OracleReport("autoscale", seed, plan)
+    report.injections = sum(1 for e in plan if e.kind == "load_burst")
+    rng = np.random.default_rng([seed, 404])
+    base = 40.0 + 30.0 * np.sin(np.arange(600) / 60.0) + \
+        rng.normal(0.0, 3.0, size=600)
+    load = burst_series(np.clip(base, 0.0, None), plan)
+    kw = dict(mu=10.0, dt=1.0, control_period=30.0, boot_delay=120.0,
+              cooldown=60.0, min_instances=1, max_instances=50,
+              initial_instances=4)
+    r1 = simulate_autoscaling(ThresholdPolicy(high=0.75, low=0.3, step=3),
+                              load, **kw)
+    r2 = simulate_autoscaling(ThresholdPolicy(high=0.75, low=0.3, step=3),
+                              load, **kw)
+    report.expect(r1.instances.tobytes() == r2.instances.tobytes()
+                  and r1.queue.tobytes() == r2.queue.tobytes(),
+                  "result_determinism")
+    report.expect(bool(np.all((r1.instances >= 1) & (r1.instances <= 50))),
+                  "fleet_bounds")
+    report.expect(bool(np.all(r1.queue >= 0.0)), "queue_nonnegative")
+    report.expect(abs(r1.instance_seconds - float(r1.instances.sum() * 1.0))
+                  < 1e-6, "billing_conservation")
+    return report
+
+
+# --------------------------------------------------------------------- drivers
+
+LAYERS: Dict[str, Callable[[int], OracleReport]] = {
+    "dataflow": check_dataflow,
+    "streaming": check_streaming,
+    "microbatch": check_microbatch,
+    "dfs": check_dfs,
+    "autoscale": check_autoscale,
+}
+
+
+def run_all(seed: int,
+            layers: Optional[Sequence[str]] = None) -> List[OracleReport]:
+    """Run every layer's oracle for one seed."""
+    names = list(layers) if layers is not None else sorted(LAYERS)
+    return [LAYERS[name](seed) for name in names]
+
+
+def sweep(seeds: Sequence[int],
+          layers: Optional[Sequence[str]] = None) -> List[OracleReport]:
+    """Run the oracles over many seeds; returns the flat report list."""
+    out: List[OracleReport] = []
+    for s in seeds:
+        out.extend(run_all(int(s), layers))
+    return out

@@ -207,9 +207,24 @@ def simulate_autoscaling(
             if want > pending and t - last_out >= scaleout_cooldown:
                 booting.append((t + boot_delay, want - pending))
                 last_out = t
-            elif want < current and t - last_in >= cooldown:
-                current = want
-                capacity = current * mu
+            elif want < pending and t - last_in >= cooldown:
+                # cancel queued boots first (newest first): instances that
+                # have not served yet are free to drop, and keeping them
+                # would overshoot the fleet by boot_delay after a scale-in
+                excess = pending - want
+                for j in range(len(booting) - 1, -1, -1):
+                    if excess <= 0:
+                        break
+                    ready_t, cnt = booting[j]
+                    cancel = min(cnt, excess)
+                    excess -= cancel
+                    if cancel == cnt:
+                        booting.pop(j)
+                    else:
+                        booting[j] = (ready_t, cnt - cancel)
+                if excess > 0:
+                    current = max(min_instances, current - excess)
+                    capacity = current * mu
                 last_in = t
         served = min(capacity * dt, q + offered[i] * dt)
         q = max(0.0, q + offered[i] * dt - served)

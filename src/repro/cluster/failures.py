@@ -52,6 +52,29 @@ class FailureInjector:
         """Cease injecting after in-flight repairs complete."""
         self._stopped = True
 
+    def apply_plan(self, plan) -> int:
+        """Replay the ``node_fail`` events of a chaos :class:`FaultPlan`.
+
+        Generalization bridge to :mod:`repro.chaos`: a plan built once can
+        drive this cluster-level injector and every other layer's adapter
+        from the same script.  Unnamed targets are resolved against this
+        injector's ``targets`` via the plan's deterministic child RNG.
+        Returns the number of failures scheduled.
+        """
+        rng = plan.rng("failures.apply_plan")
+        n = 0
+        for ev in plan:
+            if ev.kind != "node_fail":
+                continue
+            target = ev.target or str(rng.choice(self.targets))
+            if target not in self.cluster.nodes:
+                raise ValueError(f"unknown node {target!r} in fault plan")
+            self.schedule_failure(
+                target, ev.time,
+                repair_after=ev.duration if ev.duration > 0 else None)
+            n += 1
+        return n
+
     def schedule_failure(self, node_name: str, at: float,
                          repair_after: Optional[float] = None) -> None:
         """Script a single failure at absolute sim time ``at``."""

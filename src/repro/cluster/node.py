@@ -74,6 +74,11 @@ class Node:
         """Current work units per core-second (spec speed × runtime factor)."""
         return self.spec.speed * self._speed_factor
 
+    @property
+    def speed_factor(self) -> float:
+        """The current runtime speed multiplier (chaos adapters compose it)."""
+        return self._speed_factor
+
     def set_speed_factor(self, factor: float) -> None:
         """Scale compute speed at runtime (straggler/DVFS injection)."""
         if factor <= 0:

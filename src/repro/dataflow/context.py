@@ -32,6 +32,7 @@ class DataflowContext:
         self.cost_model = cost_model or CostModel()
         self._datasets: Dict[int, Dataset] = {}
         self._next_id = 0
+        self._next_shuffle_id = 0
         self.broadcasts: List["Broadcast"] = []
         self.accumulators: List["Accumulator"] = []
         from .local import LocalExecutor
@@ -42,6 +43,11 @@ class DataflowContext:
         self._next_id += 1
         self._datasets[did] = ds
         return did
+
+    def _new_shuffle_id(self) -> int:
+        sid = self._next_shuffle_id
+        self._next_shuffle_id += 1
+        return sid
 
     # -- dataset creation ---------------------------------------------------
 

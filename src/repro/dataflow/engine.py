@@ -222,7 +222,16 @@ class SimEngine:
             name: node.spec.cores for name, node in cluster.nodes.items()}
         # broadcast id -> nodes that already hold the block
         self._bc_on_node: Dict[int, Set[str]] = {}
-        self._running_by_node: Dict[str, Set[_Attempt]] = {}
+        # insertion-ordered on purpose: _Attempt hashes by identity, and a
+        # set here would fail a dead node's attempts in memory-address
+        # order — nondeterministic across runs (exposed by the chaos
+        # harness's trace-determinism oracle)
+        self._running_by_node: Dict[str, Dict[_Attempt, None]] = {}
+        #: chaos hook: called as ``fault_hook(stage, split, node_name)`` at
+        #: task start; returning True crashes that attempt (it fails and is
+        #: retried like any task failure).  None (the default) costs one
+        #: attribute check per task — nothing when no chaos is attached.
+        self.fault_hook: Optional[Callable[[Stage, int, str], bool]] = None
         for node in cluster.nodes.values():
             node.listeners.append(self._on_node_event)
 
@@ -257,6 +266,32 @@ class SimEngine:
                 acc = f(acc, x)
             return [acc]
         return self.run_job(ds, finish, per_partition=per_part)
+
+    def drop_map_outputs(self, n: int = 1,
+                         rng: Any = None) -> List[Tuple[int, int]]:
+        """Chaos hook: silently drop up to ``n`` registered map outputs.
+
+        Models external-shuffle-service loss / disk corruption that node
+        death does not: the owning node stays alive but the shuffle data
+        is gone.  Reduce tasks discover the hole via
+        :class:`MissingShuffleError` and lineage recovery re-runs exactly
+        the dropped maps.  ``rng`` (a numpy Generator) picks victims;
+        without one the lowest (shuffle_id, map_id) pairs are dropped.
+        Returns the dropped pairs.
+        """
+        keys = [(sid, m) for sid, outs in sorted(self._map_outputs.items())
+                for m in sorted(outs)]
+        if not keys:
+            return []
+        n = max(0, min(int(n), len(keys)))
+        if rng is not None:
+            idx = sorted(rng.permutation(len(keys))[:n].tolist())
+            chosen = [keys[i] for i in idx]
+        else:
+            chosen = keys[:n]
+        for sid, m in chosen:
+            del self._map_outputs[sid][m]
+        return chosen
 
     def run_job(self, ds: Dataset,
                 finalize: Callable[[List], Any],
@@ -471,7 +506,7 @@ class SimEngine:
         attempt = _Attempt(split, node_name, self.sim.now, speculative)
         attempt._inbox = inbox
         attempts.setdefault(split, []).append(attempt)
-        self._running_by_node.setdefault(node_name, set()).add(attempt)
+        self._running_by_node.setdefault(node_name, {})[attempt] = None
         metrics.n_tasks += 1
         if speculative:
             metrics.n_speculative += 1
@@ -508,7 +543,7 @@ class SimEngine:
                          inbox, per_partition, speculative=True)
 
     def _release_slot(self, attempt: _Attempt) -> None:
-        self._running_by_node.get(attempt.node, set()).discard(attempt)
+        self._running_by_node.get(attempt.node, {}).pop(attempt, None)
         if self.cluster.nodes[attempt.node].alive:
             self._free_slots[attempt.node] += 1
 
@@ -520,14 +555,24 @@ class SimEngine:
         node = self.cluster.nodes[attempt.node]
         t0 = sim.now
         yield sim.timeout(self.cost.task_overhead)
+        if self.fault_hook is not None and \
+                self.fault_hook(stage, split, attempt.node):
+            if attempt.alive:
+                attempt.alive = False
+                yield inbox.put(_TaskResult(split, attempt.node, False,
+                                            "chaos_task_crash", None,
+                                            sim.now - t0, attempt))
+            return
         # ship any broadcast blocks this node does not hold yet (once per
         # node, torrent-style from a peer that already has the block)
         for bc in getattr(stage.dataset.ctx, "broadcasts", []):
             holders = self._bc_on_node.setdefault(bc.bc_id, set())
             if attempt.node in holders:
                 continue
-            holders_alive = [h for h in holders
-                             if self.cluster.nodes[h].alive]
+            # sorted: set order of node-name strings depends on the hash
+            # seed, and the chosen peer must not vary across processes
+            holders_alive = sorted(h for h in holders
+                                   if self.cluster.nodes[h].alive)
             # mark BEFORE yielding: concurrent tasks on this node must not
             # each ship their own copy (the whole point of broadcasting)
             holders.add(attempt.node)
@@ -634,7 +679,7 @@ class SimEngine:
         self._free_slots[node.name] = 0
         for attempt in list(self._running_by_node.get(node.name, ())):
             attempt.alive = False
-            self._running_by_node[node.name].discard(attempt)
+            self._running_by_node[node.name].pop(attempt, None)
             # notify the owning stage loop through a synthetic failure; the
             # stage's inbox reference lives in the task process, so instead
             # we re-enqueue via a watchdog process that the stage polls.

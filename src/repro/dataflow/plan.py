@@ -80,8 +80,16 @@ class ShuffleDependency(Dependency):
         self.aggregator = aggregator
         self.map_side_combine = map_side_combine
         self.sort_ascending = sort_ascending
-        self.shuffle_id = ShuffleDependency._next_shuffle_id[0]
-        ShuffleDependency._next_shuffle_id[0] += 1
+        # ids come from the owning context, so a fresh context numbers its
+        # shuffles from 0 — a process-global counter here would make ids
+        # (and anything keyed on them, like chaos injection traces) depend
+        # on how many jobs ran earlier in the process
+        ctx = getattr(parent, "ctx", None)
+        if ctx is not None:
+            self.shuffle_id = ctx._new_shuffle_id()
+        else:
+            self.shuffle_id = ShuffleDependency._next_shuffle_id[0]
+            ShuffleDependency._next_shuffle_id[0] += 1
 
 
 class TaskRuntime:

@@ -16,6 +16,7 @@ exactly-once state semantics via replay.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -101,33 +102,50 @@ def run_stateful_stream(
         else:
             state[key] = init(value)
 
+    def recover(crash_t: float) -> None:
+        # roll back to the latest snapshot at or before the crash, then
+        # replay the source from that offset (upstream-backup semantics).
+        nonlocal state
+        ck_t, ck_state, ck_idx = next(
+            s for s in reversed(snapshots) if s[0] <= crash_t)
+        replayed = 0
+        # deep copy: replay must never mutate the snapshot itself, or a
+        # second crash into the same checkpoint would see corrupted state
+        state = copy.deepcopy(ck_state)
+        j = ck_idx
+        while j < len(events) and events[j][0] <= crash_t:
+            apply(events[j])
+            replayed += 1
+            j += 1
+        replay_time = (crash_t - ck_t) / config.replay_speedup
+        recoveries.append(RecoveryStats(
+            crash_t, ck_t, replayed,
+            config.recovery_fixed_cost + replay_time))
+
     while i < len(events):
         t = events[i][0]
         # crash strictly before this event?
         if next_crash is not None and next_crash < t:
-            ck_t, ck_state, ck_idx = next(
-                s for s in reversed(snapshots) if s[0] <= next_crash)
-            replayed = 0
-            state = dict(ck_state)
-            j = ck_idx
-            while j < len(events) and events[j][0] <= next_crash:
-                apply(events[j])
-                replayed += 1
-                j += 1
-            replay_time = (next_crash - ck_t) / config.replay_speedup
-            recoveries.append(RecoveryStats(
-                next_crash, ck_t, replayed,
-                config.recovery_fixed_cost + replay_time))
+            recover(next_crash)
             next_crash = next(crash_iter, None)
             continue
         # checkpoint boundaries at or before this event
         while next_ckpt <= t:
-            snapshots.append((next_ckpt, dict(state), i))
+            # deep copy: an ``agg`` that mutates values in place must not
+            # reach back into snapshots taken earlier (exactly-once replay
+            # depends on checkpoint immutability)
+            snapshots.append((next_ckpt, copy.deepcopy(state), i))
             checkpoints += 1
             overhead += config.checkpoint_cost
             next_ckpt += config.interval
         apply(events[i])
         processed += 1
         i += 1
+
+    # drain crashes at or after the last event's timestamp: they still roll
+    # back and replay the tail, and their recovery cost must be accounted
+    while next_crash is not None:
+        recover(next_crash)
+        next_crash = next(crash_iter, None)
 
     return StatefulRun(state, processed, checkpoints, overhead, recoveries)

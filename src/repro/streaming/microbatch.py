@@ -105,6 +105,11 @@ def run_microbatch(rate_fn: Callable[[float], float],
                 admitted = int(n * config.throttle_factor)
                 state["dropped"] += n - admitted
                 n = admitted
+            if n == 0:
+                # nothing arrived (idle source or fully throttled): an empty
+                # batch would still pay scheduling_overhead and inflate the
+                # backlog counters without processing a single record
+                continue
             mean_arrival = t0 + config.batch_interval / 2.0
             state["backlog"] += 1
             state["max_backlog"] = max(state["max_backlog"], state["backlog"])

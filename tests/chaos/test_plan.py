@@ -1,0 +1,148 @@
+"""FaultPlan DSL: construction, determinism, filtering, validation."""
+
+import pytest
+
+from repro.chaos import FAULT_KINDS, FaultEvent, FaultPlan
+from repro.common.errors import ConfigError
+
+
+class TestFaultEvent:
+    def test_valid_kinds_accepted(self):
+        for kind in FAULT_KINDS:
+            FaultEvent(1.0, kind)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(1.0, "meteor_strike")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(-0.1, "node_fail")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(1.0, "node_fail", duration=-1.0)
+
+    def test_nonpositive_magnitude_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(1.0, "slow_node", magnitude=0.0)
+
+
+class TestScripted:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan.scripted([
+            FaultEvent(5.0, "node_fail", "n1"),
+            FaultEvent(1.0, "task_crash"),
+            FaultEvent(3.0, "lost_block"),
+        ])
+        assert [e.time for e in plan] == [1.0, 3.0, 5.0]
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.scripted([])
+        assert len(FaultPlan.scripted([])) == 0
+
+    def test_signature_distinguishes_plans(self):
+        a = FaultPlan.scripted([FaultEvent(1.0, "node_fail", "n1")])
+        b = FaultPlan.scripted([FaultEvent(1.0, "node_fail", "n2")])
+        assert a.signature() != b.signature()
+
+
+class TestRenewal:
+    RATES = {"node_fail": 0.1, "operator_crash": 0.05, "load_burst": 0.02}
+
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan.renewal(7, 100.0, self.RATES, targets=["n1", "n2"])
+        b = FaultPlan.renewal(7, 100.0, self.RATES, targets=["n1", "n2"])
+        assert a.signature() == b.signature()
+
+    def test_different_seed_different_schedule(self):
+        a = FaultPlan.renewal(7, 200.0, self.RATES)
+        b = FaultPlan.renewal(8, 200.0, self.RATES)
+        assert a.signature() != b.signature()
+
+    def test_adding_a_kind_preserves_other_kinds(self):
+        # per-kind child streams: enabling one kind must not perturb the
+        # schedule of another (the reproducibility rule from common.rng)
+        just_crash = FaultPlan.renewal(3, 300.0, {"operator_crash": 0.05})
+        both = FaultPlan.renewal(
+            3, 300.0, {"operator_crash": 0.05, "node_fail": 0.1})
+        assert (both.only("operator_crash").signature()
+                == just_crash.signature())
+
+    def test_events_within_horizon(self):
+        plan = FaultPlan.renewal(1, 50.0, self.RATES)
+        assert all(0.0 <= e.time < 50.0 for e in plan)
+
+    def test_zero_rate_emits_nothing(self):
+        assert len(FaultPlan.renewal(1, 100.0, {"node_fail": 0.0})) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.renewal(1, 100.0, {"node_fail": -0.1})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.renewal(1, 100.0, {"gremlins": 1.0})
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.renewal(1, 0.0, self.RATES)
+
+    def test_targets_drawn_from_pool(self):
+        plan = FaultPlan.renewal(2, 400.0, {"node_fail": 0.1},
+                                 targets=["a", "b", "c"])
+        assert len(plan) > 0
+        assert all(e.target in {"a", "b", "c"} for e in plan)
+
+    def test_magnitude_override(self):
+        plan = FaultPlan.renewal(2, 400.0, {"slow_node": 0.1},
+                                 magnitudes={"slow_node": 0.5})
+        assert all(e.magnitude == 0.5 for e in plan)
+
+
+class TestQueries:
+    PLAN = FaultPlan.scripted([
+        FaultEvent(1.0, "node_fail", "n1"),
+        FaultEvent(2.0, "task_crash"),
+        FaultEvent(3.0, "node_fail", "n2"),
+        FaultEvent(9.0, "lost_block"),
+    ], seed=5)
+
+    def test_only_filters_kinds(self):
+        sub = self.PLAN.only("node_fail")
+        assert len(sub) == 2
+        assert sub.kinds() == ["node_fail"]
+
+    def test_only_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            self.PLAN.only("gremlins")
+
+    def test_until_is_strict(self):
+        assert len(self.PLAN.until(3.0)) == 2
+        assert len(self.PLAN.until(100.0)) == 4
+
+    def test_filters_preserve_seed(self):
+        assert self.PLAN.only("node_fail").seed == 5
+        assert self.PLAN.until(3.0).seed == 5
+
+    def test_kinds_sorted_distinct(self):
+        assert self.PLAN.kinds() == ["lost_block", "node_fail", "task_crash"]
+
+
+class TestPlanRng:
+    def test_same_purpose_same_stream(self):
+        plan = FaultPlan.scripted([], seed=11)
+        a = plan.rng("victims").integers(0, 1000, size=8)
+        b = plan.rng("victims").integers(0, 1000, size=8)
+        assert (a == b).all()
+
+    def test_different_purpose_different_stream(self):
+        plan = FaultPlan.scripted([], seed=11)
+        a = plan.rng("victims").integers(0, 1000, size=8)
+        b = plan.rng("targets").integers(0, 1000, size=8)
+        assert not (a == b).all()
+
+    def test_different_seed_different_stream(self):
+        a = FaultPlan.scripted([], seed=11).rng("v").integers(0, 1000, size=8)
+        b = FaultPlan.scripted([], seed=12).rng("v").integers(0, 1000, size=8)
+        assert not (a == b).all()

@@ -162,6 +162,39 @@ class TestAutoscaling:
                                  initial_instances=1, boot_delay=120)
         assert r.instance_seconds > 0
 
+    def test_scale_in_cancels_queued_boots(self):
+        # a 30 s burst queues 8 boots with a 300 s boot delay; when the
+        # load vanishes the very next control tick must cancel the queued
+        # boots instead of letting the fleet overshoot to 10 at t=300
+        load = np.concatenate([np.full(30, 200.0), np.zeros(570)])
+        r = simulate_autoscaling(ThresholdPolicy(high=0.7, low=0.3, step=8),
+                                 load, mu=10, control_period=30,
+                                 boot_delay=300, cooldown=0.0,
+                                 initial_instances=2)
+        assert r.instances[0] == 10           # burst queued the boots
+        assert r.instances[31:].max() <= 2    # ...and scale-in trimmed them
+
+    def test_scale_in_trims_boots_before_live_instances(self):
+        # want = 5 lies between current (2) and pending (10): the decision
+        # must cancel exactly 5 queued boots and leave live instances alone
+        class ScriptedPolicy(StaticPolicy):
+            def __init__(self, script):
+                super().__init__(1)
+                self.script = script
+
+            def desired(self, t, offered, utilization, current, queue=0.0):
+                return self.script.get(t, current)
+
+        load = np.zeros(600)
+        r = simulate_autoscaling(ScriptedPolicy({0.0: 10, 30.0: 5}),
+                                 load, mu=10, control_period=30,
+                                 boot_delay=300, cooldown=0.0,
+                                 initial_instances=2)
+        assert r.instances[0] == 10             # 2 live + 8 booting
+        assert r.instances[30] == 5             # 2 live + 3 booting kept
+        assert r.instances[299] == 5
+        assert r.instances[301] == 5            # 5 live after activation
+
     def test_validation(self):
         with pytest.raises(CloudError):
             simulate_autoscaling(StaticPolicy(1), [1.0], mu=0)

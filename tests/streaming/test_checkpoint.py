@@ -100,6 +100,72 @@ class TestRecovery:
         assert run.state == {"a": 2, "b": 5}
 
 
+class TestTrailingCrash:
+    """Crashes after the last event must still be recovered and accounted."""
+
+    def test_crash_after_last_event_recorded(self):
+        events = make_events(100)           # event times 0..99
+        run = run_stateful_stream(events, AGG, INIT,
+                                  CheckpointConfig(interval=25),
+                                  crash_times=[150.0])
+        assert len(run.recoveries) == 1
+        r = run.recoveries[0]
+        assert r.checkpoint_offset == 75.0
+        assert r.replayed_events == 25      # events 75..99
+        assert run.total_recovery_time > 0
+        assert run.state == crash_free_state(events)
+
+    def test_crash_just_past_last_event(self):
+        events = make_events(100)
+        run = run_stateful_stream(events, AGG, INIT,
+                                  CheckpointConfig(interval=25),
+                                  crash_times=[99.5])
+        assert len(run.recoveries) == 1
+        assert run.state == crash_free_state(events)
+
+    def test_mixed_mid_and_trailing_crashes(self):
+        events = make_events(60)
+        run = run_stateful_stream(events, AGG, INIT,
+                                  CheckpointConfig(interval=20),
+                                  crash_times=[30.5, 70.0, 200.0])
+        assert len(run.recoveries) == 3
+        assert run.state == crash_free_state(events)
+
+
+class TestMutatingAggregator:
+    """Snapshots must be deep copies: in-place aggs must not corrupt them."""
+
+    @staticmethod
+    def _agg(acc, v):
+        acc.append(v)
+        return acc
+
+    @staticmethod
+    def _init(v):
+        return [v]
+
+    def test_in_place_agg_state_survives_crash(self):
+        events = [(float(i), i % 3, i) for i in range(100)]
+        free = run_stateful_stream(events, self._agg, self._init,
+                                   CheckpointConfig(interval=10))
+        crashed = run_stateful_stream(events, self._agg, self._init,
+                                      CheckpointConfig(interval=10),
+                                      crash_times=[55.5])
+        assert crashed.state == free.state
+
+    def test_in_place_agg_repeated_crashes_same_checkpoint(self):
+        # two crashes that both roll back to the same snapshot: the first
+        # replay must not have mutated what the second replay starts from
+        events = [(float(i), i % 2, i) for i in range(40)]
+        free = run_stateful_stream(events, self._agg, self._init,
+                                   CheckpointConfig(interval=15))
+        crashed = run_stateful_stream(events, self._agg, self._init,
+                                      CheckpointConfig(interval=15),
+                                      crash_times=[20.5, 25.5])
+        assert len(crashed.recoveries) == 2
+        assert crashed.state == free.state
+
+
 class TestValidation:
     def test_bad_config(self):
         with pytest.raises(StreamingError):

@@ -84,3 +84,39 @@ class TestBackpressure:
         r = run_microbatch(lambda t: 1000 if t < 50 else 3000, cfg, 100)
         assert r.processed_records == pytest.approx(
             50 * 1000 + 50 * 3000, rel=0.05)
+
+
+class TestEmptyBatches:
+    """Zero-record intervals must not enqueue batches that pay overhead."""
+
+    def test_idle_source_enqueues_no_batches(self):
+        cfg = MicroBatchConfig(scheduling_overhead=0.05)
+        r = run_microbatch(lambda t: 0, cfg, duration=30)
+        assert r.processed_records == 0
+        assert r.max_backlog == 0
+        assert r.batch_times == []
+
+    def test_fully_throttled_interval_skips_batch(self):
+        # burst builds a backlog, then a trickle (1 rec/s) is fully
+        # throttled away (int(1 * 0.5) == 0): those intervals must not
+        # enqueue empty batches that pay scheduling_overhead and inflate
+        # the backlog
+        cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=1e-3,
+                               parallelism=1, backpressure=True,
+                               backlog_threshold=1, throttle_factor=0.5)
+        r = run_microbatch(lambda t: 10_000 if t < 5 else 1, cfg,
+                           duration=40)
+        assert r.dropped_records > 0
+        # every scheduled batch carried records: none costs bare overhead
+        assert r.batch_times
+        assert min(r.batch_times) > cfg.scheduling_overhead
+        assert len(r.batch_times) == r.latency.count
+
+    def test_sentinel_shutdown_still_clean(self):
+        # skipping empty batches must not break the sentinel drain path
+        cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=1e-5,
+                               parallelism=2)
+        r = run_microbatch(lambda t: 100 if int(t) % 2 == 0 else 0, cfg,
+                           duration=20)
+        assert r.processed_records == 10 * 100
+        assert r.max_backlog >= 1
