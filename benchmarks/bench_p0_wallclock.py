@@ -31,17 +31,41 @@ def run_p0(scale: float = 1.0, report_path: str = REPORT) -> dict:
     return payload
 
 
+def enforce_guards(payload: dict) -> None:
+    """Regression guards for the PR-3 execution optimizers.
+
+    Narrow-chain fusion must stay >= 1.2x at every scale (it is a
+    per-record win, so smoke scales see it too); the columnar SQL engine
+    must reach 1.5x at the default scale (>= 1.1x on smoke scales, where
+    fixed per-query costs dominate).
+    """
+    summary = payload["summary"]
+    fusion = summary["fusion_speedup"]
+    assert fusion >= 1.2, f"fusion speedup regressed: {fusion:.2f}x < 1.2x"
+    sql = summary["sql_speedup"]
+    floor = 1.5 if payload["scale"] >= 1.0 else 1.1
+    assert sql >= floor, f"SQL speedup regressed: {sql:.2f}x < {floor}x"
+
+
 def test_p0(benchmark):
     payload = one_round(benchmark, lambda: run_p0(scale=0.25))
     summary = payload["summary"]
     assert summary["records_per_sec_current"] > 0
     assert set(payload["workloads"]) == {"wordcount", "terasort",
-                                         "pagerank", "skewed_combine"}
-    # both optimizations must actually help, at any scale
+                                         "pagerank", "skewed_combine",
+                                         "sql_analytics", "narrow_chain"}
+    # every optimization must actually help, at any scale
     assert summary["speedup"] > 1.0
     assert summary["wordcount_sim_event_reduction"] > 0.0
+    enforce_guards(payload)
+    meta = payload["meta"]
+    assert meta["fusion_enabled"] and meta["columnar_enabled"]
 
 
 if __name__ == "__main__":
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
-    run_p0(scale=scale)
+    payload = run_p0(scale=scale)
+    enforce_guards(payload)
+    print("guards OK: fusion {:.2f}x, sql {:.2f}x".format(
+        payload["summary"]["fusion_speedup"],
+        payload["summary"]["sql_speedup"]))

@@ -10,7 +10,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["Table", "Series", "sweep"]
+__all__ = ["Table", "Series", "sweep", "bench_metadata"]
+
+
+def bench_metadata() -> Dict[str, Any]:
+    """Environment + engine-flag snapshot embedded in bench reports.
+
+    Records everything needed to interpret a ``BENCH_wallclock.json``
+    after the fact: interpreter and numpy versions plus which execution
+    optimizations (vectorized shuffle writes, narrow-chain fusion,
+    columnar SQL) were enabled when the suite ran.
+    """
+    import platform
+    import numpy
+    from ..dataflow import fusion_enabled, shuffleio
+    from ..sql import columnar_enabled
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "fusion_enabled": fusion_enabled(),
+        "columnar_enabled": columnar_enabled(),
+        "shuffle_vectorized": shuffleio.vectorized_enabled(),
+    }
 
 
 class Table:

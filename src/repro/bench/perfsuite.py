@@ -55,6 +55,8 @@ from ..dataflow import (
     RangePartitioner,
     SimEngine,
     SizeEstimator,
+    fusion_enabled,
+    set_fusion,
 )
 from ..dataflow import shuffleio
 from ..dataflow.plan import ShuffleDependency
@@ -62,14 +64,23 @@ from ..graph.generators import erdos_renyi
 from ..graph.dataflow_algos import pagerank_dataflow_plan
 from ..simcore import Simulator
 from ..workloads import teragen, zipf_text
+from .harness import bench_metadata
 
 __all__ = ["BASKET", "HEADLINE", "SCHEMA_VERSION", "run_suite",
-           "write_report", "measure_shuffle_write", "measure_end_to_end"]
+           "write_report", "measure_shuffle_write", "measure_end_to_end",
+           "measure_sql_analytics", "measure_narrow_chain"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-#: The fixed workload basket, in reporting order.
-BASKET = ("wordcount", "terasort", "pagerank", "skewed_combine")
+#: The fixed workload basket, in reporting order.  The first four are
+#: the simulated-cluster jobs; ``sql_analytics`` and ``narrow_chain``
+#: A/B the PR-3 execution optimizers (columnar SQL, narrow-chain fusion)
+#: on the local executor.
+BASKET = ("wordcount", "terasort", "pagerank", "skewed_combine",
+          "sql_analytics", "narrow_chain")
+
+#: The simulated-cluster subset (shuffle-write + end-to-end measures).
+SIM_BASKET = ("wordcount", "terasort", "pagerank", "skewed_combine")
 
 #: Workloads whose combined shuffle-write throughput gates acceptance.
 HEADLINE = ("wordcount", "terasort")
@@ -277,8 +288,13 @@ _JOB_BUILDERS: Dict[str, Callable] = {
 
 def _run_end_to_end_leg(name: str, scale: float,
                         vectorized: bool) -> Dict[str, Any]:
+    """One simulated job.  The ``current`` leg runs every execution
+    optimization (vectorized shuffle writes, inbox waits, fused narrow
+    chains); ``baseline`` disables them all."""
     prev = shuffleio.vectorized_enabled()
+    prev_fusion = fusion_enabled()
     shuffleio.set_vectorized(vectorized)
+    set_fusion(vectorized)
     try:
         sim, ctx, engine = _fresh(eager_poll=not vectorized)
         ds, n_records, digest = _JOB_BUILDERS[name](ctx, scale)
@@ -295,6 +311,7 @@ def _run_end_to_end_leg(name: str, scale: float,
         }
     finally:
         shuffleio.set_vectorized(prev)
+        set_fusion(prev_fusion)
 
 
 def measure_end_to_end(name: str, scale: float = 1.0) -> Dict[str, Any]:
@@ -317,13 +334,133 @@ def measure_end_to_end(name: str, scale: float = 1.0) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# SQL analytics: columnar engine vs the row interpreter
+# ---------------------------------------------------------------------------
+
+def _sql_rows(scale: float) -> List[Dict[str, Any]]:
+    rng = random.Random(21)
+    regions = ["na", "eu", "ap", "sa", "af", "oc"]
+    return [{
+        "region": rng.choice(regions),
+        "product": f"p{rng.randrange(40)}",
+        "price": round(rng.uniform(1.0, 120.0), 2),
+        "qty": rng.randrange(1, 15),
+        "discount": round(rng.random() * 0.3, 3),
+    } for _ in range(int(40_000 * scale))]
+
+
+def _sql_query(df):
+    from ..sql import avg_, col, count_, max_, sum_
+    return (df.with_column("revenue", col("price") * col("qty"))
+            .with_column("net", col("revenue") * (1 - col("discount")))
+            .where((col("qty") > 2) & (col("net") > 25.0))
+            .group_by("region", "product")
+            .agg(net=sum_(col("net")), orders=count_(),
+                 mean_price=avg_(col("price")), top=max_(col("revenue"))))
+
+
+def measure_sql_analytics(scale: float = 1.0,
+                          reps: int = 3) -> Dict[str, Any]:
+    """A/B the columnar engine against the row interpreter, end to end.
+
+    Both legs run the identical optimized logical plan through the local
+    executor on a fresh context per run; results must match row-for-row
+    (repr equality).  Reported as best-of-``reps``, legs interleaved.
+    """
+    from ..sql import DataFrame
+    rows = _sql_rows(scale)
+    times: Dict[str, List[float]] = {"baseline": [], "current": []}
+    reference: Optional[List[str]] = None
+    for _ in range(reps):
+        for leg, columnar in (("baseline", False), ("current", True)):
+            ctx = DataflowContext(default_parallelism=8)
+            q = _sql_query(DataFrame.from_rows(ctx, rows))
+            t0 = time.perf_counter()
+            out = q.collect(columnar=columnar)
+            times[leg].append(time.perf_counter() - t0)
+            digest = list(map(repr, out))
+            if reference is None:
+                reference = digest
+            elif digest != reference:
+                raise AssertionError(
+                    "columnar and row SQL engines disagree")
+    best = {leg: min(ts) for leg, ts in times.items()}
+    return {
+        "records": len(rows),
+        "baseline": {"wall_seconds": best["baseline"],
+                     "records_per_sec": len(rows) / best["baseline"]},
+        "current": {"wall_seconds": best["current"],
+                    "records_per_sec": len(rows) / best["current"]},
+        "speedup": best["baseline"] / best["current"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# narrow-chain fusion: fused vs per-op pipelines on the local executor
+# ---------------------------------------------------------------------------
+
+def _chain_dataset(ctx: DataflowContext, scale: float):
+    n = int(250_000 * scale)
+    return (ctx.parallelize(range(n), 16)
+            .map(lambda x: x * 3 + 1)
+            .filter(lambda x: x % 7 != 0)
+            .flat_map(lambda x: (x, x ^ 21))
+            .map(lambda x: x & 0xFFFF)
+            .filter(lambda x: x % 3 != 1)
+            .map(lambda x: (x % 1024, x))
+            .map_values(lambda v: v * 2)
+            .map(lambda kv: kv[0] + kv[1])
+            .filter(lambda x: x % 5 != 2))
+
+
+def measure_narrow_chain(scale: float = 1.0, reps: int = 3) -> Dict[str, Any]:
+    """A/B narrow-chain fusion on a 9-op element-wise pipeline.
+
+    Results must be byte-identical (pickle equality) between legs; each
+    run uses a fresh context so nothing is cached across legs.
+    """
+    import pickle
+    times: Dict[str, List[float]] = {"baseline": [], "current": []}
+    n_records = 0
+    reference: Optional[bytes] = None
+    prev = fusion_enabled()
+    try:
+        for _ in range(reps):
+            for leg, fused in (("baseline", False), ("current", True)):
+                set_fusion(fused)
+                ctx = DataflowContext(default_parallelism=8)
+                ds = _chain_dataset(ctx, scale)
+                t0 = time.perf_counter()
+                out = ds.collect()
+                times[leg].append(time.perf_counter() - t0)
+                n_records = int(250_000 * scale)
+                digest = pickle.dumps(out)
+                if reference is None:
+                    reference = digest
+                elif digest != reference:
+                    raise AssertionError(
+                        "fused and unfused pipelines disagree")
+    finally:
+        set_fusion(prev)
+    best = {leg: min(ts) for leg, ts in times.items()}
+    return {
+        "records": n_records,
+        "baseline": {"wall_seconds": best["baseline"],
+                     "records_per_sec": n_records / best["baseline"]},
+        "current": {"wall_seconds": best["current"],
+                    "records_per_sec": n_records / best["current"]},
+        "speedup": best["baseline"] / best["current"],
+    }
+
+
+# ---------------------------------------------------------------------------
 # the suite
 # ---------------------------------------------------------------------------
 
 def run_suite(scale: float = 1.0, verbose: bool = True) -> Dict[str, Any]:
     """Run the whole basket; returns the ``BENCH_wallclock.json`` payload."""
     workloads: Dict[str, Any] = {}
-    for name in BASKET:
+    for name in SIM_BASKET:
         dep, task_outputs = _WRITE_BUILDERS[name](scale)
         write = measure_shuffle_write(dep, task_outputs)
         e2e = measure_end_to_end(name, scale)
@@ -335,9 +472,17 @@ def run_suite(scale: float = 1.0, verbose: bool = True) -> Dict[str, Any]:
                   f"end-to-end {e2e['current']['wall_seconds']:.3f} s, "
                   f"sim events "
                   f"-{100 * e2e['sim_event_reduction']:.1f}%")
+    workloads["sql_analytics"] = measure_sql_analytics(scale)
+    workloads["narrow_chain"] = measure_narrow_chain(scale)
+    if verbose:
+        for name in ("sql_analytics", "narrow_chain"):
+            w = workloads[name]
+            print(f"{name:>15}: {w['current']['records_per_sec']:>12,.0f} "
+                  f"rec/s  [{w['speedup']:.2f}x vs interpreter]")
     payload = {
         "schema": SCHEMA_VERSION,
         "scale": scale,
+        "meta": bench_metadata(),
         "workloads": workloads,
         "summary": _summarize(workloads),
     }
@@ -367,6 +512,8 @@ def _summarize(workloads: Dict[str, Any]) -> Dict[str, Any]:
         "wordcount_sim_events_current": wc["current"]["sim_events"],
         "wordcount_sim_events_baseline": wc["baseline"]["sim_events"],
         "wordcount_sim_event_reduction": wc["sim_event_reduction"],
+        "sql_speedup": workloads["sql_analytics"]["speedup"],
+        "fusion_speedup": workloads["narrow_chain"]["speedup"],
     }
 
 

@@ -11,9 +11,16 @@ from .partitioner import (
     stable_hash,
     stable_hash_many,
 )
+from .fusion import fusion_enabled, set_fusion
 from .plan import Aggregator, Dataset, ShuffleDependency, SourceDataset
 from .shared import Accumulator, Broadcast
-from .stages import Stage, build_stages, narrow_op_depth, topo_order
+from .stages import (
+    Stage,
+    build_stages,
+    fusion_groups,
+    narrow_op_depth,
+    topo_order,
+)
 
 __all__ = [
     "DataflowContext", "Dataset", "SourceDataset", "Aggregator",
@@ -23,5 +30,6 @@ __all__ = [
     "Partitioner", "HashPartitioner", "RangePartitioner",
     "stable_hash", "stable_hash_many",
     "Stage", "build_stages", "topo_order", "narrow_op_depth",
+    "fusion_groups", "set_fusion", "fusion_enabled",
     "Broadcast", "Accumulator",
 ]

@@ -33,6 +33,12 @@ class DataflowContext:
         self._datasets: Dict[int, Dataset] = {}
         self._next_id = 0
         self._next_shuffle_id = 0
+        #: narrow-chain fusion opt-out for this context (debugging aid);
+        #: the process-wide switch is ``repro.dataflow.fusion.set_fusion``
+        self.fusion_enabled = True
+        #: dataset_id -> number of child datasets consuming it; fusion
+        #: treats any count > 1 as a pipeline barrier
+        self._child_counts: Dict[int, int] = {}
         self.broadcasts: List["Broadcast"] = []
         self.accumulators: List["Accumulator"] = []
         from .local import LocalExecutor
@@ -48,6 +54,10 @@ class DataflowContext:
         sid = self._next_shuffle_id
         self._next_shuffle_id += 1
         return sid
+
+    def _note_child(self, parent_id: int) -> None:
+        self._child_counts[parent_id] = \
+            self._child_counts.get(parent_id, 0) + 1
 
     # -- dataset creation ---------------------------------------------------
 

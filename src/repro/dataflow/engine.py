@@ -28,12 +28,14 @@ from ..common.errors import DataflowError, TaskFailedError
 from ..simcore.events import Event
 from ..simcore.kernel import Simulator
 from ..simcore.resources import Store
+from . import fusion
 from .costmodel import CostModel, SizeEstimator
 from .plan import Dataset, ShuffleDependency, TaskRuntime
 from .shuffleio import write_buckets
 from .stages import (
     Stage,
     build_stages,
+    fusion_groups,
     narrow_op_depth,
     source_record_count,
     topo_order,
@@ -87,6 +89,8 @@ class JobMetrics:
     locality_node: int = 0
     locality_rack: int = 0
     locality_any: int = 0
+    fused_segments: int = 0            # narrow-op runs executed as one
+    # fused pipeline across all stages (0 when fusion is disabled)
     task_durations: List[float] = field(default_factory=list)
 
     @property
@@ -312,6 +316,10 @@ class SimEngine:
         metrics = JobMetrics(start=self.sim.now)
         result_stage = build_stages(ds)
         stages = topo_order(result_stage)
+        if getattr(ds.ctx, "fusion_enabled", True) and fusion.fusion_enabled():
+            metrics.fused_segments = sum(
+                1 for s in stages for g in fusion_groups(s.dataset)
+                if len(g) > 1)
         stage_by_shuffle: Dict[int, Stage] = {
             s.shuffle_dep.shuffle_id: s for s in stages if not s.is_result}
         try:

@@ -48,10 +48,11 @@ class _LocalRuntime(TaskRuntime):
         return self._ex._shuffle_store[shuffle_id][reduce_id]
 
     def cache_get(self, dataset: Dataset, split: int):
-        return self._ex._cache.get((dataset.dataset_id, split))
+        by_split = self._ex._cache.get(dataset.dataset_id)
+        return by_split.get(split) if by_split is not None else None
 
     def cache_put(self, dataset: Dataset, split: int, records: List) -> None:
-        self._ex._cache[(dataset.dataset_id, split)] = records
+        self._ex._cache.setdefault(dataset.dataset_id, {})[split] = records
 
 
 class LocalExecutor:
@@ -60,7 +61,9 @@ class LocalExecutor:
     def __init__(self, ctx) -> None:
         self.ctx = ctx
         self._shuffle_store: Dict[int, List[List]] = {}
-        self._cache: Dict[Tuple[int, int], List] = {}
+        # two-level index (dataset_id -> split -> records) so uncaching a
+        # dataset is O(its partitions), not a scan of every cached entry
+        self._cache: Dict[int, Dict[int, List]] = {}
         self.shuffle_metrics: Dict[int, ShuffleMetrics] = {}
         self._size_est = SizeEstimator(ctx.cost_model)
         self._runtime = _LocalRuntime(self)
@@ -168,5 +171,4 @@ class LocalExecutor:
 
     def uncache(self, ds: Dataset) -> None:
         """Evict a dataset's partitions from the in-process cache."""
-        for key in [k for k in self._cache if k[0] == ds.dataset_id]:
-            del self._cache[key]
+        self._cache.pop(ds.dataset_id, None)

@@ -22,6 +22,7 @@ from typing import (
 
 from ..common.errors import PlanError
 from ..common.rng import ensure_rng
+from . import fusion
 from .partitioner import HashPartitioner, Partitioner, RangePartitioner
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -126,6 +127,12 @@ class Dataset:
         self.partitioner = partitioner
         self.dataset_id = ctx._register(self)
         self.cached = False
+        # consumer bookkeeping feeds the fusion barrier: a dataset with
+        # more than one child is never fused *through* (each consumer
+        # computes it independently, so inlining it into one consumer's
+        # pipeline would hide it from plan-level reasoning)
+        for dep in deps:
+            ctx._note_child(dep.parent.dataset_id)
 
     # -- to be provided by subclasses ------------------------------------
 
@@ -167,16 +174,19 @@ class Dataset:
 
     def map(self, f: Callable[[Any], Any]) -> "Dataset":
         """Apply ``f`` to every record."""
-        return MappedDataset(self, lambda it: (f(x) for x in it))
+        return MappedDataset(self, lambda it: (f(x) for x in it),
+                             op_kind="map", elem_fn=f)
 
     def flat_map(self, f: Callable[[Any], Iterable]) -> "Dataset":
         """Apply ``f`` and flatten the resulting iterables."""
         return MappedDataset(
-            self, lambda it: (y for x in it for y in f(x)))
+            self, lambda it: (y for x in it for y in f(x)),
+            op_kind="flatmap", elem_fn=f)
 
     def filter(self, pred: Callable[[Any], bool]) -> "Dataset":
         """Keep records where ``pred`` holds."""
-        return MappedDataset(self, lambda it: (x for x in it if pred(x)))
+        return MappedDataset(self, lambda it: (x for x in it if pred(x)),
+                             op_kind="filter", elem_fn=pred)
 
     def map_partitions(self, f: Callable[[Iterator], Iterable]) -> "Dataset":
         """Apply ``f`` to each whole partition iterator."""
@@ -184,27 +194,34 @@ class Dataset:
 
     def key_by(self, f: Callable[[Any], Any]) -> "Dataset":
         """Turn records into ``(f(x), x)`` pairs."""
-        return MappedDataset(self, lambda it: ((f(x), x) for x in it))
+        return MappedDataset(self, lambda it: ((f(x), x) for x in it),
+                             op_kind="map",
+                             elem_fn=lambda x, _f=f: (_f(x), x))
 
     def map_values(self, f: Callable[[Any], Any]) -> "Dataset":
         """Apply ``f`` to the value of each (k, v) pair (keeps partitioning)."""
         return MappedDataset(
             self, lambda it: ((k, f(v)) for k, v in it),
-            preserves_partitioning=True)
+            preserves_partitioning=True,
+            op_kind="map", elem_fn=lambda kv, _f=f: (kv[0], _f(kv[1])))
 
     def flat_map_values(self, f: Callable[[Any], Iterable]) -> "Dataset":
         """flat_map over values of (k, v) pairs (keeps partitioning)."""
         return MappedDataset(
             self, lambda it: ((k, y) for k, v in it for y in f(v)),
-            preserves_partitioning=True)
+            preserves_partitioning=True,
+            op_kind="flatmap",
+            elem_fn=lambda kv, _f=f: ((kv[0], y) for y in _f(kv[1])))
 
     def keys(self) -> "Dataset":
         """The keys of (k, v) pairs."""
-        return MappedDataset(self, lambda it: (k for k, _ in it))
+        return MappedDataset(self, lambda it: (k for k, _ in it),
+                             op_kind="map", elem_fn=lambda kv: kv[0])
 
     def values(self) -> "Dataset":
         """The values of (k, v) pairs."""
-        return MappedDataset(self, lambda it: (v for _, v in it))
+        return MappedDataset(self, lambda it: (v for _, v in it),
+                             op_kind="map", elem_fn=lambda kv: kv[1])
 
     def glom(self) -> "Dataset":
         """Each partition as one list record."""
@@ -219,7 +236,11 @@ class Dataset:
         def sampler(split: int, it: Iterator) -> Iterator:
             rng = ensure_rng((seed * 1_000_003 + split) & 0x7FFFFFFF)
             return (x for x in it if rng.random() < fraction)
-        return MappedDataset(self, sampler, with_split=True)
+        # fusible=False: sampling is a fusion barrier, so the RNG stream a
+        # sampled dataset observes never depends on how its consumers are
+        # pipelined (conservative; the per-(seed, split) RNG would be
+        # deterministic either way)
+        return MappedDataset(self, sampler, with_split=True, fusible=False)
 
     def union(self, other: "Dataset") -> "Dataset":
         """Concatenation of two datasets (no dedup)."""
@@ -523,22 +544,76 @@ class SourceDataset(Dataset):
 
 
 class MappedDataset(Dataset):
-    """A narrow, per-partition transformation of one parent."""
+    """A narrow, per-partition transformation of one parent.
+
+    ``fn`` is the iterator-level transformation (the unfused reference
+    semantics).  When the op is element-wise, ``op_kind`` ("map",
+    "filter", "flatmap") plus ``elem_fn`` describe it structurally so
+    runs of such ops fuse into one compiled loop (see
+    :mod:`~repro.dataflow.fusion`); opaque iterator-level ops default to
+    kind "iter"/"iter_split" and join the fused pipeline as wrappers.
+    ``fusible=False`` makes this dataset a fusion barrier: consumers
+    never inline it into their pipelines.
+    """
 
     def __init__(self, parent: Dataset, fn: Callable, with_split: bool = False,
-                 preserves_partitioning: bool = False) -> None:
+                 preserves_partitioning: bool = False,
+                 op_kind: Optional[str] = None,
+                 elem_fn: Optional[Callable] = None,
+                 fusible: bool = True) -> None:
         part = parent.partitioner if preserves_partitioning else None
         super().__init__(parent.ctx, [NarrowDependency(parent)],
                          parent.n_partitions, part)
         self.parent = parent
         self.fn = fn
         self.with_split = with_split
+        if op_kind is None:
+            op_kind = "iter_split" if with_split else "iter"
+        self.op_kind = op_kind
+        self.elem_fn = elem_fn
+        self.fusible = fusible
+
+    def _fused_step(self) -> Tuple[str, Callable]:
+        """This op as a ``(kind, fn)`` fusion step."""
+        if self.elem_fn is not None and self.op_kind in fusion.ELEMENT_KINDS:
+            return self.op_kind, self.elem_fn
+        return ("iter_split" if self.with_split else "iter"), self.fn
+
+    def _fused_chain(self) -> List["MappedDataset"]:
+        """The run of ops ending at ``self`` that execute as one pipeline.
+
+        Deepest op first; always contains at least ``self``.  The chain
+        extends through a parent only when fusion cannot change observable
+        plan semantics — it stops (a *fusion barrier*) at any parent that
+
+        * is not a :class:`MappedDataset` (sources, unions, shuffles, ...),
+        * is ``cached`` (its partitions must materialize through
+          :meth:`Dataset.iterate` so cache puts/gets still happen),
+        * is marked non-fusible (e.g. :meth:`Dataset.sample`), or
+        * feeds more than one child dataset (diamonds compute the shared
+          parent per consumer, never inside one consumer's pipeline).
+        """
+        chain: List[MappedDataset] = [self]
+        node: MappedDataset = self
+        counts = self.ctx._child_counts
+        while True:
+            p = node.parent
+            if not isinstance(p, MappedDataset) or p.cached \
+                    or not p.fusible or counts.get(p.dataset_id, 0) > 1:
+                return chain[::-1]
+            chain.append(p)
+            node = p
 
     def compute(self, split: int, runtime: TaskRuntime) -> Iterator:
-        parent_iter = self.parent.iterate(split, runtime)
-        if self.with_split:
-            return iter(self.fn(split, parent_iter))
-        return iter(self.fn(parent_iter))
+        if not (self.ctx.fusion_enabled and fusion.fusion_enabled()):
+            parent_iter = self.parent.iterate(split, runtime)
+            if self.with_split:
+                return iter(self.fn(split, parent_iter))
+            return iter(self.fn(parent_iter))
+        chain = self._fused_chain()
+        base_iter = chain[0].parent.iterate(split, runtime)
+        return fusion.run_chain([ds._fused_step() for ds in chain],
+                                split, base_iter)
 
 
 class UnionDataset(Dataset):
@@ -627,9 +702,11 @@ class CartesianDataset(Dataset):
 
     def compute(self, split: int, runtime: TaskRuntime) -> Iterator:
         i, j = self._locate(split)
-        left = list(self.a.iterate(i, runtime))
-        return ((x, y) for x in left
-                for y in self.b.iterate(j, runtime))
+        # materialize the *inner* (right) partition once per task — it is
+        # replayed per left record — and stream the left side through the
+        # cache-aware iterate path instead of listing it up front
+        right = list(self.b.iterate(j, runtime))
+        return ((x, y) for x in self.a.iterate(i, runtime) for y in right)
 
     def parent_splits(self, split: int):
         i, j = self._locate(split)

@@ -20,7 +20,7 @@ from .plan import (
 )
 
 __all__ = ["Stage", "build_stages", "topo_order", "narrow_op_depth",
-           "source_record_count"]
+           "source_record_count", "fusion_groups"]
 
 
 class Stage:
@@ -122,10 +122,43 @@ def topo_order(result: Stage) -> List[Stage]:
     return order
 
 
+def fusion_groups(ds: Dataset) -> List[List[int]]:
+    """The fused pipeline segments inside ``ds``'s stage, as dataset ids.
+
+    Each group lists one run of :class:`MappedDataset` ops (deepest op
+    first) that execute as a single fused pipeline under
+    :mod:`~repro.dataflow.fusion`; groups are reported consumer-first.
+    Barriers (cached / multi-child / non-fusible datasets, and any
+    non-mapped dataset) end a group exactly as they do at execution time.
+    Debug/EXPLAIN aid — the fusion correctness tests assert barrier
+    placement through it.
+    """
+    groups: List[List[int]] = []
+    seen: Set[int] = set()
+
+    def visit(d: Dataset) -> None:
+        if d.dataset_id in seen:
+            return
+        seen.add(d.dataset_id)
+        if isinstance(d, MappedDataset):
+            chain = d._fused_chain()
+            groups.append([c.dataset_id for c in chain])
+            seen.update(c.dataset_id for c in chain)
+            visit(chain[0].parent)
+            return
+        for dep in d.deps:
+            if isinstance(dep, NarrowDependency):
+                visit(dep.parent)
+    visit(ds)
+    return groups
+
+
 def narrow_op_depth(ds: Dataset) -> int:
     """Longest chain of narrow operators inside ``ds``'s stage.
 
-    Used by the cost model: records pay CPU per pipelined operator.
+    Used by the cost model: records pay CPU per pipelined operator —
+    deliberately the *logical* operator count, unchanged by fusion, so
+    simulated timings stay comparable whether fusion is on or off.
     """
     if isinstance(ds, SourceDataset):
         return 0

@@ -1,5 +1,6 @@
 """Structured (DataFrame/SQL-ish) layer over the dataflow engine."""
 
+from .columnar import ColumnBatch, columnar_enabled, set_columnar
 from .expr import Column, Expr, Literal, col, lit
 from .frame import DataFrame, GroupedFrame, avg_, count_, max_, min_, sum_
 from .logical import (
@@ -14,12 +15,13 @@ from .logical import (
     Project,
     Scan,
 )
-from .optimizer import optimize, prune_columns, push_filters
+from .optimizer import merge_projects, optimize, prune_columns, push_filters
 
 __all__ = [
     "col", "lit", "Expr", "Column", "Literal",
     "DataFrame", "GroupedFrame", "sum_", "count_", "avg_", "min_", "max_",
     "LogicalPlan", "Scan", "Project", "Filter", "GroupAgg", "Join",
     "OrderBy", "Limit", "Distinct", "AggSpec",
-    "optimize", "push_filters", "prune_columns",
+    "optimize", "push_filters", "prune_columns", "merge_projects",
+    "ColumnBatch", "set_columnar", "columnar_enabled",
 ]

@@ -1,0 +1,422 @@
+"""Columnar (vectorized) execution for the structured layer.
+
+MonetDB/X100-style batch execution: each partition of a compiled query
+holds ONE :class:`ColumnBatch` — a dict of numpy arrays, one per column —
+and ``select`` / ``where`` / ``with_column`` / ``group_by().agg()`` are
+lowered to whole-array numpy kernels instead of per-row ``Expr.eval``
+over dicts.  Hash aggregation factorizes the group keys (first-occurrence
+order, matching the row interpreter's dict-insertion order) and reduces
+with ``np.bincount`` / ``ufunc.at``.
+
+Equivalence contract (the columnar/row property tests assert it):
+
+* results are identical rows, in identical order, to the interpreted
+  path — values come back as plain Python scalars via ``ndarray.tolist``;
+* per-partition aggregate partials fold in row order (``ufunc.at`` is
+  applied in index order), so float accumulations are bit-identical to
+  the interpreted fold and downstream shuffles see the same bytes;
+* any ``Expr.apply`` (UDF) node falls back to per-element Python *inside*
+  the enclosing vectorized expression, and operators the columnar engine
+  does not cover (join / order_by / limit / distinct) fall back to the
+  row interpreter per-operator, converting batches to rows at the seam.
+
+Known divergences from the row interpreter (documented, not silent):
+int64 arithmetic can overflow where Python ints cannot; division by zero
+follows numpy (inf/nan) rather than raising; NaN group keys and ``-0.0``
+sums keep numpy semantics.  Disable with :func:`set_columnar` (process
+wide) or ``DataFrame.collect(columnar=False)`` (per query) when exact
+interpreted behaviour is needed on such inputs.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..common.errors import PlanError
+from .expr import Column, Expr, Literal, _Aliased, _BinOp, _UnaryOp
+from .logical import (
+    AggSpec,
+    Filter,
+    GroupAgg,
+    LogicalPlan,
+    Project,
+    Scan,
+)
+
+__all__ = [
+    "ColumnBatch", "make_array", "eval_expr",
+    "compile_columnar", "set_columnar", "columnar_enabled",
+]
+
+
+# -- process-wide switch (mirrors shuffleio.set_vectorized) ------------------
+
+_COLUMNAR = True
+
+
+def set_columnar(enabled: bool) -> None:
+    """Globally enable/disable columnar lowering (A/B toggle for benches)."""
+    global _COLUMNAR
+    _COLUMNAR = bool(enabled)
+
+
+def columnar_enabled() -> bool:
+    """Whether DataFrames compile through the columnar engine by default."""
+    return _COLUMNAR
+
+
+# -- column batches ----------------------------------------------------------
+
+
+def make_array(values: Sequence) -> np.ndarray:
+    """A 1-d array for one column, typed so round-trips are lossless.
+
+    Only homogeneous ``int`` / ``float`` / ``bool`` columns (exact type
+    match — ``bool`` is not an ``int`` here) get native dtypes; anything
+    mixed, string, or None-bearing stays ``object`` so ``tolist`` returns
+    the original Python objects unchanged.
+    """
+    if values:
+        if all(type(v) is bool for v in values):
+            return np.array(values, dtype=bool)
+        if all(type(v) is int for v in values):
+            try:
+                return np.array(values, dtype=np.int64)
+            except OverflowError:
+                pass                      # beyond int64: keep Python ints
+        elif all(type(v) is float for v in values):
+            return np.array(values, dtype=np.float64)
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = list(values)
+    return arr
+
+
+class ColumnBatch:
+    """One partition's rows as named columns (numpy arrays)."""
+
+    __slots__ = ("schema", "cols", "n")
+
+    def __init__(self, schema: Sequence[str], cols: Dict[str, np.ndarray],
+                 n: int) -> None:
+        self.schema = list(schema)
+        self.cols = cols
+        self.n = n
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Dict[str, Any]],
+                  schema: Sequence[str]) -> "ColumnBatch":
+        cols = {c: make_array([r[c] for r in rows]) for c in schema}
+        return cls(schema, cols, len(rows))
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Back to dict rows; values become plain Python scalars."""
+        lists = [self.cols[c].tolist() for c in self.schema]
+        names = self.schema
+        return [dict(zip(names, vals)) for vals in zip(*lists)]
+
+    def take(self, mask: np.ndarray) -> "ColumnBatch":
+        """Rows where ``mask`` is true, order preserved."""
+        cols = {c: a[mask] for c, a in self.cols.items()}
+        n = int(np.count_nonzero(mask))
+        return ColumnBatch(self.schema, cols, n)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ColumnBatch n={self.n} cols={self.schema}>"
+
+
+# -- vectorized expression evaluation ----------------------------------------
+
+_BIN_OPS = {
+    "+": operator.add, "-": operator.sub, "*": operator.mul,
+    "/": operator.truediv, "%": operator.mod,
+    "==": operator.eq, "!=": operator.ne,
+    "<": operator.lt, "<=": operator.le,
+    ">": operator.gt, ">=": operator.ge,
+}
+
+
+def _as_bool(v):
+    if isinstance(v, np.ndarray):
+        return v if v.dtype == bool else v.astype(bool)
+    return bool(v)
+
+
+def eval_expr(expr: Expr, batch: ColumnBatch):
+    """``expr`` over the whole batch: an ndarray of length ``batch.n``,
+    or a Python scalar for constant subexpressions (broadcast by callers).
+    """
+    if isinstance(expr, Column):
+        try:
+            return batch.cols[expr.name]
+        except KeyError:
+            raise PlanError(f"batch has no column {expr.name!r}")
+    if isinstance(expr, Literal):
+        return expr._value
+    if isinstance(expr, _Aliased):
+        return eval_expr(expr._inner, batch)
+    if isinstance(expr, _BinOp):
+        left = eval_expr(expr._l, batch)
+        right = eval_expr(expr._r, batch)
+        sym = expr._symbol
+        if sym == "AND":
+            return _as_bool(left) & _as_bool(right)
+        if sym == "OR":
+            return _as_bool(left) | _as_bool(right)
+        fn = _BIN_OPS.get(sym)
+        if fn is not None:
+            with np.errstate(all="ignore"):
+                return fn(left, right)
+        return _elementwise2(expr._op, left, right, batch.n)
+    if isinstance(expr, _UnaryOp):
+        inner = eval_expr(expr._inner, batch)
+        if not expr._udf:
+            if expr._op is operator.not_:
+                v = _as_bool(inner)
+                return ~v if isinstance(v, np.ndarray) else (not inner)
+            if expr._op is operator.neg:
+                with np.errstate(all="ignore"):
+                    return -inner
+        return _elementwise1(expr._op, inner, batch.n)
+    # unknown node: fall back to the row interpreter per element
+    rows = batch.to_rows()
+    return make_array([expr.eval(r) for r in rows])
+
+
+def _elementwise1(fn, v, n):
+    """UDF fallback: apply ``fn`` per element over Python scalars."""
+    if isinstance(v, np.ndarray):
+        return make_array([fn(x) for x in v.tolist()])
+    return fn(v)
+
+
+def _elementwise2(fn, left, right, n):
+    ls = left.tolist() if isinstance(left, np.ndarray) else [left] * n
+    rs = right.tolist() if isinstance(right, np.ndarray) else [right] * n
+    return make_array([fn(a, b) for a, b in zip(ls, rs)])
+
+
+def _full_column(v, n) -> np.ndarray:
+    """An expression result as a length-``n`` column array."""
+    if isinstance(v, np.ndarray):
+        return v
+    return make_array([v] * n)
+
+
+# -- batch operators ---------------------------------------------------------
+
+
+def project_batch(batch: ColumnBatch, exprs: Tuple[Expr, ...]) -> ColumnBatch:
+    cols = {e.name: _full_column(eval_expr(e, batch), batch.n)
+            for e in exprs}
+    return ColumnBatch([e.name for e in exprs], cols, batch.n)
+
+
+def filter_batch(batch: ColumnBatch, predicate: Expr) -> ColumnBatch:
+    mask = eval_expr(predicate, batch)
+    if not isinstance(mask, np.ndarray):
+        if bool(mask):
+            return batch
+        return batch.take(np.zeros(batch.n, dtype=bool))
+    return batch.take(_as_bool(mask))
+
+
+# -- hash aggregation --------------------------------------------------------
+
+
+def factorize(batch: ColumnBatch,
+              keys: Tuple[str, ...]) -> Tuple[np.ndarray, List[tuple]]:
+    """Group codes per row + distinct key tuples in first-occurrence order.
+
+    First-occurrence order is load-bearing: it matches the interpreted
+    path's dict-insertion order, so the rows that leave the map side (and
+    ultimately the query) line up exactly.
+    """
+    if len(keys) == 1:
+        arr = batch.cols[keys[0]]
+        if arr.dtype == np.int64 or arr.dtype == bool:
+            uniq, first_idx, inverse = np.unique(
+                arr, return_index=True, return_inverse=True)
+            perm = np.argsort(first_idx)           # sorted -> first-occurrence
+            inv_perm = np.empty(len(perm), dtype=np.int64)
+            inv_perm[perm] = np.arange(len(perm))
+            codes = inv_perm[inverse.reshape(-1)]
+            return codes, [(k,) for k in uniq[perm].tolist()]
+    lists = [batch.cols[c].tolist() for c in keys]
+    codes = np.empty(batch.n, dtype=np.int64)
+    index: Dict[tuple, int] = {}
+    uniq_keys: List[tuple] = []
+    for i, key in enumerate(zip(*lists)):
+        code = index.get(key)
+        if code is None:
+            code = len(uniq_keys)
+            index[key] = code
+            uniq_keys.append(key)
+        codes[i] = code
+    return codes, uniq_keys
+
+
+def _fold_states(agg: AggSpec, codes: np.ndarray, n_groups: int,
+                 vals: List) -> List:
+    """Interpreted per-group fold (object/bool/NaN cases): exact row-path
+    semantics via the AggSpec create/merge_value protocol."""
+    states: List = [None] * n_groups
+    seen = [False] * n_groups
+    for g, v in zip(codes.tolist(), vals):
+        if seen[g]:
+            states[g] = agg.merge_value(states[g], v)
+        else:
+            states[g] = agg.create(v)
+            seen[g] = True
+    return states
+
+
+def _agg_states(agg: AggSpec, codes: np.ndarray, n_groups: int,
+                vals: Optional[np.ndarray]) -> List:
+    """Per-group partial states for one aggregate (Python scalars)."""
+    fn = agg.fn
+    if fn == "count":
+        return np.bincount(codes, minlength=n_groups).tolist()
+    assert vals is not None
+    dtype = vals.dtype
+    if fn == "sum":
+        # bool sums stay interpreted: the row path's first state is the
+        # raw bool (create(v) = v), which zeros-init would coerce to int
+        if dtype == np.int64 or dtype == np.float64:
+            acc = np.zeros(n_groups, dtype=dtype)
+            np.add.at(acc, codes, vals)            # in row order: exact
+            return acc.tolist()
+        return _fold_states(agg, codes, n_groups, vals.tolist())
+    if fn in ("min", "max"):
+        if dtype == object or \
+                (dtype == np.float64 and bool(np.isnan(vals).any())):
+            # NaN ordering under <= differs from np.minimum's propagation
+            return _fold_states(agg, codes, n_groups, vals.tolist())
+        acc = np.empty(n_groups, dtype=dtype)
+        acc[codes[::-1]] = vals[::-1]              # first occurrence wins
+        (np.minimum if fn == "min" else np.maximum).at(acc, codes, vals)
+        return acc.tolist()
+    # avg: (sum, count) running state; finish() divides, so int-vs-bool
+    # state representation differences cannot reach the output
+    if dtype == object:
+        return _fold_states(agg, codes, n_groups, vals.tolist())
+    acc = np.zeros(n_groups,
+                   dtype=np.float64 if dtype == np.float64 else np.int64)
+    np.add.at(acc, codes, vals)
+    counts = np.bincount(codes, minlength=n_groups)
+    return list(zip(acc.tolist(), counts.tolist()))
+
+
+def agg_partial(batch: ColumnBatch, keys: Tuple[str, ...],
+                aggs: Tuple[AggSpec, ...]) -> List[tuple]:
+    """One partition's map-side-combined ``(key, states)`` records."""
+    if batch.n == 0:
+        return []
+    codes, uniq_keys = factorize(batch, keys)
+    n_groups = len(uniq_keys)
+    per_agg: List[List] = []
+    for a in aggs:
+        vals = None
+        if a.expr is not None:
+            vals = _full_column(eval_expr(a.expr, batch), batch.n)
+        per_agg.append(_agg_states(a, codes, n_groups, vals))
+    return [(key, tuple(states[g] for states in per_agg))
+            for g, key in enumerate(uniq_keys)]
+
+
+# -- logical-plan lowering ---------------------------------------------------
+
+
+def _scan_batches(plan: Scan, ctx, n_partitions: int):
+    """Source batches, chunked exactly like ``ctx.parallelize`` chunks rows
+    (so partition boundaries match the row path record for record)."""
+    cols_ = list(plan.columns)
+    rows = plan.rows
+    n = min(n_partitions, max(1, len(rows))) if rows else 1
+    base, extra = divmod(len(rows), n)
+    parts: List[List[ColumnBatch]] = []
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        chunk = rows[start:start + size]
+        start += size
+        parts.append([ColumnBatch.from_rows(chunk, cols_)])
+    return ctx.from_partitions(parts)
+
+
+def _rows_ds(batch_ds):
+    return batch_ds.flat_map(lambda b: b.to_rows())
+
+
+def _batch_ds(row_ds, schema: Sequence[str]):
+    s = tuple(schema)
+    return row_ds.map_partitions(
+        lambda it, _s=s: [ColumnBatch.from_rows(list(it), _s)])
+
+
+def _lower(plan: LogicalPlan, ctx, n_partitions: int):
+    """Recursive lowering; returns ``(dataset, is_batch)``."""
+    if isinstance(plan, Scan):
+        return _scan_batches(plan, ctx, n_partitions), True
+
+    if isinstance(plan, Project):
+        child, is_batch = _lower(plan.child, ctx, n_partitions)
+        if not is_batch:
+            child = _batch_ds(child, plan.child.schema)
+        exprs = tuple(plan.exprs)
+        return child.map(
+            lambda b, _e=exprs: project_batch(b, _e)), True
+
+    if isinstance(plan, Filter):
+        child, is_batch = _lower(plan.child, ctx, n_partitions)
+        if not is_batch:
+            child = _batch_ds(child, plan.child.schema)
+        pred = plan.predicate
+        return child.map(
+            lambda b, _p=pred: filter_batch(b, _p)), True
+
+    if isinstance(plan, GroupAgg):
+        child, is_batch = _lower(plan.child, ctx, n_partitions)
+        if not is_batch:
+            child = _batch_ds(child, plan.child.schema)
+        keys, aggs = tuple(plan.keys), tuple(plan.aggs)
+        kv = child.flat_map(
+            lambda b, _k=keys, _a=aggs: agg_partial(b, _k, _a))
+
+        def merge_states(s1, s2, _a=aggs):
+            return tuple(a.merge_states(x, y)
+                         for a, x, y in zip(_a, s1, s2))
+
+        def to_row(pair, _k=keys, _a=aggs):
+            key, states = pair
+            row = dict(zip(_k, key))
+            for a, s in zip(_a, states):
+                row[a.out] = a.finish(s)
+            return row
+        # partials are already combined per partition; the shuffle only
+        # merges partition partials — the same reduce-side fold (and the
+        # same key first-arrival order) as the interpreted path
+        out = kv.combine_by_key(lambda s: s, merge_states, merge_states,
+                                n_partitions)
+        return out.map(to_row), False
+
+    # join / order_by / limit / distinct: per-operator fallback to the
+    # row interpreter — children are converted to rows at the seam
+    from .frame import _lower_row
+    children = []
+    for c in plan.children:
+        ds, is_batch = _lower(c, ctx, n_partitions)
+        children.append(_rows_ds(ds) if is_batch else ds)
+    return _lower_row(plan, children, ctx, n_partitions), False
+
+
+def compile_columnar(plan: LogicalPlan, ctx, n_partitions: int):
+    """Compile a logical plan through the columnar engine.
+
+    Returns a Dataset of dict rows — the same output contract as the row
+    compiler in :mod:`repro.sql.frame`.
+    """
+    ds, is_batch = _lower(plan, ctx, n_partitions)
+    return _rows_ds(ds) if is_batch else ds

@@ -105,8 +105,12 @@ class Expr:
         return id(self)
 
     def apply(self, fn: Callable[[Any], Any], fn_name: str = "f") -> "Expr":
-        """Arbitrary scalar function of this expression."""
-        return _UnaryOp(self, fn, fn_name)
+        """Arbitrary scalar function of this expression (a UDF).
+
+        UDFs stay on the row path under columnar execution: the engine
+        evaluates them per element and re-vectorizes the result.
+        """
+        return _UnaryOp(self, fn, fn_name, udf=True)
 
 
 class Column(Expr):
@@ -175,10 +179,15 @@ class _BinOp(Expr):
 
 
 class _UnaryOp(Expr):
-    def __init__(self, inner: Expr, op: Callable, symbol: str) -> None:
+    def __init__(self, inner: Expr, op: Callable, symbol: str,
+                 udf: bool = False) -> None:
         self._inner = inner
         self._op = op
         self._symbol = symbol
+        #: True for user functions from :meth:`Expr.apply` — the columnar
+        #: engine must evaluate these per element (opaque Python), while
+        #: NOT/negate lower to numpy kernels
+        self._udf = udf
 
     def eval(self, row):
         return self._op(self._inner.eval(row))

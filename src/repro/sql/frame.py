@@ -162,18 +162,31 @@ class DataFrame:
         plan = optimize(_clone(self.plan)) if optimized else self.plan
         return plan.describe()
 
-    def to_dataset(self, optimized: bool = True) -> Dataset:
-        """Compile to a Dataset of dict rows."""
+    def to_dataset(self, optimized: bool = True,
+                   columnar: Optional[bool] = None) -> Dataset:
+        """Compile to a Dataset of dict rows.
+
+        ``columnar`` forces the vectorized (True) or interpreted (False)
+        engine for this query; ``None`` follows the process-wide default
+        (:func:`repro.sql.columnar.set_columnar`).  Both engines produce
+        identical rows in identical order.
+        """
         plan = optimize(_clone(self.plan)) if optimized else self.plan
+        from .columnar import columnar_enabled, compile_columnar
+        use_columnar = columnar_enabled() if columnar is None else columnar
+        if use_columnar:
+            return compile_columnar(plan, self.ctx, self.n_partitions)
         return _compile(plan, self.ctx, self.n_partitions)
 
-    def collect(self, optimized: bool = True) -> List[Dict[str, Any]]:
+    def collect(self, optimized: bool = True,
+                columnar: Optional[bool] = None) -> List[Dict[str, Any]]:
         """All rows as dicts."""
-        return self.to_dataset(optimized).collect()
+        return self.to_dataset(optimized, columnar=columnar).collect()
 
-    def count(self, optimized: bool = True) -> int:
+    def count(self, optimized: bool = True,
+              columnar: Optional[bool] = None) -> int:
         """Number of rows."""
-        return self.to_dataset(optimized).count()
+        return self.to_dataset(optimized, columnar=columnar).count()
 
     def show(self, n: int = 20) -> None:
         """Print up to ``n`` rows as an aligned table."""
@@ -227,24 +240,36 @@ def _clone(plan: LogicalPlan) -> LogicalPlan:
 
 def _compile(plan: LogicalPlan, ctx: DataflowContext,
              n_partitions: int) -> Dataset:
+    """Row-interpreter compilation: lower the whole tree recursively."""
+    children = [_compile(c, ctx, n_partitions) for c in plan.children]
+    return _lower_row(plan, children, ctx, n_partitions)
+
+
+def _lower_row(plan: LogicalPlan, children: List[Dataset],
+               ctx: DataflowContext, n_partitions: int) -> Dataset:
+    """Lower ONE operator over pre-compiled child row datasets.
+
+    Shared with the columnar engine, which calls in here per operator for
+    the node kinds it does not vectorize (join/order_by/limit/distinct).
+    """
     if isinstance(plan, Scan):
         cols_ = plan.columns
         rows = [{c: r[c] for c in cols_} for r in plan.rows]
         return ctx.parallelize(rows, n_partitions)
 
     if isinstance(plan, Project):
-        child = _compile(plan.child, ctx, n_partitions)
+        child = children[0]
         exprs = plan.exprs
         return child.map(
             lambda row, _e=tuple(exprs): {e.name: e.eval(row) for e in _e})
 
     if isinstance(plan, Filter):
-        child = _compile(plan.child, ctx, n_partitions)
+        child = children[0]
         pred = plan.predicate
         return child.filter(lambda row, _p=pred: bool(_p.eval(row)))
 
     if isinstance(plan, GroupAgg):
-        child = _compile(plan.child, ctx, n_partitions)
+        child = children[0]
         keys, aggs = plan.keys, plan.aggs
 
         def to_kv(row, _k=tuple(keys), _a=tuple(aggs)):
@@ -276,8 +301,7 @@ def _compile(plan: LogicalPlan, ctx: DataflowContext,
                 .map(to_row))
 
     if isinstance(plan, Join):
-        left = _compile(plan.left, ctx, n_partitions)
-        right = _compile(plan.right, ctx, n_partitions)
+        left, right = children
         on = tuple(plan.on)
         right_extra = tuple(c for c in plan.right.schema if c not in plan.on)
         lkv = left.map(lambda r, _on=on: (tuple(r[c] for c in _on), r))
@@ -300,14 +324,14 @@ def _compile(plan: LogicalPlan, ctx: DataflowContext,
         return grouped.flat_map(emit)
 
     if isinstance(plan, OrderBy):
-        child = _compile(plan.child, ctx, n_partitions)
+        child = children[0]
         key = plan.key
         return child.sort_by(lambda r, _k=key: r[_k],
                              ascending=plan.ascending,
                              n_partitions=n_partitions)
 
     if isinstance(plan, Limit):
-        child = _compile(plan.child, ctx, n_partitions)
+        child = children[0]
         n = plan.n
         # classic distributed limit: truncate per partition, funnel to one
         return (child.map_partitions(
@@ -316,7 +340,7 @@ def _compile(plan: LogicalPlan, ctx: DataflowContext,
                 .map_partitions(lambda it, _n=n: list(it)[:_n]))
 
     if isinstance(plan, Distinct):
-        child = _compile(plan.child, ctx, n_partitions)
+        child = children[0]
         schema = tuple(plan.schema)
         return (child.map(lambda r, _s=schema: tuple(r[c] for c in _s))
                 .distinct(n_partitions)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Optional, Set
 
-from .expr import Column, Expr
+from .expr import Column, Expr, Literal, _Aliased
 from .logical import (
     Distinct,
     Filter,
@@ -30,15 +30,16 @@ from .logical import (
     Scan,
 )
 
-__all__ = ["optimize", "push_filters", "prune_columns"]
+__all__ = ["optimize", "push_filters", "prune_columns", "merge_projects"]
 
 
 def optimize(plan: LogicalPlan) -> LogicalPlan:
-    """Apply all rules to fixpoint (pushdown first, then pruning)."""
+    """Apply all rules to fixpoint (pushdown + merging, then pruning)."""
     prev_desc = None
     while prev_desc != plan.describe():
         prev_desc = plan.describe()
         plan = push_filters(plan)
+        plan = merge_projects(plan)
     plan = prune_columns(plan)
     return plan
 
@@ -89,7 +90,7 @@ def _remap(pred: Expr, name_map) -> Expr:
                       pred._op, pred._symbol)
     if isinstance(pred, _UnaryOp):
         return _UnaryOp(_remap(pred._inner, name_map), pred._op,
-                        pred._symbol)
+                        pred._symbol, udf=pred._udf)
     if isinstance(pred, _Aliased):
         return _Aliased(_remap(pred._inner, name_map), pred._name)
     return pred
@@ -108,10 +109,15 @@ def push_filters(plan: LogicalPlan) -> LogicalPlan:
     pred = plan.predicate
 
     if isinstance(child, Filter):
-        # reorder to help later rules; keeps conjunction semantics
-        inner = child.child
-        child.children = [Filter(inner, pred)]
-        return push_filters(child)
+        # try to sink the outer predicate below the inner filter (they
+        # commute); keep the original order when it cannot move — blindly
+        # swapping here would oscillate forever on two unpushable filters
+        attempt = Filter(child.child, pred)
+        pushed = push_filters(attempt)
+        if pushed is attempt and pushed.child is child.child:
+            return plan
+        child.children = [pushed]
+        return child
 
     if isinstance(child, Project):
         rewritten = _rewrite_through_project(pred, child)
@@ -139,6 +145,67 @@ def push_filters(plan: LogicalPlan) -> LogicalPlan:
         return child
 
     return plan
+
+
+# -- projection merging --------------------------------------------------------
+
+
+def _substitute(e: Expr, mapping) -> Expr:
+    """``e`` with Column refs replaced by the mapped inner expressions."""
+    from .expr import Column as Col, Literal, _Aliased, _BinOp, _UnaryOp
+    if isinstance(e, Col):
+        repl = mapping.get(e.name)
+        return e if repl is None else repl
+    if isinstance(e, Literal):
+        return e
+    if isinstance(e, _BinOp):
+        return _BinOp(_substitute(e._l, mapping), _substitute(e._r, mapping),
+                      e._op, e._symbol)
+    if isinstance(e, _UnaryOp):
+        return _UnaryOp(_substitute(e._inner, mapping), e._op, e._symbol,
+                        udf=e._udf)
+    if isinstance(e, _Aliased):
+        return _Aliased(_substitute(e._inner, mapping), e._name)
+    return e
+
+
+def merge_projects(plan: LogicalPlan) -> LogicalPlan:
+    """Collapse Project-over-Project pairs into one projection.
+
+    ``with_column`` chains stack one Project per call; merging them saves
+    an operator (and, under columnar execution, one batch
+    materialization) per level.  Conservative side condition: an inner
+    expression that is not a bare column/literal must be referenced at
+    most once by the outer expressions — otherwise merging would
+    duplicate its evaluation per row.
+    """
+    if isinstance(plan, Scan):
+        return plan
+    plan.children = [merge_projects(c) for c in plan.children]
+    if not (isinstance(plan, Project) and isinstance(plan.child, Project)):
+        return plan
+    inner = plan.child
+    inner_map = {e.name: e for e in inner.exprs}
+    ref_counts: dict = {}
+    for e in plan.exprs:
+        for c in e.references():
+            ref_counts[c] = ref_counts.get(c, 0) + 1
+    for name, count in ref_counts.items():
+        mapped = inner_map.get(name)
+        if mapped is None:
+            return plan                    # outer reads a column inner drops
+        stripped = mapped
+        while isinstance(stripped, _Aliased):
+            stripped = stripped._inner
+        if not isinstance(stripped, (Column, Literal)) and count > 1:
+            return plan                    # would duplicate real work
+    merged = []
+    for e in plan.exprs:
+        new = _substitute(e, inner_map)
+        if new.name != e.name:
+            new = new.alias(e.name)
+        merged.append(new)
+    return merge_projects(Project(inner.child, merged))
 
 
 # -- column pruning ------------------------------------------------------------

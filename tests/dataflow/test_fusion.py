@@ -1,0 +1,252 @@
+"""Narrow-chain fusion: fused and unfused plans must be indistinguishable.
+
+Property tests assert byte-identical ``collect()`` results (pickle
+equality) and identical shuffle/cache traces for random narrow chains —
+including ``with_split`` ops, cached midpoints, sample barriers, and
+diamond/multi-child DAGs — on both the local executor and the simulated
+engine.
+"""
+
+import operator
+import pickle
+import random
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.dataflow import (
+    DataflowContext,
+    SimEngine,
+    fusion_enabled,
+    fusion_groups,
+    set_fusion,
+)
+from repro.simcore import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _fusion_on_after():
+    yield
+    set_fusion(True)
+
+
+def collect_both(build):
+    """(fused, unfused) pickled collect() results of the same plan."""
+    out = {}
+    for fused in (True, False):
+        set_fusion(fused)
+        ctx = DataflowContext(default_parallelism=4)
+        out[fused] = pickle.dumps(build(ctx).collect())
+    set_fusion(True)
+    return out[True], out[False]
+
+
+# -- random narrow chains -------------------------------------------------
+
+
+def random_chain(ctx, rng):
+    """A random pipeline of narrow ops (element-wise and with_split)."""
+    ds = ctx.parallelize(range(rng.randrange(0, 400)), rng.randrange(1, 6))
+    for _ in range(rng.randrange(1, 10)):
+        op = rng.randrange(8)
+        if op == 0:
+            k = rng.randrange(1, 5)
+            ds = ds.map(lambda x, _k=k: x * _k + 1)
+        elif op == 1:
+            m = rng.randrange(2, 5)
+            ds = ds.filter(lambda x, _m=m: hash(x) % _m != 0)
+        elif op == 2:
+            ds = ds.flat_map(lambda x: (x, -x) if isinstance(x, int) else (x,))
+        elif op == 3:
+            ds = ds.map_partitions(lambda it: [sum(1 for _ in it)])
+        elif op == 4:
+            ds = ds.zip_with_index().map(lambda kv: kv[0])
+        elif op == 5:
+            ds = ds.key_by(lambda x: hash(x) % 7).map_values(
+                lambda v: v).values()
+        elif op == 6:
+            ds = ds.glom().flat_map(lambda chunk: chunk)
+        else:
+            ds = ds.map(str).map(len)
+    return ds
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_chain_byte_identical(seed):
+    rng_args = seed
+    fused, unfused = collect_both(
+        lambda ctx, _s=rng_args: random_chain(ctx, random.Random(_s)))
+    assert fused == unfused
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_chain_with_shuffle_byte_identical(seed):
+    def build(ctx):
+        rng = random.Random(seed)
+        ds = random_chain(ctx, rng).map(
+            lambda x: (hash(x) % 11, 1)).reduce_by_key(operator.add, 4)
+        return ds.map_values(lambda v: v * 2)
+    fused, unfused = collect_both(build)
+    assert fused == unfused
+
+
+def test_shuffle_metrics_identical():
+    """Fusion must not change what crosses the wire."""
+    def build(ctx):
+        return (ctx.parallelize(range(1000), 5)
+                .map(lambda x: x % 97).filter(lambda x: x % 2 == 0)
+                .flat_map(lambda x: (x, x + 1))
+                .map(lambda x: (x % 13, x))
+                .reduce_by_key(operator.add, 3))
+    traces = {}
+    for fused in (True, False):
+        set_fusion(fused)
+        ctx = DataflowContext(4)
+        ds = build(ctx)
+        result = ds.collect()
+        traces[fused] = (
+            result,
+            {sid: (m.records_in, m.records_written, m.bytes_written)
+             for sid, m in ctx.local_executor.shuffle_metrics.items()},
+        )
+    assert traces[True] == traces[False]
+
+
+# -- barriers -------------------------------------------------------------
+
+
+def test_cached_midpoint_is_barrier_and_hits_cache():
+    for fused in (True, False):
+        set_fusion(fused)
+        ctx = DataflowContext(2)
+        calls = []
+        base = ctx.parallelize(range(20), 2).map(
+            lambda x: calls.append(x) or x + 1)
+        mid = base.map(lambda x: x * 2).cache()
+        top = mid.map(lambda x: x - 1).filter(lambda x: x % 3 != 0)
+        first = top.collect()
+        n_after_first = len(calls)
+        second = top.collect()
+        assert first == second
+        assert len(calls) == n_after_first     # cache hit: no recompute
+        if fused:
+            groups = fusion_groups(top)
+            # the cached dataset splits the pipeline: consumers above it
+            # fuse separately, and it may only ever HEAD its own group
+            # (caching wraps compute, so heading a chain is safe)
+            assert len(groups) == 2
+            assert all(mid.dataset_id not in g[:-1] for g in groups)
+            assert groups[0] == [top.parent.dataset_id, top.dataset_id]
+    set_fusion(True)
+
+
+def test_diamond_multi_child_is_barrier():
+    ctx = DataflowContext(2)
+    a = ctx.parallelize(range(50), 2).map(lambda x: x + 1)
+    b = a.map(lambda x: x * 2)            # b feeds two children
+    c = b.map(lambda x: x + 3)
+    d = b.filter(lambda x: x % 4 == 0)
+    top = c.union(d)
+    groups = {tuple(g) for g in fusion_groups(top)}
+    # c and d each fuse alone: their shared parent b is a barrier
+    assert (c.dataset_id,) in groups
+    assert (d.dataset_id,) in groups
+    # b itself still fuses with a below the fan-out
+    assert (a.dataset_id, b.dataset_id) in groups
+
+    fused, unfused = collect_both(
+        lambda ctx2: (lambda a2: a2.map(lambda x: x + 3).union(
+            a2.filter(lambda x: x % 4 == 0)))(
+                ctx2.parallelize(range(50), 2).map(lambda x: x + 1)
+                .map(lambda x: x * 2)))
+    assert fused == unfused
+
+
+def test_sample_is_barrier_and_deterministic():
+    def build(ctx):
+        return (ctx.parallelize(range(500), 3).map(lambda x: x * 3)
+                .sample(0.4, seed=11).map(lambda x: x + 1))
+    fused, unfused = collect_both(build)
+    assert fused == unfused
+    ctx = DataflowContext(3)
+    top = build(ctx)
+    groups = fusion_groups(top)
+    # the op above the sample fuses alone: the sample is never pulled
+    # into a consumer's segment (it may still head its own)
+    assert groups[0] == [top.dataset_id]
+    assert all(top.parent.dataset_id not in g[:-1] for g in groups)
+
+
+def test_context_flag_disables_fusion():
+    ctx = DataflowContext(2)
+    ctx.fusion_enabled = False
+    ds = ctx.parallelize(range(30), 2).map(lambda x: x + 1).map(
+        lambda x: x * 2)
+    assert ds.collect() == [(x + 1) * 2 for x in range(30)]
+
+
+def test_global_toggle_roundtrip():
+    assert fusion_enabled()
+    set_fusion(False)
+    assert not fusion_enabled()
+    set_fusion(True)
+    assert fusion_enabled()
+
+
+def test_deep_chain():
+    def build(ctx):
+        ds = ctx.parallelize(range(100), 2)
+        for i in range(40):
+            ds = ds.map(lambda x, _i=i: x + _i)
+        return ds
+    fused, unfused = collect_both(build)
+    assert fused == unfused
+    ctx = DataflowContext(2)
+    ds = ctx.parallelize(range(10), 2)
+    for i in range(40):
+        ds = ds.map(lambda x, _i=i: x + _i)
+    (group,) = fusion_groups(ds)
+    assert len(group) == 40
+
+
+# -- simulated engine -----------------------------------------------------
+
+
+def _sim_collect(build):
+    sim = Simulator()
+    cl = make_cluster(sim, 2, 3)
+    ctx = DataflowContext(default_parallelism=6)
+    eng = SimEngine(cl)
+    res = sim.run_until_done(eng.collect(build(ctx)))
+    return res
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_simengine_fused_equals_unfused(seed):
+    def build(ctx):
+        rng = random.Random(seed + 100)
+        return random_chain(ctx, rng).map(
+            lambda x: (hash(x) % 5, 1)).reduce_by_key(operator.add, 3)
+    out = {}
+    for fused in (True, False):
+        set_fusion(fused)
+        out[fused] = pickle.dumps(_sim_collect(build).value)
+    set_fusion(True)
+    assert out[True] == out[False]
+
+
+def test_simengine_reports_fused_segments():
+    def build(ctx):
+        return (ctx.parallelize(range(200), 4)
+                .map(lambda x: x + 1).filter(lambda x: x % 2 == 0)
+                .map(lambda x: (x % 7, x)).reduce_by_key(operator.add, 3)
+                .map_values(lambda v: v + 1).map(lambda kv: kv[1]))
+    res = _sim_collect(build)
+    assert res.metrics.fused_segments >= 2   # map side + reduce side
+    set_fusion(False)
+    try:
+        res_off = _sim_collect(build)
+        assert res_off.metrics.fused_segments == 0
+        assert sorted(res_off.value) == sorted(res.value)
+    finally:
+        set_fusion(True)
