@@ -6,10 +6,15 @@ records/sec on a fixed basket (wordcount, terasort, pagerank, skewed
 combine), end-to-end job wall seconds, and DES-kernel event counts — the
 vectorized ``partition_many`` path A/B'd against the scalar reference,
 and the inbox-driven stage waits A/B'd against the legacy eager poll
-timer.  Writes ``BENCH_wallclock.json`` next to the repo root so every
-PR leaves a comparable perf trajectory.
+timer.  Also measures the observability layer's overhead (the fully
+traced leg upper-bounds the disabled cost; the <5% guard is enforced here)
+and, with ``--profile``, prints the kernel event mix and per-operator
+self-time profile from :mod:`repro.obs.profile`.  Writes
+``BENCH_wallclock.json`` next to the repo root so every PR leaves a
+comparable perf trajectory.
 
 Run standalone:  ``PYTHONPATH=src python benchmarks/bench_p0_wallclock.py``
+                 ``... bench_p0_wallclock.py 0.25 --profile``
 """
 
 import os
@@ -18,26 +23,37 @@ import sys
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 from _common import one_round
 
-from repro.bench.perfsuite import run_suite, write_report
+from repro.bench.perfsuite import profile_end_to_end, run_suite, write_report
 
 REPORT = os.path.join(os.path.dirname(__file__), os.pardir,
                       "BENCH_wallclock.json")
 
 
-def run_p0(scale: float = 1.0, report_path: str = REPORT) -> dict:
+def run_p0(scale: float = 1.0, report_path: str = REPORT,
+           profile: bool = False) -> dict:
     payload = run_suite(scale=scale, verbose=True)
+    if profile:
+        report, text = profile_end_to_end("wordcount", scale)
+        payload["profile"] = report
+        print("\n--- profile: wordcount end-to-end ---")
+        print(text)
     write_report(payload, report_path)
     print(f"wrote {os.path.normpath(report_path)}")
     return payload
 
 
 def enforce_guards(payload: dict) -> None:
-    """Regression guards for the PR-3 execution optimizers.
+    """Regression guards for the PR-3/PR-4 execution optimizers.
 
     Narrow-chain fusion must stay >= 1.2x at every scale (it is a
     per-record win, so smoke scales see it too); the columnar SQL engine
     must reach 1.5x at the default scale (>= 1.1x on smoke scales, where
-    fixed per-query costs dominate).
+    fixed per-query costs dominate).  The observability layer must cost
+    < 5% when disabled — guarded via the fully *traced* leg, whose
+    instrumentation work is a strict superset of the disabled path's
+    (the same module-global loads and ``None`` checks, plus all the
+    recording), so the disabled cost is strictly below the guarded
+    number.
     """
     summary = payload["summary"]
     fusion = summary["fusion_speedup"]
@@ -45,6 +61,9 @@ def enforce_guards(payload: dict) -> None:
     sql = summary["sql_speedup"]
     floor = 1.5 if payload["scale"] >= 1.0 else 1.1
     assert sql >= floor, f"SQL speedup regressed: {sql:.2f}x < {floor}x"
+    obs = summary["obs_enabled_overhead"]
+    assert obs < 0.05, \
+        f"observability overhead bound {100 * obs:.1f}% >= 5%"
 
 
 def test_p0(benchmark):
@@ -57,15 +76,19 @@ def test_p0(benchmark):
     # every optimization must actually help, at any scale
     assert summary["speedup"] > 1.0
     assert summary["wordcount_sim_event_reduction"] > 0.0
+    assert payload["obs_overhead"]["traced_spans"] > 0
     enforce_guards(payload)
     meta = payload["meta"]
     assert meta["fusion_enabled"] and meta["columnar_enabled"]
 
 
 if __name__ == "__main__":
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
-    payload = run_p0(scale=scale)
+    args = [a for a in sys.argv[1:] if a != "--profile"]
+    scale = float(args[0]) if args else 1.0
+    payload = run_p0(scale=scale, profile="--profile" in sys.argv[1:])
     enforce_guards(payload)
-    print("guards OK: fusion {:.2f}x, sql {:.2f}x".format(
-        payload["summary"]["fusion_speedup"],
-        payload["summary"]["sql_speedup"]))
+    print("guards OK: fusion {:.2f}x, sql {:.2f}x, "
+          "obs overhead bound {:+.1f}%".format(
+              payload["summary"]["fusion_speedup"],
+              payload["summary"]["sql_speedup"],
+              100 * payload["summary"]["obs_enabled_overhead"]))

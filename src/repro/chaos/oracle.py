@@ -248,8 +248,18 @@ def check_microbatch(seed: int, plan: Optional[FaultPlan] = None) -> OracleRepor
         "result_determinism")
     report.expect(all(bt > cfg.scheduling_overhead for bt in r1.batch_times),
                   "no_empty_batches")
-    report.expect(len(r1.batch_times) == r1.latency.count,
+    # latency is weighted by batch size: one latency observation per record
+    report.expect(r1.latency.count == r1.processed_records,
                   "backlog_conservation")
+    # typed-counter flow conservation: in == out + inflight (0 at shutdown)
+    reg = r1.registry
+    report.expect(
+        reg is not None
+        and reg.value("stream.records_in")
+        == reg.value("stream.records_out")
+        + reg.value("stream.records_inflight")
+        and reg.value("stream.records_inflight") == 0,
+        "registry_flow_conservation")
     return report
 
 

@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..common.errors import CloudError
+from ..obs import trace as obs_trace
 
 __all__ = [
     "AutoscalePolicy", "StaticPolicy", "ThresholdPolicy", "PredictivePolicy",
@@ -204,6 +205,13 @@ def simulate_autoscaling(
                                   queue=q)
             want = max(min_instances, min(want, max_instances))
             pending = current + sum(b[1] for b in booting)
+            tr = obs_trace.get_tracer()
+            if tr is not None and want != pending:
+                tr.instant(
+                    "scale_out" if want > pending else "scale_in", t,
+                    lane=("cloud", policy.name), cat="autoscale",
+                    want=want, pending=pending, utilization=min(util, 10.0),
+                    queue=q)
             if want > pending and t - last_out >= scaleout_cooldown:
                 booting.append((t + boot_delay, want - pending))
                 last_out = t

@@ -40,20 +40,34 @@ class Summary:
         self.min = math.inf
         self.max = -math.inf
         self._values: Optional[List[float]] = [] if keep_values else None
+        self._weights: Optional[List[int]] = [] if keep_values else None
+        self._weighted = False
 
-    def add(self, x: float) -> None:
-        """Record one observation."""
+    def add(self, x: float, weight: int = 1) -> None:
+        """Record one observation with integer multiplicity ``weight``.
+
+        ``weight=n`` is equivalent to ``n`` calls of ``add(x)`` (used e.g.
+        for per-batch latencies weighted by batch size) without storing
+        ``n`` copies of the value.
+        """
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        if weight == 0:
+            return
         x = float(x)
-        self.count += 1
+        self.count += weight
         delta = x - self._mean
-        self._mean += delta / self.count
-        self._m2 += delta * (x - self._mean)
+        self._mean += delta * weight / self.count
+        self._m2 += delta * weight * (x - self._mean)
         if x < self.min:
             self.min = x
         if x > self.max:
             self.max = x
+        if weight != 1:
+            self._weighted = True
         if self._values is not None:
             self._values.append(x)
+            self._weights.append(int(weight))
 
     def extend(self, xs: Iterable[float]) -> None:
         """Record many observations."""
@@ -81,12 +95,29 @@ class Summary:
         return self._mean * self.count
 
     def quantile(self, q: float) -> float:
-        """Exact ``q``-quantile (requires ``keep_values=True``)."""
+        """Exact ``q``-quantile (requires ``keep_values=True``).
+
+        With weighted observations this matches ``np.quantile`` over the
+        weight-expanded sample, computed without materializing it.
+        """
         if self._values is None:
             raise ValueError("Summary built with keep_values=False")
         if not self._values:
             return 0.0
-        return float(np.quantile(np.asarray(self._values), q))
+        if not self._weighted:
+            return float(np.quantile(np.asarray(self._values), q))
+        order = np.argsort(np.asarray(self._values, dtype=np.float64))
+        vals = np.asarray(self._values, dtype=np.float64)[order]
+        cumw = np.cumsum(np.asarray(self._weights, dtype=np.int64)[order])
+        # linear interpolation at virtual index q * (N - 1) of the
+        # expanded sorted sample, N = total weight
+        pos = q * (self.count - 1)
+        i0 = int(math.floor(pos))
+        frac = pos - i0
+        v0 = vals[np.searchsorted(cumw, i0, side="right")]
+        v1 = vals[np.searchsorted(cumw, min(i0 + 1, self.count - 1),
+                                  side="right")]
+        return float(v0 + (v1 - v0) * frac)
 
     @property
     def p50(self) -> float:
@@ -104,10 +135,13 @@ class Summary:
         return self.quantile(0.99)
 
     def values(self) -> List[float]:
-        """All recorded observations (copy)."""
+        """All recorded observations, weight-expanded (copy)."""
         if self._values is None:
             raise ValueError("Summary built with keep_values=False")
-        return list(self._values)
+        if not self._weighted:
+            return list(self._values)
+        return [x for x, w in zip(self._values, self._weights)
+                for _ in range(w)]
 
     def __len__(self) -> int:
         return self.count

@@ -25,6 +25,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..cluster.cluster import Cluster
 from ..cluster.node import Node
 from ..common.errors import DataflowError, TaskFailedError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..simcore.events import Event
 from ..simcore.kernel import Simulator
 from ..simcore.resources import Store
@@ -174,7 +176,8 @@ class _SimRuntime(TaskRuntime):
 
 
 class _Attempt:
-    __slots__ = ("split", "node", "started", "alive", "speculative", "_inbox")
+    __slots__ = ("split", "node", "started", "alive", "speculative",
+                 "released", "span", "_inbox")
 
     def __init__(self, split: int, node: str, started: float,
                  speculative: bool) -> None:
@@ -183,6 +186,10 @@ class _Attempt:
         self.started = started
         self.alive = True
         self.speculative = speculative
+        # slot accounting is idempotent: True once this attempt's core slot
+        # has been given back (or died with its node)
+        self.released = False
+        self.span: Optional[int] = None      # trace span id when tracing
         self._inbox: Optional[Store] = None
 
 
@@ -322,20 +329,64 @@ class SimEngine:
                 if len(g) > 1)
         stage_by_shuffle: Dict[int, Stage] = {
             s.shuffle_dep.shuffle_id: s for s in stages if not s.is_result}
+        tr = obs_trace.get_tracer()
+        job_span = None
+        if tr is not None:
+            job_span = tr.begin("job", self.sim.now, lane=("engine", "driver"),
+                                cat="job", dataset_id=ds.dataset_id,
+                                n_stages=len(stages))
         try:
             for stage in stages:
                 if stage.is_result:
                     values = yield from self._run_stage(
-                        stage, metrics, stage_by_shuffle, per_partition)
+                        stage, metrics, stage_by_shuffle, per_partition,
+                        parent_span=job_span)
                 else:
                     yield from self._run_stage(
-                        stage, metrics, stage_by_shuffle, None)
+                        stage, metrics, stage_by_shuffle, None,
+                        parent_span=job_span)
             parts = [values[i] for i in range(result_stage.n_tasks)]
             metrics.end = self.sim.now
+            self._mirror_metrics(metrics)
+            self._end_span(job_span, outcome="ok")
             done.succeed(JobResult(finalize(parts), metrics))
         except DataflowError as exc:
             metrics.end = self.sim.now
+            self._mirror_metrics(metrics)
+            self._end_span(job_span, outcome=type(exc).__name__)
             done.fail(exc)
+
+    def _end_span(self, span: Optional[int], **attrs: Any) -> None:
+        tr = obs_trace.get_tracer()
+        if tr is not None and span is not None:
+            tr.end(span, self.sim.now, **attrs)
+
+    def _mirror_metrics(self, metrics: JobMetrics) -> None:
+        """Fold a finished job's JobMetrics into the global registry.
+
+        ``JobMetrics`` stays the per-job API; the registry (when enabled)
+        aggregates across jobs with typed, conservation-checkable metrics.
+        """
+        reg = obs_metrics.get_registry()
+        if reg is None:
+            return
+        reg.counter("engine.jobs").inc()
+        reg.counter("engine.tasks").inc(metrics.n_tasks)
+        reg.counter("engine.failed_attempts").inc(metrics.n_failed_attempts)
+        reg.counter("engine.recovered_maps").inc(metrics.n_recovered_maps)
+        reg.counter("engine.speculative_launches").inc(metrics.n_speculative)
+        reg.counter("engine.speculative_wins").inc(metrics.n_spec_wins)
+        reg.counter("engine.shuffle_fetch_bytes").inc(metrics.shuffle_bytes)
+        reg.counter("engine.input_fetch_bytes").inc(metrics.input_fetch_bytes)
+        reg.counter("engine.broadcast_bytes").inc(metrics.broadcast_bytes)
+        reg.counter("engine.spill_bytes").inc(metrics.spill_bytes)
+        reg.counter("engine.fused_segments").inc(metrics.fused_segments)
+        reg.counter("engine.locality.node").inc(metrics.locality_node)
+        reg.counter("engine.locality.rack").inc(metrics.locality_rack)
+        reg.counter("engine.locality.any").inc(metrics.locality_any)
+        hist = reg.histogram("engine.task_seconds")
+        for d in metrics.task_durations:
+            hist.observe(d)
 
     def _splits_to_run(self, stage: Stage,
                        splits: Optional[Sequence[int]]) -> List[int]:
@@ -352,7 +403,8 @@ class SimEngine:
 
     def _run_stage(self, stage: Stage, metrics: JobMetrics,
                    stage_by_shuffle: Dict[int, Stage],
-                   per_partition, splits: Optional[Sequence[int]] = None):
+                   per_partition, splits: Optional[Sequence[int]] = None,
+                   parent_span: Optional[int] = None):
         """Generator sub-process executing one stage (possibly partially)."""
         cfg = self.config
         if not stage.is_result:
@@ -361,6 +413,23 @@ class SimEngine:
         results: Dict[int, Any] = {}
         if not todo:
             return results
+        tr = obs_trace.get_tracer()
+        stage_span = None
+        if tr is not None:
+            span_attrs: Dict[str, Any] = {
+                "stage_id": stage.stage_id, "n_splits": len(todo),
+                "is_result": stage.is_result,
+                "recovery": splits is not None,
+            }
+            if getattr(stage.dataset.ctx, "fusion_enabled", True) \
+                    and fusion.fusion_enabled():
+                sizes = [len(g) for g in fusion_groups(stage.dataset)
+                         if len(g) > 1]
+                if sizes:
+                    span_attrs["fused_segments"] = "|".join(map(str, sizes))
+            stage_span = tr.begin("stage", self.sim.now,
+                                  lane=("engine", "driver"), cat="stage",
+                                  parent=parent_span, **span_attrs)
         pending: deque = deque(todo)
         wait_start: Dict[int, float] = {s: self.sim.now for s in todo}
         retries: Dict[int, int] = {s: 0 for s in todo}
@@ -376,7 +445,7 @@ class SimEngine:
         try:
             while completed() < len(todo):
                 self._launch_ready(stage, pending, wait_start, attempts,
-                                   metrics, inbox, per_partition)
+                                   metrics, inbox, per_partition, stage_span)
                 if pending_get is None:
                     pending_get = inbox.get()
                 # Arm the poll timer only when time passing (rather than a
@@ -394,13 +463,20 @@ class SimEngine:
                     if cfg.speculation:
                         self._maybe_speculate(stage, attempts, done_splits,
                                               durations, metrics, inbox,
-                                              per_partition, len(todo))
+                                              per_partition, len(todo),
+                                              stage_span)
                     continue
                 res: _TaskResult = pending_get.value
                 pending_get = None
                 self._release_slot(res.attempt)
                 if res.split in done_splits:
-                    continue   # speculative loser
+                    # speculative loser: its attempt already reached its one
+                    # terminal state in _task_proc; just note the race result
+                    if tr is not None:
+                        tr.instant("speculation_lost", self.sim.now,
+                                   lane=("engine", res.node), cat="spec",
+                                   split=res.split)
+                    continue
                 if res.ok:
                     done_splits.add(res.split)
                     durations.append(res.duration)
@@ -426,9 +502,15 @@ class SimEngine:
                     if still_missing:
                         parent = stage_by_shuffle[sid]
                         metrics.n_recovered_maps += len(still_missing)
+                        if tr is not None:
+                            tr.instant("lineage_recovery", self.sim.now,
+                                       lane=("engine", "driver"), cat="recovery",
+                                       shuffle_id=sid,
+                                       n_maps=len(still_missing))
                         yield from self._run_stage(parent, metrics,
                                                    stage_by_shuffle, None,
-                                                   splits=still_missing)
+                                                   splits=still_missing,
+                                                   parent_span=stage_span)
                     pending.append(res.split)
                     wait_start[res.split] = self.sim.now
                     continue
@@ -447,6 +529,26 @@ class SimEngine:
             # where they are harmless).  Withdraw it explicitly.
             if pending_get is not None and not pending_get.triggered:
                 inbox.cancel_get(pending_get)
+            elif pending_get is not None and \
+                    isinstance(pending_get.value, _TaskResult):
+                # collected but unwound before processing (recovery raised)
+                self._release_slot(pending_get.value.attempt)
+            # Slot-leak guard: the loop exits as soon as every split is
+            # done, but speculative losers (and, after an exception, any
+            # in-flight attempt) may still hold core slots.  Results already
+            # delivered release here; attempts still running are orphaned —
+            # alive=False stops their output, and _task_proc gives the slot
+            # back itself when the simulated work finishes.
+            for leftover in inbox.items:
+                if isinstance(leftover, _TaskResult):
+                    self._release_slot(leftover.attempt)
+            inbox.items.clear()
+            for atts in attempts.values():
+                for a in atts:
+                    if a.alive:
+                        a.alive = False
+                        self._end_span(a.span, outcome="orphaned")
+            self._end_span(stage_span, n_done=len(done_splits))
         return results
 
     # -------------------------------------------------------- scheduling
@@ -485,7 +587,7 @@ class SimEngine:
 
     def _launch_ready(self, stage: Stage, pending: deque, wait_start,
                       attempts, metrics: JobMetrics, inbox: Store,
-                      per_partition) -> None:
+                      per_partition, stage_span: Optional[int] = None) -> None:
         deferred: List[int] = []
         while pending:
             split = pending.popleft()
@@ -504,12 +606,13 @@ class SimEngine:
                 else:
                     metrics.locality_any += 1
             self._launch(stage, split, node_name, attempts, metrics, inbox,
-                         per_partition, speculative=False)
+                         per_partition, speculative=False,
+                         stage_span=stage_span)
         pending.extend(deferred)
 
     def _launch(self, stage: Stage, split: int, node_name: str, attempts,
                 metrics: JobMetrics, inbox: Store, per_partition,
-                speculative: bool) -> None:
+                speculative: bool, stage_span: Optional[int] = None) -> None:
         self._free_slots[node_name] -= 1
         attempt = _Attempt(split, node_name, self.sim.now, speculative)
         attempt._inbox = inbox
@@ -518,6 +621,12 @@ class SimEngine:
         metrics.n_tasks += 1
         if speculative:
             metrics.n_speculative += 1
+        tr = obs_trace.get_tracer()
+        if tr is not None:
+            attempt.span = tr.begin(
+                "task", self.sim.now, lane=("engine", node_name), cat="task",
+                parent=stage_span, stage_id=stage.stage_id, split=split,
+                speculative=speculative)
         self.sim.process(
             self._task_proc(stage, split, attempt, metrics, inbox,
                             per_partition),
@@ -525,7 +634,8 @@ class SimEngine:
 
     def _maybe_speculate(self, stage: Stage, attempts, done_splits,
                          durations, metrics: JobMetrics, inbox: Store,
-                         per_partition, n_total: int) -> None:
+                         per_partition, n_total: int,
+                         stage_span: Optional[int] = None) -> None:
         cfg = self.config
         if len(done_splits) < cfg.speculation_min_frac * n_total or \
                 not durations:
@@ -548,9 +658,16 @@ class SimEngine:
                 continue
             candidates.sort(key=lambda n: (-self._free_slots[n], n))
             self._launch(stage, split, candidates[0], attempts, metrics,
-                         inbox, per_partition, speculative=True)
+                         inbox, per_partition, speculative=True,
+                         stage_span=stage_span)
 
     def _release_slot(self, attempt: _Attempt) -> None:
+        # Idempotent: an attempt's result can surface more than once (a
+        # finished-but-unconsumed attempt gets a second node_lost result
+        # when its node dies), and a slot must be given back exactly once.
+        if attempt.released:
+            return
+        attempt.released = True
         self._running_by_node.get(attempt.node, {}).pop(attempt, None)
         if self.cluster.nodes[attempt.node].alive:
             self._free_slots[attempt.node] += 1
@@ -567,9 +684,12 @@ class SimEngine:
                 self.fault_hook(stage, split, attempt.node):
             if attempt.alive:
                 attempt.alive = False
+                self._end_span(attempt.span, outcome="chaos_crash")
                 yield inbox.put(_TaskResult(split, attempt.node, False,
                                             "chaos_task_crash", None,
                                             sim.now - t0, attempt))
+            else:
+                self._release_slot(attempt)   # orphaned: nobody else will
             return
         # ship any broadcast blocks this node does not hold yet (once per
         # node, torrent-style from a peer that already has the block)
@@ -604,9 +724,12 @@ class SimEngine:
         if error is not None:
             if attempt.alive:
                 attempt.alive = False
+                self._end_span(attempt.span, outcome="missing_shuffle")
                 yield inbox.put(_TaskResult(split, attempt.node, False,
                                             error, None, sim.now - t0,
                                             attempt))
+            else:
+                self._release_slot(attempt)
             return
         # charge input movement: shuffle fetches + cache fetches + any
         # non-local source partition reads
@@ -645,6 +768,10 @@ class SimEngine:
             dep = stage.shuffle_dep
             buckets, _written, bucket_bytes = write_buckets(
                 dep, records, self.cost, size_estimator=self._size_est)
+            reg = obs_metrics.get_registry()
+            if reg is not None:
+                reg.counter("engine.shuffle_write_bytes").inc(
+                    sum(bucket_bytes))
             if self.config.shuffle_to_disk:
                 total = sum(bucket_bytes)
                 if total > 0:
@@ -655,9 +782,12 @@ class SimEngine:
             value = None
         if attempt.alive:
             attempt.alive = False
+            self._end_span(attempt.span, outcome="ok")
             yield inbox.put(_TaskResult(split, attempt.node, True, None,
                                         value, sim.now - t0, attempt,
                                         acc_stashes=acc_stashes))
+        else:
+            self._release_slot(attempt)
 
     def _source_fetch(self, ds: Dataset, split: int,
                       node: str) -> Tuple[float, Optional[str]]:
@@ -680,14 +810,27 @@ class SimEngine:
     # ------------------------------------------------------------ failures
 
     def _on_node_event(self, node: Node, kind: str) -> None:
+        tr = obs_trace.get_tracer()
+        if tr is not None:
+            tr.instant(f"node_{kind}", self.sim.now,
+                       lane=("engine", node.name), cat="cluster")
         if kind == "recover":
             self._free_slots[node.name] = node.spec.cores
             return
         # node lost: fail running attempts, drop its map outputs & cache
         self._free_slots[node.name] = 0
         for attempt in list(self._running_by_node.get(node.name, ())):
-            attempt.alive = False
             self._running_by_node[node.name].pop(attempt, None)
+            # the slot died with the node — the recover event resets the
+            # node's count wholesale, so a later _release_slot for this
+            # attempt must not add a slot on top of it
+            attempt.released = True
+            if not attempt.alive:
+                # already reached its terminal state; its result sits in the
+                # stage inbox and must not be shadowed by a second one
+                continue
+            attempt.alive = False
+            self._end_span(attempt.span, outcome="node_lost")
             # notify the owning stage loop through a synthetic failure; the
             # stage's inbox reference lives in the task process, so instead
             # we re-enqueue via a watchdog process that the stage polls.

@@ -1,0 +1,20 @@
+"""repro.obs — zero-dependency observability: tracing, metrics, profiling.
+
+Everything here is off by default.  A run opts in either through the
+context managers (:func:`trace_to`, :func:`profile`) or by installing
+process-wide sinks (:func:`set_tracer`, :func:`set_registry`); with no
+sink installed the instrumented code paths reduce to one ``is None``
+check, keeping disabled overhead under the perf suite's 5% guard.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      diff_snapshots, get_registry, set_registry)
+from .profile import Profile, op_label, profile
+from .trace import Span, Tracer, get_tracer, set_tracer, trace_to
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "diff_snapshots",
+    "get_registry", "set_registry",
+    "Profile", "op_label", "profile",
+    "Span", "Tracer", "get_tracer", "set_tracer", "trace_to",
+]

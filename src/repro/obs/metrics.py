@@ -1,0 +1,258 @@
+"""A typed metrics registry: counters, gauges, log-bucket histograms.
+
+Replaces the ad-hoc ``self.some_total += x`` counters scattered through
+the engine, shuffle IO, DFS, and the streaming layer with one typed,
+snapshot-able store:
+
+* :class:`Counter` — monotone; ``inc()`` rejects negative deltas, so a
+  conservation bug can never hide behind a compensating decrement.
+* :class:`Gauge` — a level (queue depth, in-flight records); ``inc`` /
+  ``dec`` / ``set``.
+* :class:`Histogram` — **fixed log-bucket edges** (``base ** k`` spaced),
+  chosen once from the constructor arguments, never from the data — two
+  runs observing the same values in the same order produce bit-identical
+  bucket vectors, which keeps the chaos determinism oracles valid.
+
+:meth:`MetricsRegistry.snapshot` returns a plain dict; :func:`diff_snapshots`
+subtracts two of them (per-run accounting); :meth:`MetricsRegistry.dump`
+renders a stable plain-text listing for tests and debugging.
+
+Like tracing, the *global* registry is off by default
+(:func:`get_registry` returns ``None``); components that always keep
+registry-backed counters (the DFS, the micro-batch engine) own a private
+instance instead.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..common.errors import SimulationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "diff_snapshots", "get_registry", "set_registry"]
+
+_REGISTRY: Optional["MetricsRegistry"] = None
+
+
+def get_registry() -> Optional["MetricsRegistry"]:
+    """The global registry, or ``None`` when metrics are off (default)."""
+    return _REGISTRY
+
+
+def set_registry(reg: Optional["MetricsRegistry"]) -> Optional["MetricsRegistry"]:
+    """Install ``reg`` process-wide; returns the previous one."""
+    global _REGISTRY
+    prev = _REGISTRY
+    _REGISTRY = reg
+    return prev
+
+
+class Counter:
+    """A monotone total."""
+
+    __slots__ = ("name", "_value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, delta: float = 1.0) -> None:
+        """Add ``delta`` (must be >= 0 — counters never go down)."""
+        if delta < 0:
+            raise SimulationError(
+                f"counter {self.name!r}: negative increment {delta}")
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        """The running total."""
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """An instantaneous level."""
+
+    __slots__ = ("name", "_value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Jump to ``value``."""
+        self._value = float(value)
+
+    def inc(self, delta: float = 1.0) -> None:
+        """Move up by ``delta``."""
+        self._value += delta
+
+    def dec(self, delta: float = 1.0) -> None:
+        """Move down by ``delta``."""
+        self._value -= delta
+
+    @property
+    def value(self) -> float:
+        """The current level."""
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Counts over fixed logarithmic buckets.
+
+    Edges are ``lo * base**k`` for ``k = 0..n``, fixed at construction —
+    deterministic regardless of the data.  Values below ``lo`` land in the
+    underflow bucket, values at or above the top edge in overflow.
+    """
+
+    __slots__ = ("name", "edges", "counts", "underflow", "overflow",
+                 "count", "total", "vmin", "vmax")
+    kind = "histogram"
+
+    def __init__(self, name: str, lo: float = 1e-6, hi: float = 1e6,
+                 base: float = 2.0) -> None:
+        if lo <= 0 or hi <= lo or base <= 1:
+            raise SimulationError(
+                f"histogram {name!r}: need 0 < lo < hi and base > 1")
+        self.name = name
+        n = int(math.ceil(math.log(hi / lo, base)))
+        self.edges: Tuple[float, ...] = tuple(
+            lo * base ** k for k in range(n + 1))
+        self.counts = [0] * n
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float, weight: int = 1) -> None:
+        """Record ``value`` with integer multiplicity ``weight``."""
+        value = float(value)
+        self.count += weight
+        self.total += value * weight
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        if value < self.edges[0]:
+            self.underflow += weight
+        elif value >= self.edges[-1]:
+            self.overflow += weight
+        else:
+            self.counts[bisect_right(self.edges, value) - 1] += weight
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observed values (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count, "total": self.total,
+            "min": None if self.count == 0 else self.vmin,
+            "max": None if self.count == 0 else self.vmax,
+            "underflow": self.underflow, "overflow": self.overflow,
+            "buckets": tuple(self.counts),
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and stable snapshots."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, cls, *args, **kwargs) -> Metric:
+        m = self._metrics.get(name)
+        if m is None:
+            m = cls(name, *args, **kwargs)
+            self._metrics[name] = m
+        elif not isinstance(m, cls):
+            raise SimulationError(
+                f"metric {name!r} already registered as {m.kind}")
+        return m
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, lo: float = 1e-6, hi: float = 1e6,
+                  base: float = 2.0) -> Histogram:
+        """Get-or-create the histogram ``name`` (edges fixed on creation)."""
+        return self._get(name, Histogram, lo, hi, base)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        """Sorted metric names."""
+        return sorted(self._metrics)
+
+    def value(self, name: str) -> float:
+        """Counter/gauge value by name (0.0 when absent)."""
+        m = self._metrics.get(name)
+        return float(m.value) if isinstance(m, (Counter, Gauge)) else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time copy: name -> scalar (counter/gauge) or hist dict."""
+        return {name: m.snapshot() for name, m in sorted(self._metrics.items())}
+
+    def dump(self) -> str:
+        """Stable plain-text listing, one metric per line (for tests)."""
+        lines: List[str] = []
+        for name in self.names():
+            m = self._metrics[name]
+            if isinstance(m, Histogram):
+                lines.append(f"{name} histogram count={m.count} "
+                             f"total={m.total:g} mean={m.mean:g}")
+            else:
+                lines.append(f"{name} {m.kind} {m.value:g}")
+        return "\n".join(lines)
+
+
+def diff_snapshots(after: Dict[str, Any],
+                   before: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-run accounting: ``after - before``, metric by metric.
+
+    Metrics absent from ``before`` diff against zero; histogram diffs
+    subtract counts/totals/buckets element-wise.
+    """
+    out: Dict[str, Any] = {}
+    for name, a in after.items():
+        b = before.get(name)
+        if isinstance(a, dict):
+            if b is None:
+                b = {"count": 0, "total": 0.0, "underflow": 0,
+                     "overflow": 0, "buckets": (0,) * len(a["buckets"])}
+            out[name] = {
+                "count": a["count"] - b["count"],
+                "total": a["total"] - b["total"],
+                "underflow": a["underflow"] - b["underflow"],
+                "overflow": a["overflow"] - b["overflow"],
+                "buckets": tuple(x - y for x, y in
+                                 zip(a["buckets"], b["buckets"])),
+            }
+        else:
+            out[name] = a - (0.0 if b is None else b)
+    return out

@@ -1,0 +1,184 @@
+"""Opt-in profiling hooks: kernel event mix + per-operator wall time.
+
+:func:`profile` is a context manager::
+
+    with profile(sim) as prof:
+        sim.run_until_done(engine.collect(ds))
+    print(prof.render())
+
+While active it (a) attaches a kernel observer that counts dispatched
+events by kind (``Timeout`` vs ``Process`` vs plain ``Event`` …), and
+(b) wraps :meth:`Dataset.iterate` so every record pulled through an
+operator boundary is timed.  Timing uses an attribution stack, so a
+parent operator's *self* time excludes the time spent pulling from its
+children — the report is a flat per-operator profile, not a call tree
+of double-counted inclusive times.
+
+Everything is restored on exit; when no profile is active the executors
+run the original un-wrapped code paths, so the disabled cost is zero.
+Profiling is wall-clock instrumentation only — it never touches
+simulated time, so a profiled run computes the same results (and the
+same sim-time trace) as an unprofiled one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Profile", "profile", "op_label"]
+
+#: The active profile, or ``None`` (the default: hooks uninstalled).
+ACTIVE: Optional["Profile"] = None
+
+
+def op_label(ds: Any) -> str:
+    """Human label for a dataset node: op kind, fused chains joined."""
+    chain = getattr(ds, "_fused_chain", None)
+    if chain is not None:
+        try:
+            kinds = [getattr(d, "op_kind", None) or type(d).__name__
+                     for d in chain()]
+            if len(kinds) > 1:
+                return "|".join(reversed(kinds))
+        except Exception:  # pragma: no cover - defensive
+            pass
+    kind = getattr(ds, "op_kind", None)
+    if kind:
+        return str(kind)
+    name = type(ds).__name__
+    return name[:-len("Dataset")].lower() if name.endswith("Dataset") else name
+
+
+class _OpStat:
+    __slots__ = ("records", "pulls", "self_seconds")
+
+    def __init__(self) -> None:
+        self.records = 0
+        self.pulls = 0
+        self.self_seconds = 0.0
+
+
+class Profile:
+    """Collected samples from one :func:`profile` window."""
+
+    def __init__(self) -> None:
+        self.event_kinds: Dict[str, int] = {}
+        self.ops: Dict[str, _OpStat] = {}
+        # attribution stack: [label, child_seconds] frames
+        self._stack: List[List] = []
+
+    # kernel observer protocol (Simulator.attach_observer)
+    def on_event(self, sim, event, t: float) -> None:
+        kind = type(event).__name__
+        self.event_kinds[kind] = self.event_kinds.get(kind, 0) + 1
+
+    # operator timing (called by _TimedIter)
+    def _enter(self, label: str) -> None:
+        self._stack.append([label, 0.0])
+
+    def _exit(self, label: str, dt: float, got_record: bool) -> None:
+        frame = self._stack.pop()
+        stat = self.ops.get(label)
+        if stat is None:
+            stat = self.ops[label] = _OpStat()
+        stat.pulls += 1
+        if got_record:
+            stat.records += 1
+        stat.self_seconds += dt - frame[1]
+        if self._stack:
+            self._stack[-1][1] += dt
+
+    # ------------------------------------------------------------ reports
+
+    def report(self) -> Dict[str, Any]:
+        """The profile as a plain dict (bench reports embed this)."""
+        return {
+            "event_kinds": dict(sorted(self.event_kinds.items())),
+            "operators": {
+                label: {"records": s.records, "pulls": s.pulls,
+                        "self_seconds": s.self_seconds}
+                for label, s in sorted(self.ops.items())
+            },
+        }
+
+    def render(self, top: int = 12) -> str:
+        """Plain-text profile: event mix, then operators by self time."""
+        lines = ["kernel event mix:"]
+        total_ev = sum(self.event_kinds.values()) or 1
+        for kind, n in sorted(self.event_kinds.items(),
+                              key=lambda kv: -kv[1]):
+            lines.append(f"  {kind:<12} {n:>10,}  {100 * n / total_ev:5.1f}%")
+        if not self.event_kinds:
+            lines.append("  (no simulator attached)")
+        lines.append("operator self time:")
+        ranked = sorted(self.ops.items(),
+                        key=lambda kv: -kv[1].self_seconds)[:top]
+        for label, s in ranked:
+            lines.append(f"  {label:<40} {s.self_seconds * 1e3:>9.2f} ms  "
+                         f"{s.records:>10,} rec")
+        if not self.ops:
+            lines.append("  (no operators ran)")
+        return "\n".join(lines)
+
+
+class _TimedIter:
+    """Wraps one operator's record iterator with attribution timing."""
+
+    __slots__ = ("_it", "_label", "_prof")
+
+    def __init__(self, it: Iterator, label: str, prof: Profile) -> None:
+        self._it = it
+        self._label = label
+        self._prof = prof
+
+    def __iter__(self) -> "_TimedIter":
+        return self
+
+    def __next__(self):
+        prof = self._prof
+        prof._enter(self._label)
+        t0 = perf_counter()
+        got = False
+        try:
+            item = next(self._it)
+            got = True
+            return item
+        finally:
+            prof._exit(self._label, perf_counter() - t0, got)
+
+
+@contextmanager
+def profile(sim: Any = None):
+    """Activate profiling for the ``with`` block; yields the :class:`Profile`.
+
+    ``sim`` (a :class:`~repro.simcore.kernel.Simulator`) is optional —
+    without one, only operator timings are collected.  Nesting is not
+    supported: the inner ``profile`` would steal the outer's hooks.
+    """
+    from ..dataflow.plan import Dataset
+
+    global ACTIVE
+    if ACTIVE is not None:
+        raise RuntimeError("profile() does not nest")
+    prof = Profile()
+    original_iterate = Dataset.iterate
+
+    def timed_iterate(self, split, runtime):
+        it = original_iterate(self, split, runtime)
+        return _TimedIter(iter(it), op_label(self), prof)
+
+    Dataset.iterate = timed_iterate
+    prev_observer = None
+    if sim is not None:
+        prev_observer = sim._observer
+        sim.attach_observer(prof)
+    ACTIVE = prof
+    try:
+        yield prof
+    finally:
+        ACTIVE = None
+        Dataset.iterate = original_iterate
+        if sim is not None:
+            sim._observer = prev_observer

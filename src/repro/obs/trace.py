@@ -1,0 +1,350 @@
+"""Structured tracing: spans over simulated time, exportable to Perfetto.
+
+A :class:`Span` is one timed unit of work — a job, a stage, a task
+attempt, a micro-batch, a DFS block repair — with a ``span_id``, an
+optional ``parent_id``, a *lane* (the subsystem/worker that did the work,
+which becomes the Perfetto process/thread row), **sim-time** start/end
+stamps, and wall-time stamps for real-cost attribution.
+
+Sim-time fields are fully deterministic: two runs from the same seeds
+produce identical spans (the chaos harness's re-run oracles rely on it),
+while wall-time fields are excluded from :meth:`Tracer.signature`.
+
+The tracer is **off by default**.  Instrumented call sites do::
+
+    tr = trace.get_tracer()
+    if tr is not None:
+        sid = tr.begin("task", sim.now, lane=("engine", node), parent=stage_sid)
+        ...
+        tr.end(sid, sim.now, outcome="ok")
+
+so a detached tracer costs one module-global load and a ``None`` check.
+:meth:`Tracer.end` raises on a double close — the tracer mechanically
+enforces *exactly one terminal state per span*, which is the invariant
+the recovery-path bug audit leans on.
+
+Exports: :meth:`Tracer.export_jsonl` (one JSON object per line) and
+:meth:`Tracer.export_chrome` (Chrome ``traceEvents`` JSON that loads in
+``chrome://tracing`` and https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..common.errors import SimulationError
+
+__all__ = ["Span", "Tracer", "get_tracer", "set_tracer", "trace_to"]
+
+Lane = Union[str, Tuple[str, str]]
+
+#: The process-global tracer; ``None`` (the default) disables all tracing.
+_TRACER: Optional["Tracer"] = None
+
+
+def get_tracer() -> Optional["Tracer"]:
+    """The active tracer, or ``None`` when tracing is off (the default)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Optional["Tracer"]) -> Optional["Tracer"]:
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global _TRACER
+    prev = _TRACER
+    _TRACER = tracer
+    return prev
+
+
+class trace_to:
+    """Scoped tracer installation::
+
+        with trace_to(Tracer()) as tr:
+            run_job()
+        tr.export_chrome("run.trace.json")
+    """
+
+    def __init__(self, tracer: Optional["Tracer"] = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._prev: Optional[Tracer] = None
+
+    def __enter__(self) -> "Tracer":
+        self._prev = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc) -> None:
+        set_tracer(self._prev)
+
+
+def _lane(lane: Lane) -> Tuple[str, str]:
+    if isinstance(lane, tuple):
+        return lane
+    return (lane, "main")
+
+
+class Span:
+    """One closed-or-open unit of traced work."""
+
+    __slots__ = ("span_id", "parent_id", "name", "cat", "lane",
+                 "t0", "t1", "wall0", "wall1", "attrs")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 cat: str, lane: Tuple[str, str], t0: float,
+                 attrs: Dict[str, Any]) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.cat = cat
+        self.lane = lane
+        self.t0 = float(t0)
+        self.t1: Optional[float] = None       # None while open
+        self.wall0 = _time.perf_counter()
+        self.wall1: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`Tracer.end` ran for this span."""
+        return self.t1 is not None
+
+    @property
+    def duration(self) -> float:
+        """Sim-time duration (0.0 while open)."""
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"{self.t0:g}..{self.t1:g}" if self.closed else f"{self.t0:g}.."
+        return f"<Span #{self.span_id} {self.name} [{state}]>"
+
+
+class Tracer:
+    """Collects spans and instants; deterministic in sim-time fields.
+
+    ``kernel_events=True`` additionally records one instant per DES-kernel
+    event dispatch (high volume — keep runs small or leave it off).
+    """
+
+    def __init__(self, kernel_events: bool = False) -> None:
+        self.kernel_events = kernel_events
+        self.spans: List[Span] = []            # every span, begin order
+        self._by_id: Dict[int, Span] = {}
+        self.instants: List[Tuple[float, str, str, Tuple[str, str],
+                                  Dict[str, Any]]] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------- record
+
+    def begin(self, name: str, t: float, lane: Lane = "main",
+              cat: str = "", parent: Optional[int] = None,
+              **attrs: Any) -> int:
+        """Open a span at sim-time ``t``; returns its ``span_id``."""
+        sid = self._next_id
+        self._next_id += 1
+        span = Span(sid, parent, name, cat, _lane(lane), t, attrs)
+        self.spans.append(span)
+        self._by_id[sid] = span
+        return sid
+
+    def end(self, span_id: int, t: float, **attrs: Any) -> Span:
+        """Close a span at sim-time ``t``.  Raises on unknown/double close."""
+        span = self._by_id.get(span_id)
+        if span is None:
+            raise SimulationError(f"end() of unknown span {span_id}")
+        if span.closed:
+            raise SimulationError(
+                f"span #{span_id} ({span.name!r}) closed twice — a traced "
+                f"unit of work reached two terminal states")
+        if t < span.t0:
+            raise SimulationError(
+                f"span #{span_id} ends at {t} before its start {span.t0}")
+        span.t1 = float(t)
+        span.wall1 = _time.perf_counter()
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def instant(self, name: str, t: float, lane: Lane = "main",
+                cat: str = "", **attrs: Any) -> None:
+        """Record a zero-duration event at sim-time ``t``."""
+        self.instants.append((float(t), name, cat, _lane(lane), attrs))
+
+    # kernel observer protocol (Simulator.attach_observer)
+    def on_event(self, sim, event, t: float) -> None:
+        """Per-dispatch kernel probe; active when ``kernel_events`` is set."""
+        if self.kernel_events:
+            self.instants.append(
+                (float(t), type(event).__name__, "kernel",
+                 ("kernel", "dispatch"), {}))
+
+    # ------------------------------------------------------------ queries
+
+    def open_spans(self) -> List[Span]:
+        """Spans begun but never ended (a correct run leaves none)."""
+        return [s for s in self.spans if not s.closed]
+
+    def find(self, name: Optional[str] = None,
+             cat: Optional[str] = None) -> List[Span]:
+        """Spans filtered by exact name and/or category."""
+        return [s for s in self.spans
+                if (name is None or s.name == name)
+                and (cat is None or s.cat == cat)]
+
+    def signature(self) -> Tuple:
+        """Hashable identity over the deterministic (sim-time) fields.
+
+        Two runs from the same seeds must produce equal signatures; wall
+        times are deliberately excluded.
+        """
+        spans = tuple(
+            (s.span_id, s.parent_id, s.name, s.cat, s.lane,
+             round(s.t0, 9), None if s.t1 is None else round(s.t1, 9),
+             tuple(sorted((k, repr(v)) for k, v in s.attrs.items())))
+            for s in self.spans)
+        instants = tuple(
+            (round(t, 9), name, cat, lane,
+             tuple(sorted((k, repr(v)) for k, v in attrs.items())))
+            for t, name, cat, lane, attrs in self.instants)
+        return spans, instants
+
+    def validate(self) -> List[str]:
+        """Schema check; returns human-readable problems (empty == valid).
+
+        Properties enforced (the trace-schema contract):
+
+        * every span closed, with ``t1 >= t0``;
+        * parent ids refer to earlier-begun spans, and a child lies
+          within its parent's sim-time interval;
+        * span begin times are monotone in begin order (per lane and
+          globally — sim time never goes backwards).
+        """
+        problems: List[str] = []
+        last_t0: Dict[Tuple[str, str], float] = {}
+        prev_t0 = float("-inf")
+        for s in self.spans:
+            if not s.closed:
+                problems.append(f"span #{s.span_id} ({s.name}) never closed")
+            elif s.t1 < s.t0:
+                problems.append(f"span #{s.span_id} ends before it starts")
+            if s.parent_id is not None:
+                parent = self._by_id.get(s.parent_id)
+                if parent is None:
+                    problems.append(
+                        f"span #{s.span_id} parent {s.parent_id} unknown")
+                else:
+                    if parent.span_id >= s.span_id:
+                        problems.append(
+                            f"span #{s.span_id} begins before its parent")
+                    if s.t0 < parent.t0 - 1e-12:
+                        problems.append(
+                            f"span #{s.span_id} starts before parent "
+                            f"#{parent.span_id}")
+                    if (s.closed and parent.closed
+                            and s.t1 > parent.t1 + 1e-12):
+                        problems.append(
+                            f"span #{s.span_id} outlives parent "
+                            f"#{parent.span_id}")
+            if s.t0 < prev_t0 - 1e-12:
+                problems.append(
+                    f"span #{s.span_id} begins at {s.t0} after a span "
+                    f"begun at {prev_t0} — sim time went backwards")
+            prev_t0 = max(prev_t0, s.t0)
+            lane_prev = last_t0.get(s.lane, float("-inf"))
+            if s.t0 < lane_prev - 1e-12:
+                problems.append(
+                    f"span #{s.span_id} not monotone in lane {s.lane}")
+            last_t0[s.lane] = max(lane_prev, s.t0)
+        return problems
+
+    # ------------------------------------------------------------ exports
+
+    def _span_record(self, s: Span) -> Dict[str, Any]:
+        return {
+            "type": "span", "span_id": s.span_id, "parent_id": s.parent_id,
+            "name": s.name, "cat": s.cat,
+            "lane": list(s.lane), "t0": s.t0, "t1": s.t1,
+            "wall0": s.wall0, "wall1": s.wall1, "attrs": s.attrs,
+        }
+
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON object per span/instant; returns the line count."""
+        n = 0
+        with open(path, "w") as fh:
+            for s in self.spans:
+                fh.write(json.dumps(self._span_record(s), sort_keys=True,
+                                    default=repr))
+                fh.write("\n")
+                n += 1
+            for t, name, cat, lane, attrs in self.instants:
+                fh.write(json.dumps(
+                    {"type": "instant", "name": name, "cat": cat,
+                     "lane": list(lane), "t": t, "attrs": attrs},
+                    sort_keys=True, default=repr))
+                fh.write("\n")
+                n += 1
+        return n
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The trace as a Chrome ``traceEvents`` dict (Perfetto-loadable).
+
+        Sim seconds map to trace microseconds; lanes map to (pid, tid)
+        pairs with ``process_name``/``thread_name`` metadata so Perfetto
+        shows one track group per subsystem.
+        """
+        pids: Dict[str, int] = {}
+        tids: Dict[Tuple[str, str], int] = {}
+        events: List[Dict[str, Any]] = []
+
+        def ids(lane: Tuple[str, str]) -> Tuple[int, int]:
+            proc, thread = lane
+            if proc not in pids:
+                pids[proc] = len(pids) + 1
+                events.append({"ph": "M", "name": "process_name",
+                               "pid": pids[proc], "tid": 0,
+                               "args": {"name": proc}})
+            if lane not in tids:
+                tids[lane] = len(tids) + 1
+                events.append({"ph": "M", "name": "thread_name",
+                               "pid": pids[proc], "tid": tids[lane],
+                               "args": {"name": thread}})
+            return pids[proc], tids[lane]
+
+        for s in self.spans:
+            pid, tid = ids(s.lane)
+            args = {k: (v if isinstance(v, (int, float, str, bool))
+                        else repr(v)) for k, v in s.attrs.items()}
+            args["span_id"] = s.span_id
+            if s.parent_id is not None:
+                args["parent_id"] = s.parent_id
+            t1 = s.t1 if s.t1 is not None else s.t0
+            events.append({
+                "ph": "X", "name": s.name, "cat": s.cat or "span",
+                "pid": pid, "tid": tid,
+                "ts": s.t0 * 1e6, "dur": (t1 - s.t0) * 1e6,
+                "args": args,
+            })
+        for t, name, cat, lane, attrs in self.instants:
+            pid, tid = ids(lane)
+            events.append({
+                "ph": "i", "name": name, "cat": cat or "instant",
+                "pid": pid, "tid": tid, "ts": t * 1e6, "s": "t",
+                "args": {k: (v if isinstance(v, (int, float, str, bool))
+                             else repr(v)) for k, v in attrs.items()},
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path: str) -> int:
+        """Write the Chrome-trace JSON file; returns the event count."""
+        payload = self.to_chrome()
+        with open(path, "w") as fh:
+            json.dump(payload, fh, sort_keys=True)
+            fh.write("\n")
+        return len(payload["traceEvents"])
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Tracer {len(self.spans)} spans "
+                f"({len(self.open_spans())} open), "
+                f"{len(self.instants)} instants>")

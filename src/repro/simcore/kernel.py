@@ -148,6 +148,24 @@ class Simulator:
         self._active_proc: Optional[Process] = None
         #: total events processed by :meth:`step` (perf-suite telemetry)
         self.events_processed = 0
+        # optional per-dispatch probe (repro.obs); None keeps step() lean
+        self._observer: Optional[Any] = None
+
+    # -- observability -------------------------------------------------------
+
+    def attach_observer(self, observer: Any) -> None:
+        """Install an ``on_event(sim, event, t)`` probe called per dispatch.
+
+        One observer at a time; used by :mod:`repro.obs` for kernel
+        event-mix profiling and event-level tracing.
+        """
+        if self._observer is not None and self._observer is not observer:
+            raise SimulationError("an observer is already attached")
+        self._observer = observer
+
+    def detach_observer(self) -> None:
+        """Remove the observer installed by :meth:`attach_observer`."""
+        self._observer = None
 
     # -- event construction ------------------------------------------------
 
@@ -199,6 +217,9 @@ class Simulator:
         event, (t, _, _) = self._queue.pop()
         self.now = t
         self.events_processed += 1
+        obs = self._observer
+        if obs is not None:
+            obs.on_event(self, event, t)
         event._run_callbacks()
         if event.ok is False and not event.defused:
             # an unhandled failure: surface it instead of dropping it

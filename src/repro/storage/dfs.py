@@ -30,6 +30,8 @@ from ..common.errors import (
 from ..common.rng import RandomState, ensure_rng
 from ..common.units import MB
 from ..cluster.cluster import Cluster
+from ..obs import trace as obs_trace
+from ..obs.metrics import MetricsRegistry
 from ..simcore.events import Event
 from ..simcore.kernel import Simulator
 from .reedsolomon import RSCode
@@ -103,15 +105,41 @@ class DistributedFS:
         self._content: Dict[Tuple[int, int], bytes] = {}   # (block_id, frag) -> bytes
         self._block_data_len: Dict[int, int] = {}
         self.codec = RSCode(self.config.ec_k, self.config.ec_m)
-        # metrics
-        self.bytes_written = 0.0
-        self.bytes_read = 0.0
-        self.degraded_reads = 0
-        self.repairs_started = 0
-        self.repair_bytes = 0.0
+        # metrics: typed monotone counters (a negative adjustment — e.g. a
+        # counter "rolled back" on a failed read — raises instead of hiding)
+        self.metrics = MetricsRegistry()
+        for name in ("dfs.bytes_written", "dfs.bytes_read",
+                     "dfs.degraded_reads", "dfs.failed_reads",
+                     "dfs.repairs_started", "dfs.repairs_failed",
+                     "dfs.repair_bytes"):
+            self.metrics.counter(name)
         self._watching = False
         if self.config.auto_repair:
             self._watch_failures()
+
+    # ---- counter facade (back-compat: `dfs.bytes_read += n` still works,
+    # but every mutation lands in the typed registry)
+
+    def _counter_prop(name: str, as_int: bool = False):  # noqa: N805
+        full = f"dfs.{name}"
+
+        def _get(self):
+            v = self.metrics.counter(full).value
+            return int(v) if as_int else v
+
+        def _set(self, value):
+            c = self.metrics.counter(full)
+            c.inc(value - c.value)
+        return property(_get, _set)
+
+    bytes_written = _counter_prop("bytes_written")
+    bytes_read = _counter_prop("bytes_read")
+    degraded_reads = _counter_prop("degraded_reads", as_int=True)
+    failed_reads = _counter_prop("failed_reads", as_int=True)
+    repairs_started = _counter_prop("repairs_started", as_int=True)
+    repairs_failed = _counter_prop("repairs_failed", as_int=True)
+    repair_bytes = _counter_prop("repair_bytes")
+    del _counter_prop
 
     # ------------------------------------------------------------------ write
 
@@ -244,6 +272,7 @@ class DistributedFS:
     def _read_replicated(self, block: BlockInfo, reader: str, done: Event):
         live = self._live_replicas(block)
         if not live:
+            self.failed_reads += 1
             done.fail(InsufficientReplicasError(
                 f"block {block.block_id} of {block.path} has no live replica"))
             return
@@ -262,6 +291,7 @@ class DistributedFS:
                 if self.cluster.nodes[node].alive}
         data_live = [i for i in range(k) if i in live]
         if len(live) < k:
+            self.failed_reads += 1
             done.fail(InsufficientReplicasError(
                 f"block {block.block_id}: only {len(live)} of {k} fragments live"))
             return
@@ -269,6 +299,10 @@ class DistributedFS:
         degraded = len(data_live) < k
         if degraded:
             self.degraded_reads += 1
+            tr = obs_trace.get_tracer()
+            if tr is not None:
+                tr.instant("degraded_read", self.sim.now, lane=("dfs", "read"),
+                           cat="dfs", block_id=block.block_id)
             chosen = sorted(live)[:k]
         else:
             chosen = data_live
@@ -399,54 +433,90 @@ class DistributedFS:
                     yield from self._reconstruct_fragment(block, idx)
 
     def _rereplicate(self, block: BlockInfo, slot: int):
-        live = self._live_replicas(block)
-        live = [n for n in live if n != block.locations.get(slot)]
-        if not live:
-            return   # unrecoverable; surfaced on next read
-        exclude = set(block.nodes())
-        candidates = [n.name for n in self.cluster.live_nodes()
-                      if n.name not in exclude]
-        if not candidates:
-            return
-        target = str(self.rng.choice(candidates))
-        src = self._closest(target, live)
-        yield self.cluster.nodes[src].disk_read(block.size)
-        yield self.cluster.transfer(src, target, block.size)
-        yield self.cluster.nodes[target].disk_write(block.size)
-        self.repair_bytes += block.size
-        block.locations[slot] = target
+        # Bounded retry: the chosen target can itself die while the copy is
+        # in flight.  Its fail event fired before ``block.locations`` named
+        # it, so no repair watcher will ever re-protect this slot — commit
+        # the new location only after re-checking the target is alive, and
+        # otherwise pick a fresh target.
+        for _attempt in range(4):
+            live = self._live_replicas(block)
+            live = [n for n in live if n != block.locations.get(slot)]
+            if not live:
+                return   # unrecoverable; surfaced on next read
+            exclude = set(block.nodes())
+            candidates = [n.name for n in self.cluster.live_nodes()
+                          if n.name not in exclude]
+            if not candidates:
+                return
+            target = str(self.rng.choice(candidates))
+            span = self._begin_repair_span(block, slot, target)
+            src = self._closest(target, live)
+            yield self.cluster.nodes[src].disk_read(block.size)
+            yield self.cluster.transfer(src, target, block.size)
+            yield self.cluster.nodes[target].disk_write(block.size)
+            self.repair_bytes += block.size
+            if self.cluster.nodes[target].alive:
+                block.locations[slot] = target
+                self._end_repair_span(span, "ok")
+                return
+            self.repairs_failed += 1
+            self._end_repair_span(span, "target_lost")
+
+    def _begin_repair_span(self, block: BlockInfo, slot: int,
+                           target: str):
+        tr = obs_trace.get_tracer()
+        if tr is None:
+            return None
+        return tr.begin("repair", self.sim.now, lane=("dfs", "repair"),
+                        cat="dfs", block_id=block.block_id, slot=slot,
+                        target=target)
+
+    def _end_repair_span(self, span, outcome: str) -> None:
+        tr = obs_trace.get_tracer()
+        if tr is not None and span is not None:
+            tr.end(span, self.sim.now, outcome=outcome)
 
     def _reconstruct_fragment(self, block: BlockInfo, slot: int):
         k = self.codec.k
         frag_size = self.codec.fragment_size(block.size)
-        live = {idx: n for idx, n in block.locations.items()
-                if self.cluster.nodes[n].alive and idx != slot}
-        if len(live) < k:
-            return   # unrecoverable for now
-        exclude = set(block.nodes())
-        candidates = [n.name for n in self.cluster.live_nodes()
-                      if n.name not in exclude]
-        if not candidates:
+        # same mid-repair target-death hazard as _rereplicate: commit only
+        # after the target proves alive, otherwise retry with a new one
+        for _attempt in range(4):
+            live = {idx: n for idx, n in block.locations.items()
+                    if self.cluster.nodes[n].alive and idx != slot}
+            if len(live) < k:
+                return   # unrecoverable for now
+            exclude = set(block.nodes())
+            candidates = [n.name for n in self.cluster.live_nodes()
+                          if n.name not in exclude]
+            if not candidates:
+                return
+            target = str(self.rng.choice(candidates))
+            span = self._begin_repair_span(block, slot, target)
+            sources = sorted(live)[:k]
+            evs = []
+            for idx in sources:
+                node = live[idx]
+                evs.append(self.cluster.nodes[node].disk_read(frag_size))
+                if node != target:
+                    evs.append(self.cluster.transfer(node, target, frag_size))
+            yield self.sim.all_of(evs)
+            yield self.cluster.nodes[target].disk_write(frag_size)
+            self.repair_bytes += frag_size * k
+            if not self.cluster.nodes[target].alive:
+                self.repairs_failed += 1
+                self._end_repair_span(span, "target_lost")
+                continue
+            # regenerate real content when stored
+            frags = {i: self._content[(block.block_id, i)] for i in sources
+                     if (block.block_id, i) in self._content}
+            if len(frags) >= k:
+                orig_len = self._block_data_len.get(block.block_id, block.size)
+                self._content[(block.block_id, slot)] = \
+                    self.codec.reconstruct_fragment(frags, slot, orig_len)
+            block.locations[slot] = target
+            self._end_repair_span(span, "ok")
             return
-        target = str(self.rng.choice(candidates))
-        sources = sorted(live)[:k]
-        evs = []
-        for idx in sources:
-            node = live[idx]
-            evs.append(self.cluster.nodes[node].disk_read(frag_size))
-            if node != target:
-                evs.append(self.cluster.transfer(node, target, frag_size))
-        yield self.sim.all_of(evs)
-        yield self.cluster.nodes[target].disk_write(frag_size)
-        self.repair_bytes += frag_size * k
-        # regenerate real content when stored
-        frags = {i: self._content[(block.block_id, i)] for i in sources
-                 if (block.block_id, i) in self._content}
-        if len(frags) >= k:
-            orig_len = self._block_data_len.get(block.block_id, block.size)
-            self._content[(block.block_id, slot)] = \
-                self.codec.reconstruct_fragment(frags, slot, orig_len)
-        block.locations[slot] = target
 
     # ------------------------------------------------------------ queries
 

@@ -40,6 +40,7 @@ class TieredStats:
     """Access accounting for one run."""
 
     accesses: int = 0
+    misses: int = 0               # lookups of keys not resident anywhere
     total_time: float = 0.0
     hits_per_tier: Dict[str, int] = field(default_factory=dict)
     promotions: int = 0
@@ -101,9 +102,13 @@ class TieredStore:
     def access(self, key: Hashable) -> float:
         """Read an object; returns the modeled access time.
 
-        Raises ``KeyError`` for unknown objects.
+        Raises ``KeyError`` for unknown objects (counted as misses).
         """
-        idx = self._where[key]
+        maybe_idx = self._where.get(key)
+        if maybe_idx is None:
+            self.stats.misses += 1
+            raise KeyError(key)
+        idx = maybe_idx
         tier = self.tiers[idx]
         nbytes = self._sizes[key]
         t = tier.access_time(nbytes)
@@ -114,7 +119,11 @@ class TieredStore:
         lru = self._lru[tier.name]
         lru.remove(key)
         lru.append(key)
-        if self.promote_on_access and idx > 0:
+        # objects larger than the top tier can never be promoted into it:
+        # _insert would demote the whole tier empty and then crash trying
+        # to pick a further victim from the empty LRU
+        if self.promote_on_access and idx > 0 \
+                and nbytes <= self.tiers[0].capacity:
             self._remove(key)
             self._insert(key, 0)
             self.stats.promotions += 1

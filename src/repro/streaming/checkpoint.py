@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..common.errors import StreamingError
+from ..obs import trace as obs_trace
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["CheckpointConfig", "RecoveryStats", "StatefulRun",
            "run_stateful_stream"]
@@ -61,6 +63,8 @@ class StatefulRun:
     checkpoints_taken: int
     checkpoint_overhead: float
     recoveries: List[RecoveryStats] = field(default_factory=list)
+    #: per-run typed counters (conservation-checkable against the inputs)
+    registry: Optional[MetricsRegistry] = None
 
     @property
     def total_recovery_time(self) -> float:
@@ -89,6 +93,13 @@ def run_stateful_stream(
     checkpoints = 0
     overhead = 0.0
     recoveries: List[RecoveryStats] = []
+    tr = obs_trace.get_tracer()
+    reg = MetricsRegistry()
+    c_processed = reg.counter("ckpt.events_processed")
+    c_replayed = reg.counter("ckpt.events_replayed")
+    c_checkpoints = reg.counter("ckpt.checkpoints_taken")
+    c_crashes = reg.counter("ckpt.crashes")
+    h_recovery = reg.histogram("ckpt.recovery_seconds", lo=1e-3, hi=1e4)
     next_ckpt = config.interval
     crash_iter = iter(crashes)
     next_crash = next(crash_iter, None)
@@ -118,9 +129,15 @@ def run_stateful_stream(
             replayed += 1
             j += 1
         replay_time = (crash_t - ck_t) / config.replay_speedup
-        recoveries.append(RecoveryStats(
-            crash_t, ck_t, replayed,
-            config.recovery_fixed_cost + replay_time))
+        rec_seconds = config.recovery_fixed_cost + replay_time
+        recoveries.append(RecoveryStats(crash_t, ck_t, replayed, rec_seconds))
+        c_crashes.inc()
+        c_replayed.inc(replayed)
+        h_recovery.observe(rec_seconds)
+        if tr is not None:
+            tr.instant("recovery", crash_t, lane=("stream", "stateful"),
+                       cat="recovery", rolled_back_to=ck_t,
+                       replayed=replayed, seconds=rec_seconds)
 
     while i < len(events):
         t = events[i][0]
@@ -136,10 +153,16 @@ def run_stateful_stream(
             # depends on checkpoint immutability)
             snapshots.append((next_ckpt, copy.deepcopy(state), i))
             checkpoints += 1
+            c_checkpoints.inc()
             overhead += config.checkpoint_cost
+            if tr is not None:
+                tr.instant("checkpoint", next_ckpt,
+                           lane=("stream", "stateful"), cat="checkpoint",
+                           offset=i)
             next_ckpt += config.interval
         apply(events[i])
         processed += 1
+        c_processed.inc()
         i += 1
 
     # drain crashes at or after the last event's timestamp: they still roll
@@ -148,4 +171,5 @@ def run_stateful_stream(
         recover(next_crash)
         next_crash = next(crash_iter, None)
 
-    return StatefulRun(state, processed, checkpoints, overhead, recoveries)
+    return StatefulRun(state, processed, checkpoints, overhead, recoveries,
+                       registry=reg)

@@ -8,6 +8,10 @@ unstable and backlog (and latency) grow without bound — the knee T7
 sweeps for.  Optional backpressure caps the ingest rate when the queue of
 unprocessed batches exceeds a threshold, trading throughput for bounded
 latency.
+
+Counters are kept in a per-run :class:`~repro.obs.metrics.MetricsRegistry`
+(attached to the result) and satisfy record conservation at every point:
+``stream.records_in == stream.records_out + stream.records_inflight``.
 """
 
 from __future__ import annotations
@@ -17,6 +21,8 @@ from typing import Callable, List, Optional
 
 from ..common.errors import StreamingError
 from ..common.stats import Summary
+from ..obs import trace as obs_trace
+from ..obs.metrics import MetricsRegistry
 from ..simcore.kernel import Simulator
 from ..simcore.resources import Store
 
@@ -57,6 +63,8 @@ class StreamingResult:
     duration: float
     max_backlog: int
     batch_times: List[float] = field(default_factory=list)
+    #: per-run typed counters/gauges (record-conservation checkable)
+    registry: Optional[MetricsRegistry] = None
 
     @property
     def throughput(self) -> float:
@@ -81,7 +89,9 @@ def run_microbatch(rate_fn: Callable[[float], float],
     ``rate_fn(t)`` is the offered record rate at time ``t``; records within
     an interval are treated as arriving uniformly (mean wait = interval/2).
     Latency per batch = (completion time − mean arrival time), weighted by
-    batch size.
+    batch size, so the summary describes *record* latency, not batch
+    latency — a 1-record batch no longer counts as much as a 10 000-record
+    one.
     """
     own_sim = sim is None
     if own_sim:
@@ -89,21 +99,30 @@ def run_microbatch(rate_fn: Callable[[float], float],
     latency = Summary()
     batch_times: List[float] = []
     queue: Store = Store(sim)
-    state = {
-        "processed": 0, "dropped": 0, "backlog": 0, "max_backlog": 0,
-        "stop": False,
-    }
+    reg = MetricsRegistry()
+    records_in = reg.counter("stream.records_in")
+    records_out = reg.counter("stream.records_out")
+    records_dropped = reg.counter("stream.records_dropped")
+    inflight = reg.gauge("stream.records_inflight")
+    backlog = reg.gauge("stream.backlog_batches")
+    max_backlog = reg.gauge("stream.max_backlog")
+    batches = reg.counter("stream.batches")
+    batch_seconds = reg.histogram("stream.batch_seconds", lo=1e-3, hi=1e4)
 
     def source(sim: Simulator):
+        tr = obs_trace.get_tracer()
         while sim.now < duration:
             t0 = sim.now
             yield sim.timeout(config.batch_interval)
             n = rate_fn(t0) * config.batch_interval
             n = int(max(0, round(n)))
             if config.backpressure and \
-                    state["backlog"] >= config.backlog_threshold:
+                    backlog.value >= config.backlog_threshold:
                 admitted = int(n * config.throttle_factor)
-                state["dropped"] += n - admitted
+                records_dropped.inc(n - admitted)
+                if tr is not None and n > admitted:
+                    tr.instant("throttle", sim.now, lane=("stream", "source"),
+                               cat="backpressure", offered=n, admitted=admitted)
                 n = admitted
             if n == 0:
                 # nothing arrived (idle source or fully throttled): an empty
@@ -111,28 +130,41 @@ def run_microbatch(rate_fn: Callable[[float], float],
                 # backlog counters without processing a single record
                 continue
             mean_arrival = t0 + config.batch_interval / 2.0
-            state["backlog"] += 1
-            state["max_backlog"] = max(state["max_backlog"], state["backlog"])
+            records_in.inc(n)
+            inflight.inc(n)
+            backlog.inc()
+            if backlog.value > max_backlog.value:
+                max_backlog.set(backlog.value)
             yield queue.put((n, mean_arrival))
-        state["stop"] = True
         yield queue.put(None)   # sentinel
 
     def processor(sim: Simulator):
+        tr = obs_trace.get_tracer()
         while True:
             item = yield queue.get()
             if item is None:
                 return
             n, mean_arrival = item
+            span = None
+            if tr is not None:
+                span = tr.begin("batch", sim.now, lane=("stream", "proc"),
+                                cat="batch", n_records=n)
             bt = config.batch_time(n)
             yield sim.timeout(bt)
-            state["backlog"] -= 1
-            state["processed"] += n
+            backlog.dec()
+            inflight.dec(n)
+            records_out.inc(n)
+            batches.inc()
             batch_times.append(bt)
-            if n > 0:
-                latency.add(sim.now - mean_arrival)
+            batch_seconds.observe(bt)
+            latency.add(sim.now - mean_arrival, weight=n)
+            if tr is not None:
+                tr.end(span, sim.now, latency=sim.now - mean_arrival)
 
     sim.process(source(sim), name="stream-source")
     proc = sim.process(processor(sim), name="stream-proc")
     sim.run_until_done(proc)
-    return StreamingResult(latency, state["processed"], state["dropped"],
-                           sim.now, state["max_backlog"], batch_times)
+    return StreamingResult(latency, int(records_out.value),
+                           int(records_dropped.value),
+                           sim.now, int(max_backlog.value), batch_times,
+                           registry=reg)

@@ -74,6 +74,74 @@ class TestSummary:
         assert s.min == min(xs) and s.max == max(xs)
 
 
+class TestWeightedSummary:
+    """Weighted add(): semantics must match expanding the sample."""
+
+    def expand(self, pairs):
+        return [x for x, w in pairs for _ in range(w)]
+
+    def test_moments_match_expanded_sample(self):
+        pairs = [(1.5, 3), (-2.0, 1), (4.25, 5), (0.0, 2)]
+        s = Summary()
+        for x, w in pairs:
+            s.add(x, weight=w)
+        xs = self.expand(pairs)
+        assert s.count == len(xs)
+        assert s.total == pytest.approx(sum(xs))
+        assert s.mean == pytest.approx(np.mean(xs))
+        assert s.variance == pytest.approx(np.var(xs))
+
+    def test_quantiles_match_expanded_sample(self):
+        pairs = [(10.0, 1), (1.0, 9), (5.0, 4)]
+        s = Summary()
+        for x, w in pairs:
+            s.add(x, weight=w)
+        xs = self.expand(pairs)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.95, 1.0):
+            assert s.quantile(q) == pytest.approx(np.quantile(xs, q)), q
+
+    def test_values_expand_weights(self):
+        s = Summary()
+        s.add(2.0, weight=3)
+        s.add(7.0)
+        assert sorted(s.values()) == [2.0, 2.0, 2.0, 7.0]
+
+    def test_zero_weight_ignored(self):
+        s = Summary()
+        s.add(99.0, weight=0)
+        assert s.count == 0
+
+    def test_negative_weight_rejected(self):
+        s = Summary()
+        with pytest.raises(ValueError):
+            s.add(1.0, weight=-1)
+
+    def test_unweighted_path_unchanged(self):
+        # plain add() must stay numerically identical to the old path
+        xs = list(np.random.default_rng(1).normal(size=50))
+        a, b = Summary(), Summary()
+        a.extend(xs)
+        for x in xs:
+            b.add(x, weight=1)
+        assert a.mean == b.mean and a.variance == b.variance
+        assert a.quantile(0.5) == b.quantile(0.5)
+
+    @given(st.lists(st.tuples(st.floats(-1e4, 1e4), st.integers(1, 9)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_weighted_agrees_with_numpy(self, pairs):
+        s = Summary()
+        for x, w in pairs:
+            s.add(x, weight=w)
+        xs = self.expand(pairs)
+        assert s.mean == pytest.approx(float(np.mean(xs)), rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(float(np.var(xs)),
+                                           rel=1e-6, abs=1e-4)
+        for q in (0.1, 0.5, 0.99):
+            assert s.quantile(q) == pytest.approx(
+                float(np.quantile(xs, q)), rel=1e-9, abs=1e-6)
+
+
 class TestHistogram:
     def test_binning(self):
         h = Histogram(0, 10, 10)

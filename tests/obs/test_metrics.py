@@ -1,0 +1,154 @@
+"""Metrics registry: typed metrics, fixed edges, snapshots, diffs."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+)
+from repro.obs.metrics import get_registry, set_registry
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_increment_raises(self):
+        c = Counter("x")
+        with pytest.raises(SimulationError, match="negative"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("q")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+        g.dec(20)
+        assert g.value == -8.0    # gauges may go negative
+
+
+class TestHistogram:
+    def test_edges_fixed_by_constructor(self):
+        h = Histogram("lat", lo=1.0, hi=16.0, base=2.0)
+        assert h.edges == (1.0, 2.0, 4.0, 8.0, 16.0)
+        # data never moves the edges
+        h.observe(1e9)
+        assert h.edges == (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def test_bucketing(self):
+        h = Histogram("lat", lo=1.0, hi=16.0, base=2.0)
+        h.observe(0.5)            # underflow
+        h.observe(1.0)            # [1, 2)
+        h.observe(3.0)            # [2, 4)
+        h.observe(8.0)            # [8, 16)
+        h.observe(16.0)           # overflow (top edge is exclusive)
+        h.observe(100.0)          # overflow
+        assert h.underflow == 1
+        assert h.counts == [1, 1, 0, 1]
+        assert h.overflow == 2
+        assert h.count == 6
+        assert h.vmin == 0.5 and h.vmax == 100.0
+
+    def test_weighted_observe(self):
+        h = Histogram("lat", lo=1.0, hi=16.0, base=2.0)
+        h.observe(3.0, weight=7)
+        assert h.count == 7
+        assert h.counts[1] == 7
+        assert h.mean == pytest.approx(3.0)
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(SimulationError):
+            Histogram("bad", lo=0, hi=1)
+        with pytest.raises(SimulationError):
+            Histogram("bad", lo=2, hi=1)
+        with pytest.raises(SimulationError):
+            Histogram("bad", base=1.0)
+
+    def test_deterministic_across_runs(self):
+        def run():
+            h = Histogram("lat", lo=1e-3, hi=1e3, base=2.0)
+            for v in [0.01, 0.5, 2.0, 40.0, 999.0]:
+                h.observe(v)
+            return h.snapshot()
+        assert run() == run()
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs")
+        b = reg.counter("jobs")
+        assert a is b
+        assert len(reg) == 1 and "jobs" in reg
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(SimulationError, match="already registered"):
+            reg.gauge("x")
+
+    def test_value_lookup(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("b").set(7)
+        assert reg.value("a") == 3.0
+        assert reg.value("b") == 7.0
+        assert reg.value("missing") == 0.0
+
+    def test_snapshot_and_diff(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(5)
+        h = reg.histogram("lat", lo=1.0, hi=4.0, base=2.0)
+        h.observe(1.5)
+        before = reg.snapshot()
+        reg.counter("n").inc(2)
+        h.observe(3.0)
+        delta = diff_snapshots(reg.snapshot(), before)
+        assert delta["n"] == 2.0
+        assert delta["lat"]["count"] == 1
+        assert delta["lat"]["buckets"] == (0, 1)
+
+    def test_diff_against_missing_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("new").inc(4)
+        h = reg.histogram("hist", lo=1.0, hi=4.0, base=2.0)
+        h.observe(2.0)
+        delta = diff_snapshots(reg.snapshot(), {})
+        assert delta["new"] == 4.0
+        assert delta["hist"]["count"] == 1
+
+    def test_dump_stable(self):
+        reg = MetricsRegistry()
+        reg.gauge("b.gauge").set(2)
+        reg.counter("a.count").inc(10)
+        reg.histogram("c.hist", lo=1.0, hi=4.0).observe(2.0)
+        text = reg.dump()
+        assert text.splitlines() == [
+            "a.count counter 10",
+            "b.gauge gauge 2",
+            "c.hist histogram count=1 total=2 mean=2",
+        ]
+
+
+class TestGlobalRegistry:
+    def test_off_by_default(self):
+        assert get_registry() is None
+
+    def test_install_and_restore(self):
+        reg = MetricsRegistry()
+        assert set_registry(reg) is None
+        try:
+            assert get_registry() is reg
+        finally:
+            assert set_registry(None) is reg
+        assert get_registry() is None

@@ -1,0 +1,104 @@
+"""Profiling hooks: event mix, operator self-time, clean teardown."""
+
+import operator
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.dataflow import DataflowContext, SimEngine
+from repro.dataflow.plan import Dataset
+from repro.obs import profile
+from repro.obs.profile import op_label
+from repro.simcore import Simulator
+
+
+def make_env(**kw):
+    sim = Simulator()
+    cl = make_cluster(sim, 2, 4, **kw)
+    ctx = DataflowContext(default_parallelism=8)
+    eng = SimEngine(cl)
+    return sim, cl, ctx, eng
+
+
+class TestProfileRun:
+    def test_collects_event_mix_and_operators(self):
+        sim, cl, ctx, eng = make_env()
+        ds = (ctx.range(2000, 8).map(lambda x: (x % 10, x))
+              .reduce_by_key(operator.add))
+        with profile(sim) as prof:
+            res = sim.run_until_done(eng.collect(ds))
+        assert sorted(res.value) == sorted(ds.collect())
+        rep = prof.report()
+        # the kernel dispatched at least the task/transfer events
+        assert sum(rep["event_kinds"].values()) > 0
+        # operators show up with record counts and non-negative self time
+        assert rep["operators"]
+        for stats in rep["operators"].values():
+            assert stats["pulls"] >= stats["records"] >= 0
+            assert stats["self_seconds"] >= 0.0
+
+    def test_render_mentions_hot_operator(self):
+        sim, cl, ctx, eng = make_env()
+        ds = ctx.range(1000, 4).map(lambda x: x * 2)
+        with profile(sim) as prof:
+            sim.run_until_done(eng.collect(ds))
+        text = prof.render()
+        assert "kernel event mix" in text
+        assert "operator self time" in text
+
+    def test_results_identical_with_and_without(self):
+        def run(profiled):
+            sim, cl, ctx, eng = make_env()
+            ds = (ctx.range(3000, 8).map(lambda x: (x % 7, x))
+                  .reduce_by_key(operator.add))
+            if profiled:
+                with profile(sim):
+                    res = sim.run_until_done(eng.collect(ds))
+            else:
+                res = sim.run_until_done(eng.collect(ds))
+            return sorted(res.value), sim.now
+        assert run(True) == run(False)
+
+
+class TestTeardown:
+    def test_hooks_restored_on_exit(self):
+        sim = Simulator()
+        original = Dataset.iterate
+        with profile(sim):
+            assert Dataset.iterate is not original
+            assert sim._observer is not None
+        assert Dataset.iterate is original
+        assert sim._observer is None
+
+    def test_hooks_restored_on_error(self):
+        sim = Simulator()
+        original = Dataset.iterate
+        with pytest.raises(RuntimeError, match="boom"):
+            with profile(sim):
+                raise RuntimeError("boom")
+        assert Dataset.iterate is original
+        assert sim._observer is None
+
+    def test_nesting_raises(self):
+        with profile():
+            with pytest.raises(RuntimeError, match="does not nest"):
+                with profile():
+                    pass
+        assert Dataset.iterate is not None  # outer exited cleanly
+
+
+class TestOpLabel:
+    def test_plain_and_fused_labels(self):
+        ctx = DataflowContext(default_parallelism=4)
+        mapped = ctx.range(10, 2).map(lambda x: x)
+        assert isinstance(op_label(mapped), str) and op_label(mapped)
+
+    def test_fused_chain_profiles_cleanly(self):
+        # fusion is on by default: a narrow map|filter chain must still
+        # profile and compute the right answer
+        sim, cl, ctx, eng = make_env()
+        ds = ctx.range(100, 4).map(lambda x: x + 1).filter(lambda x: x % 2)
+        with profile(sim) as prof:
+            res = sim.run_until_done(eng.collect(ds))
+        assert sorted(res.value) == sorted(ds.collect())
+        assert prof.report()["operators"]

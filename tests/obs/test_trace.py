@@ -1,0 +1,173 @@
+"""Tracer unit tests: span lifecycle, schema validation, exports."""
+
+import json
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.obs import Tracer, get_tracer, set_tracer, trace_to
+
+
+class TestSpanLifecycle:
+    def test_begin_end_roundtrip(self):
+        tr = Tracer()
+        sid = tr.begin("work", 1.0, lane=("eng", "n1"), cat="task", split=3)
+        span = tr.end(sid, 2.5, outcome="ok")
+        assert span.closed
+        assert span.t0 == 1.0 and span.t1 == 2.5
+        assert span.duration == pytest.approx(1.5)
+        assert span.attrs == {"split": 3, "outcome": "ok"}
+        assert span.wall1 >= span.wall0
+
+    def test_double_close_raises(self):
+        tr = Tracer()
+        sid = tr.begin("work", 0.0)
+        tr.end(sid, 1.0)
+        with pytest.raises(SimulationError, match="two terminal states"):
+            tr.end(sid, 2.0)
+
+    def test_unknown_span_raises(self):
+        tr = Tracer()
+        with pytest.raises(SimulationError, match="unknown span"):
+            tr.end(99, 1.0)
+
+    def test_end_before_start_raises(self):
+        tr = Tracer()
+        sid = tr.begin("work", 5.0)
+        with pytest.raises(SimulationError, match="before its start"):
+            tr.end(sid, 4.0)
+
+    def test_open_spans_and_find(self):
+        tr = Tracer()
+        a = tr.begin("alpha", 0.0, cat="x")
+        b = tr.begin("beta", 1.0, cat="y")
+        tr.end(a, 2.0)
+        assert [s.span_id for s in tr.open_spans()] == [b]
+        assert [s.name for s in tr.find(cat="x")] == ["alpha"]
+        assert len(tr.find(name="beta")) == 1
+
+
+class TestValidate:
+    def test_clean_trace_validates(self):
+        tr = Tracer()
+        job = tr.begin("job", 0.0)
+        st = tr.begin("stage", 0.0, parent=job)
+        t1 = tr.begin("task", 0.5, lane=("eng", "n1"), parent=st)
+        tr.end(t1, 1.0)
+        tr.end(st, 1.0)
+        tr.end(job, 1.5)
+        assert tr.validate() == []
+
+    def test_unclosed_span_reported(self):
+        tr = Tracer()
+        tr.begin("job", 0.0)
+        assert any("never closed" in p for p in tr.validate())
+
+    def test_unknown_parent_reported(self):
+        tr = Tracer()
+        sid = tr.begin("task", 0.0, parent=42)
+        tr.end(sid, 1.0)
+        assert any("unknown" in p for p in tr.validate())
+
+    def test_child_outliving_parent_reported(self):
+        tr = Tracer()
+        p = tr.begin("stage", 0.0)
+        c = tr.begin("task", 0.5, parent=p)
+        tr.end(p, 1.0)
+        tr.end(c, 2.0)
+        assert any("outlives" in p_ for p_ in tr.validate())
+
+    def test_time_going_backwards_reported(self):
+        tr = Tracer()
+        a = tr.begin("a", 5.0)
+        b = tr.begin("b", 1.0)      # sim time went backwards
+        tr.end(a, 6.0)
+        tr.end(b, 6.0)
+        assert any("backwards" in p for p in tr.validate())
+
+
+class TestDeterminism:
+    def _trace(self):
+        tr = Tracer()
+        sid = tr.begin("task", 1.0, lane=("eng", "n1"), split=0)
+        tr.instant("mark", 1.5, lane=("eng", "n1"))
+        tr.end(sid, 2.0, outcome="ok")
+        return tr
+
+    def test_signature_equal_across_identical_runs(self):
+        assert self._trace().signature() == self._trace().signature()
+
+    def test_signature_ignores_wall_time(self):
+        a, b = self._trace(), self._trace()
+        b.spans[0].wall0 += 100.0
+        b.spans[0].wall1 += 200.0
+        assert a.signature() == b.signature()
+
+    def test_signature_sees_sim_time(self):
+        a, b = self._trace(), self._trace()
+        b.spans[0].t1 = 3.0
+        assert a.signature() != b.signature()
+
+
+class TestExports:
+    def _tracer(self):
+        tr = Tracer()
+        j = tr.begin("job", 0.0, lane=("engine", "driver"), cat="job")
+        t = tr.begin("task", 0.25, lane=("engine", "h0_0"), cat="task",
+                     parent=j, split=0)
+        tr.instant("node_fail", 0.5, lane=("engine", "h0_0"), cat="cluster")
+        tr.end(t, 0.75, outcome="ok")
+        tr.end(j, 1.0)
+        return tr
+
+    def test_jsonl_export(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        n = self._tracer().export_jsonl(str(path))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == n == 3
+        spans = [r for r in lines if r["type"] == "span"]
+        assert {s["name"] for s in spans} == {"job", "task"}
+        assert all("t0" in s and "wall0" in s for s in spans)
+
+    def test_chrome_trace_structure(self, tmp_path):
+        tr = self._tracer()
+        payload = tr.to_chrome()
+        events = payload["traceEvents"]
+        # the Perfetto/chrome format contract
+        assert isinstance(events, list)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in meta
+                if e["name"] == "process_name"} == {"engine"}
+        assert {e["args"]["name"] for e in meta
+                if e["name"] == "thread_name"} == {"driver", "h0_0"}
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 2
+        for e in xs:
+            assert {"name", "cat", "pid", "tid", "ts", "dur", "args"} <= set(e)
+            assert e["dur"] >= 0
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1 and instants[0]["s"] == "t"
+        # file round-trips as JSON
+        path = tmp_path / "run.trace.json"
+        count = tr.export_chrome(str(path))
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == count
+
+
+class TestGlobalInstall:
+    def test_off_by_default(self):
+        assert get_tracer() is None
+
+    def test_trace_to_scopes_installation(self):
+        assert get_tracer() is None
+        with trace_to() as tr:
+            assert get_tracer() is tr
+            with trace_to() as inner:
+                assert get_tracer() is inner
+            assert get_tracer() is tr
+        assert get_tracer() is None
+
+    def test_set_tracer_returns_previous(self):
+        tr = Tracer()
+        assert set_tracer(tr) is None
+        assert set_tracer(None) is tr

@@ -1,0 +1,126 @@
+"""Regression tests from the bug-audit sweep of the storage layer.
+
+1. DFS repair target death: a repair target that dies mid-copy must not
+   be committed into ``block.locations`` — its fail event already fired,
+   so no watcher would ever re-protect the block (permanent silent
+   degradation).  The fixed path retries with a fresh target and counts
+   the failure.
+2. TieredStore: promoting an object larger than the top tier used to
+   demote the whole tier empty and crash on the empty LRU; now oversized
+   objects simply stay put.  Absent keys count as misses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import make_cluster
+from repro.common.units import MB
+from repro.simcore import Simulator
+from repro.storage import DFSConfig, DistributedFS
+from repro.storage.tiered import Tier, TieredStore
+
+
+def setup_fs(**cfg):
+    sim = Simulator()
+    cl = make_cluster(sim, 3, 4)
+    fs = DistributedFS(cl, DFSConfig(block_size=MB(4), **cfg), seed=1)
+    return sim, cl, fs
+
+
+class TestRepairTargetDeath:
+    def test_dead_target_not_committed_and_block_reprotected(self):
+        sim, cl, fs = setup_fs(detection_delay=1.0)
+        data = np.random.default_rng(0).integers(
+            0, 256, MB(4), dtype=np.uint8).tobytes()
+        sim.run_until_done(fs.write("/f", data=data, writer="h0_0"))
+        blk = fs.blocks_of("/f")[0]
+        dead = blk.locations[1]
+        cl.nodes[dead].fail()
+
+        # kill every node the repair could pick as target, shortly after
+        # the repair starts — whichever target it chose dies mid-copy
+        holders = set(blk.nodes())
+        outsiders = [n for n in cl.nodes if n not in holders and n != dead]
+        victims = outsiders[: len(outsiders) - 3]   # leave a few candidates
+
+        def chaos(s):
+            yield s.timeout(1.2)       # detection fired, copy in flight
+            for v in victims:
+                cl.nodes[v].fail()
+        sim.process(chaos(sim), name="kill-targets")
+        sim.run(until=sim.now + 120.0)
+
+        # whatever location is recorded must be alive: a dead target was
+        # never committed
+        for node in blk.nodes():
+            if node != dead:
+                assert cl.nodes[node].alive or node in holders
+        live = [n for n in blk.nodes() if cl.nodes[n].alive]
+        assert len(live) == 3          # re-protected despite target deaths
+        # the file still reads byte-exact
+        got, _ = sim.run_until_done(fs.read("/f", reader=live[0]))
+        assert got == data
+
+    def test_failed_repair_attempts_are_counted(self):
+        sim, cl, fs = setup_fs(detection_delay=1.0)
+        sim.run_until_done(fs.write("/f", size=MB(4), writer="h0_0"))
+        blk = fs.blocks_of("/f")[0]
+        dead = blk.locations[1]
+        holders = set(blk.nodes())
+        outsiders = [n for n in cl.nodes if n not in holders]
+        cl.nodes[dead].fail()
+
+        def chaos(s):
+            yield s.timeout(1.2)
+            for v in outsiders[:-2]:
+                cl.nodes[v].fail()
+        sim.process(chaos(sim), name="kill-targets")
+        sim.run(until=sim.now + 120.0)
+        if fs.repairs_failed:
+            # a failed try burned repair traffic without committing
+            assert fs.repair_bytes >= MB(4)
+        # one repair per lost slot: the initial loss, plus possibly a
+        # re-repair when a committed target was itself killed later
+        assert fs.repairs_started >= 1
+        assert fs.repairs_started == \
+            int(fs.metrics.value("dfs.repairs_started"))
+
+
+class TestTieredRegressions:
+    def tiers(self):
+        return [Tier("mem", MB(8), 1e-6, 10e9),
+                Tier("ssd", MB(64), 1e-4, 2e9),
+                Tier("hdd", MB(512), 8e-3, 0.2e9)]
+
+    def test_oversized_object_access_does_not_crash(self):
+        store = TieredStore(self.tiers())
+        store.put("big", MB(16))       # larger than mem: lands on ssd
+        assert store.tier_of("big") == "ssd"
+        store.put("small", MB(1))
+        # the crash: promoting "big" would demote mem empty then IndexError
+        store.access("big")
+        assert store.tier_of("big") == "ssd"   # stayed put
+        assert store.tier_of("small") == "mem"  # untouched
+        assert store.stats.promotions == 0
+
+    def test_normal_promotion_still_works(self):
+        store = TieredStore(self.tiers())
+        store.put("a", MB(2))
+        # push "a" down by filling mem
+        for i in range(4):
+            store.put(f"fill{i}", MB(2))
+        if store.tier_of("a") == "mem":
+            pytest.skip("LRU kept it resident")   # pragma: no cover
+        store.access("a")
+        assert store.tier_of("a") == "mem"
+        assert store.stats.promotions == 1
+
+    def test_missing_key_counts_miss(self):
+        store = TieredStore(self.tiers())
+        store.put("x", MB(1))
+        with pytest.raises(KeyError):
+            store.access("ghost")
+        assert store.stats.misses == 1
+        store.access("x")
+        assert store.stats.misses == 1
+        assert store.stats.accesses == 1
