@@ -64,6 +64,9 @@ def enforce_guards(payload: dict) -> None:
     obs = summary["obs_enabled_overhead"]
     assert obs < 0.05, \
         f"observability overhead bound {100 * obs:.1f}% >= 5%"
+    resil = summary["resilience_armed_overhead"]
+    assert resil < 0.05, \
+        f"armed-but-idle resilience overhead {100 * resil:.1f}% >= 5%"
 
 
 def test_p0(benchmark):
@@ -77,6 +80,7 @@ def test_p0(benchmark):
     assert summary["speedup"] > 1.0
     assert summary["wordcount_sim_event_reduction"] > 0.0
     assert payload["obs_overhead"]["traced_spans"] > 0
+    assert payload["resilience_overhead"]["records"] > 0
     enforce_guards(payload)
     meta = payload["meta"]
     assert meta["fusion_enabled"] and meta["columnar_enabled"]
@@ -88,7 +92,9 @@ if __name__ == "__main__":
     payload = run_p0(scale=scale, profile="--profile" in sys.argv[1:])
     enforce_guards(payload)
     print("guards OK: fusion {:.2f}x, sql {:.2f}x, "
-          "obs overhead bound {:+.1f}%".format(
+          "obs overhead bound {:+.1f}%, "
+          "idle-resilience overhead {:+.1f}%".format(
               payload["summary"]["fusion_speedup"],
               payload["summary"]["sql_speedup"],
-              100 * payload["summary"]["obs_enabled_overhead"]))
+              100 * payload["summary"]["obs_enabled_overhead"],
+              100 * payload["summary"]["resilience_armed_overhead"]))

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Policy-driven resilience: retries absorb a flaky cluster, budgets bound it.
+
+Demonstrates the resilience kernel end to end on a wordcount job:
+
+1. a healthy run with a fully armed policy stack — byte-identical to the
+   policy-free run (policies may change *when* work happens, never *what*
+   comes out);
+2. the same job on a flaky cluster (scripted task-crash storm + a node
+   loss): the retry sessions, backoff, and hedged attempts absorb every
+   fault and the answer still matches;
+3. the same storm against a deliberately tight retry budget: instead of
+   retrying forever the job fails *fast and typed* — a
+   :class:`TaskFailedError` carrying the complete attempt history;
+4. overload at the streaming layer: token-bucket admission turns an
+   unstable 3.75x-overloaded micro-batch engine into a stable degraded
+   one with exact drop accounting (in == out + inflight + shed).
+
+Run:  PYTHONPATH=src python examples/resilience_demo.py
+"""
+
+from operator import add
+
+from repro.chaos import EngineChaos, FaultEvent, FaultPlan
+from repro.cluster import make_cluster
+from repro.common.errors import TaskFailedError
+from repro.dataflow import CostModel, DataflowContext, EngineConfig, SimEngine
+from repro.resilience import (
+    AdmissionConfig,
+    HedgePolicy,
+    ResiliencePolicies,
+    RetryPolicy,
+)
+from repro.simcore import Simulator
+from repro.streaming import MicroBatchConfig, run_microbatch
+
+WORDS = ["spark", "hadoop", "flink", "storm"] * 900
+
+STORM = FaultPlan.scripted([
+    FaultEvent(0.0, "task_crash", magnitude=6.0),
+    FaultEvent(0.02, "task_crash", magnitude=4.0),
+], seed=0, name="crash-storm")
+
+
+def run_wordcount(policies, plan=None, fail_node=None):
+    sim = Simulator()
+    cluster = make_cluster(sim, n_racks=2, nodes_per_rack=4)
+    ctx = DataflowContext(default_parallelism=8)
+    engine = SimEngine(cluster,
+                       config=EngineConfig(max_task_retries=8,
+                                           resilience=policies),
+                       cost_model=CostModel(cpu_per_record=2e-4))
+    if plan is not None:
+        EngineChaos(engine, plan).start()
+    if fail_node is not None:
+        def _killer(s):
+            yield s.timeout(0.01)
+            cluster.nodes[fail_node].fail()
+        sim.process(_killer(sim))
+    ds = (ctx.parallelize(WORDS, 8).map(lambda w: (w, 1))
+          .reduce_by_key(add, 4))
+    res = sim.run_until_done(engine.collect(ds))
+    return sorted(res.value), sim.now
+
+
+def main() -> None:
+    generous = ResiliencePolicies(
+        retry=RetryPolicy(max_attempts=10, budget=100, base_delay=0.005,
+                          seed=0),
+        hedge=HedgePolicy(multiplier=3.0),
+        deadline_timeout=60.0)
+
+    plain, t0 = run_wordcount(None)
+    armed, t1 = run_wordcount(generous)
+    assert armed == plain
+    print(f"healthy run    : {len(plain)} keys in {t1:.4f}s sim "
+          f"(identical with and without policies)")
+
+    faulted, t2 = run_wordcount(generous, plan=STORM, fail_node="h1_3")
+    assert faulted == plain
+    print(f"flaky cluster  : 10 task crashes + 1 node loss absorbed, "
+          f"same answer in {t2:.4f}s sim")
+
+    tight = ResiliencePolicies(retry=RetryPolicy(max_attempts=2, budget=5))
+    try:
+        run_wordcount(tight, plan=STORM)
+    except TaskFailedError as exc:
+        print(f"tight budget   : typed failure after "
+              f"{len(exc.attempts)} recorded attempts "
+              f"(job={exc.job}, op={exc.op})")
+    else:
+        raise SystemExit("expected the tight budget to exhaust")
+
+    adm = AdmissionConfig(rate=800.0, burst=1200.0, max_backlog=4)
+    cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=2e-3,
+                           parallelism=2, admission=adm)
+    r = run_microbatch(lambda t: 3000.0, cfg, duration=30.0)
+    reg = r.registry
+    conserved = (reg.value("stream.records_in")
+                 == reg.value("stream.records_out")
+                 + reg.value("stream.records_shed"))
+    assert r.stable and r.shed_records > 0 and conserved
+    print(f"overload       : stable at backlog {r.max_backlog} "
+          f"(bound {adm.max_backlog}); {r.processed_records} out + "
+          f"{r.shed_records} shed == {int(reg.value('stream.records_in'))} "
+          f"offered")
+    print("\nresilience policies: same answers, bounded failures, "
+          "stable overload")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,7 @@ The package provides (bottom-up):
 * :mod:`repro.graph`     — graph generators + direct & dataflow algorithms
 * :mod:`repro.ml`        — SGD kernels and distributed-training simulation
 * :mod:`repro.workloads` — deterministic workload generators
+* :mod:`repro.resilience` — deadlines, retry budgets, breakers, hedging, admission
 * :mod:`repro.chaos`     — cross-layer fault plans + recovery-equivalence oracles
 * :mod:`repro.bench`     — the experiment harness used by ``benchmarks/``
 
@@ -40,6 +41,7 @@ from . import (
     graph,
     ml,
     net,
+    resilience,
     scheduler,
     simcore,
     sql,
@@ -51,6 +53,6 @@ from . import (
 __all__ = [
     "common", "simcore", "net", "cluster", "storage", "dataflow",
     "scheduler", "cloud", "streaming", "graph", "ml", "workloads", "bench",
-    "sql", "chaos",
+    "sql", "chaos", "resilience",
     "__version__",
 ]

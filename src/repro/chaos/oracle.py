@@ -33,7 +33,14 @@ import numpy as np
 
 from ..cloud.autoscale import ThresholdPolicy, simulate_autoscaling
 from ..cluster import make_cluster
+from ..common.errors import TaskFailedError
 from ..dataflow import CostModel, DataflowContext, EngineConfig, SimEngine
+from ..resilience import (
+    AdmissionConfig,
+    HedgePolicy,
+    ResiliencePolicies,
+    RetryPolicy,
+)
 from ..simcore.kernel import Simulator
 from ..storage.dfs import DFSConfig, DistributedFS
 from ..streaming.checkpoint import CheckpointConfig, run_stateful_stream
@@ -47,11 +54,11 @@ from .adapters import (
     burst_series,
     operator_crash_times,
 )
-from .plan import FaultPlan
+from .plan import FaultEvent, FaultPlan
 
 __all__ = ["OracleReport", "check_dataflow", "check_streaming",
            "check_microbatch", "check_dfs", "check_autoscale",
-           "LAYERS", "run_all", "sweep"]
+           "check_resilience", "LAYERS", "run_all", "sweep"]
 
 
 @dataclass
@@ -111,11 +118,14 @@ def _dataflow_words(seed: int, n: int = 3000) -> List[str]:
     return [vocab[j] for j in rng.integers(0, len(vocab), size=n)]
 
 def _run_dataflow(seed: int, plan: Optional[FaultPlan],
-                  monitor: Optional[Callable[[Simulator], None]] = None):
+                  monitor: Optional[Callable[[Simulator], None]] = None,
+                  policies: Optional[ResiliencePolicies] = None):
     sim = Simulator()
     cluster = make_cluster(sim, n_racks=2, nodes_per_rack=4)
     ctx = DataflowContext(default_parallelism=8)
-    engine = SimEngine(cluster, config=EngineConfig(max_task_retries=8),
+    engine = SimEngine(cluster,
+                       config=EngineConfig(max_task_retries=8,
+                                           resilience=policies),
                        cost_model=CostModel(cpu_per_record=2e-4))
     words = _dataflow_words(seed)
     ds = ctx.parallelize(words, 8).map(lambda w: (w, 1)).reduce_by_key(add, 6)
@@ -351,6 +361,99 @@ def check_autoscale(seed: int, plan: Optional[FaultPlan] = None) -> OracleReport
     return report
 
 
+# --------------------------------------------------------------------- resilience
+
+def check_resilience(seed: int,
+                     plan: Optional[FaultPlan] = None) -> OracleReport:
+    """Policy-enabled runs: recovery equivalence, typed budget failure,
+    and overload-safe admission control.
+
+    Three legs:
+
+    1. The wordcount job with a full :class:`ResiliencePolicies` stack
+       (generous retry budget, hedging, a never-firing deadline) under
+       the dataflow fault plan must be byte-equal to the fault-free run
+       — policies may change *when* work happens, never *what* comes out
+       — and the policy-enabled fault-free run must equal the plain one.
+    2. A scripted crash storm against a deliberately tight retry budget
+       must surface as a *deterministic, typed* failure carrying the
+       attempt history — never a hang, never an untyped crash.
+    3. The micro-batch engine under 3.75x overload with token-bucket
+       admission must stay stable with a bounded backlog and exact drop
+       accounting: ``in == out + inflight + shed``.
+    """
+    if plan is None:
+        node_names = [f"h{r}_{i}" for r in range(2) for i in range(4)]
+        plan = FaultPlan.renewal(
+            seed, horizon=0.3,
+            rates={"node_fail": 3.0, "slow_node": 6.0,
+                   "task_crash": 15.0, "lost_shuffle": 10.0},
+            targets=node_names, mean_duration=0.08)
+    report = OracleReport("resilience", seed, plan)
+    policies = ResiliencePolicies(
+        retry=RetryPolicy(max_attempts=10, budget=200, base_delay=0.01,
+                          seed=seed),
+        hedge=HedgePolicy(multiplier=3.0),
+        deadline_timeout=1e6)
+    free, _t0, n_records = _run_dataflow(seed, None)
+    free_pol, _t1, _ = _run_dataflow(seed, None, policies=policies)
+    faulted1, trace1, _ = _run_dataflow(seed, plan, policies=policies)
+    faulted2, trace2, _ = _run_dataflow(seed, plan, policies=policies)
+    report.injections = len(trace1)
+    report.expect(_bytes(free_pol) == _bytes(free), "idle_policy_equivalence")
+    report.expect(_bytes(faulted1) == _bytes(free), "recovery_equivalence")
+    report.expect(trace1.signature() == trace2.signature(),
+                  "trace_determinism")
+    report.expect(_bytes(faulted1) == _bytes(faulted2), "result_determinism")
+    report.expect(sum(c for _w, c in faulted1) == n_records,
+                  "record_conservation")
+
+    # crash storm vs. tight budget: deterministic typed failure
+    crash_plan = FaultPlan.scripted(
+        [FaultEvent(time=0.0, kind="task_crash", magnitude=500.0)],
+        seed=seed, name="budget-exhaust")
+    tight = ResiliencePolicies(
+        retry=RetryPolicy(max_attempts=3, budget=6, base_delay=0.0,
+                          seed=seed))
+    outcomes: List[Optional[tuple]] = []
+    for _ in range(2):
+        try:
+            _run_dataflow(seed, crash_plan, policies=tight)
+            outcomes.append(None)
+        except TaskFailedError as exc:
+            outcomes.append((exc.op, exc.job, exc.stage, exc.budget,
+                             tuple((a.op, a.time) for a in exc.attempts)))
+    report.expect(outcomes[0] is not None, "budget_exhaustion_typed")
+    report.expect(outcomes[0] is not None and len(outcomes[0][4]) > 0,
+                  "budget_attempt_history")
+    report.expect(outcomes[0] == outcomes[1], "budget_failure_determinism")
+
+    # overload + admission control: stable, bounded, exactly accounted
+    adm = AdmissionConfig(rate=800.0, burst=1200.0, max_backlog=4)
+    cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=2e-3,
+                           parallelism=2, admission=adm)
+    m1 = run_microbatch(lambda t: 3000.0, cfg, 30.0)
+    m2 = run_microbatch(lambda t: 3000.0, cfg, 30.0)
+    reg = m1.registry
+    report.expect(m1.shed_records > 0, "admission_sheds_under_overload")
+    report.expect(m1.max_backlog <= adm.max_backlog,
+                  "admission_backlog_bounded")
+    report.expect(
+        reg is not None
+        and reg.value("stream.records_in")
+        == reg.value("stream.records_out")
+        + reg.value("stream.records_inflight")
+        + reg.value("stream.records_shed")
+        and reg.value("stream.records_inflight") == 0,
+        "admission_flow_conservation")
+    report.expect(
+        (m1.processed_records, m1.shed_records, m1.max_backlog)
+        == (m2.processed_records, m2.shed_records, m2.max_backlog),
+        "admission_determinism")
+    report.expect(m1.stable, "admission_stable_degraded")
+    return report
+
+
 # --------------------------------------------------------------------- drivers
 
 LAYERS: Dict[str, Callable[[int], OracleReport]] = {
@@ -359,6 +462,7 @@ LAYERS: Dict[str, Callable[[int], OracleReport]] = {
     "microbatch": check_microbatch,
     "dfs": check_dfs,
     "autoscale": check_autoscale,
+    "resilience": check_resilience,
 }
 
 

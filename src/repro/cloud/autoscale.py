@@ -25,11 +25,13 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..common.errors import CloudError
+from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..resilience import CircuitBreaker
 
 __all__ = [
     "AutoscalePolicy", "StaticPolicy", "ThresholdPolicy", "PredictivePolicy",
-    "AutoscaleResult", "simulate_autoscaling",
+    "BreakerGatedPolicy", "AutoscaleResult", "simulate_autoscaling",
 ]
 
 
@@ -115,6 +117,60 @@ class PredictivePolicy(AutoscalePolicy):
         drain = queue / self.drain_seconds
         need = (forecast * (1.0 + self.headroom) + drain) / self.mu
         return int(np.ceil(need))
+
+
+class BreakerGatedPolicy(AutoscalePolicy):
+    """Gate any policy's scale decisions behind a flap-detecting breaker.
+
+    Rapid direction reversals (out→in→out within ``flap_window`` of each
+    other) are the autoscaler equivalent of a flaky dependency: each one
+    counts as a breaker failure for the ``target``.  Once the breaker
+    opens, decisions are *held* (the current fleet is kept) until the
+    breaker's recovery time elapses; the half-open probe then lets one
+    decision through, and only a calm decision stream closes the breaker
+    again.  Steady or same-direction decisions count as successes.
+    """
+
+    name = "breaker-gated"
+
+    def __init__(self, inner: AutoscalePolicy,
+                 breaker: Optional[CircuitBreaker] = None,
+                 flap_window: float = 120.0,
+                 target: str = "autoscaler") -> None:
+        self.inner = inner
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.flap_window = flap_window
+        self.target = target
+        self.name = f"{inner.name}+breaker"
+        self.held_decisions = 0
+        self._last_dir = 0
+        self._last_change = -1e18
+
+    def desired(self, t, offered, utilization, current, queue=0.0):
+        want = self.inner.desired(t, offered, utilization, current,
+                                  queue=queue)
+        direction = (want > current) - (want < current)
+        if direction == 0:
+            return want
+        flapping = (self._last_dir != 0 and direction != self._last_dir
+                    and t - self._last_change < self.flap_window)
+        if flapping:
+            self.breaker.record_failure(self.target, t)
+        else:
+            self.breaker.record_success(self.target, t)
+        if not self.breaker.allow(self.target, t):
+            self.held_decisions += 1
+            reg = obs_metrics.get_registry()
+            if reg is not None:
+                reg.counter("resilience.autoscale.held").inc()
+            tr = obs_trace.get_tracer()
+            if tr is not None:
+                tr.instant("scale_held", t, lane=("cloud", self.name),
+                           cat="resilience", want=want, current=current)
+            return current
+        self._last_dir = direction
+        self._last_change = t
+        return want
 
 
 @dataclass

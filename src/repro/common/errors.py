@@ -18,6 +18,8 @@ __all__ = [
     "CapacityError",
     "DataflowError",
     "PlanError",
+    "RetryBudgetExhaustedError",
+    "DeadlineExceededError",
     "TaskFailedError",
     "NetworkError",
     "RoutingError",
@@ -34,6 +36,57 @@ class ReproError(Exception):
 
 class ConfigError(ReproError):
     """A configuration value is missing, inconsistent, or out of range."""
+
+
+class RetryBudgetExhaustedError(ReproError):
+    """A retry policy ran out of attempts (per-op) or budget (per-job).
+
+    Carries enough context to diagnose the failure from the exception
+    alone: ``op`` is the operation that exhausted its attempts, ``job`` /
+    ``stage`` locate it, ``attempts`` is the full ordered history of
+    failed attempts recorded by the owning
+    :class:`~repro.resilience.policy.RetrySession` (each entry exposes
+    ``op`` / ``time`` / ``error`` / ``delay``), and ``budget`` is the
+    per-session budget that was configured (``None`` = unlimited).
+    """
+
+    def __init__(self, message: str = "", *, op=None, job=None, stage=None,
+                 attempts=(), budget=None) -> None:
+        self.op = op
+        self.job = job
+        self.stage = stage
+        self.attempts = tuple(attempts)
+        self.budget = budget
+        super().__init__(message or self.describe())
+
+    def describe(self) -> str:
+        """Render the failure context, attempt history included."""
+        where = "/".join(str(x) for x in (self.job, self.stage, self.op)
+                         if x is not None) or "?"
+        head = (f"retry budget exhausted at {where} "
+                f"({len(self.attempts)} failed attempts recorded"
+                + (f", budget={self.budget}" if self.budget is not None
+                   else "") + ")")
+        lines = [f"  #{i + 1} t={getattr(a, 'time', '?')} "
+                 f"op={getattr(a, 'op', '?')}: {getattr(a, 'error', a)}"
+                 for i, a in enumerate(self.attempts)]
+        return "\n".join([head] + lines)
+
+
+class DeadlineExceededError(ReproError):
+    """An operation ran past its :class:`~repro.resilience.policy.Deadline`."""
+
+    def __init__(self, message: str = "", *, deadline=None, now=None,
+                 op=None) -> None:
+        self.deadline = deadline
+        self.now = now
+        self.op = op
+        if not message:
+            message = (f"deadline exceeded"
+                       + (f" for {op}" if op is not None else "")
+                       + (f": now={now} > deadline={deadline}"
+                          if deadline is not None else ""))
+        super().__init__(message)
 
 
 class SimulationError(ReproError):
@@ -68,8 +121,16 @@ class PlanError(DataflowError):
     """The logical plan is malformed (e.g. cycle, arity mismatch)."""
 
 
-class TaskFailedError(DataflowError):
-    """A task exhausted its retry budget and the job must fail."""
+class TaskFailedError(DataflowError, RetryBudgetExhaustedError):
+    """A task exhausted its retry budget and the job must fail.
+
+    Doubles as the dataflow-flavoured :class:`RetryBudgetExhaustedError`:
+    when the engine runs under a :class:`~repro.resilience.RetryPolicy`
+    it re-raises budget exhaustion as this type with the session's
+    ``op`` / ``job`` / ``stage`` / ``attempts`` context attached, so both
+    ``except DataflowError`` call sites and resilience-aware callers see
+    the error they expect.
+    """
 
 
 class NetworkError(ReproError):

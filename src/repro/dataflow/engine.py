@@ -24,9 +24,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cluster.cluster import Cluster
 from ..cluster.node import Node
-from ..common.errors import DataflowError, TaskFailedError
+from ..common.errors import (
+    DataflowError,
+    DeadlineExceededError,
+    RetryBudgetExhaustedError,
+    TaskFailedError,
+)
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..resilience import Deadline, ResiliencePolicies, RetrySession
 from ..simcore.events import Event
 from ..simcore.kernel import Simulator
 from ..simcore.resources import Store
@@ -71,6 +77,9 @@ class EngineConfig:
     shuffle_to_disk: bool = True         # charge disk for map output writes
     executor_memory: float = float("inf")   # bytes a task may hold in RAM;
     # shuffle input beyond it spills (one disk write + read of the excess)
+    resilience: Optional[ResiliencePolicies] = None
+    # policy bundle (retry budget + backoff, hedging, per-job deadline);
+    # None is byte-identical to the pre-policy retry behaviour
 
 
 @dataclass
@@ -177,15 +186,16 @@ class _SimRuntime(TaskRuntime):
 
 class _Attempt:
     __slots__ = ("split", "node", "started", "alive", "speculative",
-                 "released", "span", "_inbox")
+                 "hedged", "released", "span", "_inbox")
 
     def __init__(self, split: int, node: str, started: float,
-                 speculative: bool) -> None:
+                 speculative: bool, hedged: bool = False) -> None:
         self.split = split
         self.node = node
         self.started = started
         self.alive = True
         self.speculative = speculative
+        self.hedged = hedged
         # slot accounting is idempotent: True once this attempt's core slot
         # has been given back (or died with its node)
         self.released = False
@@ -321,6 +331,15 @@ class SimEngine:
 
     def _job_proc(self, ds: Dataset, finalize, per_partition, done: Event):
         metrics = JobMetrics(start=self.sim.now)
+        pol = self.config.resilience
+        session: Optional[RetrySession] = None
+        if pol is not None and pol.retry is not None:
+            session = pol.retry.session(key=f"ds{ds.dataset_id}",
+                                        job=f"ds{ds.dataset_id}")
+        if pol is not None and pol.deadline_timeout is not None:
+            deadline = Deadline.after(self.sim.now, pol.deadline_timeout)
+            self.sim.process(self._deadline_watchdog(deadline, done, ds),
+                             name=f"deadline:ds{ds.dataset_id}")
         result_stage = build_stages(ds)
         stages = topo_order(result_stage)
         if getattr(ds.ctx, "fusion_enabled", True) and fusion.fusion_enabled():
@@ -340,21 +359,41 @@ class SimEngine:
                 if stage.is_result:
                     values = yield from self._run_stage(
                         stage, metrics, stage_by_shuffle, per_partition,
-                        parent_span=job_span)
+                        parent_span=job_span, session=session)
                 else:
                     yield from self._run_stage(
                         stage, metrics, stage_by_shuffle, None,
-                        parent_span=job_span)
+                        parent_span=job_span, session=session)
             parts = [values[i] for i in range(result_stage.n_tasks)]
             metrics.end = self.sim.now
             self._mirror_metrics(metrics)
             self._end_span(job_span, outcome="ok")
-            done.succeed(JobResult(finalize(parts), metrics))
+            if not done.triggered:     # a deadline may have fired first
+                done.succeed(JobResult(finalize(parts), metrics))
         except DataflowError as exc:
             metrics.end = self.sim.now
             self._mirror_metrics(metrics)
             self._end_span(job_span, outcome=type(exc).__name__)
-            done.fail(exc)
+            if not done.triggered:
+                done.fail(exc)
+
+    def _deadline_watchdog(self, deadline: Deadline, done: Event,
+                           ds: Dataset):
+        """Fail the job event, typed, the instant its deadline passes."""
+        yield self.sim.timeout(deadline.remaining(self.sim.now))
+        if done.triggered:
+            return
+        reg = obs_metrics.get_registry()
+        if reg is not None:
+            reg.counter("resilience.deadline_exceeded").inc()
+        tr = obs_trace.get_tracer()
+        if tr is not None:
+            tr.instant("resilience.deadline", self.sim.now,
+                       lane=("engine", "driver"), cat="resilience",
+                       dataset_id=ds.dataset_id)
+        done.fail(DeadlineExceededError(
+            deadline=deadline.expires_at, now=self.sim.now,
+            op=f"ds{ds.dataset_id}"))
 
     def _end_span(self, span: Optional[int], **attrs: Any) -> None:
         tr = obs_trace.get_tracer()
@@ -404,9 +443,12 @@ class SimEngine:
     def _run_stage(self, stage: Stage, metrics: JobMetrics,
                    stage_by_shuffle: Dict[int, Stage],
                    per_partition, splits: Optional[Sequence[int]] = None,
-                   parent_span: Optional[int] = None):
+                   parent_span: Optional[int] = None,
+                   session: Optional[RetrySession] = None):
         """Generator sub-process executing one stage (possibly partially)."""
         cfg = self.config
+        pol = cfg.resilience
+        hedge = pol.hedge if pol is not None else None
         if not stage.is_result:
             self._shuffle_nmaps[stage.shuffle_dep.shuffle_id] = stage.n_tasks
         todo = self._splits_to_run(stage, splits)
@@ -432,6 +474,7 @@ class SimEngine:
                                   parent=parent_span, **span_attrs)
         pending: deque = deque(todo)
         wait_start: Dict[int, float] = {s: self.sim.now for s in todo}
+        not_before: Dict[int, float] = {}   # policy backoff: earliest relaunch
         retries: Dict[int, int] = {s: 0 for s in todo}
         attempts: Dict[int, List[_Attempt]] = {s: [] for s in todo}
         done_splits: Set[int] = set()
@@ -445,26 +488,34 @@ class SimEngine:
         try:
             while completed() < len(todo):
                 self._launch_ready(stage, pending, wait_start, attempts,
-                                   metrics, inbox, per_partition, stage_span)
+                                   metrics, inbox, per_partition, stage_span,
+                                   not_before)
                 if pending_get is None:
                     pending_get = inbox.get()
                 # Arm the poll timer only when time passing (rather than a
                 # task completing) can change what this loop should do:
-                # speculation checks, or deferred tasks waiting out delay
-                # scheduling / a node recovery.  Idle stages wait purely on
-                # the inbox, which cuts simulated-event churn on large jobs.
-                if cfg.eager_poll or cfg.speculation or pending:
+                # speculation checks, hedging once a tail estimate exists,
+                # or deferred tasks waiting out delay scheduling / backoff /
+                # a node recovery.  Idle stages wait purely on the inbox,
+                # which cuts simulated-event churn on large jobs.
+                hedge_armed = (hedge is not None
+                               and len(durations) >= hedge.min_samples)
+                if cfg.eager_poll or cfg.speculation or pending or hedge_armed:
                     timer = self.sim.timeout(cfg.check_interval)
                     yield self.sim.any_of([pending_get, timer])
                 else:
                     yield pending_get
                 if not pending_get.triggered:
-                    # periodic tick: maybe speculate
+                    # periodic tick: maybe speculate / hedge stragglers
                     if cfg.speculation:
                         self._maybe_speculate(stage, attempts, done_splits,
                                               durations, metrics, inbox,
                                               per_partition, len(todo),
                                               stage_span)
+                    if hedge_armed:
+                        self._maybe_hedge(stage, attempts, done_splits,
+                                          durations, metrics, inbox,
+                                          per_partition, stage_span, hedge)
                     continue
                 res: _TaskResult = pending_get.value
                 pending_get = None
@@ -486,6 +537,13 @@ class SimEngine:
                         acc._apply(stash)      # exactly once: winners only
                     if res.attempt.speculative:
                         metrics.n_spec_wins += 1
+                    if res.attempt.hedged:
+                        reg = obs_metrics.get_registry()
+                        if reg is not None:
+                            reg.counter("resilience.hedge.wins").inc()
+                    if session is not None:
+                        session.record_success(
+                            f"s{stage.stage_id}t{res.split}", self.sim.now)
                     continue
                 # failure handling
                 metrics.n_failed_attempts += 1
@@ -510,12 +568,29 @@ class SimEngine:
                         yield from self._run_stage(parent, metrics,
                                                    stage_by_shuffle, None,
                                                    splits=still_missing,
-                                                   parent_span=stage_span)
+                                                   parent_span=stage_span,
+                                                   session=session)
                     pending.append(res.split)
                     wait_start[res.split] = self.sim.now
                     continue
                 retries[res.split] += 1
-                if retries[res.split] > cfg.max_task_retries:
+                if session is not None:
+                    # policy-driven: the retry session owns the attempt
+                    # bound, the job-wide budget, and the backoff schedule
+                    op = f"s{stage.stage_id}t{res.split}"
+                    try:
+                        delay = session.record_failure(
+                            op, str(res.error), self.sim.now)
+                    except RetryBudgetExhaustedError as exc:
+                        raise TaskFailedError(
+                            f"task {res.split} of stage {stage.stage_id} "
+                            f"failed {retries[res.split]} times: {res.error}\n"
+                            + exc.describe(),
+                            op=exc.op, job=exc.job, stage=stage.stage_id,
+                            attempts=exc.attempts, budget=exc.budget)
+                    if delay > 0:
+                        not_before[res.split] = self.sim.now + delay
+                elif retries[res.split] > cfg.max_task_retries:
                     raise TaskFailedError(
                         f"task {res.split} of stage {stage.stage_id} failed "
                         f"{retries[res.split]} times: {res.error}")
@@ -587,10 +662,15 @@ class SimEngine:
 
     def _launch_ready(self, stage: Stage, pending: deque, wait_start,
                       attempts, metrics: JobMetrics, inbox: Store,
-                      per_partition, stage_span: Optional[int] = None) -> None:
+                      per_partition, stage_span: Optional[int] = None,
+                      not_before: Optional[Dict[int, float]] = None) -> None:
         deferred: List[int] = []
         while pending:
             split = pending.popleft()
+            if not_before is not None and \
+                    not_before.get(split, 0.0) > self.sim.now:
+                deferred.append(split)   # still backing off under policy
+                continue
             waited = self.sim.now - wait_start[split]
             node_name, level = self._pick_node(stage, split, waited)
             if node_name is None:
@@ -612,9 +692,11 @@ class SimEngine:
 
     def _launch(self, stage: Stage, split: int, node_name: str, attempts,
                 metrics: JobMetrics, inbox: Store, per_partition,
-                speculative: bool, stage_span: Optional[int] = None) -> None:
+                speculative: bool, stage_span: Optional[int] = None,
+                hedged: bool = False) -> None:
         self._free_slots[node_name] -= 1
-        attempt = _Attempt(split, node_name, self.sim.now, speculative)
+        attempt = _Attempt(split, node_name, self.sim.now, speculative,
+                           hedged=hedged)
         attempt._inbox = inbox
         attempts.setdefault(split, []).append(attempt)
         self._running_by_node.setdefault(node_name, {})[attempt] = None
@@ -660,6 +742,49 @@ class SimEngine:
             self._launch(stage, split, candidates[0], attempts, metrics,
                          inbox, per_partition, speculative=True,
                          stage_span=stage_span)
+
+    def _maybe_hedge(self, stage: Stage, attempts, done_splits, durations,
+                     metrics: JobMetrics, inbox: Store, per_partition,
+                     stage_span: Optional[int], hedge) -> None:
+        """Launch duplicate attempts for tail stragglers under HedgePolicy.
+
+        Unlike speculation (median-relative, needs a completed fraction),
+        hedging triggers on an absolute tail-quantile delay estimated from
+        this stage's completed durations, and is bounded per split by
+        ``max_hedges``.  Losers are discarded by the normal
+        duplicate-result path, so a hedge can never change the answer.
+        """
+        delay = hedge.delay(durations)
+        if delay is None:
+            return
+        for split, atts in attempts.items():
+            if split in done_splits:
+                continue
+            live = [a for a in atts if a.alive]
+            if len(live) != 1:
+                continue   # not running, or already duplicated
+            if sum(1 for a in atts if a.hedged) >= hedge.max_hedges:
+                continue
+            a = live[0]
+            if self.sim.now - a.started < delay:
+                continue
+            candidates = [n for n, k in self._free_slots.items()
+                          if k > 0 and n != a.node
+                          and self.cluster.nodes[n].alive]
+            if not candidates:
+                continue
+            candidates.sort(key=lambda n: (-self._free_slots[n], n))
+            reg = obs_metrics.get_registry()
+            if reg is not None:
+                reg.counter("resilience.hedge.launched").inc()
+            tr = obs_trace.get_tracer()
+            if tr is not None:
+                tr.instant("resilience.hedge.launch", self.sim.now,
+                           lane=("engine", candidates[0]), cat="resilience",
+                           stage_id=stage.stage_id, split=split, delay=delay)
+            self._launch(stage, split, candidates[0], attempts, metrics,
+                         inbox, per_partition, speculative=False,
+                         stage_span=stage_span, hedged=True)
 
     def _release_slot(self, attempt: _Attempt) -> None:
         # Idempotent: an attempt's result can surface more than once (a

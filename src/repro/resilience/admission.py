@@ -1,0 +1,122 @@
+"""Token-bucket admission control with bounded-backlog load shedding.
+
+``TokenBucket`` is a lazily-refilled rate limiter over explicit sim
+time.  ``AdmissionController`` combines it with a backlog bound and an
+SLO knob: ``mode="shed"`` drops excess records immediately (latency
+SLO — every admitted record is processed promptly), ``mode="delay"``
+asks the source to wait for tokens instead (completeness SLO — records
+are only dropped when they can *never* fit the bucket).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..common.errors import ConfigError
+from ..obs.metrics import get_registry
+
+__all__ = ["AdmissionConfig", "TokenBucket", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    rate: float                 # sustained records/sec admitted
+    burst: float                # bucket capacity (records)
+    max_backlog: int = 8        # queued batches before hard shedding
+    mode: str = "shed"          # "shed" drops now, "delay" waits
+    delay_quantum: float = 0.5  # wait when backlog-bound in delay mode
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.burst <= 0:
+            raise ConfigError("admission rate and burst must be positive")
+        if self.mode not in ("shed", "delay"):
+            raise ConfigError(f"unknown admission mode {self.mode!r}")
+
+
+class TokenBucket:
+    """Classic token bucket with lazy refill at query time."""
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._stamp = now
+
+    def _refill(self, now: float) -> None:
+        if now > self._stamp:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+
+    def available(self, now: float) -> float:
+        self._refill(now)
+        return self._tokens
+
+    def take(self, now: float, n: float) -> float:
+        """Take up to ``n`` tokens; return how many were granted."""
+        self._refill(now)
+        granted = min(n, self._tokens)
+        self._tokens -= granted
+        return granted
+
+    def time_until(self, now: float, n: float) -> float:
+        """Sim seconds until ``n`` tokens will be available (0 if now)."""
+        self._refill(now)
+        need = min(n, self.burst) - self._tokens
+        return max(0.0, need / self.rate)
+
+
+class AdmissionController:
+    """Decide per offered batch: admit, shed, or delay."""
+
+    def __init__(self, config: AdmissionConfig, now: float = 0.0) -> None:
+        self.config = config
+        self.bucket = TokenBucket(config.rate, config.burst, now)
+        self.admitted = 0
+        self.shed = 0
+
+    def admit(self, now: float, offered: int,
+              backlog: int) -> Tuple[int, int, float]:
+        """Return ``(admitted, shed, delay)`` for ``offered`` records.
+
+        ``backlog`` is the number of batches already queued downstream.
+        ``delay > 0`` (delay mode only) means: sleep that long and
+        re-offer the remainder; such calls shed nothing themselves.
+        """
+        cfg = self.config
+        reg = get_registry()
+        if backlog >= cfg.max_backlog:
+            if cfg.mode == "delay":
+                return 0, 0, cfg.delay_quantum
+            self.shed += offered
+            if reg is not None:
+                reg.counter("resilience.admission.shed").inc(offered)
+            return 0, offered, 0.0
+        if cfg.mode == "delay":
+            # Anything over the bucket capacity can never be granted in
+            # one offer; shed only that impossible excess, wait for the
+            # rest.
+            fits = int(math.floor(min(offered, cfg.burst)))
+            impossible = offered - fits
+            granted = int(math.floor(self.bucket.take(now, fits)))
+            if granted < fits:
+                wait = self.bucket.time_until(now, fits - granted)
+                self.admitted += granted
+                self.shed += impossible
+                if reg is not None and impossible:
+                    reg.counter("resilience.admission.shed").inc(impossible)
+                return granted, impossible, max(wait, 1e-6)
+            self.admitted += granted
+            self.shed += impossible
+            if reg is not None and impossible:
+                reg.counter("resilience.admission.shed").inc(impossible)
+            return granted, impossible, 0.0
+        granted = int(math.floor(self.bucket.take(now, offered)))
+        dropped = offered - granted
+        self.admitted += granted
+        self.shed += dropped
+        if reg is not None and dropped:
+            reg.counter("resilience.admission.shed").inc(dropped)
+        return granted, dropped, 0.0

@@ -1,0 +1,118 @@
+"""Per-target circuit breakers driven by explicit sim time.
+
+A breaker guards calls *to* a named target (a node, a service).  It is
+closed while the target looks healthy, opens after a run of consecutive
+failures, and after ``recovery_time`` of sim time lets a limited number
+of half-open probes through; probe successes re-close it, a probe
+failure re-opens it.  Time is always passed in by the caller so the same
+component works inside the discrete-event kernel and in fluid models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+
+__all__ = ["BreakerConfig", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    failure_threshold: int = 3      # consecutive failures before opening
+    recovery_time: float = 30.0     # sim seconds open before half-open
+    half_open_successes: int = 1    # probe successes needed to close
+
+
+@dataclass
+class _Target:
+    state: str = "closed"           # closed | open | half_open
+    failures: int = 0               # consecutive failures while closed
+    opened_at: float = 0.0
+    probes: int = 0                 # successful half-open probes so far
+    probe_out: bool = False         # a half-open probe is in flight
+
+
+class CircuitBreaker:
+    """Tracks closed/open/half-open state for many named targets."""
+
+    def __init__(self, config: BreakerConfig = BreakerConfig()) -> None:
+        self.config = config
+        self._targets: Dict[str, _Target] = {}
+        self.trips = 0
+
+    def _get(self, target: str) -> _Target:
+        return self._targets.setdefault(target, _Target())
+
+    def state(self, target: str, now: float) -> str:
+        """Current state (non-consuming; lazily moves open → half_open)."""
+        t = self._get(target)
+        if (t.state == "open"
+                and now - t.opened_at >= self.config.recovery_time):
+            t.state = "half_open"
+            t.probes = 0
+            t.probe_out = False
+        return t.state
+
+    def allow(self, target: str, now: float) -> bool:
+        """May a call proceed?  Consumes the half-open probe slot."""
+        state = self.state(target, now)
+        t = self._get(target)
+        if state == "closed":
+            return True
+        if state == "half_open" and not t.probe_out:
+            t.probe_out = True
+            return True
+        reg = get_registry()
+        if reg is not None:
+            reg.counter("resilience.breaker.rejections").inc()
+        return False
+
+    def record_success(self, target: str, now: float) -> None:
+        t = self._get(target)
+        if self.state(target, now) == "half_open":
+            t.probes += 1
+            t.probe_out = False
+            if t.probes >= self.config.half_open_successes:
+                t.state = "closed"
+                t.failures = 0
+        else:
+            t.failures = 0
+
+    def trip(self, target: str, now: float) -> None:
+        """Open immediately on definitive knowledge (e.g. a node died)."""
+        t = self._get(target)
+        if self.state(target, now) != "open":
+            self._trip(target, t, now)
+
+    def reset(self, target: str) -> None:
+        """Close immediately on definitive recovery (e.g. node came back)."""
+        self._targets.pop(target, None)
+
+    def record_failure(self, target: str, now: float) -> None:
+        t = self._get(target)
+        state = self.state(target, now)
+        if state == "half_open":
+            self._trip(target, t, now)
+            return
+        if state == "open":
+            return
+        t.failures += 1
+        if t.failures >= self.config.failure_threshold:
+            self._trip(target, t, now)
+
+    def _trip(self, target: str, t: _Target, now: float) -> None:
+        t.state = "open"
+        t.opened_at = now
+        t.failures = 0
+        t.probe_out = False
+        self.trips += 1
+        reg = get_registry()
+        if reg is not None:
+            reg.counter("resilience.breaker.trips").inc()
+        tr = get_tracer()
+        if tr is not None:
+            tr.instant("resilience.breaker.open", now, cat="resilience",
+                       target=target)

@@ -1,0 +1,121 @@
+"""Hedged duplicate requests: launch a backup after a quantile delay.
+
+``HedgePolicy`` decides *when* a backup is worth launching (once enough
+completed-duration samples exist to estimate a tail quantile);
+``run_hedged`` races a primary against a late-launched hedge, delivers
+the first success, and cancels the loser via its cancel callback
+(``Store.cancel_get``-style plumbing).  Ties go to the primary so hedging
+never changes a deterministic winner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+
+__all__ = ["HedgePolicy", "quantile", "run_hedged"]
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile (deterministic, no interpolation)."""
+    xs = sorted(samples)
+    idx = max(0, min(len(xs) - 1, math.ceil(q * len(xs)) - 1))
+    return xs[idx]
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Launch a duplicate once the primary outlives the tail quantile."""
+
+    quantile: float = 0.95
+    multiplier: float = 2.0   # hedge at multiplier * q-th duration
+    min_delay: float = 0.0
+    min_samples: int = 3      # need this many completions to estimate
+    max_hedges: int = 1       # backups per operation
+
+    def delay(self, durations: Sequence[float]) -> Optional[float]:
+        """Sim-time to wait before hedging, or None if unestimable."""
+        if len(durations) < self.min_samples:
+            return None
+        d = self.multiplier * quantile(durations, self.quantile)
+        return max(self.min_delay, d)
+
+
+def run_hedged(sim, launch: Callable[[int], Tuple[object, Optional[Callable[[], None]]]],
+               delay: float, op: str = "op"):
+    """Race a primary attempt against one hedged backup.
+
+    ``launch(i)`` starts attempt ``i`` (0 = primary, 1 = hedge) and
+    returns ``(event, cancel)`` where ``event`` succeeds with the result
+    and ``cancel`` (may be None) withdraws the attempt if it loses.
+    Returns an event that succeeds with ``(value, winner_index)`` as soon
+    as either attempt succeeds, or fails with the primary's error if
+    both fail.  The hedge launches only if the primary is still pending
+    after ``delay`` sim seconds.
+    """
+    done = sim.event()
+
+    def _wait(ev):
+        # Yield on ev but swallow failure propagation: a failed child
+        # event fails the waiting process (and AnyOf conditions fail on
+        # the first child failure), so inspect .triggered/.ok after.
+        try:
+            yield ev
+        except Exception:
+            pass
+
+    def _proc():
+        ev0, cancel0 = launch(0)
+        timer = sim.timeout(delay)
+        yield from _wait(sim.any_of([ev0, timer]))
+        if ev0.triggered:
+            # Primary finished before the hedge delay: pass its outcome
+            # through unchanged (hedging never retries a failure).
+            if ev0.ok:
+                _settle(ev0, 0, None, None)
+            else:
+                done.fail(ev0.value)
+            return
+        ev1, cancel1 = launch(1)
+        reg = get_registry()
+        if reg is not None:
+            reg.counter("resilience.hedge.launched").inc()
+        tr = get_tracer()
+        if tr is not None:
+            tr.instant("resilience.hedge.launch", sim.now, cat="resilience",
+                       op=op, delay=delay)
+        yield from _wait(sim.any_of([ev0, ev1]))
+        # Primary wins ties: inspect ev0 first.
+        for idx, ev, loser, loser_cancel in ((0, ev0, ev1, cancel1),
+                                             (1, ev1, ev0, cancel0)):
+            if ev.triggered and ev.ok:
+                _settle(ev, idx, loser, loser_cancel)
+                return
+        # The completed attempt failed; wait for the straggler.
+        straggler, idx, first_err = ((ev1, 1, ev0.value)
+                                     if ev0.triggered else (ev0, 0, ev1.value))
+        yield from _wait(straggler)
+        if straggler.ok:
+            _settle(straggler, idx, None, None)
+        else:
+            done.fail(first_err if idx == 1 else straggler.value)
+
+    def _settle(ev, idx: int, loser, loser_cancel) -> None:
+        if loser_cancel is not None:
+            loser_cancel()
+        if loser is not None:
+            # Nobody will ever wait on the abandoned attempt; pre-defuse
+            # so a late failure cannot surface as an unhandled crash.
+            loser.defused = True
+        if idx == 1:
+            reg = get_registry()
+            if reg is not None:
+                reg.counter("resilience.hedge.wins").inc()
+        done.succeed((ev.value, idx))
+
+    sim.process(_proc(), name=f"hedge:{op}")
+    return done

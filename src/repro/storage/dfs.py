@@ -30,8 +30,10 @@ from ..common.errors import (
 from ..common.rng import RandomState, ensure_rng
 from ..common.units import MB
 from ..cluster.cluster import Cluster
+from ..common.errors import RetryBudgetExhaustedError
 from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
+from ..resilience import CircuitBreaker, ResiliencePolicies, run_hedged
 from ..simcore.events import Event
 from ..simcore.kernel import Simulator
 from .reedsolomon import RSCode
@@ -94,7 +96,8 @@ class DistributedFS:
     """The filesystem facade; all mutating calls return simulation events."""
 
     def __init__(self, cluster: Cluster, config: Optional[DFSConfig] = None,
-                 seed: RandomState = None) -> None:
+                 seed: RandomState = None,
+                 policies: Optional[ResiliencePolicies] = None) -> None:
         self.cluster = cluster
         self.sim: Simulator = cluster.sim
         self.config = config or DFSConfig()
@@ -105,16 +108,28 @@ class DistributedFS:
         self._content: Dict[Tuple[int, int], bytes] = {}   # (block_id, frag) -> bytes
         self._block_data_len: Dict[int, int] = {}
         self.codec = RSCode(self.config.ec_k, self.config.ec_m)
+        # resilience policies (all optional; None = pre-policy behaviour):
+        # a per-node breaker steers reads and repair targets away from
+        # flaky nodes, the retry policy governs repair attempts/backoff,
+        # and the hedge policy races the two closest replicas on reads
+        self.policies = policies
+        self.breaker: Optional[CircuitBreaker] = None
+        if policies is not None and policies.breaker_config is not None:
+            self.breaker = CircuitBreaker(policies.breaker_config)
+        self._hedge = policies.hedge if policies is not None else None
+        self._repair_retry = policies.retry if policies is not None else None
+        self._read_durations: List[float] = []
         # metrics: typed monotone counters (a negative adjustment — e.g. a
         # counter "rolled back" on a failed read — raises instead of hiding)
         self.metrics = MetricsRegistry()
         for name in ("dfs.bytes_written", "dfs.bytes_read",
                      "dfs.degraded_reads", "dfs.failed_reads",
                      "dfs.repairs_started", "dfs.repairs_failed",
-                     "dfs.repair_bytes"):
+                     "dfs.repairs_abandoned", "dfs.repair_bytes",
+                     "dfs.hedged_reads"):
             self.metrics.counter(name)
         self._watching = False
-        if self.config.auto_repair:
+        if self.config.auto_repair or self.breaker is not None:
             self._watch_failures()
 
     # ---- counter facade (back-compat: `dfs.bytes_read += n` still works,
@@ -138,7 +153,9 @@ class DistributedFS:
     failed_reads = _counter_prop("failed_reads", as_int=True)
     repairs_started = _counter_prop("repairs_started", as_int=True)
     repairs_failed = _counter_prop("repairs_failed", as_int=True)
+    repairs_abandoned = _counter_prop("repairs_abandoned", as_int=True)
     repair_bytes = _counter_prop("repair_bytes")
+    hedged_reads = _counter_prop("hedged_reads", as_int=True)
     del _counter_prop
 
     # ------------------------------------------------------------------ write
@@ -277,12 +294,58 @@ class DistributedFS:
                 f"block {block.block_id} of {block.path} has no live replica"))
             return
             yield  # pragma: no cover
-        src = self._closest(reader, live)
-        yield self.cluster.nodes[src].disk_read(block.size)
-        if src != reader:
-            yield self.cluster.transfer(src, reader, block.size)
+        live = self._prefer_unbroken(live)
+        hedge_delay = (self._hedge.delay(self._read_durations)
+                       if self._hedge is not None else None)
+        distinct = sorted(set(live),
+                          key=lambda n: (n != reader,
+                                         not self.cluster.same_rack(n, reader)
+                                         if reader in self.cluster.nodes
+                                         else True, n))
+        if hedge_delay is not None and len(distinct) > 1:
+            src = yield from self._hedged_fetch(block, reader, distinct,
+                                                hedge_delay)
+        else:
+            src = self._closest(reader, live)
+            t0 = self.sim.now
+            yield self.cluster.nodes[src].disk_read(block.size)
+            if src != reader:
+                yield self.cluster.transfer(src, reader, block.size)
+            if self._hedge is not None:
+                self._read_durations.append(self.sim.now - t0)
+        if self.breaker is not None:
+            self.breaker.record_success(src, self.sim.now)
         self.bytes_read += block.size
         done.succeed(self._content.get((block.block_id, 0)))
+
+    def _hedged_fetch(self, block: BlockInfo, reader: str,
+                      ranked: List[str], delay: float):
+        """Race the two closest replicas; first byte stream in wins.
+
+        The loser's fetch is abandoned (its disk/network charges were
+        already in flight, as in real hedged reads) and its completion
+        event defused by :func:`run_hedged`.
+        """
+        def launch(i: int):
+            src = ranked[min(i, len(ranked) - 1)]
+            ev = self.sim.event()
+
+            def _fetch(sim: Simulator):
+                yield self.cluster.nodes[src].disk_read(block.size)
+                if src != reader:
+                    yield self.cluster.transfer(src, reader, block.size)
+                if not ev.triggered:
+                    ev.succeed(src)
+            self.sim.process(_fetch(self.sim),
+                             name=f"dfs-fetch:b{block.block_id}:{src}")
+            return ev, None
+        t0 = self.sim.now
+        res = yield run_hedged(self.sim, launch, delay,
+                               op=f"read:b{block.block_id}")
+        src, winner = res
+        self.hedged_reads += 1
+        self._read_durations.append(self.sim.now - t0)
+        return src
 
     def _read_ec(self, block: BlockInfo, reader: str, done: Event):
         k = self.codec.k
@@ -409,7 +472,14 @@ class DistributedFS:
             node.listeners.append(self._on_node_event)
 
     def _on_node_event(self, node, kind: str) -> None:
-        if kind != "fail":
+        if self.breaker is not None:
+            # a node event is definitive knowledge, not an inference from
+            # failed calls: open/close the breaker for that node directly
+            if kind == "fail":
+                self.breaker.trip(node.name, self.sim.now)
+            elif kind == "recover":
+                self.breaker.reset(node.name)
+        if kind != "fail" or not self.config.auto_repair:
             return
 
         def _repair(sim: Simulator):
@@ -418,6 +488,19 @@ class DistributedFS:
                 return
             yield from self._repair_node(node.name)
         self.sim.process(_repair(self.sim), name=f"dfs-repair:{node.name}")
+
+    def _prefer_unbroken(self, nodes: List[str]) -> List[str]:
+        """Drop breaker-open nodes, unless that would leave nothing.
+
+        Availability beats breaker hygiene: when every candidate's
+        breaker is open the unfiltered list comes back, so a read or a
+        repair is never refused outright by policy.
+        """
+        if self.breaker is None or not nodes:
+            return nodes
+        ok = [n for n in nodes
+              if self.breaker.state(n, self.sim.now) != "open"]
+        return ok if ok else nodes
 
     def _repair_node(self, dead: str):
         """Re-protect every block that lost a piece on ``dead``."""
@@ -432,13 +515,50 @@ class DistributedFS:
                 else:
                     yield from self._reconstruct_fragment(block, idx)
 
+    def _repair_session(self, block: BlockInfo, slot: int):
+        """Per-repair retry state under the configured policy, if any."""
+        if self._repair_retry is None:
+            return None
+        return self._repair_retry.session(
+            key=f"repair:b{block.block_id}s{slot}", job="dfs-repair",
+            stage=block.block_id)
+
+    def _repair_failed(self, session, op: str, reason: str) -> float:
+        """Record one failed repair attempt; returns the backoff delay.
+
+        Returns a negative value when the attempt bound is exhausted and
+        the repair must be abandoned.  Repairs run in detached watcher
+        processes, so exhaustion is recorded (counter + trace) rather
+        than raised — the block stays under-protected and surfaces on
+        the next read, exactly like the pre-policy bounded loop.
+        """
+        self.repairs_failed += 1
+        if session is None:
+            return 0.0
+        try:
+            return session.record_failure(op, reason, self.sim.now)
+        except RetryBudgetExhaustedError:
+            self.repairs_abandoned += 1
+            tr = obs_trace.get_tracer()
+            if tr is not None:
+                tr.instant("repair_abandoned", self.sim.now,
+                           lane=("dfs", "repair"), cat="resilience", op=op,
+                           attempts=len(session.history))
+            return -1.0
+
     def _rereplicate(self, block: BlockInfo, slot: int):
         # Bounded retry: the chosen target can itself die while the copy is
         # in flight.  Its fail event fired before ``block.locations`` named
         # it, so no repair watcher will ever re-protect this slot — commit
         # the new location only after re-checking the target is alive, and
-        # otherwise pick a fresh target.
-        for _attempt in range(4):
+        # otherwise pick a fresh target.  Under a RetryPolicy the bound
+        # and backoff come from the policy; the default session matches
+        # the historical 4-attempt immediate-retry loop exactly.
+        session = self._repair_session(block, slot)
+        op = f"rereplicate:b{block.block_id}s{slot}"
+        attempt = 0
+        while attempt < 4 or session is not None:
+            attempt += 1
             live = self._live_replicas(block)
             live = [n for n in live if n != block.locations.get(slot)]
             if not live:
@@ -448,19 +568,25 @@ class DistributedFS:
                           if n.name not in exclude]
             if not candidates:
                 return
-            target = str(self.rng.choice(candidates))
+            target = str(self.rng.choice(self._prefer_unbroken(candidates)))
             span = self._begin_repair_span(block, slot, target)
-            src = self._closest(target, live)
+            src = self._closest(target, self._prefer_unbroken(live))
             yield self.cluster.nodes[src].disk_read(block.size)
             yield self.cluster.transfer(src, target, block.size)
             yield self.cluster.nodes[target].disk_write(block.size)
             self.repair_bytes += block.size
             if self.cluster.nodes[target].alive:
                 block.locations[slot] = target
+                if self.breaker is not None:
+                    self.breaker.record_success(target, self.sim.now)
                 self._end_repair_span(span, "ok")
                 return
-            self.repairs_failed += 1
             self._end_repair_span(span, "target_lost")
+            delay = self._repair_failed(session, op, "target_lost")
+            if delay < 0:
+                return   # policy exhausted: abandoned, typed + counted
+            if delay > 0:
+                yield self.sim.timeout(delay)
 
     def _begin_repair_span(self, block: BlockInfo, slot: int,
                            target: str):
@@ -481,7 +607,12 @@ class DistributedFS:
         frag_size = self.codec.fragment_size(block.size)
         # same mid-repair target-death hazard as _rereplicate: commit only
         # after the target proves alive, otherwise retry with a new one
-        for _attempt in range(4):
+        # (attempt bound and backoff from the policy when one is set)
+        session = self._repair_session(block, slot)
+        op = f"reconstruct:b{block.block_id}s{slot}"
+        attempt = 0
+        while attempt < 4 or session is not None:
+            attempt += 1
             live = {idx: n for idx, n in block.locations.items()
                     if self.cluster.nodes[n].alive and idx != slot}
             if len(live) < k:
@@ -491,7 +622,7 @@ class DistributedFS:
                           if n.name not in exclude]
             if not candidates:
                 return
-            target = str(self.rng.choice(candidates))
+            target = str(self.rng.choice(self._prefer_unbroken(candidates)))
             span = self._begin_repair_span(block, slot, target)
             sources = sorted(live)[:k]
             evs = []
@@ -504,8 +635,12 @@ class DistributedFS:
             yield self.cluster.nodes[target].disk_write(frag_size)
             self.repair_bytes += frag_size * k
             if not self.cluster.nodes[target].alive:
-                self.repairs_failed += 1
                 self._end_repair_span(span, "target_lost")
+                delay = self._repair_failed(session, op, "target_lost")
+                if delay < 0:
+                    return   # policy exhausted: abandoned, typed + counted
+                if delay > 0:
+                    yield self.sim.timeout(delay)
                 continue
             # regenerate real content when stored
             frags = {i: self._content[(block.block_id, i)] for i in sources
@@ -515,6 +650,8 @@ class DistributedFS:
                 self._content[(block.block_id, slot)] = \
                     self.codec.reconstruct_fragment(frags, slot, orig_len)
             block.locations[slot] = target
+            if self.breaker is not None:
+                self.breaker.record_success(target, self.sim.now)
             self._end_repair_span(span, "ok")
             return
 

@@ -23,6 +23,7 @@ from ..common.errors import StreamingError
 from ..common.stats import Summary
 from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
+from ..resilience import AdmissionConfig, AdmissionController
 from ..simcore.kernel import Simulator
 from ..simcore.resources import Store
 
@@ -40,6 +41,11 @@ class MicroBatchConfig:
     backpressure: bool = False
     backlog_threshold: int = 2        # queued batches before throttling
     throttle_factor: float = 0.5      # admitted fraction when throttling
+    admission: Optional[AdmissionConfig] = None
+    # token-bucket admission control; takes precedence over the legacy
+    # backpressure throttling and makes overload produce a *stable*
+    # degraded result with exact drop accounting:
+    # records_in == records_out + records_inflight + records_shed
 
     def __post_init__(self) -> None:
         if self.batch_interval <= 0 or self.parallelism < 1:
@@ -63,6 +69,8 @@ class StreamingResult:
     duration: float
     max_backlog: int
     batch_times: List[float] = field(default_factory=list)
+    #: records refused by token-bucket admission control (0 without it)
+    shed_records: int = 0
     #: per-run typed counters/gauges (record-conservation checkable)
     registry: Optional[MetricsRegistry] = None
 
@@ -103,6 +111,9 @@ def run_microbatch(rate_fn: Callable[[float], float],
     records_in = reg.counter("stream.records_in")
     records_out = reg.counter("stream.records_out")
     records_dropped = reg.counter("stream.records_dropped")
+    records_shed = reg.counter("stream.records_shed")
+    ctrl = (AdmissionController(config.admission)
+            if config.admission is not None else None)
     inflight = reg.gauge("stream.records_inflight")
     backlog = reg.gauge("stream.backlog_batches")
     max_backlog = reg.gauge("stream.max_backlog")
@@ -116,6 +127,39 @@ def run_microbatch(rate_fn: Callable[[float], float],
             yield sim.timeout(config.batch_interval)
             n = rate_fn(t0) * config.batch_interval
             n = int(max(0, round(n)))
+            if ctrl is not None:
+                # token-bucket admission: records_in counts every record
+                # the source *offered*; shed records are accounted so
+                # conservation holds exactly (in == out + inflight + shed)
+                if n == 0:
+                    continue
+                mean_arrival = t0 + config.batch_interval / 2.0
+                records_in.inc(n)
+                admitted_total, remaining = 0, n
+                while remaining > 0:
+                    admitted, shed, delay = ctrl.admit(
+                        sim.now, remaining, int(backlog.value))
+                    admitted_total += admitted
+                    remaining -= admitted + shed
+                    if shed:
+                        records_shed.inc(shed)
+                        if tr is not None:
+                            tr.instant("admission_shed", sim.now,
+                                       lane=("stream", "source"),
+                                       cat="resilience", offered=n,
+                                       shed=shed)
+                    if delay > 0:
+                        yield sim.timeout(delay)   # delay-mode SLO: wait
+                    else:
+                        break
+                if admitted_total == 0:
+                    continue
+                inflight.inc(admitted_total)
+                backlog.inc()
+                if backlog.value > max_backlog.value:
+                    max_backlog.set(backlog.value)
+                yield queue.put((admitted_total, mean_arrival))
+                continue
             if config.backpressure and \
                     backlog.value >= config.backlog_threshold:
                 admitted = int(n * config.throttle_factor)
@@ -167,4 +211,5 @@ def run_microbatch(rate_fn: Callable[[float], float],
     return StreamingResult(latency, int(records_out.value),
                            int(records_dropped.value),
                            sim.now, int(max_backlog.value), batch_times,
+                           shed_records=int(records_shed.value),
                            registry=reg)

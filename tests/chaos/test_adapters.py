@@ -16,10 +16,60 @@ from repro.chaos import (
     burst_series,
     operator_crash_times,
 )
+from repro.chaos.adapters import sleep_until
 from repro.cluster import make_cluster
 from repro.dataflow import CostModel, DataflowContext, EngineConfig, SimEngine
 from repro.simcore import Simulator
 from repro.storage.dfs import DFSConfig, DistributedFS
+
+
+class TestSleepUntil:
+    def test_absolute_time(self):
+        sim = Simulator()
+        hits = []
+
+        def _p():
+            yield sleep_until(sim, 5.0)
+            hits.append(sim.now)
+        sim.process(_p())
+        sim.run()
+        assert hits == [5.0]
+
+    def test_past_time_collapses_to_now(self):
+        sim = Simulator()
+        hits = []
+
+        def _p():
+            yield sim.timeout(3.0)
+            yield sleep_until(sim, 1.0)   # already past: zero delay
+            hits.append(sim.now)
+        sim.process(_p())
+        sim.run()
+        assert hits == [3.0]
+
+    def test_same_timestamp_fires_in_spawn_order(self):
+        # the property every injection adapter relies on: events scheduled
+        # for the same instant (including already-past times collapsing to
+        # "now") fire in the order their processes were spawned, so a
+        # plan's same-time faults land in plan order
+        order = []
+
+        def runs():
+            sim = Simulator()
+
+            def _p(tag, t):
+                yield sleep_until(sim, t)
+                order.append((tag, sim.now))
+            for tag in ("a", "b", "c", "d"):
+                sim.process(_p(tag, 2.0), name=f"inj:{tag}")
+            sim.run()
+        runs()
+        assert [tag for tag, _ in order] == ["a", "b", "c", "d"]
+        assert all(t == 2.0 for _, t in order)
+        first = list(order)
+        order.clear()
+        runs()
+        assert order == first
 
 
 class TestInjectionTrace:

@@ -1,0 +1,92 @@
+"""BreakerGatedPolicy: flap detection holds decisions, calm streams pass."""
+
+import numpy as np
+
+from repro.cloud.autoscale import (
+    BreakerGatedPolicy,
+    ThresholdPolicy,
+    simulate_autoscaling,
+)
+from repro.resilience import BreakerConfig, CircuitBreaker
+
+
+class _FlappyPolicy:
+    """Alternates scale-out / scale-in every call: worst-case flapping."""
+
+    name = "flappy"
+
+    def __init__(self):
+        self._dir = 1
+
+    def desired(self, t, offered, utilization, current, queue=0.0):
+        self._dir = -self._dir
+        return max(1, current + self._dir)
+
+
+class _SteadyUpPolicy:
+    name = "steady-up"
+
+    def desired(self, t, offered, utilization, current, queue=0.0):
+        return current + 1
+
+
+class TestBreakerGatedPolicy:
+    def test_passes_through_steady_decisions(self):
+        pol = BreakerGatedPolicy(_SteadyUpPolicy(), flap_window=120.0)
+        n = 4
+        for t in (0.0, 30.0, 60.0, 90.0):
+            n = pol.desired(t, 100.0, 0.9, n)
+        assert n == 8
+        assert pol.held_decisions == 0
+
+    def test_flapping_opens_breaker_and_holds_fleet(self):
+        pol = BreakerGatedPolicy(
+            _FlappyPolicy(),
+            breaker=CircuitBreaker(BreakerConfig(failure_threshold=2,
+                                                 recovery_time=300.0)),
+            flap_window=120.0)
+        current = 10
+        decisions = [pol.desired(t, 100.0, 0.9, current)
+                     for t in np.arange(0.0, 300.0, 30.0)]
+        assert pol.held_decisions > 0
+        # once held, the fleet is pinned at its current size
+        assert decisions[-1] == current
+
+    def test_half_open_probe_lets_one_decision_through(self):
+        pol = BreakerGatedPolicy(
+            _FlappyPolicy(),
+            breaker=CircuitBreaker(BreakerConfig(failure_threshold=1,
+                                                 recovery_time=100.0)),
+            flap_window=50.0)
+        pol.desired(0.0, 100.0, 0.9, 10)    # sets direction
+        pol.desired(10.0, 100.0, 0.9, 10)   # reversal inside window: trips
+        held = pol.held_decisions
+        assert held >= 1
+        # past recovery_time the half-open probe admits a decision again
+        # (it reverses again, so it re-trips, but it was *allowed* through)
+        out = pol.desired(200.0, 100.0, 0.9, 10)
+        assert out != 10 or pol.held_decisions == held
+
+    def test_name_composes(self):
+        pol = BreakerGatedPolicy(ThresholdPolicy())
+        assert pol.name == "threshold+breaker"
+
+    def test_gated_threshold_survives_full_simulation(self):
+        rng = np.random.default_rng(5)
+        load = np.clip(40.0 + 30.0 * np.sin(np.arange(600) / 40.0)
+                       + rng.normal(0.0, 8.0, size=600), 0.0, None)
+        kw = dict(mu=10.0, dt=1.0, control_period=30.0, boot_delay=60.0,
+                  cooldown=60.0, min_instances=1, max_instances=50,
+                  initial_instances=4)
+        plain = simulate_autoscaling(
+            ThresholdPolicy(high=0.75, low=0.3, step=3), load, **kw)
+        gated = simulate_autoscaling(
+            BreakerGatedPolicy(ThresholdPolicy(high=0.75, low=0.3, step=3),
+                               flap_window=90.0), load, **kw)
+        assert bool(np.all((gated.instances >= 1) & (gated.instances <= 50)))
+        assert bool(np.all(gated.queue >= 0.0))
+        # determinism of the gated run
+        gated2 = simulate_autoscaling(
+            BreakerGatedPolicy(ThresholdPolicy(high=0.75, low=0.3, step=3),
+                               flap_window=90.0), load, **kw)
+        assert gated.instances.tobytes() == gated2.instances.tobytes()

@@ -1,0 +1,109 @@
+"""Token bucket and admission controller: shed/delay modes, conservation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.resilience import AdmissionConfig, AdmissionController, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        b = TokenBucket(rate=10.0, burst=50.0)
+        assert b.available(0.0) == 50.0
+
+    def test_take_and_lazy_refill(self):
+        b = TokenBucket(rate=10.0, burst=50.0)
+        assert b.take(0.0, 30.0) == 30.0
+        assert b.available(0.0) == pytest.approx(20.0)
+        assert b.available(2.0) == pytest.approx(40.0)   # +10/s for 2s
+        assert b.available(100.0) == 50.0                # capped at burst
+
+    def test_partial_grant(self):
+        b = TokenBucket(rate=1.0, burst=10.0)
+        assert b.take(0.0, 25.0) == 10.0
+        assert b.take(0.0, 5.0) == 0.0
+
+    def test_time_until(self):
+        b = TokenBucket(rate=10.0, burst=100.0)
+        b.take(0.0, 100.0)
+        assert b.time_until(0.0, 40.0) == pytest.approx(4.0)
+        assert b.time_until(4.0, 40.0) == pytest.approx(0.0)
+        # asking beyond burst is clamped to the achievable amount
+        b2 = TokenBucket(rate=1.0, burst=5.0)
+        b2.take(0.0, 5.0)
+        assert b2.time_until(0.0, 1000.0) == pytest.approx(5.0)
+
+
+class TestAdmissionConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            AdmissionConfig(rate=0.0, burst=1.0)
+        with pytest.raises(ConfigError):
+            AdmissionConfig(rate=1.0, burst=-1.0)
+        with pytest.raises(ConfigError):
+            AdmissionConfig(rate=1.0, burst=1.0, mode="bogus")
+
+
+class TestAdmissionController:
+    def test_shed_mode_grants_then_drops(self):
+        ctrl = AdmissionController(
+            AdmissionConfig(rate=10.0, burst=100.0, mode="shed"))
+        admitted, shed, delay = ctrl.admit(0.0, 150, backlog=0)
+        assert (admitted, shed, delay) == (100, 50, 0.0)
+        assert ctrl.admitted == 100 and ctrl.shed == 50
+
+    def test_shed_mode_backlog_bound_sheds_all(self):
+        ctrl = AdmissionController(
+            AdmissionConfig(rate=10.0, burst=100.0, max_backlog=2,
+                            mode="shed"))
+        admitted, shed, delay = ctrl.admit(0.0, 30, backlog=2)
+        assert (admitted, shed, delay) == (0, 30, 0.0)
+
+    def test_delay_mode_waits_for_tokens(self):
+        ctrl = AdmissionController(
+            AdmissionConfig(rate=10.0, burst=100.0, mode="delay"))
+        a1, s1, d1 = ctrl.admit(0.0, 100, backlog=0)
+        assert (a1, s1, d1) == (100, 0, 0.0)
+        # bucket now empty; a second offer must wait, shedding nothing
+        a2, s2, d2 = ctrl.admit(0.0, 50, backlog=0)
+        assert a2 == 0 and s2 == 0
+        assert d2 == pytest.approx(5.0)
+        # after the wait the remainder is granted
+        a3, s3, d3 = ctrl.admit(5.0, 50, backlog=0)
+        assert (a3, s3, d3) == (50, 0, 0.0)
+
+    def test_delay_mode_sheds_only_impossible_excess(self):
+        ctrl = AdmissionController(
+            AdmissionConfig(rate=10.0, burst=40.0, mode="delay"))
+        admitted, shed, delay = ctrl.admit(0.0, 100, backlog=0)
+        # over-burst excess (60) can never fit in one offer: shed it
+        assert admitted == 40 and shed == 60 and delay == 0.0
+
+    def test_delay_mode_backlog_bound_delays(self):
+        ctrl = AdmissionController(
+            AdmissionConfig(rate=10.0, burst=40.0, max_backlog=3,
+                            mode="delay", delay_quantum=0.25))
+        admitted, shed, delay = ctrl.admit(0.0, 10, backlog=3)
+        assert (admitted, shed) == (0, 0)
+        assert delay == 0.25
+
+    def test_totals_conserve_offered(self):
+        ctrl = AdmissionController(
+            AdmissionConfig(rate=100.0, burst=200.0, mode="shed"))
+        offered_total = 0
+        for t in range(20):
+            offered = 137
+            offered_total += offered
+            admitted, shed, _ = ctrl.admit(float(t), offered, backlog=0)
+            assert admitted + shed == offered
+        assert ctrl.admitted + ctrl.shed == offered_total
+
+    def test_determinism(self):
+        def run():
+            ctrl = AdmissionController(
+                AdmissionConfig(rate=33.0, burst=70.0, mode="shed"))
+            out = []
+            for t in range(30):
+                out.append(ctrl.admit(t * 0.7, 41, backlog=t % 5))
+            return out
+        assert run() == run()

@@ -1,0 +1,102 @@
+"""Circuit breaker state machine: closed -> open -> half-open -> closed."""
+
+from repro.resilience import BreakerConfig, CircuitBreaker
+
+
+def _breaker(**kw):
+    return CircuitBreaker(BreakerConfig(**kw))
+
+
+class TestCircuitBreaker:
+    def test_closed_allows(self):
+        b = _breaker()
+        assert b.state("n", 0.0) == "closed"
+        assert b.allow("n", 0.0)
+
+    def test_opens_after_consecutive_failures(self):
+        b = _breaker(failure_threshold=3)
+        b.record_failure("n", 1.0)
+        b.record_failure("n", 2.0)
+        assert b.state("n", 2.0) == "closed"
+        b.record_failure("n", 3.0)
+        assert b.state("n", 3.0) == "open"
+        assert not b.allow("n", 3.5)
+        assert b.trips == 1
+
+    def test_success_resets_failure_run(self):
+        b = _breaker(failure_threshold=3)
+        b.record_failure("n", 1.0)
+        b.record_failure("n", 2.0)
+        b.record_success("n", 2.5)
+        b.record_failure("n", 3.0)
+        b.record_failure("n", 4.0)
+        assert b.state("n", 4.0) == "closed"
+
+    def test_half_open_after_recovery_time(self):
+        b = _breaker(failure_threshold=1, recovery_time=10.0)
+        b.record_failure("n", 0.0)
+        assert b.state("n", 9.9) == "open"
+        assert b.state("n", 10.0) == "half_open"
+
+    def test_half_open_admits_single_probe(self):
+        b = _breaker(failure_threshold=1, recovery_time=10.0)
+        b.record_failure("n", 0.0)
+        assert b.allow("n", 10.0)        # the probe
+        assert not b.allow("n", 10.1)    # probe already out
+
+    def test_probe_success_closes(self):
+        b = _breaker(failure_threshold=1, recovery_time=10.0,
+                     half_open_successes=1)
+        b.record_failure("n", 0.0)
+        assert b.allow("n", 11.0)
+        b.record_success("n", 12.0)
+        assert b.state("n", 12.0) == "closed"
+        assert b.allow("n", 12.0)
+
+    def test_probe_failure_reopens(self):
+        b = _breaker(failure_threshold=1, recovery_time=10.0)
+        b.record_failure("n", 0.0)
+        assert b.allow("n", 11.0)
+        b.record_failure("n", 12.0)
+        assert b.state("n", 12.0) == "open"
+        assert b.trips == 2
+        # the clock restarts from the re-trip
+        assert b.state("n", 21.9) == "open"
+        assert b.state("n", 22.0) == "half_open"
+
+    def test_multi_probe_close(self):
+        b = _breaker(failure_threshold=1, recovery_time=5.0,
+                     half_open_successes=2)
+        b.record_failure("n", 0.0)
+        assert b.allow("n", 6.0)
+        b.record_success("n", 6.5)
+        assert b.state("n", 6.5) == "half_open"   # one more success needed
+        assert b.allow("n", 7.0)
+        b.record_success("n", 7.5)
+        assert b.state("n", 7.5) == "closed"
+
+    def test_trip_is_definitive(self):
+        b = _breaker(failure_threshold=100)
+        b.trip("n", 5.0)
+        assert b.state("n", 5.0) == "open"
+        assert not b.allow("n", 6.0)
+
+    def test_reset_is_definitive(self):
+        b = _breaker(failure_threshold=1)
+        b.record_failure("n", 0.0)
+        b.reset("n")
+        assert b.state("n", 0.1) == "closed"
+        assert b.allow("n", 0.1)
+
+    def test_targets_are_independent(self):
+        b = _breaker(failure_threshold=1)
+        b.record_failure("a", 0.0)
+        assert not b.allow("a", 0.1)
+        assert b.allow("b", 0.1)
+
+    def test_failures_while_open_are_ignored(self):
+        b = _breaker(failure_threshold=1, recovery_time=10.0)
+        b.record_failure("n", 0.0)
+        b.record_failure("n", 1.0)   # no re-trip, no clock restart
+        assert b.trips == 1
+        assert b.state("n", 10.0) == "half_open"

@@ -1,0 +1,144 @@
+"""Hedged requests: quantile delays, first-wins racing, loser cancellation."""
+
+import pytest
+
+from repro.resilience import HedgePolicy, quantile, run_hedged
+from repro.simcore import Simulator
+from repro.simcore.resources import Store
+
+
+class TestQuantile:
+    def test_nearest_rank(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert quantile(xs, 0.5) == 3.0
+        assert quantile(xs, 0.95) == 5.0
+        assert quantile(xs, 0.0) == 1.0
+        assert quantile([7.0], 0.5) == 7.0
+
+    def test_unsorted_input(self):
+        assert quantile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+
+class TestHedgePolicy:
+    def test_unestimable_below_min_samples(self):
+        pol = HedgePolicy(min_samples=3)
+        assert pol.delay([1.0, 2.0]) is None
+
+    def test_delay_is_multiplier_times_quantile(self):
+        pol = HedgePolicy(quantile=0.5, multiplier=2.0, min_samples=3)
+        assert pol.delay([1.0, 2.0, 3.0]) == pytest.approx(4.0)
+
+    def test_min_delay_floor(self):
+        pol = HedgePolicy(quantile=0.5, multiplier=1.0, min_delay=10.0,
+                          min_samples=1)
+        assert pol.delay([0.5]) == 10.0
+
+
+def _timed_launch(sim, durations, cancels=None, fail=()):
+    """launch(i) -> event succeeding with f"r{i}" after durations[i]."""
+    def launch(i):
+        ev = sim.event()
+
+        def _run():
+            yield sim.timeout(durations[i])
+            if not ev.triggered:
+                if i in fail:
+                    ev.fail(RuntimeError(f"err{i}"))
+                else:
+                    ev.succeed(f"r{i}")
+        sim.process(_run(), name=f"attempt{i}")
+        cancel = None
+        if cancels is not None:
+            cancel = lambda i=i: cancels.append(i)
+        return ev, cancel
+    return launch
+
+
+class TestRunHedged:
+    def test_fast_primary_wins_without_hedging(self):
+        sim = Simulator()
+        cancels = []
+        done = run_hedged(sim, _timed_launch(sim, [1.0, 1.0], cancels),
+                          delay=5.0)
+        value, idx = sim.run_until_done(done)
+        assert (value, idx) == ("r0", 0)
+        assert cancels == []        # no hedge, nothing to cancel
+        assert sim.now == pytest.approx(1.0)
+
+    def test_slow_primary_loses_to_hedge(self):
+        sim = Simulator()
+        cancels = []
+        done = run_hedged(sim, _timed_launch(sim, [10.0, 1.0], cancels),
+                          delay=2.0)
+        value, idx = sim.run_until_done(done)
+        assert (value, idx) == ("r1", 1)
+        assert cancels == [0]       # the primary was withdrawn
+        assert sim.now == pytest.approx(3.0)   # 2.0 delay + 1.0 hedge
+
+    def test_primary_win_after_hedge_launch(self):
+        sim = Simulator()
+        cancels = []
+        done = run_hedged(sim, _timed_launch(sim, [3.0, 5.0], cancels),
+                          delay=2.0)
+        value, idx = sim.run_until_done(done)
+        assert (value, idx) == ("r0", 0)
+        assert cancels == [1]
+
+    def test_tie_goes_to_primary(self):
+        sim = Simulator()
+        done = run_hedged(sim, _timed_launch(sim, [3.0, 1.0]), delay=2.0)
+        value, idx = sim.run_until_done(done)
+        assert idx == 0             # both complete at t=3.0; primary wins
+
+    def test_primary_failure_before_delay_passes_through(self):
+        sim = Simulator()
+        done = run_hedged(sim, _timed_launch(sim, [1.0, 1.0], fail={0}),
+                          delay=5.0)
+        with pytest.raises(RuntimeError, match="err0"):
+            sim.run_until_done(done)
+
+    def test_failed_primary_falls_back_to_hedge(self):
+        sim = Simulator()
+        done = run_hedged(sim, _timed_launch(sim, [3.0, 2.0], fail={0}),
+                          delay=1.0)
+        value, idx = sim.run_until_done(done)
+        assert (value, idx) == ("r1", 1)
+
+    def test_failed_hedge_waits_for_primary(self):
+        sim = Simulator()
+        done = run_hedged(sim, _timed_launch(sim, [6.0, 1.0], fail={1}),
+                          delay=2.0)
+        value, idx = sim.run_until_done(done)
+        assert (value, idx) == ("r0", 0)
+
+    def test_both_fail_reports_primary_error(self):
+        sim = Simulator()
+        done = run_hedged(sim, _timed_launch(sim, [4.0, 1.0], fail={0, 1}),
+                          delay=2.0)
+        with pytest.raises(RuntimeError, match="err0"):
+            sim.run_until_done(done)
+
+    def test_store_cancel_get_plumbing(self):
+        # the documented cancellation style: a loser's pending Store.get
+        # is withdrawn so a later put stays in the queue
+        sim = Simulator()
+        fast, slow = Store(sim), Store(sim)
+
+        def launch(i):
+            store = slow if i == 0 else fast
+            ev = store.get()
+            return ev, (lambda: store.cancel_get(ev))
+
+        done = run_hedged(sim, launch, delay=1.0)
+
+        def _feed():
+            yield sim.timeout(2.0)
+            yield fast.put("hedge-item")
+            yield sim.timeout(1.0)
+            yield slow.put("late-item")
+        sim.process(_feed(), name="feeder")
+        value, idx = sim.run_until_done(done)
+        assert (value, idx) == ("hedge-item", 1)
+        sim.run()
+        # the cancelled primary getter never consumed the late put
+        assert list(slow.items) == ["late-item"]

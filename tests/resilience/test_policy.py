@@ -1,0 +1,115 @@
+"""Deadlines and retry sessions: budgets, backoff, jitter, typed errors."""
+
+import pytest
+
+from repro.common.errors import DeadlineExceededError, RetryBudgetExhaustedError
+from repro.resilience import Attempt, Deadline, RetryPolicy
+
+
+class TestDeadline:
+    def test_after_and_remaining(self):
+        d = Deadline.after(10.0, 5.0)
+        assert d.expires_at == 15.0
+        assert d.remaining(12.0) == pytest.approx(3.0)
+        assert d.remaining(20.0) == 0.0
+
+    def test_expired_is_strict(self):
+        d = Deadline(expires_at=4.0)
+        assert not d.expired(4.0)
+        assert d.expired(4.0 + 1e-9)
+
+    def test_check_raises_typed_with_context(self):
+        d = Deadline(expires_at=1.0)
+        d.check(0.5)  # fine
+        with pytest.raises(DeadlineExceededError) as ei:
+            d.check(2.0, op="collect")
+        assert ei.value.deadline == 1.0
+        assert ei.value.now == 2.0
+        assert ei.value.op == "collect"
+
+
+class TestRetrySession:
+    def test_zero_base_delay_means_immediate_retries(self):
+        s = RetryPolicy(max_attempts=4, base_delay=0.0).session("k")
+        assert s.record_failure("op", "boom", 1.0) == 0.0
+        assert s.record_failure("op", "boom", 2.0) == 0.0
+        assert s.attempts_for("op") == 2
+
+    def test_max_attempts_raises_with_history(self):
+        s = RetryPolicy(max_attempts=3).session("k", job="j1", stage=7)
+        s.record_failure("op", "e1", 1.0)
+        s.record_failure("op", "e2", 2.0)
+        with pytest.raises(RetryBudgetExhaustedError) as ei:
+            s.record_failure("op", "e3", 3.0)
+        exc = ei.value
+        assert exc.op == "op"
+        assert exc.job == "j1"
+        assert exc.stage == 7
+        assert [a.error for a in exc.attempts] == ["e1", "e2", "e3"]
+        assert all(isinstance(a, Attempt) for a in exc.attempts)
+        assert "e3" in exc.describe()
+
+    def test_success_resets_per_op_count(self):
+        s = RetryPolicy(max_attempts=2).session("k")
+        s.record_failure("op", "e", 1.0)
+        s.record_success("op", 1.5)
+        # counter reset: one more failure does not exhaust
+        s.record_failure("op", "e", 2.0)
+        assert s.attempts_for("op") == 1
+
+    def test_ops_are_independent(self):
+        s = RetryPolicy(max_attempts=2).session("k")
+        s.record_failure("a", "e", 1.0)
+        s.record_failure("b", "e", 1.0)
+        assert s.attempts_for("a") == 1
+        assert s.attempts_for("b") == 1
+
+    def test_session_budget_spans_ops(self):
+        s = RetryPolicy(max_attempts=100, budget=3).session("k")
+        s.record_failure("a", "e", 1.0)
+        s.record_failure("b", "e", 2.0)
+        s.record_failure("c", "e", 3.0)
+        assert s.budget_left == 0
+        with pytest.raises(RetryBudgetExhaustedError) as ei:
+            s.record_failure("d", "e", 4.0)
+        assert ei.value.budget == 3
+        assert len(ei.value.attempts) == 4
+
+    def test_unlimited_budget(self):
+        s = RetryPolicy(max_attempts=1000, budget=None).session("k")
+        for i in range(50):
+            s.record_failure(f"op{i}", "e", float(i))
+        assert s.budget_left is None
+
+    def test_exponential_backoff_without_jitter(self):
+        pol = RetryPolicy(max_attempts=10, base_delay=0.5, multiplier=2.0,
+                          max_delay=3.0, jitter="none")
+        s = pol.session("k")
+        delays = [s.record_failure("op", "e", float(i)) for i in range(4)]
+        assert delays == [0.5, 1.0, 2.0, 3.0]   # capped at max_delay
+
+    def test_decorrelated_jitter_within_bounds_and_capped(self):
+        pol = RetryPolicy(max_attempts=50, base_delay=0.1, max_delay=2.0,
+                          jitter="decorrelated", seed=5)
+        s = pol.session("k")
+        prev = pol.base_delay
+        for i in range(20):
+            d = s.record_failure("op", "e", float(i))
+            assert pol.base_delay <= d <= min(pol.max_delay,
+                                              max(pol.base_delay, prev * 3.0))
+            prev = d
+
+    def test_jitter_streams_differ_by_session_key(self):
+        pol = RetryPolicy(max_attempts=50, base_delay=0.1, seed=1)
+        a = pol.session("jobA")
+        b = pol.session("jobB")
+        da = [a.record_failure("op", "e", float(i)) for i in range(8)]
+        db = [b.record_failure("op", "e", float(i)) for i in range(8)]
+        assert da != db
+
+    def test_exhausted_failure_records_zero_delay(self):
+        s = RetryPolicy(max_attempts=2, base_delay=1.0).session("k")
+        s.record_failure("op", "e", 1.0)
+        with pytest.raises(RetryBudgetExhaustedError) as ei:
+            s.record_failure("op", "e", 2.0)
+        assert ei.value.attempts[-1].delay == 0.0

@@ -121,3 +121,67 @@ class TestEmptyBatches:
                            duration=20)
         assert r.processed_records == 10 * 100
         assert r.max_backlog >= 1
+
+
+class TestAdmissionControl:
+    """Token-bucket admission: stable degraded overload, exact accounting."""
+
+    def _overload(self, mode="shed", duration=30.0):
+        from repro.resilience import AdmissionConfig
+        adm = AdmissionConfig(rate=800.0, burst=1200.0, max_backlog=4,
+                              mode=mode)
+        cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=2e-3,
+                               parallelism=2, admission=adm)
+        return run_microbatch(lambda t: 3000.0, cfg, duration), adm
+
+    def test_overload_is_stable_with_bounded_backlog(self):
+        r, adm = self._overload()
+        assert r.stable
+        assert r.shed_records > 0
+        assert r.max_backlog <= adm.max_backlog
+        assert r.processed_records > 0
+
+    def test_exact_conservation_in_out_inflight_shed(self):
+        r, _adm = self._overload()
+        reg = r.registry
+        assert reg.value("stream.records_inflight") == 0
+        assert reg.value("stream.records_in") == (
+            reg.value("stream.records_out")
+            + reg.value("stream.records_shed"))
+        assert reg.value("stream.records_shed") == r.shed_records
+
+    def test_delay_mode_conserves_and_sheds_less(self):
+        shed_r, _ = self._overload(mode="shed")
+        delay_r, _ = self._overload(mode="delay")
+        for r in (shed_r, delay_r):
+            reg = r.registry
+            assert reg.value("stream.records_in") == (
+                reg.value("stream.records_out")
+                + reg.value("stream.records_shed"))
+        # delay mode trades latency for completeness: fewer records shed
+        assert delay_r.shed_records < shed_r.shed_records
+
+    def test_determinism(self):
+        r1, _ = self._overload()
+        r2, _ = self._overload()
+        assert (r1.processed_records, r1.shed_records, r1.max_backlog,
+                r1.batch_times) == (r2.processed_records, r2.shed_records,
+                                    r2.max_backlog, r2.batch_times)
+
+    def test_admission_off_keeps_legacy_conservation(self):
+        cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=1e-5,
+                               parallelism=2)
+        r = run_microbatch(lambda t: 500, cfg, duration=20)
+        assert r.shed_records == 0
+        reg = r.registry
+        assert reg.value("stream.records_in") == reg.value(
+            "stream.records_out")
+
+    def test_underload_sheds_nothing(self):
+        from repro.resilience import AdmissionConfig
+        adm = AdmissionConfig(rate=2000.0, burst=4000.0, max_backlog=8)
+        cfg = MicroBatchConfig(batch_interval=1.0, per_record_cost=1e-5,
+                               parallelism=2, admission=adm)
+        r = run_microbatch(lambda t: 500, cfg, duration=20)
+        assert r.shed_records == 0
+        assert r.processed_records == 500 * 20
