@@ -7,7 +7,10 @@ combine), end-to-end job wall seconds, and DES-kernel event counts — the
 vectorized ``partition_many`` path A/B'd against the scalar reference,
 and the inbox-driven stage waits A/B'd against the legacy eager poll
 timer.  Also measures the observability layer's overhead (the fully
-traced leg upper-bounds the disabled cost; the <5% guard is enforced here)
+traced leg upper-bounds the disabled cost; the <5% guard is enforced
+here), the warm process-pool backend against in-process execution at
+1/2/``--workers`` workers (the ``pool_speedup`` summary field; >= 2x on
+the CPU-bound headline basket at 4 workers when >= 4 cores are present),
 and, with ``--profile``, prints the kernel event mix and per-operator
 self-time profile from :mod:`repro.obs.profile`.  Writes
 ``BENCH_wallclock.json`` next to the repo root so every PR leaves a
@@ -15,8 +18,12 @@ comparable perf trajectory.
 
 Run standalone:  ``PYTHONPATH=src python benchmarks/bench_p0_wallclock.py``
                  ``... bench_p0_wallclock.py 0.25 --profile``
+                 ``... bench_p0_wallclock.py --backend pool --workers 4``
+                 ``... bench_p0_wallclock.py --backend inprocess``  (skip
+                 the pool sweep entirely)
 """
 
+import argparse
 import os
 import sys
 
@@ -30,8 +37,10 @@ REPORT = os.path.join(os.path.dirname(__file__), os.pardir,
 
 
 def run_p0(scale: float = 1.0, report_path: str = REPORT,
-           profile: bool = False) -> dict:
-    payload = run_suite(scale=scale, verbose=True)
+           profile: bool = False, backend: str = "pool",
+           workers: int = 4) -> dict:
+    payload = run_suite(scale=scale, verbose=True,
+                        pool_workers=workers if backend == "pool" else None)
     if profile:
         report, text = profile_end_to_end("wordcount", scale)
         payload["profile"] = report
@@ -43,7 +52,7 @@ def run_p0(scale: float = 1.0, report_path: str = REPORT,
 
 
 def enforce_guards(payload: dict) -> None:
-    """Regression guards for the PR-3/PR-4 execution optimizers.
+    """Regression guards for the PR-3..PR-6 execution optimizers.
 
     Narrow-chain fusion must stay >= 1.2x at every scale (it is a
     per-record win, so smoke scales see it too); the columnar SQL engine
@@ -54,6 +63,15 @@ def enforce_guards(payload: dict) -> None:
     (the same module-global loads and ``None`` checks, plus all the
     recording), so the disabled cost is strictly below the guarded
     number.
+
+    The process-pool guard is conditional on the machine being able to
+    show a win at all: it enforces only when the sweep reached >= 4
+    workers on >= 4 cores and the scale is >= 0.25 (below that the jobs
+    are milliseconds and dispatch overhead dominates any backend).  The
+    floor is 2.0x at the default scale and 1.3x at smoke scales.  On
+    smaller machines the measurement still runs and is recorded — legs
+    must agree byte-for-byte everywhere — but the ratio is
+    informational, because a 1-core box cannot parallelize anything.
     """
     summary = payload["summary"]
     fusion = summary["fusion_speedup"]
@@ -67,6 +85,16 @@ def enforce_guards(payload: dict) -> None:
     resil = summary["resilience_armed_overhead"]
     assert resil < 0.05, \
         f"armed-but-idle resilience overhead {100 * resil:.1f}% >= 5%"
+    pool = payload.get("pool_backend")
+    if pool is not None:
+        speedup = summary["pool_speedup"]
+        if (pool["workers"] >= 4 and pool["cpu_count"] >= 4
+                and payload["scale"] >= 0.25):
+            pool_floor = 2.0 if payload["scale"] >= 1.0 else 1.3
+            assert speedup >= pool_floor, (
+                f"pool backend speedup regressed: {speedup:.2f}x "
+                f"< {pool_floor}x at {pool['workers']} workers "
+                f"({pool['cpu_count']} cores)")
 
 
 def test_p0(benchmark):
@@ -81,20 +109,36 @@ def test_p0(benchmark):
     assert summary["wordcount_sim_event_reduction"] > 0.0
     assert payload["obs_overhead"]["traced_spans"] > 0
     assert payload["resilience_overhead"]["records"] > 0
+    # pool section present, legs agreed at every worker count
+    pool = payload["pool_backend"]
+    assert pool["workers"] == 4 and set(pool["sweep"]) == {"1", "2", "4"}
+    assert summary["pool_speedup"] == pool["speedup"] > 0
     enforce_guards(payload)
     meta = payload["meta"]
     assert meta["fusion_enabled"] and meta["columnar_enabled"]
 
 
 if __name__ == "__main__":
-    args = [a for a in sys.argv[1:] if a != "--profile"]
-    scale = float(args[0]) if args else 1.0
-    payload = run_p0(scale=scale, profile="--profile" in sys.argv[1:])
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("scale", nargs="?", type=float, default=1.0)
+    ap.add_argument("--profile", action="store_true",
+                    help="print the kernel event mix + operator profile")
+    ap.add_argument("--backend", choices=("inprocess", "pool"),
+                    default="pool",
+                    help="'pool' (default) A/Bs the process-pool backend "
+                         "against in-process; 'inprocess' skips the sweep")
+    ap.add_argument("--workers", type=int, default=4,
+                    help="top of the pool worker sweep (default 4)")
+    opts = ap.parse_args()
+    payload = run_p0(scale=opts.scale, profile=opts.profile,
+                     backend=opts.backend, workers=opts.workers)
     enforce_guards(payload)
-    print("guards OK: fusion {:.2f}x, sql {:.2f}x, "
+    pool_speedup = payload["summary"]["pool_speedup"]
+    print("guards OK: fusion {:.2f}x, sql {:.2f}x, pool {}, "
           "obs overhead bound {:+.1f}%, "
           "idle-resilience overhead {:+.1f}%".format(
               payload["summary"]["fusion_speedup"],
               payload["summary"]["sql_speedup"],
+              f"{pool_speedup:.2f}x" if pool_speedup else "skipped",
               100 * payload["summary"]["obs_enabled_overhead"],
               100 * payload["summary"]["resilience_armed_overhead"]))

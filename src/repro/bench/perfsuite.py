@@ -39,6 +39,7 @@ ratios are pure execution-efficiency measurements.
 from __future__ import annotations
 
 import json
+import os
 import random
 import time
 from dataclasses import dataclass
@@ -52,6 +53,7 @@ from ..dataflow import (
     DataflowContext,
     EngineConfig,
     HashPartitioner,
+    ProcessPoolBackend,
     RangePartitioner,
     SimEngine,
     SizeEstimator,
@@ -59,6 +61,7 @@ from ..dataflow import (
     set_fusion,
 )
 from ..dataflow import shuffleio
+from ..dataflow.mp import default_start_method
 from ..dataflow.plan import ShuffleDependency
 from ..graph.generators import erdos_renyi
 from ..graph.dataflow_algos import pagerank_dataflow_plan
@@ -66,13 +69,18 @@ from ..simcore import Simulator
 from ..workloads import teragen, zipf_text
 from .harness import bench_metadata
 
-__all__ = ["BASKET", "HEADLINE", "SCHEMA_VERSION", "run_suite",
+__all__ = ["BASKET", "HEADLINE", "POOL_HEADLINE", "POOL_SWEEP",
+           "SCHEMA_VERSION", "run_suite",
            "write_report", "measure_shuffle_write", "measure_end_to_end",
            "measure_sql_analytics", "measure_narrow_chain",
+           "measure_pool_backend",
            "measure_obs_overhead", "measure_resilience_overhead",
            "profile_end_to_end"]
 
-SCHEMA_VERSION = 5
+#: v6 adds the ``pool_backend`` section (warm multi-process executor
+#: A/B'd against in-process at 1/2/4 workers) and the ``pool_speedup``
+#: summary field.
+SCHEMA_VERSION = 6
 
 #: The fixed workload basket, in reporting order.  The first four are
 #: the simulated-cluster jobs; ``sql_analytics`` and ``narrow_chain``
@@ -458,6 +466,173 @@ def measure_narrow_chain(scale: float = 1.0, reps: int = 3) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# process-pool backend: warm multi-process execution vs in-process
+# ---------------------------------------------------------------------------
+
+#: The pool headline basket: the CPU-bound basket members.  The pool
+#: backend exists to break the GIL ceiling, so its guard runs on jobs
+#: whose wall-clock is compute (not data movement): wordcount's
+#: tokenize+combine over real text, and a 7-op fused narrow chain whose
+#: input expands *inside* the workers from 16 integer seeds (so the legs
+#: measure parallel execution, not pickling a large source).  Data-bound
+#: jobs (terasort ships its whole dataset both ways) are covered by the
+#: equivalence tests but not guarded — at in-memory bench scale they are
+#: bandwidth-bound and a multi-process win there would be dishonest.
+POOL_HEADLINE = ("wordcount", "fused_chain")
+
+#: Worker counts swept for the scaling curve (EXPERIMENTS P1).
+POOL_SWEEP = (1, 2, 4)
+
+
+def _pool_data_wordcount(scale: float):
+    docs = zipf_text(n_docs=int(12_000 * scale), words_per_doc=160,
+                     vocab_size=4000, skew=1.05, seed=31)
+    return docs, int(12_000 * scale) * 160
+
+
+def _pool_plan_wordcount(ctx: DataflowContext, docs):
+    return (ctx.parallelize(docs, 16)
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b, 8))
+
+
+def _pool_data_chain(scale: float):
+    n = int(800_000 * scale)
+    return n, n
+
+
+def _pool_plan_chain(ctx: DataflowContext, n: int):
+    per = max(1, n // 16)
+    return (ctx.parallelize(range(16), 16)
+            .flat_map(lambda p, _n=per: range(p * _n, (p + 1) * _n))
+            .map(lambda x: x * 3 + 1)
+            .filter(lambda x: x % 7 != 0)
+            .flat_map(lambda x: (x, x ^ 21))
+            .map(lambda x: (x * 2654435761) & 0xFFFFFFFF)
+            .filter(lambda x: x % 3 != 1)
+            .map(lambda x: (x & 1023, x))
+            .reduce_by_key(lambda a, b: (a + b) & 0xFFFFFFFF, 8))
+
+
+_POOL_JOBS: Dict[str, Tuple[Callable, Callable]] = {
+    "wordcount": (_pool_data_wordcount, _pool_plan_wordcount),
+    "fused_chain": (_pool_data_chain, _pool_plan_chain),
+}
+
+
+def _run_pool_leg(plan: Callable, data,
+                  backend: Optional[ProcessPoolBackend],
+                  parallelism: int = 16) -> Tuple[float, int]:
+    """One timed collect on a fresh context; returns (secs, checksum).
+
+    The pool leg attaches the shared warm backend (workers already
+    spawned) but uses a fresh context, so each rep pays the real
+    per-job dispatch cost: plan priming, payload shipping, bucket-file
+    streaming, result return.
+    """
+    ctx = DataflowContext(default_parallelism=parallelism)
+    try:
+        if backend is not None:
+            ctx.attach_pool(backend)
+            ctx.backend = "pool"
+        ds = plan(ctx, data)
+        t0 = time.perf_counter()
+        out = ds.collect()
+        secs = time.perf_counter() - t0
+        return secs, _checksum(out)
+    finally:
+        ctx.close()
+
+
+def measure_pool_backend(scale: float = 1.0,
+                         sweep: Sequence[int] = POOL_SWEEP,
+                         reps: int = 2) -> Dict[str, Any]:
+    """A/B the warm process pool against in-process execution.
+
+    For each worker count in ``sweep``, runs the CPU-bound headline
+    basket (:data:`POOL_HEADLINE`) on both backends, legs interleaved
+    rep by rep, best-of-``reps`` per leg.  The pool is spawned and
+    warmed (one tiny job) *outside* the timed region — the measurement
+    is the steady state a long-lived context sees, which is what the
+    warm-pool design buys.  Every leg of every worker count must
+    produce the identical result (order included; checked via the
+    repr-stable checksum, since pickle bytes legitimately differ in
+    object sharing after a worker round-trip).
+
+    The ``speedup`` field is the combined basket ratio at the top of
+    the sweep; :func:`enforce_guards` in ``bench_p0_wallclock.py``
+    holds it to >= 2x at 4 workers when >= 4 cores are present.
+    """
+    data: Dict[str, Any] = {}
+    records: Dict[str, int] = {}
+    for name, (build_data, _plan) in _POOL_JOBS.items():
+        data[name], records[name] = build_data(scale)
+
+    out_sweep: Dict[str, Any] = {}
+    reference: Dict[str, int] = {}
+    for workers in sweep:
+        backend = ProcessPoolBackend(n_workers=workers)
+        try:
+            # spawn + warm outside timing: one tiny job primes imports,
+            # the bucket-file tmpdir, and the dispatch path
+            warm = DataflowContext(default_parallelism=4)
+            warm.attach_pool(backend)
+            warm.backend = "pool"
+            assert (warm.parallelize(range(8), 4)
+                    .map(lambda x: x + 1).collect() == list(range(1, 9)))
+            warm.close()
+
+            per: Dict[str, Any] = {}
+            for name, (_build, plan) in _POOL_JOBS.items():
+                times: Dict[str, List[float]] = {"inprocess": [], "pool": []}
+                for _ in range(reps):
+                    for leg, be in (("inprocess", None), ("pool", backend)):
+                        secs, digest = _run_pool_leg(plan, data[name], be)
+                        times[leg].append(secs)
+                        if name not in reference:
+                            reference[name] = digest
+                        elif digest != reference[name]:
+                            raise AssertionError(
+                                f"{name}: pool and in-process backends "
+                                f"disagree at {workers} workers")
+                best = {leg: min(ts) for leg, ts in times.items()}
+                n = records[name]
+                per[name] = {
+                    "records": n,
+                    "inprocess": {"seconds": best["inprocess"],
+                                  "records_per_sec": n / best["inprocess"]},
+                    "pool": {"seconds": best["pool"],
+                             "records_per_sec": n / best["pool"]},
+                    "speedup": best["inprocess"] / best["pool"],
+                }
+            tot_in = sum(per[n]["inprocess"]["seconds"] for n in per)
+            tot_pool = sum(per[n]["pool"]["seconds"] for n in per)
+            out_sweep[str(workers)] = {
+                "workloads": per,
+                "inprocess_seconds": tot_in,
+                "pool_seconds": tot_pool,
+                "speedup": tot_in / tot_pool,
+            }
+        finally:
+            backend.shutdown()
+
+    top = out_sweep[str(max(sweep))]
+    return {
+        "scale": scale,
+        "cpu_count": os.cpu_count() or 1,
+        "start_method": default_start_method(),
+        "headline_workloads": list(POOL_HEADLINE),
+        "workers_swept": [int(w) for w in sweep],
+        "workers": max(sweep),
+        "sweep": out_sweep,
+        "inprocess_seconds": top["inprocess_seconds"],
+        "pool_seconds": top["pool_seconds"],
+        "speedup": top["speedup"],
+    }
+
+
+# ---------------------------------------------------------------------------
 # observability overhead: the off-by-default guarantee, measured
 # ---------------------------------------------------------------------------
 
@@ -704,8 +879,14 @@ def profile_end_to_end(name: str = "wordcount",
 # the suite
 # ---------------------------------------------------------------------------
 
-def run_suite(scale: float = 1.0, verbose: bool = True) -> Dict[str, Any]:
-    """Run the whole basket; returns the ``BENCH_wallclock.json`` payload."""
+def run_suite(scale: float = 1.0, verbose: bool = True,
+              pool_workers: Optional[int] = 4) -> Dict[str, Any]:
+    """Run the whole basket; returns the ``BENCH_wallclock.json`` payload.
+
+    ``pool_workers`` is the top of the process-pool scaling sweep
+    (``None`` or 0 skips the pool measurement entirely — the
+    ``--backend inprocess`` escape hatch).
+    """
     workloads: Dict[str, Any] = {}
     for name in SIM_BASKET:
         dep, task_outputs = _WRITE_BUILDERS[name](scale)
@@ -740,6 +921,18 @@ def run_suite(scale: float = 1.0, verbose: bool = True) -> Dict[str, Any]:
     if verbose:
         print(f"{'resilience':>15}: armed-but-idle "
               f"{100 * resil['armed_overhead']:+.1f}%")
+    pool = None
+    if pool_workers:
+        sweep = tuple(w for w in POOL_SWEEP if w < pool_workers)
+        sweep += (pool_workers,)
+        pool = measure_pool_backend(scale, sweep=sweep)
+        if verbose:
+            curve = "  ".join(
+                f"{w}w {pool['sweep'][str(w)]['speedup']:.2f}x"
+                for w in pool["workers_swept"])
+            print(f"{'pool_backend':>15}: {curve}  "
+                  f"({pool['cpu_count']} cores, "
+                  f"{pool['start_method']} start)")
     payload = {
         "schema": SCHEMA_VERSION,
         "scale": scale,
@@ -747,7 +940,8 @@ def run_suite(scale: float = 1.0, verbose: bool = True) -> Dict[str, Any]:
         "workloads": workloads,
         "obs_overhead": obs,
         "resilience_overhead": resil,
-        "summary": _summarize(workloads, obs, resil),
+        "pool_backend": pool,
+        "summary": _summarize(workloads, obs, resil, pool),
     }
     if verbose:
         s = payload["summary"]
@@ -760,7 +954,8 @@ def run_suite(scale: float = 1.0, verbose: bool = True) -> Dict[str, Any]:
 
 def _summarize(workloads: Dict[str, Any],
                obs: Optional[Dict[str, Any]] = None,
-               resil: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+               resil: Optional[Dict[str, Any]] = None,
+               pool: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     def _basket_rate(leg: str) -> float:
         recs = sum(workloads[n]["shuffle_write"]["records"]
                    for n in HEADLINE)
@@ -784,6 +979,8 @@ def _summarize(workloads: Dict[str, Any],
             obs["kernel_observer_overhead"] if obs else None,
         "resilience_armed_overhead":
             resil["armed_overhead"] if resil else None,
+        "pool_speedup": pool["speedup"] if pool else None,
+        "pool_workers": pool["workers"] if pool else None,
     }
 
 

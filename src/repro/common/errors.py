@@ -18,6 +18,8 @@ __all__ = [
     "CapacityError",
     "DataflowError",
     "PlanError",
+    "UnpicklableTaskError",
+    "WorkerTaskError",
     "RetryBudgetExhaustedError",
     "DeadlineExceededError",
     "TaskFailedError",
@@ -119,6 +121,45 @@ class DataflowError(ReproError):
 
 class PlanError(DataflowError):
     """The logical plan is malformed (e.g. cycle, arity mismatch)."""
+
+
+class UnpicklableTaskError(DataflowError):
+    """A plan closure or payload cannot be serialized for pool dispatch.
+
+    Raised by the multi-process backend *before* shipping work, naming
+    the plan node (``dataset``) and attribute (``operator``) that failed
+    so users can find the offending closure without decoding a worker
+    traceback.  ``reason`` preserves the underlying serialization error.
+    """
+
+    def __init__(self, message: str = "", *, dataset=None, operator=None,
+                 reason=None) -> None:
+        self.dataset = dataset
+        self.operator = operator
+        self.reason = reason
+        if not message:
+            message = ("cannot serialize "
+                       + (str(operator) if operator is not None else "object")
+                       + (f" of {dataset}" if dataset is not None else "")
+                       + " for the process-pool backend"
+                       + (f": {reason}" if reason is not None else ""))
+        super().__init__(message)
+
+
+class WorkerTaskError(DataflowError):
+    """A pool worker task raised an error that could not ship back as-is.
+
+    Carries the remote traceback text; the original exception type is in
+    ``remote_type``.
+    """
+
+    def __init__(self, message: str = "", *, remote_type: str = "",
+                 remote_traceback: str = "") -> None:
+        self.remote_type = remote_type
+        self.remote_traceback = remote_traceback
+        super().__init__(message or
+                         f"pool worker task failed ({remote_type}):\n"
+                         f"{remote_traceback}")
 
 
 class TaskFailedError(DataflowError, RetryBudgetExhaustedError):

@@ -11,7 +11,15 @@ from .partitioner import (
     stable_hash,
     stable_hash_many,
 )
-from .fusion import fusion_enabled, set_fusion
+from .fusion import (
+    fusion_enabled,
+    prime_segments,
+    reset_segment_cache,
+    segment_cache_shapes,
+    set_fusion,
+)
+from .local import ExecutorBase
+from .mp import PooledExecutor, ProcessPoolBackend, audit_plan
 from .plan import Aggregator, Dataset, ShuffleDependency, SourceDataset
 from .shared import Accumulator, Broadcast
 from .stages import (
@@ -25,11 +33,13 @@ from .stages import (
 __all__ = [
     "DataflowContext", "Dataset", "SourceDataset", "Aggregator",
     "ShuffleDependency", "CostModel", "SizeEstimator",
-    "LocalExecutor", "ShuffleMetrics",
+    "LocalExecutor", "ExecutorBase", "ShuffleMetrics",
+    "PooledExecutor", "ProcessPoolBackend", "audit_plan",
     "SimEngine", "EngineConfig", "JobMetrics", "JobResult",
     "Partitioner", "HashPartitioner", "RangePartitioner",
     "stable_hash", "stable_hash_many",
     "Stage", "build_stages", "topo_order", "narrow_op_depth",
     "fusion_groups", "set_fusion", "fusion_enabled",
+    "reset_segment_cache", "prime_segments", "segment_cache_shapes",
     "Broadcast", "Accumulator",
 ]

@@ -1,11 +1,16 @@
 """The dataflow entry point: :class:`DataflowContext`.
 
-Holds the dataset registry, default parallelism, cost model, and the local
-executor used by Dataset actions.  Mirrors the role of a SparkContext.
+Holds the dataset registry, default parallelism, cost model, and the
+executors used by Dataset actions.  Mirrors the role of a SparkContext.
+Actions run on the in-process :class:`~repro.dataflow.local.LocalExecutor`
+by default; setting :attr:`DataflowContext.backend` to ``"pool"`` (or
+exporting ``REPRO_BACKEND=pool``) routes them through the warm
+multi-process :class:`~repro.dataflow.mp.ProcessPoolBackend` instead.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..common.errors import PlanError
@@ -14,6 +19,9 @@ from .plan import Dataset, SourceDataset
 from .shared import Accumulator, Broadcast
 
 __all__ = ["DataflowContext"]
+
+#: Execution backends a context can route its actions through.
+BACKENDS = ("inprocess", "pool")
 
 
 class DataflowContext:
@@ -24,8 +32,15 @@ class DataflowContext:
     285
     """
 
+    # distinguishes contexts across a process: pool workers primed by one
+    # context must not serve stale plan state to the next (dataset ids
+    # restart at 0 per context, so the id alone cannot disambiguate)
+    _next_token = 0
+
     def __init__(self, default_parallelism: int = 4,
-                 cost_model: Optional[CostModel] = None) -> None:
+                 cost_model: Optional[CostModel] = None,
+                 backend: Optional[str] = None,
+                 pool_workers: Optional[int] = None) -> None:
         if default_parallelism < 1:
             raise PlanError("default_parallelism must be >= 1")
         self.default_parallelism = default_parallelism
@@ -41,8 +56,66 @@ class DataflowContext:
         self._child_counts: Dict[int, int] = {}
         self.broadcasts: List["Broadcast"] = []
         self.accumulators: List["Accumulator"] = []
+        self.ctx_token = DataflowContext._next_token
+        DataflowContext._next_token += 1
         from .local import LocalExecutor
         self.local_executor = LocalExecutor(self)
+        #: worker count for an auto-created pool (None = backend default)
+        self.pool_workers = pool_workers
+        self._pooled_executor = None
+        self._owns_backend = False
+        self._backend = "inprocess"
+        self.backend = backend or os.environ.get("REPRO_BACKEND",
+                                                 "inprocess")
+
+    # -- execution backend ----------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """Active action backend: ``"inprocess"`` or ``"pool"``."""
+        return self._backend
+
+    @backend.setter
+    def backend(self, value: str) -> None:
+        if value not in BACKENDS:
+            raise PlanError(
+                f"unknown backend {value!r} (expected one of {BACKENDS})")
+        self._backend = value
+
+    @property
+    def executor(self):
+        """The executor Dataset actions dispatch to (backend-selected)."""
+        if self._backend == "pool":
+            return self.pooled_executor
+        return self.local_executor
+
+    @property
+    def pooled_executor(self):
+        """The pool-backed executor, creating a warm pool on first use."""
+        if self._pooled_executor is None:
+            from .mp import PooledExecutor, ProcessPoolBackend
+            self._pooled_executor = PooledExecutor(
+                self, ProcessPoolBackend(n_workers=self.pool_workers))
+            self._owns_backend = True
+        return self._pooled_executor
+
+    def attach_pool(self, backend) -> None:
+        """Serve pool actions from an existing (warm) backend.
+
+        The backend's lifetime stays with the caller — benchmarks share
+        one warm pool across the contexts of consecutive runs.
+        """
+        from .mp import PooledExecutor
+        self.close()
+        self._pooled_executor = PooledExecutor(self, backend)
+        self._owns_backend = False
+
+    def close(self) -> None:
+        """Shut down a pool this context created (idempotent)."""
+        if self._pooled_executor is not None and self._owns_backend:
+            self._pooled_executor.backend.shutdown()
+        self._pooled_executor = None
+        self._owns_backend = False
 
     def _register(self, ds: Dataset) -> int:
         did = self._next_id

@@ -80,6 +80,11 @@ class EngineConfig:
     resilience: Optional[ResiliencePolicies] = None
     # policy bundle (retry budget + backoff, hedging, per-job deadline);
     # None is byte-identical to the pre-policy retry behaviour
+    pool_prefetch: bool = True
+    # when the owning context's backend is "pool", pure narrow stages (no
+    # shuffle input, no cached datasets, no accumulators) are precomputed
+    # on the process pool before simulated task placement; the simulated
+    # schedule, costs, and results are unchanged — only wall-clock drops
 
 
 @dataclass
@@ -102,6 +107,8 @@ class JobMetrics:
     locality_any: int = 0
     fused_segments: int = 0            # narrow-op runs executed as one
     # fused pipeline across all stages (0 when fusion is disabled)
+    pool_prefetched: int = 0           # partitions precomputed on the
+    # process pool before simulated placement (pool backend only)
     task_durations: List[float] = field(default_factory=list)
 
     @property
@@ -248,6 +255,9 @@ class SimEngine:
         # order — nondeterministic across runs (exposed by the chaos
         # harness's trace-determinism oracle)
         self._running_by_node: Dict[str, Dict[_Attempt, None]] = {}
+        # (dataset_id, split) -> records precomputed on the process pool;
+        # entries are popped by the first attempt that reaches compute
+        self._prefetched: Dict[Tuple[int, int], List] = {}
         #: chaos hook: called as ``fault_hook(stage, split, node_name)`` at
         #: task start; returning True crashes that attempt (it fails and is
         #: retried like any task failure).  None (the default) costs one
@@ -440,6 +450,56 @@ class SimEngine:
             if s not in outputs or not self.cluster.nodes[outputs[s].node].alive
         ]
 
+    def _pool_pure_dataset(self, ds: Dataset,
+                           seen: Optional[Set[int]] = None) -> bool:
+        """Whether ``ds`` is computable from source data alone: nothing
+        reachable is a shuffle input or a cached dataset, so a pool
+        worker produces byte-identical records with zero engine-visible
+        side effects (no fetches to charge, no cache to populate)."""
+        if seen is None:
+            seen = set()
+        if ds.dataset_id in seen:
+            return True
+        seen.add(ds.dataset_id)
+        if ds.cached:
+            return False
+        for dep in ds.deps:
+            if isinstance(dep, ShuffleDependency):
+                return False
+            if not self._pool_pure_dataset(dep.parent, seen):
+                return False
+        return True
+
+    def _maybe_pool_prefetch(self, stage: Stage, todo: Sequence[int],
+                             metrics: JobMetrics) -> None:
+        """Precompute a pure narrow stage's partitions on the process pool.
+
+        Results are stashed for :meth:`_task_proc` to pop at its compute
+        site, so the simulated schedule and accounting are unchanged.
+        Any prefetch failure falls back silently to inline compute —
+        error surfacing stays identical to the in-process path.
+        """
+        ctx = stage.dataset.ctx
+        if not self.config.pool_prefetch \
+                or getattr(ctx, "backend", "inprocess") != "pool" \
+                or getattr(ctx, "accumulators", []):
+            return
+        ds = stage.dataset
+        missing = [s for s in todo
+                   if (ds.dataset_id, s) not in self._prefetched]
+        if not missing or not self._pool_pure_dataset(ds):
+            return
+        try:
+            parts = ctx.pooled_executor.compute_partitions(ds, missing)
+        except Exception:
+            return
+        for s, records in parts.items():
+            self._prefetched[(ds.dataset_id, s)] = records
+        metrics.pool_prefetched += len(parts)
+        reg = obs_metrics.get_registry()
+        if reg is not None:
+            reg.counter("engine.pool_prefetched").inc(len(parts))
+
     def _run_stage(self, stage: Stage, metrics: JobMetrics,
                    stage_by_shuffle: Dict[int, Stage],
                    per_partition, splits: Optional[Sequence[int]] = None,
@@ -455,6 +515,7 @@ class SimEngine:
         results: Dict[int, Any] = {}
         if not todo:
             return results
+        self._maybe_pool_prefetch(stage, todo, metrics)
         tr = obs_trace.get_tracer()
         stage_span = None
         if tr is not None:
@@ -839,7 +900,10 @@ class SimEngine:
         for a in accs:
             a._begin_task()
         try:
-            records = list(stage.dataset.iterate(split, runtime))
+            prefetched = self._prefetched.pop(
+                (stage.dataset.dataset_id, split), None)
+            records = prefetched if prefetched is not None \
+                else list(stage.dataset.iterate(split, runtime))
             error = None
         except MissingShuffleError as exc:
             records = []

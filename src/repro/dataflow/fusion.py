@@ -28,10 +28,13 @@ owns the global enable switch and the code generation.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
+from typing import (
+    Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple,
+)
 
 __all__ = ["set_fusion", "fusion_enabled", "run_chain", "compile_segment",
-           "ELEMENT_KINDS", "ITER_KINDS"]
+           "reset_segment_cache", "prime_segments", "segment_cache_shapes",
+           "segment_shapes", "ELEMENT_KINDS", "ITER_KINDS"]
 
 #: Step kinds that fuse into straight-line per-record code.
 ELEMENT_KINDS = ("map", "filter", "flatmap")
@@ -59,7 +62,58 @@ def fusion_enabled() -> bool:
 
 # -- whole-segment code generation -------------------------------------------
 
+# The compiled-segment cache is strictly per-process state: compiled code
+# objects must never be *inherited* across fork() or shipped to spawn()ed
+# children — each worker process calls reset_segment_cache() on startup
+# and rebuilds its own cache, either lazily through compile_segment or
+# eagerly via prime_segments (the pool backend primes workers with the
+# step shapes of the job it is about to dispatch).
 _SEGMENT_CACHE: Dict[Tuple[str, ...], Callable] = {}
+
+
+def reset_segment_cache() -> None:
+    """Drop every compiled segment (each process rebuilds its own)."""
+    _SEGMENT_CACHE.clear()
+
+
+def segment_cache_shapes() -> Tuple[Tuple[str, ...], ...]:
+    """The step shapes currently compiled in this process."""
+    return tuple(_SEGMENT_CACHE.keys())
+
+
+def prime_segments(shapes: Iterable[Sequence[str]]) -> int:
+    """Eagerly compile ``shapes`` into this process's segment cache.
+
+    Returns the number of segments compiled (cache hits don't count).
+    Pool workers are primed with the shapes of the plan they will run so
+    the first task of every worker pays no codegen latency.
+    """
+    compiled = 0
+    for shape in shapes:
+        key = tuple(shape)
+        if key and key not in _SEGMENT_CACHE:
+            compile_segment(key)
+            compiled += 1
+    return compiled
+
+
+def segment_shapes(kinds: Sequence[str]) -> List[Tuple[str, ...]]:
+    """Element-segment shapes :func:`run_chain` would compile for a
+    fused chain with the given step kinds (iterator steps split the
+    chain into separate compiled segments, exactly as ``run_chain``'s
+    flush points do)."""
+    shapes: List[Tuple[str, ...]] = []
+    cur: List[str] = []
+    for kind in kinds:
+        if kind in ELEMENT_KINDS:
+            cur.append(kind)
+        else:
+            if cur:
+                shapes.append(tuple(cur))
+                cur = []
+    if cur:
+        shapes.append(tuple(cur))
+    return shapes
 
 
 def compile_segment(kinds: Tuple[str, ...]) -> Callable:

@@ -22,7 +22,7 @@ from .plan import (
     TaskRuntime,
 )
 
-__all__ = ["LocalExecutor", "ShuffleMetrics"]
+__all__ = ["ExecutorBase", "LocalExecutor", "ShuffleMetrics"]
 
 
 @dataclass
@@ -55,7 +55,55 @@ class _LocalRuntime(TaskRuntime):
         self._ex._cache.setdefault(dataset.dataset_id, {})[split] = records
 
 
-class LocalExecutor:
+class ExecutorBase:
+    """The action surface shared by the in-process and pool executors.
+
+    Subclasses provide :meth:`collect_partitions`; the derived actions
+    here are defined purely in terms of it so both backends expose the
+    same semantics by construction.  Subclasses may override individual
+    actions with cheaper strategies (the local executor streams ``take``
+    lazily; the pool executor computes it partition-at-a-time to keep
+    accumulator side effects identical).
+    """
+
+    def collect_partitions(self, ds: Dataset) -> List[List]:
+        """All partitions of ``ds`` as lists (runs the plan)."""
+        raise NotImplementedError
+
+    def collect(self, ds: Dataset) -> List:
+        """All records, concatenated in partition order."""
+        return [x for part in self.collect_partitions(ds) for x in part]
+
+    def count(self, ds: Dataset) -> int:
+        """Number of records."""
+        return sum(len(p) for p in self.collect_partitions(ds))
+
+    def take(self, ds: Dataset, n: int) -> List:
+        """First ``n`` records, scanning partitions in order."""
+        if n <= 0:
+            return []
+        out: List = []
+        for part in self.collect_partitions(ds):
+            for x in part:
+                out.append(x)
+                if len(out) >= n:
+                    return out
+        return out
+
+    def reduce(self, ds: Dataset, f: Callable[[Any, Any], Any]) -> Any:
+        """Fold every record with ``f``; raises on an empty dataset."""
+        acc = None
+        seen = False
+        for part in self.collect_partitions(ds):
+            for x in part:
+                acc = x if not seen else f(acc, x)
+                seen = True
+        if not seen:
+            raise PlanError("reduce() on empty dataset")
+        return acc
+
+
+class LocalExecutor(ExecutorBase):
     """Evaluates plans in-process, materializing shuffles bottom-up."""
 
     def __init__(self, ctx) -> None:
@@ -75,18 +123,14 @@ class LocalExecutor:
         self._materialize_shuffles(ds)
         return [self._materialize(ds, i) for i in range(ds.n_partitions)]
 
-    def collect(self, ds: Dataset) -> List:
-        """All records, concatenated in partition order."""
-        return [x for part in self.collect_partitions(ds) for x in part]
-
     def count(self, ds: Dataset) -> int:
-        """Number of records."""
+        """Number of records (keeps only one partition in memory)."""
         self._materialize_shuffles(ds)
         return sum(len(self._materialize(ds, i))
                    for i in range(ds.n_partitions))
 
     def take(self, ds: Dataset, n: int) -> List:
-        """First ``n`` records, scanning partitions in order."""
+        """First ``n`` records, scanning partitions lazily in order."""
         if n <= 0:
             return []
         self._materialize_shuffles(ds)
@@ -97,18 +141,6 @@ class LocalExecutor:
                 if len(out) >= n:
                     return out
         return out
-
-    def reduce(self, ds: Dataset, f: Callable[[Any, Any], Any]) -> Any:
-        """Fold every record with ``f``; raises on an empty dataset."""
-        acc = None
-        seen = False
-        for part in self.collect_partitions(ds):
-            for x in part:
-                acc = x if not seen else f(acc, x)
-                seen = True
-        if not seen:
-            raise PlanError("reduce() on empty dataset")
-        return acc
 
     def _materialize(self, ds: Dataset, split: int) -> List:
         """Compute one partition with accumulator exactly-once bookkeeping."""

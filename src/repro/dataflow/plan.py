@@ -360,6 +360,9 @@ class Dataset:
 
     def _local_sample_for_sort(self, max_sample: int = 10_000) -> List[Any]:
         """Collect a bounded sample of this dataset's records (for boundaries)."""
+        # deliberately on the local executor, not ctx.executor: this is a
+        # plan-*construction* sizing job, and range boundaries must not
+        # depend on which execution backend later runs the plan
         total = self.ctx.local_executor.count(self)
         if total == 0:
             return []
@@ -431,7 +434,8 @@ class Dataset:
         """Records paired with a global 0-based index.
 
         Needs the per-partition sizes, so (exactly as in Spark) it runs a
-        small counting job eagerly at plan time on the local executor.
+        small counting job eagerly at plan time on the local executor
+        (plan construction stays backend-independent).
         """
         sizes = [
             len(part)
@@ -450,7 +454,7 @@ class Dataset:
             -> List[Any]:
         """The ``n`` smallest records, ascending (action)."""
         import heapq
-        parts = self.ctx.local_executor.collect_partitions(self)
+        parts = self.ctx.executor.collect_partitions(self)
         return heapq.nsmallest(n, (x for p in parts for x in p), key=key)
 
     # -- persistence ---------------------------------------------------------
@@ -460,19 +464,19 @@ class Dataset:
         self.cached = True
         return self
 
-    # -- actions (local executor) ---------------------------------------------
+    # -- actions (backend-selected executor) ----------------------------------
 
     def collect(self) -> List[Any]:
-        """All records as a list (runs the plan on the local executor)."""
-        return self.ctx.local_executor.collect(self)
+        """All records as a list (runs the plan on ``ctx.executor``)."""
+        return self.ctx.executor.collect(self)
 
     def count(self) -> int:
         """Number of records."""
-        return self.ctx.local_executor.count(self)
+        return self.ctx.executor.count(self)
 
     def take(self, n: int) -> List[Any]:
         """First ``n`` records (in partition order)."""
-        return self.ctx.local_executor.take(self, n)
+        return self.ctx.executor.take(self, n)
 
     def first(self) -> Any:
         """The first record (raises on empty dataset)."""
@@ -483,11 +487,11 @@ class Dataset:
 
     def reduce(self, f: Callable[[Any, Any], Any]) -> Any:
         """Fold all records with ``f`` (raises on empty dataset)."""
-        return self.ctx.local_executor.reduce(self, f)
+        return self.ctx.executor.reduce(self, f)
 
     def sum(self) -> Any:
         """Sum of records (0 for empty)."""
-        parts = self.ctx.local_executor.collect_partitions(self)
+        parts = self.ctx.executor.collect_partitions(self)
         return sum(x for p in parts for x in p)
 
     def max(self) -> Any:
@@ -501,7 +505,7 @@ class Dataset:
     def top(self, n: int, key: Optional[Callable] = None) -> List[Any]:
         """The ``n`` largest records, descending."""
         import heapq
-        parts = self.ctx.local_executor.collect_partitions(self)
+        parts = self.ctx.executor.collect_partitions(self)
         return heapq.nlargest(n, (x for p in parts for x in p), key=key)
 
     def count_by_key(self) -> Dict[Any, int]:

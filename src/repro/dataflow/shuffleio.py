@@ -30,7 +30,8 @@ import numpy as np
 from .costmodel import CostModel, SizeEstimator
 from .plan import ShuffleDependency
 
-__all__ = ["write_buckets", "set_vectorized", "vectorized_enabled"]
+__all__ = ["write_buckets", "set_vectorized", "vectorized_enabled",
+           "write_bucket_file", "read_bucket_file"]
 
 # Global A/B switch: True = vectorized fast path (default), False = the
 # original scalar reference implementation.  The wall-clock perf suite
@@ -118,6 +119,46 @@ def write_buckets(dep: ShuffleDependency, records: Sequence,
     bucket_bytes = _bucket_bytes(buckets, items, dep.shuffle_id, cost,
                                  size_estimator)
     return buckets, written, bucket_bytes
+
+
+# -- shuffle bucket files (multi-process backend) ----------------------------
+#
+# Pool workers write their map output to per-(shuffle, map-split) files
+# and stream back only *references* (path + per-bucket offsets); reduce
+# tasks — on any worker — seek straight to their bucket.  Files survive
+# the writing worker's death, so a completed map task never reruns just
+# because its worker crashed.
+
+
+def write_bucket_file(path: str, buckets: List[List]) \
+        -> List[Tuple[int, int]]:
+    """Write ``buckets`` back-to-back to ``path``.
+
+    Returns one ``(offset, length)`` pair per bucket so a reader can
+    fetch a single reduce partition without scanning the file.  Buckets
+    are serialized with the closure-aware plan pickler, so records that
+    happen to contain lambdas still round-trip.
+    """
+    from . import closure
+
+    offsets: List[Tuple[int, int]] = []
+    with open(path, "wb") as f:
+        for bucket in buckets:
+            blob, _ = closure.dumps(bucket, with_buffers=False)
+            offsets.append((f.tell(), len(blob)))
+            f.write(blob)
+    return offsets
+
+
+def read_bucket_file(path: str, offsets: Sequence[Tuple[int, int]],
+                     reduce_id: int) -> List:
+    """Read one reduce bucket back from a bucket file."""
+    from . import closure
+
+    off, length = offsets[reduce_id]
+    with open(path, "rb") as f:
+        f.seek(off)
+        return closure.loads(f.read(length))
 
 
 def _write_buckets_scalar(dep: ShuffleDependency, records: Sequence,

@@ -1,0 +1,168 @@
+"""Picklability audit: every plan-layer closure must ship to the pool.
+
+The multi-process backend serializes whole plan graphs — wrapper
+lambdas, user element functions, aggregator folds, partitioner state,
+and source partitions.  These tests round-trip representative plans
+through the closure pickler and assert that anything unshippable
+surfaces as :class:`UnpicklableTaskError` naming the offending operator,
+never as a deep worker traceback.
+"""
+
+import math
+import pickle
+import types
+
+import pytest
+
+from repro.common.errors import UnpicklableTaskError
+from repro.dataflow import DataflowContext, audit_plan
+from repro.dataflow import closure
+from repro.dataflow.mp import _plan_overrides, _walk_datasets
+
+
+def mega_plan(ctx):
+    """One plan touching every closure-carrying operator family."""
+    a = (ctx.parallelize(range(200), 4)
+         .map(lambda x: x + 1)
+         .filter(lambda x: x % 3 != 0)
+         .flat_map(lambda x: (x, -x))
+         .map_partitions(lambda it: [v for v in it if v >= 0])
+         .key_by(lambda x: x % 7))
+    b = ctx.parallelize([(i % 7, str(i)) for i in range(50)], 3)
+    joined = a.combine_by_key(lambda v: [v],
+                              lambda acc, v: acc + [v],
+                              lambda l, r: l + r, 4).join(b, 3)
+    return joined.map_values(lambda vw: len(vw[0])).sort_by_key()
+
+
+def test_audit_passes_on_full_plan_surface():
+    ctx = DataflowContext(default_parallelism=4)
+    root = mega_plan(ctx)
+    audit_plan(root)   # must not raise
+
+
+def test_full_plan_graph_round_trips():
+    ctx = DataflowContext(default_parallelism=4)
+    root = mega_plan(ctx)
+    expected = root.collect()
+    blob, bufs = closure.dumps(root, overrides=_plan_overrides())
+    rebuilt = closure.loads(blob, bufs)
+    assert rebuilt.dataset_id == root.dataset_id
+    assert len(_walk_datasets(rebuilt)) == len(_walk_datasets(root))
+    # sanity: the plan result itself is picklable data
+    assert pickle.loads(pickle.dumps(expected)) == expected
+
+
+def test_every_plan_closure_checks_individually():
+    ctx = DataflowContext(default_parallelism=4)
+    root = mega_plan(ctx)
+    checked = 0
+    for ds in _walk_datasets(root):
+        for attr in ("fn", "elem_fn"):
+            fnv = getattr(ds, attr, None)
+            if fnv is not None:
+                closure.check_picklable(fnv, dataset=repr(ds), operator=attr)
+                checked += 1
+        for dep in ds.deps:
+            agg = getattr(dep, "aggregator", None)
+            if agg is not None:
+                for op in ("create", "merge_value", "merge_combiners"):
+                    closure.check_picklable(getattr(agg, op))
+                    checked += 1
+            part = getattr(dep, "partitioner", None)
+            if part is not None:
+                closure.check_picklable(part)
+                checked += 1
+    assert checked > 10
+
+
+# -- failure naming --------------------------------------------------------
+
+
+def test_unpicklable_map_closure_names_fn():
+    ctx = DataflowContext(default_parallelism=2)
+    gen = (i for i in range(3))    # generators never pickle
+    ds = ctx.parallelize(range(10), 2).map(lambda x, _g=gen: x)
+    with pytest.raises(UnpicklableTaskError) as ei:
+        audit_plan(ds)
+    err = ei.value
+    assert err.operator in ("fn", "elem_fn")
+    assert err.dataset is not None and "MappedDataset" in err.dataset
+    assert "MappedDataset" in str(err)
+
+
+def test_unpicklable_aggregator_fold_named():
+    ctx = DataflowContext(default_parallelism=2)
+    handle = open(__file__)        # file objects never pickle
+    try:
+        ds = (ctx.parallelize([(i % 3, i) for i in range(20)], 2)
+              .combine_by_key(lambda v: [v],
+                              lambda acc, v, _h=handle: acc + [v],
+                              lambda l, r: l + r, 2))
+        with pytest.raises(UnpicklableTaskError) as ei:
+            audit_plan(ds)
+        assert "aggregator.merge_value" in str(ei.value.operator)
+    finally:
+        handle.close()
+
+
+def test_unpicklable_source_partition_named():
+    ctx = DataflowContext(default_parallelism=2)
+    ds = ctx.parallelize([1, 2, (i for i in range(3))], 2)
+    with pytest.raises(UnpicklableTaskError) as ei:
+        audit_plan(ds)
+    assert ei.value.operator == "source partitions"
+
+
+# -- closure pickler mechanics ---------------------------------------------
+
+
+def test_nested_closures_defaults_and_kwdefaults():
+    base = 10
+
+    def outer(scale):
+        offset = scale * 2
+
+        def inner(x, mult=3, *, bias=base):
+            return x * mult + offset + bias
+        return inner
+
+    fn = outer(5)
+    blob, bufs = closure.dumps(fn)
+    rebuilt = closure.loads(blob, bufs)
+    assert rebuilt(7) == fn(7)
+    assert rebuilt(7, mult=2, bias=0) == fn(7, mult=2, bias=0)
+
+
+def test_importable_function_ships_by_reference():
+    blob, _ = closure.dumps(math.sqrt)
+    assert closure.loads(blob) is math.sqrt
+
+
+def test_module_closure_ships_by_name():
+    fn = lambda x: math.floor(x / 2)
+    blob, bufs = closure.dumps(fn)
+    assert closure.loads(blob, bufs)(9) == 4
+
+
+def test_main_style_function_ships_globals_subset():
+    # functions from __main__ have no importable module in a worker: the
+    # referenced subset of their globals must travel by value
+    src = "def f(x):\n    return x * FACTOR + math.floor(1.5)\n"
+    g = {"FACTOR": 4, "math": math}
+    exec(compile(src, "<test>", "exec"), g)
+    fn = g["f"]
+    fn.__module__ = "__main__"
+    blob, bufs = closure.dumps(fn)
+    rebuilt = closure.loads(blob, bufs)
+    assert rebuilt(10) == 41
+    assert isinstance(rebuilt, types.FunctionType)
+
+
+def test_numpy_buffers_ship_out_of_band():
+    np = pytest.importorskip("numpy")
+    arr = np.arange(1024, dtype=np.int64)
+    blob, bufs = closure.dumps({"col": arr})
+    assert bufs, "expected at least one out-of-band buffer"
+    rebuilt = closure.loads(blob, bufs)
+    assert (rebuilt["col"] == arr).all()
