@@ -57,7 +57,10 @@ def enforce_guards(payload: dict) -> None:
     Narrow-chain fusion must stay >= 1.2x at every scale (it is a
     per-record win, so smoke scales see it too); the columnar SQL engine
     must reach 1.5x at the default scale (>= 1.1x on smoke scales, where
-    fixed per-query costs dominate).  The observability layer must cost
+    fixed per-query costs dominate).  The vectorized hash join (PR 7)
+    must reach 3x over the row-interpreter join at the default scale
+    (>= 1.2x on smoke scales) and its adaptive-execution leg must have
+    produced the identical result set.  The observability layer must cost
     < 5% when disabled — guarded via the fully *traced* leg, whose
     instrumentation work is a strict superset of the disabled path's
     (the same module-global loads and ``None`` checks, plus all the
@@ -79,6 +82,12 @@ def enforce_guards(payload: dict) -> None:
     sql = summary["sql_speedup"]
     floor = 1.5 if payload["scale"] >= 1.0 else 1.1
     assert sql >= floor, f"SQL speedup regressed: {sql:.2f}x < {floor}x"
+    join = summary["join_speedup"]
+    join_floor = 3.0 if payload["scale"] >= 1.0 else 1.2
+    assert join >= join_floor, \
+        f"join speedup regressed: {join:.2f}x < {join_floor}x"
+    assert summary["join_adaptive_consistent"], \
+        "adaptive execution changed the join result"
     obs = summary["obs_enabled_overhead"]
     assert obs < 0.05, \
         f"observability overhead bound {100 * obs:.1f}% >= 5%"
@@ -103,7 +112,8 @@ def test_p0(benchmark):
     assert summary["records_per_sec_current"] > 0
     assert set(payload["workloads"]) == {"wordcount", "terasort",
                                          "pagerank", "skewed_combine",
-                                         "sql_analytics", "narrow_chain"}
+                                         "sql_analytics", "sql_join",
+                                         "narrow_chain"}
     # every optimization must actually help, at any scale
     assert summary["speedup"] > 1.0
     assert summary["wordcount_sim_event_reduction"] > 0.0
@@ -134,11 +144,12 @@ if __name__ == "__main__":
                      backend=opts.backend, workers=opts.workers)
     enforce_guards(payload)
     pool_speedup = payload["summary"]["pool_speedup"]
-    print("guards OK: fusion {:.2f}x, sql {:.2f}x, pool {}, "
+    print("guards OK: fusion {:.2f}x, sql {:.2f}x, join {:.2f}x, pool {}, "
           "obs overhead bound {:+.1f}%, "
           "idle-resilience overhead {:+.1f}%".format(
               payload["summary"]["fusion_speedup"],
               payload["summary"]["sql_speedup"],
+              payload["summary"]["join_speedup"],
               f"{pool_speedup:.2f}x" if pool_speedup else "skipped",
               100 * payload["summary"]["obs_enabled_overhead"],
               100 * payload["summary"]["resilience_armed_overhead"]))

@@ -72,22 +72,22 @@ from .harness import bench_metadata
 __all__ = ["BASKET", "HEADLINE", "POOL_HEADLINE", "POOL_SWEEP",
            "SCHEMA_VERSION", "run_suite",
            "write_report", "measure_shuffle_write", "measure_end_to_end",
-           "measure_sql_analytics", "measure_narrow_chain",
+           "measure_sql_analytics", "measure_sql_join", "measure_narrow_chain",
            "measure_pool_backend",
            "measure_obs_overhead", "measure_resilience_overhead",
            "profile_end_to_end"]
 
-#: v6 adds the ``pool_backend`` section (warm multi-process executor
-#: A/B'd against in-process at 1/2/4 workers) and the ``pool_speedup``
-#: summary field.
-SCHEMA_VERSION = 6
+#: v7 adds the ``sql_join`` workload (vectorized hash join A/B'd against
+#: the row-interpreter join) and the ``join_speedup`` summary field, plus
+#: the adaptive-execution consistency check inside that workload.
+SCHEMA_VERSION = 7
 
 #: The fixed workload basket, in reporting order.  The first four are
-#: the simulated-cluster jobs; ``sql_analytics`` and ``narrow_chain``
-#: A/B the PR-3 execution optimizers (columnar SQL, narrow-chain fusion)
-#: on the local executor.
+#: the simulated-cluster jobs; ``sql_analytics``, ``sql_join`` and
+#: ``narrow_chain`` A/B the execution optimizers (columnar SQL,
+#: vectorized joins, narrow-chain fusion) on the local executor.
 BASKET = ("wordcount", "terasort", "pagerank", "skewed_combine",
-          "sql_analytics", "narrow_chain")
+          "sql_analytics", "sql_join", "narrow_chain")
 
 #: The simulated-cluster subset (shuffle-write + end-to-end measures).
 SIM_BASKET = ("wordcount", "terasort", "pagerank", "skewed_combine")
@@ -404,6 +404,88 @@ def measure_sql_analytics(scale: float = 1.0,
         "current": {"wall_seconds": best["current"],
                     "records_per_sec": len(rows) / best["current"]},
         "speedup": best["baseline"] / best["current"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# SQL joins: vectorized block-shuffle join vs the row-interpreter join
+# ---------------------------------------------------------------------------
+
+def _join_tables(scale: float) -> Tuple[List[Dict[str, Any]],
+                                        List[Dict[str, Any]]]:
+    rng = random.Random(27)
+    # dim sits under the default broadcast threshold so the adaptive leg
+    # exercises the broadcast-join switch (the guarded A/B runs AQE off)
+    n_dim = 800
+    fact = [{"k": rng.randrange(n_dim), "v": rng.randrange(1000)}
+            for _ in range(int(60_000 * scale))]
+    dim = [{"k": i, "label": f"g{i % 40}"} for i in range(n_dim)]
+    return fact, dim
+
+
+def _join_query(ctx, fact, dim):
+    from ..sql import DataFrame, col, count_, sum_
+    f = DataFrame.from_rows(ctx, fact, name="fact")
+    d = DataFrame.from_rows(ctx, dim, name="dim")
+    # join + aggregate: the shape AQE and the join kernels target.  The
+    # aggregate keeps the measurement on the join itself — a bare join
+    # materializes one output dict per matched row in *both* legs, and
+    # that Python-object construction would dominate either engine.
+    return (f.join(d, on="k")
+            .group_by("label").agg(n=count_(), s=sum_(col("v"))))
+
+
+def measure_sql_join(scale: float = 1.0, reps: int = 3) -> Dict[str, Any]:
+    """A/B the vectorized hash join against the row-interpreter join.
+
+    Both legs run the identical optimized logical plan (adaptive
+    execution off) and must agree row-for-row; best-of-``reps``, legs
+    interleaved.  A third, unguarded leg re-runs the columnar plan with
+    adaptive execution ON and asserts the result *set* is unchanged —
+    the "AQE never changes results" acceptance check, measured at bench
+    scale on every run.
+    """
+    fact, dim = _join_tables(scale)
+    times: Dict[str, List[float]] = {"baseline": [], "current": []}
+    reference: Optional[List[str]] = None
+    for _ in range(reps):
+        for leg, columnar in (("baseline", False), ("current", True)):
+            ctx = DataflowContext(default_parallelism=8)
+            q = _join_query(ctx, fact, dim)
+            t0 = time.perf_counter()
+            out = q.collect(columnar=columnar, adaptive=False)
+            times[leg].append(time.perf_counter() - t0)
+            digest = list(map(repr, out))
+            if reference is None:
+                reference = digest
+            elif digest != reference:
+                raise AssertionError(
+                    "columnar and row join engines disagree")
+    # adaptive leg: same plan, AQE on — the result set must not change
+    ctx = DataflowContext(default_parallelism=8)
+    q = _join_query(ctx, fact, dim)
+    t0 = time.perf_counter()
+    adaptive_out = q.collect(columnar=True, adaptive=True)
+    adaptive_secs = time.perf_counter() - t0
+    assert reference is not None
+    if sorted(map(repr, adaptive_out)) != sorted(reference):
+        raise AssertionError("adaptive execution changed the join result")
+    report = q.last_adaptive_report
+    best = {leg: min(ts) for leg, ts in times.items()}
+    n = len(fact)
+    return {
+        "records": n,
+        "dim_records": len(dim),
+        "baseline": {"wall_seconds": best["baseline"],
+                     "records_per_sec": n / best["baseline"]},
+        "current": {"wall_seconds": best["current"],
+                    "records_per_sec": n / best["current"]},
+        "speedup": best["baseline"] / best["current"],
+        "adaptive": {
+            "wall_seconds": adaptive_secs,
+            "consistent": True,
+            "decisions": report.kinds() if report else [],
+        },
     }
 
 
@@ -901,9 +983,10 @@ def run_suite(scale: float = 1.0, verbose: bool = True,
                   f"sim events "
                   f"-{100 * e2e['sim_event_reduction']:.1f}%")
     workloads["sql_analytics"] = measure_sql_analytics(scale)
+    workloads["sql_join"] = measure_sql_join(scale)
     workloads["narrow_chain"] = measure_narrow_chain(scale)
     if verbose:
-        for name in ("sql_analytics", "narrow_chain"):
+        for name in ("sql_analytics", "sql_join", "narrow_chain"):
             w = workloads[name]
             print(f"{name:>15}: {w['current']['records_per_sec']:>12,.0f} "
                   f"rec/s  [{w['speedup']:.2f}x vs interpreter]")
@@ -973,6 +1056,9 @@ def _summarize(workloads: Dict[str, Any],
         "wordcount_sim_events_baseline": wc["baseline"]["sim_events"],
         "wordcount_sim_event_reduction": wc["sim_event_reduction"],
         "sql_speedup": workloads["sql_analytics"]["speedup"],
+        "join_speedup": workloads["sql_join"]["speedup"],
+        "join_adaptive_consistent":
+            workloads["sql_join"]["adaptive"]["consistent"],
         "fusion_speedup": workloads["narrow_chain"]["speedup"],
         "obs_enabled_overhead": obs["enabled_overhead"] if obs else None,
         "obs_kernel_observer_overhead":

@@ -28,7 +28,7 @@ import numpy as np
 from ..common.rng import RandomState, ensure_rng
 
 __all__ = ["Partitioner", "HashPartitioner", "RangePartitioner",
-           "stable_hash", "stable_hash_many"]
+           "DirectPartitioner", "stable_hash", "stable_hash_many"]
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
@@ -64,9 +64,35 @@ def _pickle_hash(key: Any) -> int:
     return h
 
 
+def _canon(key: Any) -> Any:
+    """Collapse numerically-equal builtin keys to one representative.
+
+    Reduce-side grouping (dicts) uses Python ``==``, under which
+    ``1 == 1.0 == True``.  The partitioner must agree — if equal keys
+    hashed differently they would land on different reducers and a join
+    or group-by would match them only when the hashes happened to
+    collide mod ``n_partitions``.  Mirrors CPython's own numeric-hash
+    invariant (``hash(1) == hash(1.0) == hash(True)``).
+    """
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, float) and key.is_integer():
+        return int(key)
+    if isinstance(key, tuple):
+        return tuple(_canon(x) for x in key)
+    return key
+
+
 def stable_hash(key: Any) -> int:
-    """A process-stable, deterministic 32-bit hash of any picklable key."""
-    if isinstance(key, int) and not isinstance(key, bool):
+    """A process-stable, deterministic 32-bit hash of any picklable key.
+
+    Respects Python equality for builtin numerics: ``1``, ``1.0`` and
+    ``True`` hash identically (see :func:`_canon`), so dict-equal keys
+    always co-locate under hash partitioning.
+    """
+    if isinstance(key, bool):
+        return _mix64(int(key))
+    if isinstance(key, int):
         # fast path; mix bits so sequential ints spread
         return _mix64(key)
     if isinstance(key, str):
@@ -74,15 +100,20 @@ def stable_hash(key: Any) -> int:
     if isinstance(key, bytes):
         return zlib.crc32(key)
     if isinstance(key, float):
+        if key.is_integer():
+            return _mix64(int(key))     # equal ints must hash equal
         # IEEE-754 bit pattern through the same mixer as ints; matches the
         # vectorized path (float64 viewed as uint64) bit for bit.
         return _mix64(int.from_bytes(struct.pack("<d", key), "little"))
-    if isinstance(key, tuple) and all(type(x) is int for x in key):
-        # FNV-1a over per-element mixes (no pickling for int tuples)
-        h = 2166136261 ^ len(key)
-        for x in key:
-            h = ((h ^ _mix64(x)) * 16777619) & 0xFFFFFFFF
-        return h
+    if isinstance(key, tuple):
+        key = _canon(key)
+        if all(type(x) is int for x in key):
+            # FNV-1a over per-element mixes (no pickling for int tuples)
+            h = 2166136261 ^ len(key)
+            for x in key:
+                h = ((h ^ _mix64(x)) * 16777619) & 0xFFFFFFFF
+            return h
+        return _pickle_hash(key)
     return _pickle_hash(key)
 
 
@@ -114,7 +145,7 @@ def stable_hash_many(keys: Sequence[Any]) -> np.ndarray:
     if n == 0:
         return np.empty(0, dtype=np.uint64)
     kinds = set(map(type, keys))
-    if kinds == {int}:
+    if kinds == {int} or kinds == {bool}:
         try:
             arr = np.fromiter(keys, dtype=np.int64, count=n)
         except OverflowError:         # ints beyond 64 bits: scalar path
@@ -122,6 +153,18 @@ def stable_hash_many(keys: Sequence[Any]) -> np.ndarray:
         return _mix64_array(arr.view(np.uint64))
     if kinds == {float}:
         arr = np.fromiter(keys, dtype=np.float64, count=n)
+        # integral floats hash as their int value (the _canon rule); NaN
+        # and infinities keep the bit-pattern path via the finite mask
+        integral = np.isfinite(arr) & (arr == np.trunc(arr))
+        if integral.any():
+            in64 = integral & (arr >= -2.0**63) & (arr < 2.0**63)
+            if not np.array_equal(integral, in64):
+                # integral floats beyond int64: exact only via Python ints
+                return _hash_many_scalar(keys, n)
+            out = _mix64_array(arr.view(np.uint64))
+            out[integral] = _mix64_array(
+                arr[integral].astype(np.int64).view(np.uint64))
+            return out
         return _mix64_array(arr.view(np.uint64))
     if kinds == {str}:
         return np.fromiter(
@@ -174,6 +217,24 @@ class HashPartitioner(Partitioner):
             return np.empty(0, dtype=np.int64)
         hashes = stable_hash_many(keys)
         return (hashes % np.uint64(self.n_partitions)).astype(np.int64)
+
+
+class DirectPartitioner(Partitioner):
+    """Keys *are* partition ids — for pre-partitioned block shuffles.
+
+    Producers that already computed each record's reduce partition (the
+    columnar join kernels emit ``(reduce_id, block)`` records) use this
+    to route blocks without rehashing; keys must be ints in
+    ``[0, n_partitions)``.
+    """
+
+    def partition(self, key: Any) -> int:
+        return int(key)
+
+    def partition_many(self, keys: Sequence[Any]) -> np.ndarray:
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(keys, dtype=np.int64)
 
 
 class RangePartitioner(Partitioner):

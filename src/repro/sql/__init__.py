@@ -1,5 +1,13 @@
 """Structured (DataFrame/SQL-ish) layer over the dataflow engine."""
 
+from .adaptive import (
+    AdaptiveConfig,
+    AdaptiveReport,
+    BroadcastJoin,
+    TopK,
+    adaptive_enabled,
+    set_adaptive,
+)
 from .columnar import ColumnBatch, columnar_enabled, set_columnar
 from .expr import Column, Expr, Literal, col, lit
 from .frame import DataFrame, GroupedFrame, avg_, count_, max_, min_, sum_
@@ -24,4 +32,6 @@ __all__ = [
     "OrderBy", "Limit", "Distinct", "AggSpec",
     "optimize", "push_filters", "prune_columns", "merge_projects",
     "ColumnBatch", "set_columnar", "columnar_enabled",
+    "AdaptiveConfig", "AdaptiveReport", "BroadcastJoin", "TopK",
+    "set_adaptive", "adaptive_enabled",
 ]

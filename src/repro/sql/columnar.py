@@ -2,11 +2,15 @@
 
 MonetDB/X100-style batch execution: each partition of a compiled query
 holds ONE :class:`ColumnBatch` — a dict of numpy arrays, one per column —
-and ``select`` / ``where`` / ``with_column`` / ``group_by().agg()`` are
-lowered to whole-array numpy kernels instead of per-row ``Expr.eval``
-over dicts.  Hash aggregation factorizes the group keys (first-occurrence
-order, matching the row interpreter's dict-insertion order) and reduces
-with ``np.bincount`` / ``ufunc.at``.
+and ``select`` / ``where`` / ``with_column`` / ``group_by().agg()`` /
+``join`` are lowered to whole-array numpy kernels instead of per-row
+``Expr.eval`` over dicts.  Hash aggregation factorizes the group keys
+(first-occurrence order, matching the row interpreter's dict-insertion
+order) and reduces with ``np.bincount`` / ``ufunc.at``.  Joins use the
+same factorize discipline: per-partition column *blocks* shuffle to the
+row path's reduce partitions, where a hash or sort-merge probe emits
+matches with repeat/tile index arrays (see the vectorized-joins section
+below for the exact order contract).
 
 Equivalence contract (the columnar/row property tests assert it):
 
@@ -17,7 +21,7 @@ Equivalence contract (the columnar/row property tests assert it):
   the interpreted fold and downstream shuffles see the same bytes;
 * any ``Expr.apply`` (UDF) node falls back to per-element Python *inside*
   the enclosing vectorized expression, and operators the columnar engine
-  does not cover (join / order_by / limit / distinct) fall back to the
+  does not cover (order_by / top-k / limit / distinct) fall back to the
   row interpreter per-operator, converting batches to rows at the seam.
 
 Known divergences from the row interpreter (documented, not silent):
@@ -36,11 +40,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..common.errors import PlanError
+from ..dataflow.partitioner import DirectPartitioner
+from .adaptive import BroadcastJoin, get_adaptive_config, join_partitioner
 from .expr import Column, Expr, Literal, _Aliased, _BinOp, _UnaryOp
 from .logical import (
     AggSpec,
     Filter,
     GroupAgg,
+    Join,
     LogicalPlan,
     Project,
     Scan,
@@ -122,6 +129,11 @@ class ColumnBatch:
         cols = {c: a[mask] for c, a in self.cols.items()}
         n = int(np.count_nonzero(mask))
         return ColumnBatch(self.schema, cols, n)
+
+    def take_idx(self, idx: np.ndarray) -> "ColumnBatch":
+        """Rows at integer positions ``idx`` (repeats allowed)."""
+        cols = {c: a[idx] for c, a in self.cols.items()}
+        return ColumnBatch(self.schema, cols, int(len(idx)))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<ColumnBatch n={self.n} cols={self.schema}>"
@@ -326,6 +338,244 @@ def agg_partial(batch: ColumnBatch, keys: Tuple[str, ...],
             for g, key in enumerate(uniq_keys)]
 
 
+# -- vectorized joins --------------------------------------------------------
+#
+# Block-shuffle discipline: the map side factorizes each batch's join
+# keys, computes the row-path partitioner's id once per *distinct* key,
+# and ships whole per-partition column blocks as ``(reduce_id, block)``
+# records through a cogroup on :class:`DirectPartitioner`.  The reduce
+# side concatenates each side's blocks in fetch order (map-split order —
+# exactly the arrival order the row interpreter's cogroup dict sees),
+# re-factorizes the left keys, probes the right side (hash or sort-merge
+# kernel), and emits matches with repeat/tile index arrays.  Emission
+# order therefore reproduces the row path byte for byte: left-side keys
+# in first-arrival order; per key, every left row (arrival order) paired
+# with every right row (arrival order); left joins null-extend.  The
+# only intentional divergence is the group-by module contract's NaN
+# class: float64 key columns lose NaN object identity across the batch
+# seam (``tolist`` makes fresh floats), so same-object NaN keys that the
+# row path would equate join nothing here — use ``None`` keys for exact
+# null semantics.
+
+
+_EMPTY_IDX = np.empty(0, dtype=np.int64)
+
+
+def _concat_column(arrays: List[np.ndarray]) -> np.ndarray:
+    """Concatenate one column across blocks, preserving row-path values.
+
+    Blocks from different map splits can disagree on dtype (one split
+    all-int -> int64, another None-bearing -> object); mixing them through
+    ``np.concatenate`` would wrap values in numpy scalars, so mixed runs
+    rebuild from Python values instead.
+    """
+    if len(arrays) == 1:
+        return arrays[0]
+    if len({a.dtype for a in arrays}) == 1:
+        return np.concatenate(arrays)
+    vals: List = []
+    for a in arrays:
+        vals.extend(a.tolist())
+    return make_array(vals)
+
+
+def _concat_batches(batches: List[ColumnBatch],
+                    schema: Tuple[str, ...]) -> ColumnBatch:
+    if len(batches) == 1:
+        return batches[0]
+    if not batches:
+        return ColumnBatch(list(schema),
+                           {c: make_array([]) for c in schema}, 0)
+    cols = {c: _concat_column([b.cols[c] for b in batches]) for c in schema}
+    return ColumnBatch(list(schema), cols, sum(b.n for b in batches))
+
+
+def _key_blocks(batch: ColumnBatch, on: Tuple[str, ...],
+                part) -> List[Tuple[int, ColumnBatch]]:
+    """Map side: split one batch into per-reduce-partition blocks.
+
+    The partitioner runs once per distinct key (on the factorized key
+    tuples, which equal the row path's ``tuple(r[c] for c in on)``), so
+    block routing agrees element-wise with the row interpreter's
+    per-record shuffle."""
+    if batch.n == 0:
+        return []
+    codes, uniq_keys = factorize(batch, on)
+    key_pids = np.fromiter((part.partition(k) for k in uniq_keys),
+                           dtype=np.int64, count=len(uniq_keys))
+    pids = key_pids[codes]
+    return [(int(p), batch.take(pids == p))
+            for p in np.unique(pids).tolist()]
+
+
+def _group_indices(codes: np.ndarray, n_groups: int) -> List[np.ndarray]:
+    """Row indices per group code, arrival order within each group."""
+    order = np.argsort(codes, kind="stable")
+    counts = np.bincount(codes, minlength=n_groups)
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    return [order[bounds[g]:bounds[g + 1]] for g in range(n_groups)]
+
+
+def _probe_codes(right_cat: ColumnBatch, on: Tuple[str, ...],
+                 uniq_keys: List[tuple], strategy: str) -> np.ndarray:
+    """Left group code per right row (-1 = no matching left key).
+
+    The sort-merge kernel handles single-column integer/bool keys with a
+    vectorized binary search over the sorted distinct left keys; every
+    other shape uses the hash kernel — a Python dict probe with exactly
+    the row path's key-equality semantics (so ``1 == 1.0 == True``
+    collide there just as they do in the cogroup dict).
+    """
+    n = right_cat.n
+    if n == 0:
+        return _EMPTY_IDX
+    if strategy != "hash" and len(on) == 1 and uniq_keys:
+        arr = right_cat.cols[on[0]]
+        if arr.dtype in (np.dtype(np.int64), np.dtype(bool)) and \
+                all(type(k[0]) in (int, bool) for k in uniq_keys):
+            try:
+                cand = np.fromiter((k[0] for k in uniq_keys),
+                                   dtype=np.int64, count=len(uniq_keys))
+            except OverflowError:
+                cand = None              # beyond int64: hash kernel
+            if cand is not None:
+                order = np.argsort(cand, kind="stable")
+                sorted_cand = cand[order]
+                probe = arr.astype(np.int64, copy=False)
+                pos = np.minimum(np.searchsorted(sorted_cand, probe),
+                                 len(sorted_cand) - 1)
+                hit = sorted_cand[pos] == probe
+                return np.where(hit, order[pos], -1).astype(np.int64)
+    index = {k: i for i, k in enumerate(uniq_keys)}
+    lists = [right_cat.cols[c].tolist() for c in on]
+    out = np.empty(n, dtype=np.int64)
+    for i, key in enumerate(zip(*lists)):
+        out[i] = index.get(key, -1)
+    return out
+
+
+def _gather_right(arr: np.ndarray, rt: np.ndarray,
+                  has_null: bool) -> np.ndarray:
+    """Right-side column values at ``rt`` (-1 entries null-extend)."""
+    if not has_null:
+        return arr[rt]
+    vals = arr.tolist()
+    return make_array([vals[i] if i >= 0 else None for i in rt.tolist()])
+
+
+def _join_reduce(lbs: List[ColumnBatch], rbs: List[ColumnBatch],
+                 lschema: Tuple[str, ...], rschema: Tuple[str, ...],
+                 on: Tuple[str, ...], right_extra: Tuple[str, ...],
+                 how: str, strategy: str) -> List[ColumnBatch]:
+    """Reduce side: join one partition's left/right blocks."""
+    left_cat = _concat_batches(lbs, lschema)
+    if left_cat.n == 0:
+        return []
+    right_cat = _concat_batches(rbs, rschema)
+    codes_l, uniq_keys = factorize(left_cat, on)
+    n_groups = len(uniq_keys)
+    codes_r = _probe_codes(right_cat, on, uniq_keys, strategy)
+    lgroups = _group_indices(codes_l, n_groups)
+    valid = codes_r >= 0
+    ridx = np.nonzero(valid)[0]
+    rgroups = _group_indices(codes_r[valid], n_groups) if ridx.size \
+        else [_EMPTY_IDX] * n_groups
+    left_takes: List[np.ndarray] = []
+    right_takes: List[np.ndarray] = []
+    for g in range(n_groups):
+        li = lgroups[g]
+        ri = ridx[rgroups[g]] if ridx.size else _EMPTY_IDX
+        if ri.size == 0:
+            if how == "left":
+                left_takes.append(li)
+                right_takes.append(np.full(li.size, -1, dtype=np.int64))
+            continue
+        left_takes.append(np.repeat(li, ri.size))
+        right_takes.append(np.tile(ri, li.size))
+    if not left_takes:
+        return []
+    lt = np.concatenate(left_takes)
+    rt = np.concatenate(right_takes)
+    cols = {c: left_cat.cols[c][lt] for c in lschema}
+    has_null = bool((rt < 0).any())
+    for c in right_extra:
+        cols[c] = _gather_right(right_cat.cols[c], rt, has_null)
+    return [ColumnBatch(list(lschema) + list(right_extra), cols,
+                        int(lt.size))]
+
+
+def _join_batches(plan: Join, left_b, right_b, ctx, n_partitions: int):
+    """Lower a (possibly skew-annotated) Join over batch datasets."""
+    from ..dataflow.plan import CoGroupedDataset
+    on = tuple(plan.on)
+    lschema = tuple(plan.left.schema)
+    rschema = tuple(plan.right.schema)
+    right_extra = tuple(c for c in rschema if c not in plan.on)
+    how = plan.how
+    strategy = get_adaptive_config().join_strategy
+    part = join_partitioner(plan, n_partitions)
+    lblocks = left_b.flat_map(
+        lambda b, _on=on, _p=part: _key_blocks(b, _on, _p))
+    rblocks = right_b.flat_map(
+        lambda b, _on=on, _p=part: _key_blocks(b, _on, _p))
+    grouped = CoGroupedDataset(ctx, [lblocks, rblocks],
+                               DirectPartitioner(part.n_partitions))
+
+    def emit(kv, _ls=lschema, _rs=rschema, _on=on, _ex=right_extra,
+             _how=how, _st=strategy):
+        _p, (lbs, rbs) = kv
+        return _join_reduce(lbs, rbs, _ls, _rs, _on, _ex, _how, _st)
+    return grouped.flat_map(emit)
+
+
+def _broadcast_join_batches(plan: BroadcastJoin, left_b, right_rows_ds,
+                            ctx):
+    """Lower a BroadcastJoin: vectorized probe of a broadcast build side."""
+    on = tuple(plan.on)
+    lschema = tuple(plan.left.schema)
+    right_extra = tuple(c for c in plan.right.schema if c not in plan.on)
+    how = plan.how
+    # build side at plan time, from *this* engine's compiled right child
+    # (its row order matches the row engine's, so the table — insertion
+    # order included — is identical across engines)
+    rows = ctx.local_executor.collect(right_rows_ds)
+    idx_map: Dict[tuple, List[int]] = {}
+    for j, r in enumerate(rows):
+        idx_map.setdefault(tuple(r[c] for c in on), []).append(j)
+    table = ({k: np.asarray(v, dtype=np.int64)
+              for k, v in idx_map.items()},
+             {c: make_array([r[c] for r in rows]) for c in right_extra})
+    bc = ctx.broadcast(table)
+    null_one = np.array([-1], dtype=np.int64)
+
+    def probe(b, _bc=bc, _on=on, _ls=lschema, _ex=right_extra, _how=how):
+        lookup, store = _bc.value
+        out_schema = list(_ls) + list(_ex)
+        if b.n == 0:
+            cols = {c: b.cols[c] for c in _ls}
+            cols.update({c: make_array([]) for c in _ex})
+            return ColumnBatch(out_schema, cols, 0)
+        codes, uniq_keys = factorize(b, _on)
+        group_idx = []
+        for k in uniq_keys:
+            m = lookup.get(k)
+            if m is None:
+                m = null_one if _how == "left" else _EMPTY_IDX
+            group_idx.append(m)
+        counts = np.fromiter((g.size for g in group_idx),
+                             dtype=np.int64, count=len(group_idx))
+        lt = np.repeat(np.arange(b.n), counts[codes])
+        rt_parts = [group_idx[c] for c in codes.tolist()
+                    if group_idx[c].size]
+        rt = np.concatenate(rt_parts) if rt_parts else _EMPTY_IDX
+        cols = {c: b.cols[c][lt] for c in _ls}
+        has_null = bool(rt.size) and bool((rt < 0).any())
+        for c in _ex:
+            cols[c] = _gather_right(store[c], rt, has_null)
+        return ColumnBatch(out_schema, cols, int(lt.size))
+    return left_b.map(probe)
+
+
 # -- logical-plan lowering ---------------------------------------------------
 
 
@@ -402,7 +652,21 @@ def _lower(plan: LogicalPlan, ctx, n_partitions: int):
                                 n_partitions)
         return out.map(to_row), False
 
-    # join / order_by / limit / distinct: per-operator fallback to the
+    if isinstance(plan, Join):
+        left_ds, lb = _lower(plan.left, ctx, n_partitions)
+        right_ds, rb = _lower(plan.right, ctx, n_partitions)
+        left_b = left_ds if lb else _batch_ds(left_ds, plan.left.schema)
+        right_b = right_ds if rb else _batch_ds(right_ds, plan.right.schema)
+        return _join_batches(plan, left_b, right_b, ctx, n_partitions), True
+
+    if isinstance(plan, BroadcastJoin):
+        left_ds, lb = _lower(plan.left, ctx, n_partitions)
+        right_ds, rb = _lower(plan.right, ctx, n_partitions)
+        left_b = left_ds if lb else _batch_ds(left_ds, plan.left.schema)
+        right_rows = _rows_ds(right_ds) if rb else right_ds
+        return _broadcast_join_batches(plan, left_b, right_rows, ctx), True
+
+    # order_by / top-k / limit / distinct: per-operator fallback to the
     # row interpreter — children are converted to rows at the seam
     from .frame import _lower_row
     children = []

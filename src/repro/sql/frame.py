@@ -16,11 +16,20 @@ quantifies what pushdown + pruning buy.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..common.errors import PlanError
 from ..dataflow.context import DataflowContext
-from ..dataflow.plan import Dataset
+from ..dataflow.plan import CoGroupedDataset, Dataset
+from .adaptive import (
+    AdaptiveReport,
+    BroadcastJoin,
+    TopK,
+    adapt,
+    adaptive_enabled,
+    join_partitioner,
+)
 from .expr import Column, Expr, col
 from .logical import (
     AggSpec,
@@ -163,15 +172,26 @@ class DataFrame:
         return plan.describe()
 
     def to_dataset(self, optimized: bool = True,
-                   columnar: Optional[bool] = None) -> Dataset:
+                   columnar: Optional[bool] = None,
+                   adaptive: Optional[bool] = None) -> Dataset:
         """Compile to a Dataset of dict rows.
 
         ``columnar`` forces the vectorized (True) or interpreted (False)
         engine for this query; ``None`` follows the process-wide default
         (:func:`repro.sql.columnar.set_columnar`).  Both engines produce
-        identical rows in identical order.
+        identical rows in identical order.  ``adaptive`` likewise forces
+        or suppresses adaptive re-planning (:mod:`repro.sql.adaptive`);
+        adaptation happens on the logical plan *before* engine lowering,
+        so both engines execute the same adapted plan.
         """
         plan = optimize(_clone(self.plan)) if optimized else self.plan
+        use_adaptive = adaptive_enabled() if adaptive is None else adaptive
+        self.last_adaptive_report: Optional[AdaptiveReport] = None
+        if use_adaptive:
+            if not optimized:
+                plan = _clone(plan)      # adapt annotates nodes in place
+            plan, report = adapt(plan, self.ctx, self.n_partitions)
+            self.last_adaptive_report = report
         from .columnar import columnar_enabled, compile_columnar
         use_columnar = columnar_enabled() if columnar is None else columnar
         if use_columnar:
@@ -179,14 +199,18 @@ class DataFrame:
         return _compile(plan, self.ctx, self.n_partitions)
 
     def collect(self, optimized: bool = True,
-                columnar: Optional[bool] = None) -> List[Dict[str, Any]]:
+                columnar: Optional[bool] = None,
+                adaptive: Optional[bool] = None) -> List[Dict[str, Any]]:
         """All rows as dicts."""
-        return self.to_dataset(optimized, columnar=columnar).collect()
+        return self.to_dataset(optimized, columnar=columnar,
+                               adaptive=adaptive).collect()
 
     def count(self, optimized: bool = True,
-              columnar: Optional[bool] = None) -> int:
+              columnar: Optional[bool] = None,
+              adaptive: Optional[bool] = None) -> int:
         """Number of rows."""
-        return self.to_dataset(optimized, columnar=columnar).count()
+        return self.to_dataset(optimized, columnar=columnar,
+                               adaptive=adaptive).count()
 
     def show(self, n: int = 20) -> None:
         """Print up to ``n`` rows as an aligned table."""
@@ -216,6 +240,40 @@ class GroupedFrame:
 # -- compiler -------------------------------------------------------------------
 
 
+def _sort_token(row: Dict[str, Any], schema: Tuple[str, ...]) -> str:
+    """Content-based tie-break for sorts: the row's values as one repr.
+
+    ``order_by`` ties used to resolve by physical arrival order, which
+    adaptive re-planning (broadcast joins, skew isolation) upstream
+    perturbs; breaking ties on row content makes sorted output a pure
+    function of the result *set*, so AQE and executor choice can never
+    change the bytes of an ordered query.
+    """
+    return repr([row[c] for c in schema])
+
+
+def _broadcast_table(right_rows: List[Dict[str, Any]],
+                     on: Tuple[str, ...],
+                     right_extra: Tuple[str, ...],
+                     ) -> Dict[tuple, List[tuple]]:
+    """Key tuple -> list of right-extra value tuples, in arrival order.
+
+    Shared by both engines so the probe sees an identical table (same
+    insertion order, same Python-equality key semantics as the shuffle
+    join's cogroup dict).
+    """
+    table: Dict[tuple, List[tuple]] = {}
+    for r in right_rows:
+        key = tuple(r[c] for c in on)
+        vals = tuple(r[c] for c in right_extra)
+        slot = table.get(key)
+        if slot is None:
+            table[key] = [vals]
+        else:
+            slot.append(vals)
+    return table
+
+
 def _clone(plan: LogicalPlan) -> LogicalPlan:
     """Structural copy so the optimizer can mutate safely."""
     if isinstance(plan, Scan):
@@ -228,9 +286,19 @@ def _clone(plan: LogicalPlan) -> LogicalPlan:
     if isinstance(plan, GroupAgg):
         return GroupAgg(_clone(plan.child), plan.keys, plan.aggs)
     if isinstance(plan, Join):
-        return Join(_clone(plan.left), _clone(plan.right), plan.on, plan.how)
+        cloned = Join(_clone(plan.left), _clone(plan.right), plan.on,
+                      plan.how)
+        hot = getattr(plan, "skew_keys", None)
+        if hot:
+            cloned.skew_keys = list(hot)
+        return cloned
+    if isinstance(plan, BroadcastJoin):
+        return BroadcastJoin(_clone(plan.left), _clone(plan.right),
+                             plan.on, plan.how)
     if isinstance(plan, OrderBy):
         return OrderBy(_clone(plan.child), plan.key, plan.ascending)
+    if isinstance(plan, TopK):
+        return TopK(_clone(plan.child), plan.key, plan.ascending, plan.n)
     if isinstance(plan, Limit):
         return Limit(_clone(plan.child), plan.n)
     if isinstance(plan, Distinct):
@@ -306,7 +374,11 @@ def _lower_row(plan: LogicalPlan, children: List[Dataset],
         right_extra = tuple(c for c in plan.right.schema if c not in plan.on)
         lkv = left.map(lambda r, _on=on: (tuple(r[c] for c in _on), r))
         rkv = right.map(lambda r, _on=on: (tuple(r[c] for c in _on), r))
-        grouped = lkv.cogroup(rkv, n_partitions)
+        # the partitioner carries any AQE skew annotation; sharing it
+        # with the columnar kernel keeps reduce-side arrival order (and
+        # with it the output bytes) identical across engines
+        grouped = CoGroupedDataset(ctx, [lkv, rkv],
+                                   join_partitioner(plan, n_partitions))
         how = plan.how
 
         def emit(kv, _extra=right_extra, _how=how):
@@ -323,12 +395,60 @@ def _lower_row(plan: LogicalPlan, children: List[Dataset],
             return out
         return grouped.flat_map(emit)
 
+    if isinstance(plan, BroadcastJoin):
+        left, right = children
+        on = tuple(plan.on)
+        right_extra = tuple(c for c in plan.right.schema if c not in plan.on)
+        # build side: one eager local job at plan time (the same seam
+        # sort_by uses for boundary sampling), shipped once per node
+        table = _broadcast_table(ctx.local_executor.collect(right),
+                                 on, right_extra)
+        bc = ctx.broadcast(table)
+        how = plan.how
+
+        def probe(rows, _bc=bc, _on=on, _extra=right_extra, _how=how):
+            lookup = _bc.value
+            out = []
+            for r in rows:
+                matches = lookup.get(tuple(r[c] for c in _on))
+                if matches is None:
+                    if _how == "left":
+                        merged = dict(r)
+                        for c in _extra:
+                            merged[c] = None
+                        out.append(merged)
+                    continue
+                for vals in matches:
+                    merged = dict(r)
+                    for c, v in zip(_extra, vals):
+                        merged[c] = v
+                    out.append(merged)
+            return out
+        return left.map_partitions(probe)
+
     if isinstance(plan, OrderBy):
         child = children[0]
         key = plan.key
-        return child.sort_by(lambda r, _k=key: r[_k],
-                             ascending=plan.ascending,
-                             n_partitions=n_partitions)
+        schema = tuple(plan.schema)
+        return child.sort_by(
+            lambda r, _k=key, _s=schema: (r[_k], _sort_token(r, _s)),
+            ascending=plan.ascending,
+            n_partitions=n_partitions)
+
+    if isinstance(plan, TopK):
+        child = children[0]
+        key, asc = plan.key, plan.ascending
+        n, schema = plan.n, tuple(plan.schema)
+
+        def head(it, _k=key, _s=schema, _n=n, _asc=asc):
+            def sk(r):
+                return (r[_k], _sort_token(r, _s))
+            pick = heapq.nsmallest if _asc else heapq.nlargest
+            return pick(_n, it, key=sk)
+        # per-partition bounded heads, then one merging head: identical
+        # bytes to the full sort + limit it replaces (the content-based
+        # tie-break makes the top-k set and order unique)
+        return child.map_partitions(head).coalesce(1).map_partitions(head)
 
     if isinstance(plan, Limit):
         child = children[0]

@@ -96,6 +96,22 @@ def _remap(pred: Expr, name_map) -> Expr:
     return pred
 
 
+def _split_conjuncts(pred: Expr) -> List[Expr]:
+    """Top-level AND conjuncts of ``pred``, left to right."""
+    from .expr import _BinOp
+    if isinstance(pred, _BinOp) and pred._symbol == "AND":
+        return _split_conjuncts(pred._l) + _split_conjuncts(pred._r)
+    return [pred]
+
+
+def _conjoin(conjuncts: List[Expr]) -> Expr:
+    """Re-AND a conjunct list (left-to-right, preserving eval order)."""
+    out = conjuncts[0]
+    for c in conjuncts[1:]:
+        out = out & c
+    return out
+
+
 def push_filters(plan: LogicalPlan) -> LogicalPlan:
     """One bottom-up pass of filter pushdown."""
     # recurse first
@@ -126,17 +142,31 @@ def push_filters(plan: LogicalPlan) -> LogicalPlan:
             return child
 
     if isinstance(child, Join):
-        refs = pred.references()
         left_cols = set(child.left.schema)
         right_cols = set(child.right.schema)
-        if refs <= left_cols:
-            child.children[0] = push_filters(Filter(child.left, pred))
-            return child
-        if refs <= right_cols and child.how == "inner":
-            # (pushing into the right side of a LEFT join would drop
-            # null-extended rows — unsafe)
-            child.children[1] = push_filters(Filter(child.right, pred))
-            return child
+        # split top-level conjuncts so a mixed predicate like
+        # (l.x > 1) & (r.y < 2) & (l.x < r.y) pushes its one-sided parts;
+        # any conjunct referencing BOTH sides must stay above the join
+        # (pushing it to either side would evaluate it against columns
+        # that do not exist there / before the match is formed), as must
+        # right-side conjuncts of a LEFT join (they would drop
+        # null-extended rows)
+        keep: List[Expr] = []
+        pushed = False
+        for conjunct in _split_conjuncts(pred):
+            refs = conjunct.references()
+            if refs <= left_cols:
+                child.children[0] = push_filters(Filter(child.left,
+                                                        conjunct))
+                pushed = True
+            elif refs <= right_cols and child.how == "inner":
+                child.children[1] = push_filters(Filter(child.right,
+                                                        conjunct))
+                pushed = True
+            else:
+                keep.append(conjunct)
+        if pushed:
+            return Filter(child, _conjoin(keep)) if keep else child
 
     if isinstance(child, (OrderBy, Distinct)):
         # filters commute with sorting and dedup

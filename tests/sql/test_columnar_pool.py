@@ -66,3 +66,87 @@ def test_udf_fallback_pool_identical(pool):
                 .select("tag", "price"))
     local, pooled = collect_both_backends(build, pool)
     assert list(map(repr, local)) == list(map(repr, pooled))
+
+
+# -- joins and adaptive execution on the pool ------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _reset_adaptive():
+    from repro.sql.adaptive import AdaptiveConfig
+    from repro.sql import set_adaptive
+    yield
+    set_adaptive(False, AdaptiveConfig())
+
+
+def _join_tables(seed, n=220, nulls=True):
+    rng = random.Random(seed)
+    pool_keys = list(range(18)) + ([None] if nulls else [])
+    fact = [{"k": rng.choice(pool_keys), "v": i} for i in range(n)]
+    dim = [{"k": rng.choice(pool_keys), "w": i * 3} for i in range(n // 4)]
+    return fact, dim
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("adaptive", [False, True])
+def test_join_queries_pool_identical(seed, adaptive, pool):
+    fact, dim = _join_tables(seed)
+    how = ("inner", "left")[seed % 2]
+
+    def build(ctx):
+        f = DataFrame.from_rows(ctx, fact, name="fact", schema=["k", "v"])
+        d = DataFrame.from_rows(ctx, dim, name="dim", schema=["k", "w"])
+        return f.join(d, on="k", how=how)
+    ctx_a = DataflowContext(default_parallelism=4)
+    a = build(ctx_a).collect(columnar=True, adaptive=adaptive)
+    ctx_b = DataflowContext(default_parallelism=4)
+    ctx_b.attach_pool(pool)
+    ctx_b.backend = "pool"
+    b = build(ctx_b).collect(columnar=True, adaptive=adaptive)
+    assert list(map(repr, a)) == list(map(repr, b))
+
+
+def test_adaptive_broadcast_pool_identical(pool):
+    # a dim table under the broadcast threshold: the rewrite must fire
+    # and the broadcast payload must ship to pool workers intact
+    from repro.sql import set_adaptive
+    from repro.sql.adaptive import AdaptiveConfig
+    set_adaptive(False, AdaptiveConfig(broadcast_rows=100))
+    fact, _ = _join_tables(11, n=400, nulls=False)
+    dim = [{"k": i, "label": f"g{i}"} for i in range(18)]
+
+    def build(ctx):
+        f = DataFrame.from_rows(ctx, fact, name="fact")
+        d = DataFrame.from_rows(ctx, dim, name="dim")
+        return (f.join(d, on="k")
+                .group_by("label").agg(n=count_(), s=sum_(col("v"))))
+    ctx_a = DataflowContext(default_parallelism=4)
+    q = build(ctx_a)
+    q.to_dataset(columnar=True, adaptive=True)
+    assert "broadcast_joins" in q.last_adaptive_report.kinds()
+    a = build(ctx_a).collect(columnar=True, adaptive=True)
+    ctx_b = DataflowContext(default_parallelism=4)
+    ctx_b.attach_pool(pool)
+    ctx_b.backend = "pool"
+    b = build(ctx_b).collect(columnar=True, adaptive=True)
+    assert sorted(map(repr, a)) == sorted(map(repr, b))
+
+
+def test_ordered_join_pool_byte_identical(pool):
+    # content tie-break: pool vs in-process must agree byte-for-byte on
+    # an ordered join even with adaptive top-k rewriting the sort
+    fact, dim = _join_tables(5)
+
+    def build(ctx):
+        f = DataFrame.from_rows(ctx, fact, name="fact", schema=["k", "v"])
+        d = DataFrame.from_rows(ctx, dim, name="dim", schema=["k", "w"])
+        return f.join(d, on="k").order_by("v", ascending=False).limit(29)
+    for adaptive in (False, True):
+        local, pooled = [], []
+        ctx_a = DataflowContext(default_parallelism=4)
+        local = build(ctx_a).collect(columnar=True, adaptive=adaptive)
+        ctx_b = DataflowContext(default_parallelism=4)
+        ctx_b.attach_pool(pool)
+        ctx_b.backend = "pool"
+        pooled = build(ctx_b).collect(columnar=True, adaptive=adaptive)
+        assert list(map(repr, local)) == list(map(repr, pooled))
