@@ -72,9 +72,19 @@ def enforce_guards(payload: dict) -> None:
     workers on >= 4 cores and the scale is >= 0.25 (below that the jobs
     are milliseconds and dispatch overhead dominates any backend).  The
     floor is 2.0x at the default scale and 1.3x at smoke scales.  On
-    smaller machines the measurement still runs and is recorded — legs
-    must agree byte-for-byte everywhere — but the ratio is
-    informational, because a 1-core box cannot parallelize anything.
+    runners with < 4 cores the measurement still runs and legs must
+    agree byte-for-byte, but the report marks ``insufficient_cores``
+    and nulls the headline ``pool_speedup`` — the guard then *prints*
+    the skip instead of silently gating on a number a 1-core box cannot
+    produce.
+
+    PR 8 adds the streaming guards: the vectorized windowed aggregator
+    must be byte-identical to the scalar oracle and >= 5x faster at the
+    default scale (>= 1.5x on smoke scales, where per-batch fixed costs
+    dominate); the sustained-throughput section must report a positive
+    knee for every scenario with conservation intact in every overload
+    leg, and the backpressured interior must stay at least 2x tighter
+    than the unbounded one on the uniform overload leg.
     """
     summary = payload["summary"]
     fusion = summary["fusion_speedup"]
@@ -96,14 +106,40 @@ def enforce_guards(payload: dict) -> None:
         f"armed-but-idle resilience overhead {100 * resil:.1f}% >= 5%"
     pool = payload.get("pool_backend")
     if pool is not None:
-        speedup = summary["pool_speedup"]
-        if (pool["workers"] >= 4 and pool["cpu_count"] >= 4
+        if pool["insufficient_cores"]:
+            assert summary["pool_speedup"] is None
+            print(f"pool guard SKIPPED: {pool['cpu_count']} cores < 4 "
+                  f"(measured {pool['measured_speedup']:.2f}x, "
+                  f"informational only)")
+        elif (pool["workers"] >= 4 and pool["cpu_count"] >= 4
                 and payload["scale"] >= 0.25):
+            speedup = summary["pool_speedup"]
             pool_floor = 2.0 if payload["scale"] >= 1.0 else 1.3
             assert speedup >= pool_floor, (
                 f"pool backend speedup regressed: {speedup:.2f}x "
                 f"< {pool_floor}x at {pool['workers']} workers "
                 f"({pool['cpu_count']} cores)")
+    windowed = summary["windowed_speedup"]
+    win_floor = 5.0 if payload["scale"] >= 1.0 else 1.5
+    assert windowed >= win_floor, (
+        f"windowed aggregation speedup regressed: {windowed:.2f}x "
+        f"< {win_floor}x")
+    assert payload["workloads"]["windowed_aggregation"]["identical"], \
+        "vectorized windowed aggregation diverged from the scalar oracle"
+    streaming = payload["sustained_throughput"]
+    for scenario, sec in streaming["scenarios"].items():
+        assert sec["sustained_rate"] > 0, \
+            f"{scenario}: no sustainable rate under the p99 bound"
+        for leg, res in sec["overload"].items():
+            if leg == "offered_rate":
+                continue
+            assert res["conserved"], \
+                f"{scenario}/{leg}: record conservation violated"
+    uo = streaming["scenarios"]["uniform"]["overload"]
+    assert uo["on"]["pipeline_p99"] * 2.0 <= uo["off"]["pipeline_p99"], (
+        "backpressure no longer bounds the pipeline interior: "
+        f"on {uo['on']['pipeline_p99']:.2f}s vs "
+        f"off {uo['off']['pipeline_p99']:.2f}s")
 
 
 def test_p0(benchmark):
@@ -113,7 +149,8 @@ def test_p0(benchmark):
     assert set(payload["workloads"]) == {"wordcount", "terasort",
                                          "pagerank", "skewed_combine",
                                          "sql_analytics", "sql_join",
-                                         "narrow_chain"}
+                                         "narrow_chain",
+                                         "windowed_aggregation"}
     # every optimization must actually help, at any scale
     assert summary["speedup"] > 1.0
     assert summary["wordcount_sim_event_reduction"] > 0.0
@@ -122,7 +159,14 @@ def test_p0(benchmark):
     # pool section present, legs agreed at every worker count
     pool = payload["pool_backend"]
     assert pool["workers"] == 4 and set(pool["sweep"]) == {"1", "2", "4"}
-    assert summary["pool_speedup"] == pool["speedup"] > 0
+    assert summary["pool_speedup"] == pool["speedup"]
+    if pool["insufficient_cores"]:
+        assert pool["speedup"] is None and pool["measured_speedup"] > 0
+    else:
+        assert pool["speedup"] > 0
+    # streaming sections present with all three scenarios
+    assert set(payload["sustained_throughput"]["scenarios"]) == \
+        {"uniform", "bursty", "skewed"}
     enforce_guards(payload)
     meta = payload["meta"]
     assert meta["fusion_enabled"] and meta["columnar_enabled"]
@@ -144,12 +188,13 @@ if __name__ == "__main__":
                      backend=opts.backend, workers=opts.workers)
     enforce_guards(payload)
     pool_speedup = payload["summary"]["pool_speedup"]
-    print("guards OK: fusion {:.2f}x, sql {:.2f}x, join {:.2f}x, pool {}, "
-          "obs overhead bound {:+.1f}%, "
+    print("guards OK: fusion {:.2f}x, sql {:.2f}x, join {:.2f}x, "
+          "windowed {:.2f}x, pool {}, obs overhead bound {:+.1f}%, "
           "idle-resilience overhead {:+.1f}%".format(
               payload["summary"]["fusion_speedup"],
               payload["summary"]["sql_speedup"],
               payload["summary"]["join_speedup"],
+              payload["summary"]["windowed_speedup"],
               f"{pool_speedup:.2f}x" if pool_speedup else "skipped",
               100 * payload["summary"]["obs_enabled_overhead"],
               100 * payload["summary"]["resilience_armed_overhead"]))

@@ -65,22 +65,37 @@ from ..dataflow.mp import default_start_method
 from ..dataflow.plan import ShuffleDependency
 from ..graph.generators import erdos_renyi
 from ..graph.dataflow_algos import pagerank_dataflow_plan
+from ..resilience import AdmissionConfig
 from ..simcore import Simulator
-from ..workloads import teragen, zipf_text
+from ..streaming.backpressure import PipelineConfig, run_event_pipeline
+from ..streaming.events import (
+    EventBatch,
+    VectorizedWindowAggregator,
+    WindowAgg,
+    WindowSpec,
+)
+from ..workloads import event_stream, teragen, zipf_text
 from .harness import bench_metadata
 
 __all__ = ["BASKET", "HEADLINE", "POOL_HEADLINE", "POOL_SWEEP",
-           "SCHEMA_VERSION", "run_suite",
+           "STREAM_SCENARIOS", "SCHEMA_VERSION", "run_suite",
            "write_report", "measure_shuffle_write", "measure_end_to_end",
            "measure_sql_analytics", "measure_sql_join", "measure_narrow_chain",
-           "measure_pool_backend",
+           "measure_pool_backend", "measure_windowed_aggregation",
+           "measure_sustained_throughput",
            "measure_obs_overhead", "measure_resilience_overhead",
            "profile_end_to_end"]
 
-#: v7 adds the ``sql_join`` workload (vectorized hash join A/B'd against
-#: the row-interpreter join) and the ``join_speedup`` summary field, plus
-#: the adaptive-execution consistency check inside that workload.
-SCHEMA_VERSION = 7
+#: v8 adds the streaming measurements: ``windowed_aggregation`` (the
+#: vectorized event-time aggregator A/B'd byte-for-byte against the
+#: scalar oracle) in ``workloads``, the SProBench-style
+#: ``sustained_throughput`` section (binary-searched max sustainable
+#: ingest rate per arrival scenario under a p99 latency bound, plus
+#: overload legs with backpressure off/on/on+admission), and the
+#: ``pool_backend.insufficient_cores`` flag that nulls the pool headline
+#: on runners with fewer than 4 cores instead of reporting a misleading
+#: sub-1x "speedup".
+SCHEMA_VERSION = 8
 
 #: The fixed workload basket, in reporting order.  The first four are
 #: the simulated-cluster jobs; ``sql_analytics``, ``sql_join`` and
@@ -645,6 +660,14 @@ def measure_pool_backend(scale: float = 1.0,
     The ``speedup`` field is the combined basket ratio at the top of
     the sweep; :func:`enforce_guards` in ``bench_p0_wallclock.py``
     holds it to >= 2x at 4 workers when >= 4 cores are present.
+
+    On runners with fewer than 4 cores the pool *cannot* beat in-process
+    execution (the workers time-slice one CPU and pay dispatch overhead
+    on top), so a sub-1x ratio is a property of the runner, not the
+    code.  The report then sets ``insufficient_cores`` and nulls the
+    headline ``speedup`` (the measured ratio stays available as
+    ``measured_speedup``), and the CI guard skips — visibly — instead of
+    gating on a number that means nothing there.
     """
     data: Dict[str, Any] = {}
     records: Dict[str, int] = {}
@@ -700,9 +723,12 @@ def measure_pool_backend(scale: float = 1.0,
             backend.shutdown()
 
     top = out_sweep[str(max(sweep))]
+    cpu_count = os.cpu_count() or 1
+    insufficient = cpu_count < 4
     return {
         "scale": scale,
-        "cpu_count": os.cpu_count() or 1,
+        "cpu_count": cpu_count,
+        "insufficient_cores": insufficient,
         "start_method": default_start_method(),
         "headline_workloads": list(POOL_HEADLINE),
         "workers_swept": [int(w) for w in sweep],
@@ -710,7 +736,178 @@ def measure_pool_backend(scale: float = 1.0,
         "sweep": out_sweep,
         "inprocess_seconds": top["inprocess_seconds"],
         "pool_seconds": top["pool_seconds"],
-        "speedup": top["speedup"],
+        "speedup": None if insufficient else top["speedup"],
+        "measured_speedup": top["speedup"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# event-time streaming: vectorized windowed aggregation + sustained rate
+# ---------------------------------------------------------------------------
+
+#: Arrival scenarios swept by the sustained-throughput harness.
+STREAM_SCENARIOS = ("uniform", "bursty", "skewed")
+
+
+def measure_windowed_aggregation(scale: float = 1.0,
+                                 reps: int = 3) -> Dict[str, Any]:
+    """A/B the vectorized windowed aggregator against the scalar oracle.
+
+    Feeds the identical out-of-order event stream, in the identical
+    micro-batches, through the scalar :class:`WatermarkAggregator` fold
+    and the vectorized batch path, interleaved rep by rep
+    (best-of-``reps`` per leg).  Every rep asserts the two emission logs
+    and final flushes are **byte-identical** (pickle) — the speedup is
+    meaningless unless the fast path is exact.  ``enforce_guards`` holds
+    the speedup to >= 5x at the default scale.
+    """
+    import pickle
+
+    n_target = int(30_000 * scale)
+    rate = 3_000.0
+    events = event_stream("skewed", rate, max(n_target / rate, 1.0),
+                          n_keys=32, seed=918273)
+    _arrival, ts, keys, values = events
+    n = len(ts)
+    batch_records = 2048
+    window = WindowSpec.tumbling(1.0)
+    agg = WindowAgg.by_name("sum")
+
+    def leg(vectorized: bool):
+        aggr = VectorizedWindowAggregator(
+            window, agg, watermark_delay=0.5, allowed_lateness=0.5,
+            vectorized=vectorized)
+        out = []
+        t0 = time.perf_counter()
+        for lo in range(0, n, batch_records):
+            hi = min(lo + batch_records, n)
+            out.extend(aggr.add_batch(
+                EventBatch(ts[lo:hi], keys[lo:hi], values[lo:hi])))
+        out.extend(aggr.flush())
+        secs = time.perf_counter() - t0
+        return secs, out, aggr
+
+    times: Dict[str, List[float]] = {"scalar": [], "vectorized": []}
+    fast_batches = fallback_batches = 0
+    for _ in range(reps):
+        s_secs, s_out, _s = leg(False)
+        v_secs, v_out, v_aggr = leg(True)
+        if pickle.dumps(s_out, 4) != pickle.dumps(v_out, 4):
+            raise AssertionError(
+                "vectorized windowed aggregation diverged from the "
+                "scalar oracle")
+        times["scalar"].append(s_secs)
+        times["vectorized"].append(v_secs)
+        fast_batches = v_aggr.fast_batches
+        fallback_batches = v_aggr.fallback_batches
+    best = {leg_name: min(ts_) for leg_name, ts_ in times.items()}
+    return {
+        "scale": scale,
+        "records": n,
+        "batch_records": batch_records,
+        "window": "tumbling(1.0)",
+        "agg": "sum",
+        "scalar": {"seconds": best["scalar"],
+                   "records_per_sec": n / best["scalar"]},
+        "current": {"seconds": best["vectorized"],
+                    "records_per_sec": n / best["vectorized"],
+                    "fast_batches": fast_batches,
+                    "fallback_batches": fallback_batches},
+        "baseline": {"seconds": best["scalar"],
+                     "records_per_sec": n / best["scalar"]},
+        "speedup": best["scalar"] / best["vectorized"],
+        "identical": True,
+    }
+
+
+def _stream_leg(result) -> Dict[str, Any]:
+    return {
+        "e2e_p99": result.e2e_latency.p99,
+        "pipeline_p99": result.pipeline_latency.p99,
+        "processed": result.processed_records,
+        "shed": result.shed_records,
+        "max_source_backlog": result.max_source_backlog,
+        "throttled_seconds": result.throttled_seconds,
+        "windows_fired": result.windows_fired,
+        "conserved": result.conserved,
+    }
+
+
+def measure_sustained_throughput(scale: float = 1.0,
+                                 scenarios: Sequence[str] = STREAM_SCENARIOS,
+                                 p99_bound: float = 2.0,
+                                 iterations: int = 7) -> Dict[str, Any]:
+    """SProBench-style sustainable-rate search on the credit pipeline.
+
+    For each arrival scenario, binary-search the highest ingest rate the
+    windowed pipeline (backpressure on) sustains with end-to-end p99
+    latency <= ``p99_bound`` and exact record conservation.  e2e latency
+    — not in-pipeline latency — is the criterion: with credits on, the
+    pipeline interior stays bounded under any overload, and all the
+    excess shows up as source backlog, which is exactly what "not
+    sustainable" means.
+
+    Each scenario then runs three legs at 1.5x its knee: backpressure
+    *off* (in-pipeline latency diverges with queue depth), *on* (interior
+    bounded, pressure pushed to the source), and *on + admission*
+    (token-bucket sheds the excess; every latency bounded, shed records
+    accounted — ``conserved`` stays exact in all three).
+    """
+    duration = max(5.0, 20.0 * min(scale, 1.0))
+    cfg = PipelineConfig(backpressure=True)
+    capacity = cfg.parallelism / cfg.per_record_cost
+
+    def probe(scenario: str, rate: float, config: PipelineConfig):
+        events = event_stream(scenario, rate, duration,
+                              seed=271828 + sum(ord(c) for c in scenario))
+        return run_event_pipeline(events, config)
+
+    out: Dict[str, Any] = {}
+    for scenario in scenarios:
+        probes: List[Dict[str, Any]] = []
+
+        def feasible(rate: float) -> bool:
+            r = probe(scenario, rate, cfg)
+            ok = r.e2e_latency.p99 <= p99_bound and r.conserved
+            probes.append({"rate": rate, "e2e_p99": r.e2e_latency.p99,
+                           "feasible": ok})
+            return ok
+
+        lo, hi = 0.0, 2.0 * capacity
+        if feasible(hi):
+            lo = hi          # sustained beyond the bracket; report >= hi
+        else:
+            for _ in range(iterations):
+                mid = (lo + hi) / 2.0
+                if feasible(mid):
+                    lo = mid
+                else:
+                    hi = mid
+        knee = lo
+        overload_rate = max(1.5 * knee, 0.3 * capacity)
+        admission = AdmissionConfig(rate=max(knee, 1.0),
+                                    burst=max(knee, 1.0),
+                                    max_backlog=8)
+        legs = {
+            "off": probe(scenario, overload_rate,
+                         PipelineConfig(backpressure=False)),
+            "on": probe(scenario, overload_rate, cfg),
+            "on_admission": probe(
+                scenario, overload_rate,
+                PipelineConfig(backpressure=True, admission=admission)),
+        }
+        out[scenario] = {
+            "sustained_rate": knee,
+            "probes": probes,
+            "overload": {"offered_rate": overload_rate,
+                         **{k: _stream_leg(v) for k, v in legs.items()}},
+        }
+    return {
+        "scale": scale,
+        "duration": duration,
+        "p99_bound": p99_bound,
+        "capacity_estimate": capacity,
+        "scenarios": out,
     }
 
 
@@ -985,11 +1182,20 @@ def run_suite(scale: float = 1.0, verbose: bool = True,
     workloads["sql_analytics"] = measure_sql_analytics(scale)
     workloads["sql_join"] = measure_sql_join(scale)
     workloads["narrow_chain"] = measure_narrow_chain(scale)
+    workloads["windowed_aggregation"] = measure_windowed_aggregation(scale)
     if verbose:
-        for name in ("sql_analytics", "sql_join", "narrow_chain"):
+        for name in ("sql_analytics", "sql_join", "narrow_chain",
+                     "windowed_aggregation"):
             w = workloads[name]
             print(f"{name:>15}: {w['current']['records_per_sec']:>12,.0f} "
                   f"rec/s  [{w['speedup']:.2f}x vs interpreter]")
+    streaming = measure_sustained_throughput(scale)
+    if verbose:
+        knees = "  ".join(
+            f"{s} {v['sustained_rate']:,.0f} rec/s"
+            for s, v in streaming["scenarios"].items())
+        print(f"{'sustained':>15}: {knees}  "
+              f"(p99 <= {streaming['p99_bound']} s)")
     # clamp the overhead A/B to the full-scale workload: at smoke scales
     # the job is short enough that scheduler/load noise alone is
     # percent-level, which would make a 5% guard flaky — and fixed costs
@@ -1013,9 +1219,11 @@ def run_suite(scale: float = 1.0, verbose: bool = True,
             curve = "  ".join(
                 f"{w}w {pool['sweep'][str(w)]['speedup']:.2f}x"
                 for w in pool["workers_swept"])
+            note = (" [insufficient cores: headline nulled]"
+                    if pool["insufficient_cores"] else "")
             print(f"{'pool_backend':>15}: {curve}  "
                   f"({pool['cpu_count']} cores, "
-                  f"{pool['start_method']} start)")
+                  f"{pool['start_method']} start){note}")
     payload = {
         "schema": SCHEMA_VERSION,
         "scale": scale,
@@ -1024,7 +1232,8 @@ def run_suite(scale: float = 1.0, verbose: bool = True,
         "obs_overhead": obs,
         "resilience_overhead": resil,
         "pool_backend": pool,
-        "summary": _summarize(workloads, obs, resil, pool),
+        "sustained_throughput": streaming,
+        "summary": _summarize(workloads, obs, resil, pool, streaming),
     }
     if verbose:
         s = payload["summary"]
@@ -1038,7 +1247,8 @@ def run_suite(scale: float = 1.0, verbose: bool = True,
 def _summarize(workloads: Dict[str, Any],
                obs: Optional[Dict[str, Any]] = None,
                resil: Optional[Dict[str, Any]] = None,
-               pool: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+               pool: Optional[Dict[str, Any]] = None,
+               streaming: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     def _basket_rate(leg: str) -> float:
         recs = sum(workloads[n]["shuffle_write"]["records"]
                    for n in HEADLINE)
@@ -1067,6 +1277,14 @@ def _summarize(workloads: Dict[str, Any],
             resil["armed_overhead"] if resil else None,
         "pool_speedup": pool["speedup"] if pool else None,
         "pool_workers": pool["workers"] if pool else None,
+        "pool_insufficient_cores":
+            pool["insufficient_cores"] if pool else None,
+        "windowed_speedup": workloads["windowed_aggregation"]["speedup"]
+            if "windowed_aggregation" in workloads else None,
+        "sustained_rates": {
+            s: v["sustained_rate"]
+            for s, v in streaming["scenarios"].items()
+        } if streaming else None,
     }
 
 

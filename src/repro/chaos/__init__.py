@@ -22,6 +22,7 @@ from .oracle import (
     check_autoscale,
     check_dataflow,
     check_dfs,
+    check_event_streaming,
     check_microbatch,
     check_streaming,
     run_all,
@@ -35,5 +36,5 @@ __all__ = [
     "operator_crash_times", "burst_rate", "burst_series",
     "OracleReport", "LAYERS", "run_all", "sweep",
     "check_dataflow", "check_streaming", "check_microbatch",
-    "check_dfs", "check_autoscale",
+    "check_event_streaming", "check_dfs", "check_autoscale",
 ]

@@ -43,8 +43,15 @@ from ..resilience import (
 )
 from ..simcore.kernel import Simulator
 from ..storage.dfs import DFSConfig, DistributedFS
-from ..streaming.checkpoint import CheckpointConfig, run_stateful_stream
+from ..streaming.backpressure import PipelineConfig, run_event_pipeline
+from ..streaming.checkpoint import (
+    CheckpointConfig,
+    run_stateful_stream,
+    run_windowed_stream,
+)
+from ..streaming.events import WindowAgg, WindowSpec, assign_tumbling
 from ..streaming.microbatch import MicroBatchConfig, run_microbatch
+from ..workloads.generators import event_stream
 from .adapters import (
     ClusterChaos,
     DFSChaos,
@@ -57,8 +64,9 @@ from .adapters import (
 from .plan import FaultEvent, FaultPlan
 
 __all__ = ["OracleReport", "check_dataflow", "check_streaming",
-           "check_microbatch", "check_dfs", "check_autoscale",
-           "check_resilience", "LAYERS", "run_all", "sweep"]
+           "check_microbatch", "check_event_streaming", "check_dfs",
+           "check_autoscale", "check_resilience", "LAYERS", "run_all",
+           "sweep"]
 
 
 @dataclass
@@ -273,6 +281,94 @@ def check_microbatch(seed: int, plan: Optional[FaultPlan] = None) -> OracleRepor
     return report
 
 
+# --------------------------------------------------------------- event streaming
+
+def _windowed_events(seed: int, n: int = 400, span: float = 60.0):
+    rng = np.random.default_rng([seed, 404])
+    arrival = np.sort(rng.uniform(0.0, span, size=n))
+    ts = np.maximum(arrival - rng.exponential(0.4, size=n), 0.0)
+    keys = rng.integers(0, 8, size=n)
+    vals = rng.integers(1, 50, size=n)
+    return [(float(a), float(t), int(k), int(v))
+            for a, t, k, v in zip(arrival, ts, keys, vals)]
+
+
+def check_event_streaming(seed: int,
+                          plan: Optional[FaultPlan] = None) -> OracleReport:
+    """Windowed exactly-once under crashes + pipeline conservation.
+
+    Two legs.  The *checkpoint* leg crashes :func:`run_windowed_stream`
+    at plan-derived times and demands the full emission log — not just
+    final state — be byte-equal to the crash-free run, that the scalar
+    and vectorized aggregators agree under the same crash plan, and that
+    the per-window ledger ``assigned(w) == window_in[w] + window_late[w]``
+    balances against an independent recount.  The *pipeline* leg pushes a
+    bursty overload through the credit-based pipeline and checks lossless
+    record conservation and determinism.
+    """
+    if plan is None:
+        plan = FaultPlan.renewal(seed, horizon=80.0,
+                                 rates={"operator_crash": 0.04},
+                                 mean_duration=5.0)
+    report = OracleReport("event_streaming", seed, plan)
+    events = _windowed_events(seed)
+    crashes = operator_crash_times(plan)
+    report.injections = len(crashes)
+    window = WindowSpec.tumbling(2.0)
+    agg = WindowAgg.by_name("sum")
+    cfg = CheckpointConfig(interval=8.0)
+    kw = dict(watermark_delay=1.0, allowed_lateness=1.0)
+    free = run_windowed_stream(events, window, agg, cfg, **kw)
+    faulted1 = run_windowed_stream(events, window, agg, cfg,
+                                   crash_times=crashes, **kw)
+    faulted2 = run_windowed_stream(events, window, agg, cfg,
+                                   crash_times=crashes, **kw)
+    scalar = run_windowed_stream(events, window, agg, cfg,
+                                 crash_times=crashes, vectorized=False, **kw)
+    report.expect(_bytes(faulted1.emissions) == _bytes(free.emissions),
+                  "exactly_once_emissions")
+    report.expect(_bytes(faulted1.emissions) == _bytes(faulted2.emissions),
+                  "result_determinism")
+    report.expect(_bytes(scalar.emissions) == _bytes(faulted1.emissions),
+                  "scalar_vectorized_equivalence")
+    report.expect(len(faulted1.recoveries) == len(crashes),
+                  "all_crashes_recovered")
+    report.expect(faulted1.processed_events == len(events),
+                  "record_conservation")
+    # independent recount of assigned (window, key) pairs for the ledger
+    ts_all = np.array([e[1] for e in events])
+    starts = assign_tumbling(ts_all, window.size)
+    assigned: Dict[tuple, int] = {}
+    for (_a, _t, k, _v), s in zip(events, starts):
+        wkey = (k, float(s))
+        assigned[wkey] = assigned.get(wkey, 0) + 1
+    for run, label in ((free, "free"), (faulted1, "faulted")):
+        balanced = (
+            sum(run.window_in.values()) + sum(run.window_late.values())
+            == len(events)
+            and all(run.window_in.get(w, 0) + run.window_late.get(w, 0) == c
+                    for w, c in assigned.items()))
+        report.expect(balanced, f"{label}:per_window_conservation")
+
+    # pipeline leg: bursty 1.5x overload through the credit pipeline
+    pcfg = PipelineConfig(backpressure=True, credits=4)
+    capacity = pcfg.parallelism / pcfg.per_record_cost
+    pev = event_stream("bursty", rate=1.5 * capacity, duration=8.0,
+                       seed=np.random.default_rng([seed, 405]))
+    p1 = run_event_pipeline(pev, pcfg)
+    p2 = run_event_pipeline(pev, pcfg)
+    report.expect(p1.conserved, "pipeline_record_conservation")
+    report.expect(
+        (p1.processed_records, p1.shed_records, p1.windows_fired,
+         p1.corrections, p1.late_dropped_records)
+        == (p2.processed_records, p2.shed_records, p2.windows_fired,
+            p2.corrections, p2.late_dropped_records),
+        "pipeline_determinism")
+    report.expect(p1.pipeline_latency.p99 <= 10.0,
+                  "pipeline_latency_bounded")
+    return report
+
+
 # --------------------------------------------------------------------- dfs
 
 def _run_dfs(seed: int, plan: Optional[FaultPlan], horizon: float):
@@ -460,6 +556,7 @@ LAYERS: Dict[str, Callable[[int], OracleReport]] = {
     "dataflow": check_dataflow,
     "streaming": check_streaming,
     "microbatch": check_microbatch,
+    "event_streaming": check_event_streaming,
     "dfs": check_dfs,
     "autoscale": check_autoscale,
     "resilience": check_resilience,

@@ -1,10 +1,28 @@
 """Micro-batch streaming: windows, watermarks, and the batch engine."""
 
+from .backpressure import (
+    CreditLink,
+    PipelineConfig,
+    PipelineResult,
+    run_event_pipeline,
+)
 from .checkpoint import (
     CheckpointConfig,
     RecoveryStats,
     StatefulRun,
+    WindowedRun,
     run_stateful_stream,
+    run_windowed_stream,
+)
+from .events import (
+    EventBatch,
+    VectorizedWindowAggregator,
+    WindowAgg,
+    WindowSpec,
+    aggregate_sessions,
+    assign_sessions,
+    assign_sliding,
+    assign_tumbling,
 )
 from .microbatch import MicroBatchConfig, StreamingResult, run_microbatch
 from .windows import (
@@ -20,4 +38,9 @@ __all__ = [
     "tumbling_window", "sliding_windows", "session_windows",
     "WatermarkAggregator", "WindowResult",
     "CheckpointConfig", "RecoveryStats", "StatefulRun", "run_stateful_stream",
+    "WindowedRun", "run_windowed_stream",
+    "EventBatch", "WindowSpec", "WindowAgg", "VectorizedWindowAggregator",
+    "assign_tumbling", "assign_sliding", "assign_sessions",
+    "aggregate_sessions",
+    "CreditLink", "PipelineConfig", "PipelineResult", "run_event_pipeline",
 ]

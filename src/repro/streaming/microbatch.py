@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+import numpy as np
+
 from ..common.errors import StreamingError
 from ..common.stats import Summary
 from ..obs import trace as obs_trace
@@ -26,6 +28,7 @@ from ..obs.metrics import MetricsRegistry
 from ..resilience import AdmissionConfig, AdmissionController
 from ..simcore.kernel import Simulator
 from ..simcore.resources import Store
+from .events import EventBatch, VectorizedWindowAggregator, WindowAgg, WindowSpec
 
 __all__ = ["MicroBatchConfig", "StreamingResult", "run_microbatch"]
 
@@ -39,6 +42,11 @@ class MicroBatchConfig:
     parallelism: int = 4              # batch work divides over this many ways
     scheduling_overhead: float = 0.05  # fixed seconds per batch job
     backpressure: bool = False
+    # deprecated lossy throttle: when the backlog exceeds the threshold,
+    # offered records beyond throttle_factor are *dropped*.  Prefer
+    # `admission` (exact shed accounting) or the credit-based pipeline in
+    # streaming.backpressure (no loss at all); engagements are counted in
+    # the `stream.legacy_throttle_engaged` counter
     backlog_threshold: int = 2        # queued batches before throttling
     throttle_factor: float = 0.5      # admitted fraction when throttling
     admission: Optional[AdmissionConfig] = None
@@ -46,12 +54,27 @@ class MicroBatchConfig:
     # backpressure throttling and makes overload produce a *stable*
     # degraded result with exact drop accounting:
     # records_in == records_out + records_inflight + records_shed
+    window: Optional[WindowSpec] = None
+    # event-time path: when set, each batch carries an EventBatch and the
+    # processor runs watermark-driven windowed aggregation; late drops
+    # surface in `stream.records_late_dropped` and conservation extends to
+    # records_out == records_windowed + records_late_dropped
+    watermark_delay: float = 0.0
+    allowed_lateness: float = 0.0
+    window_agg: str = "sum"
+    n_keys: int = 16                  # synthesized event keyspace
 
     def __post_init__(self) -> None:
         if self.batch_interval <= 0 or self.parallelism < 1:
             raise StreamingError("bad batch interval or parallelism")
         if not (0 < self.throttle_factor <= 1):
             raise StreamingError("throttle factor in (0, 1]")
+        if self.window is not None and self.window.kind == "session":
+            raise StreamingError(
+                "the micro-batch event-time path needs tumbling or "
+                "sliding windows (sessions aggregate offline)")
+        if self.n_keys < 1:
+            raise StreamingError("n_keys must be positive")
 
     def batch_time(self, n_records: int) -> float:
         """Modeled processing time of one batch."""
@@ -73,6 +96,11 @@ class StreamingResult:
     shed_records: int = 0
     #: per-run typed counters/gauges (record-conservation checkable)
     registry: Optional[MetricsRegistry] = None
+    #: event-time path results (0 unless config.window is set)
+    windows_fired: int = 0
+    late_corrections: int = 0
+    #: processed records whose every window was beyond allowed lateness
+    late_dropped_records: int = 0
 
     @property
     def throughput(self) -> float:
@@ -91,7 +119,9 @@ class StreamingResult:
 def run_microbatch(rate_fn: Callable[[float], float],
                    config: MicroBatchConfig,
                    duration: float,
-                   sim: Optional[Simulator] = None) -> StreamingResult:
+                   sim: Optional[Simulator] = None,
+                   events_fn: Optional[Callable[[float, int], EventBatch]]
+                   = None) -> StreamingResult:
     """Run the micro-batch engine for ``duration`` simulated seconds.
 
     ``rate_fn(t)`` is the offered record rate at time ``t``; records within
@@ -100,6 +130,15 @@ def run_microbatch(rate_fn: Callable[[float], float],
     batch size, so the summary describes *record* latency, not batch
     latency — a 1-record batch no longer counts as much as a 10 000-record
     one.
+
+    With ``config.window`` set, batches carry real event columns and the
+    processor performs watermark-driven windowed aggregation.
+    ``events_fn(t0, n)`` supplies the :class:`EventBatch` for the ``n``
+    admitted records of the interval starting at ``t0`` (defaults to
+    evenly spaced in-interval timestamps over a round-robin keyspace);
+    records whose windows are all beyond the allowed lateness are counted
+    in ``stream.records_late_dropped``, and the event-time conservation
+    ``records_out == records_windowed + records_late_dropped`` holds.
     """
     own_sim = sim is None
     if own_sim:
@@ -119,9 +158,43 @@ def run_microbatch(rate_fn: Callable[[float], float],
     max_backlog = reg.gauge("stream.max_backlog")
     batches = reg.counter("stream.batches")
     batch_seconds = reg.histogram("stream.batch_seconds", lo=1e-3, hi=1e4)
+    legacy_throttle = reg.counter("stream.legacy_throttle_engaged")
+    windows_fired = reg.counter("stream.windows_fired")
+    late_corrections = reg.counter("stream.late_corrections")
+    late_dropped = reg.counter("stream.records_late_dropped")
+    records_windowed = reg.counter("stream.records_windowed")
+
+    aggregator: Optional[VectorizedWindowAggregator] = None
+    if config.window is not None:
+        aggregator = VectorizedWindowAggregator(
+            config.window, WindowAgg.by_name(config.window_agg),
+            watermark_delay=config.watermark_delay,
+            allowed_lateness=config.allowed_lateness)
+    next_record_idx = 0
+
+    def default_events(t0: float, n: int) -> EventBatch:
+        # evenly spaced event times across the interval, round-robin keys
+        # over the configured keyspace, unit values (so "sum" counts)
+        idx = np.arange(n, dtype=np.int64)
+        ts = t0 + (idx + 0.5) * (config.batch_interval / n)
+        keys = (next_record_idx + idx) % config.n_keys
+        values = np.ones(n, dtype=np.int64)
+        return EventBatch(ts, keys, values)
+
+    make_events = events_fn if events_fn is not None else default_events
 
     def source(sim: Simulator):
+        nonlocal next_record_idx
         tr = obs_trace.get_tracer()
+
+        def payload(t0: float, n: int):
+            nonlocal next_record_idx
+            if aggregator is None:
+                return None
+            eb = make_events(t0, n)
+            next_record_idx += n
+            return eb
+
         while sim.now < duration:
             t0 = sim.now
             yield sim.timeout(config.batch_interval)
@@ -158,10 +231,12 @@ def run_microbatch(rate_fn: Callable[[float], float],
                 backlog.inc()
                 if backlog.value > max_backlog.value:
                     max_backlog.set(backlog.value)
-                yield queue.put((admitted_total, mean_arrival))
+                yield queue.put((admitted_total, mean_arrival,
+                                 payload(t0, admitted_total)))
                 continue
             if config.backpressure and \
                     backlog.value >= config.backlog_threshold:
+                legacy_throttle.inc()
                 admitted = int(n * config.throttle_factor)
                 records_dropped.inc(n - admitted)
                 if tr is not None and n > admitted:
@@ -179,7 +254,7 @@ def run_microbatch(rate_fn: Callable[[float], float],
             backlog.inc()
             if backlog.value > max_backlog.value:
                 max_backlog.set(backlog.value)
-            yield queue.put((n, mean_arrival))
+            yield queue.put((n, mean_arrival, payload(t0, n)))
         yield queue.put(None)   # sentinel
 
     def processor(sim: Simulator):
@@ -187,14 +262,27 @@ def run_microbatch(rate_fn: Callable[[float], float],
         while True:
             item = yield queue.get()
             if item is None:
+                if aggregator is not None:
+                    for res in aggregator.flush():
+                        windows_fired.inc()
                 return
-            n, mean_arrival = item
+            n, mean_arrival, eb = item
             span = None
             if tr is not None:
                 span = tr.begin("batch", sim.now, lane=("stream", "proc"),
                                 cat="batch", n_records=n)
             bt = config.batch_time(n)
             yield sim.timeout(bt)
+            if aggregator is not None and eb is not None:
+                prev_dropped = aggregator.dropped
+                for res in aggregator.add_batch(eb):
+                    if res.correction:
+                        late_corrections.inc()
+                    else:
+                        windows_fired.inc()
+                d = aggregator.dropped - prev_dropped
+                late_dropped.inc(d)
+                records_windowed.inc(eb.n - d)
             backlog.dec()
             inflight.dec(n)
             records_out.inc(n)
@@ -212,4 +300,7 @@ def run_microbatch(rate_fn: Callable[[float], float],
                            int(records_dropped.value),
                            sim.now, int(max_backlog.value), batch_times,
                            shed_records=int(records_shed.value),
-                           registry=reg)
+                           registry=reg,
+                           windows_fired=int(windows_fired.value),
+                           late_corrections=int(late_corrections.value),
+                           late_dropped_records=int(late_dropped.value))

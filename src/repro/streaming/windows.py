@@ -13,6 +13,7 @@ DES engine so they unit-test directly:
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
@@ -50,13 +51,18 @@ def sliding_windows(ts: float, size: float, slide: float) -> List[Tuple[float, f
         raise StreamingError("slide must not exceed size (gaps would drop data)")
     first = math.floor(ts / slide) * slide
     out = []
-    start = first
-    while start > ts - size:
-        # float residue can land `start` a few ulps above ts - size; keep
-        # the half-open contract [start, start + size) exact
+    j = 0
+    while True:
+        # hop starts are computed as first - j*slide (not by repeated
+        # subtraction) so the vectorized assignment grid sees the exact
+        # same floats; float residue can still land a start a few ulps
+        # outside the slot, so the half-open containment check is explicit
+        start = first - j * slide
+        if start <= ts - size:
+            break
         if start <= ts < start + size:
             out.append((start, start + size))
-        start -= slide
+        j += 1
     out.reverse()
     return out
 
@@ -101,18 +107,29 @@ class WatermarkAggregator:
     when the watermark passes its end.  Records arriving after their
     window fired but within ``allowed_lateness`` re-fire the window as a
     *correction*; beyond that they are dropped (:attr:`dropped`).
+
+    With ``slide`` set, windows are sliding (``slide <= window_size``):
+    each record joins every window containing it, and the drop / late
+    decision is made per ``(record, window)`` pair.  :attr:`window_in`
+    and :attr:`window_late` count accepted and late-dropped pairs per
+    window, so per-window conservation is checkable:
+    ``assigned(w) == window_in[w] + window_late[w]``.
     """
 
     def __init__(self, window_size: float,
                  agg: Callable[[Any, Any], Any],
                  init: Callable[[Any], Any] = lambda v: v,
                  watermark_delay: float = 0.0,
-                 allowed_lateness: float = 0.0) -> None:
+                 allowed_lateness: float = 0.0,
+                 slide: Optional[float] = None) -> None:
         if window_size <= 0:
             raise StreamingError("window size must be positive")
         if watermark_delay < 0 or allowed_lateness < 0:
             raise StreamingError("delays must be nonnegative")
+        if slide is not None and not (0 < slide <= window_size):
+            raise StreamingError("slide must be in (0, window_size]")
         self.window_size = window_size
+        self.slide = slide
         self.agg = agg
         self.init = init
         self.watermark_delay = watermark_delay
@@ -122,6 +139,10 @@ class WatermarkAggregator:
         self._max_ts = -math.inf
         self.dropped = 0
         self.late_corrections = 0
+        #: accepted (record, window) pairs per window key
+        self.window_in: Dict[Tuple[Hashable, float], int] = {}
+        #: late-dropped (record, window) pairs per window key
+        self.window_late: Dict[Tuple[Hashable, float], int] = {}
 
     @property
     def watermark(self) -> float:
@@ -131,24 +152,50 @@ class WatermarkAggregator:
     def add(self, ts: float, key: Hashable, value: Any) -> List[WindowResult]:
         """Ingest one record; returns any windows that fire as a result."""
         out: List[WindowResult] = []
-        start, end = tumbling_window(ts, self.window_size)
-        wkey = (key, start)
-        if ts <= self.watermark - self.allowed_lateness and \
-                end + self.allowed_lateness <= self.watermark:
+        if self.slide is not None:
+            pairs = sliding_windows(ts, self.window_size, self.slide)
+        else:
+            pairs = [tumbling_window(ts, self.window_size)]
+        wm = self.watermark
+        kept = False
+        for start, end in pairs:
+            wkey = (key, start)
+            if ts <= wm - self.allowed_lateness and \
+                    end + self.allowed_lateness <= wm:
+                self.window_late[wkey] = self.window_late.get(wkey, 0) + 1
+                continue
+            kept = True
+            self.window_in[wkey] = self.window_in.get(wkey, 0) + 1
+            if wkey in self._state:
+                self._state[wkey] = self.agg(self._state[wkey], value)
+            else:
+                self._state[wkey] = self.init(value)
+            if self._fired.get(wkey):
+                # window already emitted: immediate correction
+                self.late_corrections += 1
+                out.append(WindowResult(
+                    key, (start, start + self.window_size),
+                    self._state[wkey], correction=True))
+        if not kept:
+            # every window of this record is beyond lateness: the record
+            # is dropped whole and must not advance the watermark
             self.dropped += 1
             return out
-        if wkey in self._state:
-            self._state[wkey] = self.agg(self._state[wkey], value)
-        else:
-            self._state[wkey] = self.init(value)
-        if self._fired.get(wkey):
-            # window already emitted: immediate correction
-            self.late_corrections += 1
-            out.append(WindowResult(key, (start, start + self.window_size),
-                                    self._state[wkey], correction=True))
         self._max_ts = max(self._max_ts, ts)
         out.extend(self._advance())
         return out
+
+    def snapshot(self) -> tuple:
+        """Deep-copied state for checkpointing (see :meth:`restore`)."""
+        return copy.deepcopy((self._state, self._fired, self._max_ts,
+                              self.dropped, self.late_corrections,
+                              self.window_in, self.window_late))
+
+    def restore(self, snap: tuple) -> None:
+        """Roll back to a :meth:`snapshot` (the snapshot stays usable)."""
+        (self._state, self._fired, self._max_ts, self.dropped,
+         self.late_corrections, self.window_in,
+         self.window_late) = copy.deepcopy(snap)
 
     def _advance(self) -> List[WindowResult]:
         wm = self.watermark

@@ -1,6 +1,7 @@
 """Deterministic workload generators for every experiment."""
 
 from .generators import (
+    event_stream,
     job_mix,
     mmpp_rate_trace,
     poisson_rate_trace,
@@ -13,4 +14,5 @@ from .generators import (
 __all__ = [
     "zipf_text", "teragen", "job_mix", "poisson_rate_trace",
     "mmpp_rate_trace", "web_sessions", "zipf_block_trace",
+    "event_stream",
 ]

@@ -21,7 +21,7 @@ from ..scheduler.jobs import JobSpec, Resources
 
 __all__ = [
     "zipf_text", "teragen", "job_mix", "poisson_rate_trace",
-    "mmpp_rate_trace", "web_sessions", "zipf_block_trace",
+    "mmpp_rate_trace", "web_sessions", "zipf_block_trace", "event_stream",
 ]
 
 
@@ -183,3 +183,54 @@ def zipf_block_trace(n_accesses: int, n_blocks: int, skew: float = 0.8,
     rng = ensure_rng(seed)
     pmf = zipf_pmf(n_blocks, skew)
     return rng.choice(n_blocks, size=n_accesses, p=pmf)
+
+
+def event_stream(scenario: str, rate: float, duration: float,
+                 n_keys: int = 32, key_skew: float = 1.2,
+                 ooo_delay: float = 0.3, dt: float = 0.5,
+                 seed: RandomState = None
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Timestamped event arrivals for the streaming pipeline benchmarks.
+
+    Returns ``(arrival, ts, keys, values)`` sorted by arrival time:
+    ``arrival`` is wall-clock receipt, ``ts`` the (possibly out-of-order)
+    event time — each event is delayed by an exponential network lag of
+    mean ``ooo_delay`` between happening and arriving.  Scenarios:
+
+    * ``"uniform"`` — homogeneous Poisson arrivals at ``rate``;
+    * ``"bursty"``  — MMPP arrivals via :func:`mmpp_rate_trace` (low =
+      rate/2, high = 2*rate, fast dwells), same *mean* order of load but
+      strongly time-correlated;
+    * ``"skewed"``  — uniform Poisson arrivals with Zipf(``key_skew``)
+      keys, concentrating state churn on a few hot keys.
+    """
+    if rate < 0 or duration <= 0 or n_keys < 1:
+        raise ConfigError("bad stream parameters")
+    rng = ensure_rng(seed)
+    if scenario == "bursty":
+        rates = mmpp_rate_trace(rate / 2.0, 2.0 * rate, duration,
+                                mean_low_dwell=duration / 4.0,
+                                mean_high_dwell=duration / 8.0,
+                                dt=dt, seed=rng)
+        counts = rng.poisson(rates * dt)
+        arrival = np.concatenate([
+            t0 + np.sort(rng.uniform(0.0, dt, c))
+            for t0, c in zip(np.arange(len(counts)) * dt, counts)
+        ]) if counts.sum() else np.empty(0)
+        arrival = arrival[arrival < duration]
+    elif scenario in ("uniform", "skewed"):
+        n_est = rng.poisson(rate * duration)
+        arrival = np.sort(rng.uniform(0.0, duration, n_est))
+    else:
+        raise ConfigError(f"unknown scenario {scenario!r}")
+    n = len(arrival)
+    ts = arrival - rng.exponential(ooo_delay, n) if ooo_delay > 0 \
+        else arrival.copy()
+    ts = np.maximum(ts, 0.0)
+    if scenario == "skewed":
+        pmf = zipf_pmf(n_keys, key_skew)
+        keys = rng.choice(n_keys, size=n, p=pmf).astype(np.int64)
+    else:
+        keys = rng.integers(0, n_keys, n, dtype=np.int64)
+    values = rng.integers(0, 100, n, dtype=np.int64)
+    return arrival, ts, keys, values

@@ -13,6 +13,7 @@ from repro.chaos import (
     FaultEvent,
     FaultPlan,
     check_dataflow,
+    check_event_streaming,
     check_streaming,
     run_all,
     sweep,
@@ -68,3 +69,19 @@ def test_streaming_oracle_trailing_crash_plan():
     report = check_streaming(0, plan)
     assert report.ok, report.failures
     assert report.injections == 2
+
+
+def test_event_streaming_oracle_accepts_custom_plan():
+    # dense crashes, including one past the last arrival: the emission
+    # log must still be byte-equal to the crash-free run
+    plan = FaultPlan.scripted([
+        FaultEvent(5.0, "operator_crash"),
+        FaultEvent(5.5, "operator_crash"),
+        FaultEvent(30.0, "operator_crash"),
+        FaultEvent(200.0, "operator_crash"),
+    ], seed=0)
+    report = check_event_streaming(0, plan)
+    assert report.ok, report.failures
+    assert report.injections == 4
+    assert any("exactly_once" in c for c in report.checks)
+    assert any("per_window_conservation" in c for c in report.checks)

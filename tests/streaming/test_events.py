@@ -1,0 +1,288 @@
+"""Vectorized event-time machinery: byte-exactness against the scalar oracle.
+
+The scalar :class:`WatermarkAggregator` fold defines the semantics; every
+vectorized path in :mod:`repro.streaming.events` must reproduce it
+byte-for-byte (``pickle``) — emissions, internal state, and the
+per-window accounting ledgers — across arrival patterns, window kinds,
+aggregates, value dtypes, and arbitrary batch boundaries.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import StreamingError
+from repro.streaming import (
+    EventBatch,
+    VectorizedWindowAggregator,
+    WatermarkAggregator,
+    WindowAgg,
+    WindowSpec,
+    aggregate_sessions,
+    assign_sessions,
+    assign_sliding,
+    assign_tumbling,
+    session_windows,
+    sliding_windows,
+    tumbling_window,
+)
+
+
+def _bytes(obj):
+    return pickle.dumps(obj, protocol=4)
+
+
+def _stream(rng, n, scenario="uniform", vals_kind="int"):
+    if scenario == "bursty":
+        ts = np.cumsum(np.where(rng.random(n) < 0.3,
+                                rng.exponential(0.01, n),
+                                rng.exponential(0.3, n)))
+    else:
+        ts = np.cumsum(rng.exponential(0.1, n))
+    ts = ts + rng.normal(0, 0.5, n)          # out-of-order jitter
+    keys = rng.integers(0, 5, n)
+    if vals_kind == "int":
+        vals = rng.integers(-100, 100, n)
+    else:
+        vals = rng.normal(0, 10, n)
+    return ts, keys, vals
+
+
+class TestEventBatch:
+    def test_roundtrip(self):
+        recs = [(1.0, "a", 2), (0.5, "b", 3)]
+        b = EventBatch.from_records(recs)
+        assert b.n == 2
+        assert b.to_records() == recs
+
+    def test_concat_and_take(self):
+        a = EventBatch(np.array([1.0]), np.array([0]), np.array([5]))
+        b = EventBatch(np.array([2.0]), np.array([1]), np.array([6]))
+        c = EventBatch.concat([a, b])
+        assert c.n == 2
+        assert c.take(np.array([1])).to_records() == b.to_records()
+
+
+class TestAssignment:
+    @given(st.lists(st.floats(-1e5, 1e5), max_size=50),
+           st.floats(0.1, 100.0), st.floats(-5.0, 5.0))
+    @settings(max_examples=150, deadline=None)
+    def test_tumbling_matches_scalar(self, ts, size, offset):
+        starts = assign_tumbling(np.array(ts), size, offset)
+        for t, s in zip(ts, starts):
+            assert (s, s + size) == tumbling_window(t, size, offset)
+
+    @given(st.lists(st.floats(-1e4, 1e4), max_size=40),
+           st.floats(0.5, 50.0), st.integers(1, 5))
+    @settings(max_examples=150, deadline=None)
+    def test_sliding_matches_scalar(self, ts, size, divisor):
+        slide = size / divisor
+        rec, starts = assign_sliding(np.array(ts), size, slide)
+        got = {}
+        for r, s in zip(rec, starts):
+            got.setdefault(int(r), []).append(float(s))
+        for i, t in enumerate(ts):
+            expect = [s for s, _e in sliding_windows(t, size, slide)]
+            assert got.get(i, []) == expect
+
+    def test_sliding_starts_ascend_within_record(self):
+        rec, starts = assign_sliding(np.array([7.0, 3.2]), 3.0, 1.0)
+        for r in (0, 1):
+            ss = starts[rec == r]
+            assert list(ss) == sorted(ss)
+
+
+class TestSessions:
+    """Satellite: session edge cases + vectorized-vs-scalar property."""
+
+    def test_empty(self):
+        windows, order, sid = assign_sessions(np.empty(0), 1.0)
+        assert windows == [] and len(order) == 0 and len(sid) == 0
+
+    def test_single_event(self):
+        windows, order, sid = assign_sessions(np.array([3.0]), 2.0)
+        assert windows == [(3.0, 5.0)]
+        assert list(order) == [0] and list(sid) == [0]
+
+    def test_exact_gap_splits(self):
+        # a gap of exactly `gap` starts a new session (>= in the scalar)
+        windows, _o, sid = assign_sessions(np.array([0.0, 1.0, 2.0]), 1.0)
+        assert windows == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+        assert list(sid) == [0, 1, 2]
+        just_under = np.array([0.0, 0.999])
+        windows, _o, sid = assign_sessions(just_under, 1.0)
+        assert len(windows) == 1 and list(sid) == [0, 0]
+
+    def test_unsorted_input(self):
+        ts = np.array([5.0, 0.0, 5.5, 0.2])
+        windows, order, sid = assign_sessions(ts, 2.0)
+        assert windows == session_windows(ts.tolist(), 2.0)
+        assert list(ts[order]) == sorted(ts)
+
+    def test_invalid_gap(self):
+        with pytest.raises(StreamingError):
+            assign_sessions(np.array([1.0]), 0.0)
+
+    @given(st.lists(st.floats(0, 1000), max_size=60), st.floats(0.1, 50))
+    @settings(max_examples=150, deadline=None)
+    def test_windows_match_scalar(self, ts, gap):
+        windows, _o, _s = assign_sessions(np.array(ts), gap)
+        assert windows == session_windows(ts, gap)
+
+    @pytest.mark.parametrize("aggname", ["sum", "count", "min", "max"])
+    def test_aggregate_matches_scalar(self, aggname):
+        rng = np.random.default_rng(sum(ord(c) for c in aggname))
+        for trial in range(30):
+            n = int(rng.integers(0, 120))
+            ts, keys, vals = _stream(rng, max(n, 1),
+                                     vals_kind=["int", "float"][trial % 2])
+            b = EventBatch(ts[:n], keys[:n], vals[:n])
+            gap = float(rng.choice([0.2, 1.0, 5.0]))
+            agg = WindowAgg.by_name(aggname)
+            fast = aggregate_sessions(b, gap, agg, vectorized=True)
+            ref = aggregate_sessions(b, gap, agg, vectorized=False)
+            assert _bytes(fast) == _bytes(ref)
+
+
+def _run_both(spec, aggname, ts, keys, vals, delay, lateness, rng):
+    """Feed the same stream through scalar fold and vectorized batches."""
+    wagg = WindowAgg.by_name(aggname)
+    slide = spec.slide if spec.kind == "sliding" else None
+    sc = WatermarkAggregator(spec.size, wagg.agg, wagg.init,
+                             watermark_delay=delay,
+                             allowed_lateness=lateness, slide=slide)
+    vec = VectorizedWindowAggregator(spec, wagg, watermark_delay=delay,
+                                     allowed_lateness=lateness)
+    out_s, out_v = [], []
+    i, n = 0, len(ts)
+    while i < n:
+        b = int(rng.integers(1, 50))
+        for t, k, v in zip(ts[i:i + b].tolist(), keys[i:i + b].tolist(),
+                           vals[i:i + b].tolist()):
+            out_s.extend(sc.add(t, k, v))
+        out_v.extend(vec.add_batch(
+            EventBatch(ts[i:i + b], keys[i:i + b], vals[i:i + b])))
+        i += b
+    out_s.extend(sc.flush())
+    out_v.extend(vec.flush())
+    return sc, vec, out_s, out_v
+
+
+def _assert_identical(sc, vec, out_s, out_v):
+    assert _bytes(out_s) == _bytes(out_v)
+    inner = vec._scalar
+    assert _bytes((sc._state, sc._fired, sc._max_ts, sc.dropped,
+                   sc.late_corrections)) == \
+        _bytes((inner._state, inner._fired, inner._max_ts, inner.dropped,
+                inner.late_corrections))
+    assert _bytes((sorted(sc.window_in.items(), key=repr),
+                   sorted(sc.window_late.items(), key=repr))) == \
+        _bytes((sorted(vec.window_in.items(), key=repr),
+                sorted(vec.window_late.items(), key=repr)))
+
+
+class TestWindowedEquivalence:
+    """The tentpole contract: vectorized == scalar, byte for byte."""
+
+    @pytest.mark.parametrize("kind", ["tumbling", "sliding"])
+    @pytest.mark.parametrize("aggname", ["sum", "count", "min", "max"])
+    def test_randomized(self, kind, aggname):
+        rng = np.random.default_rng(sum(ord(c) for c in kind + aggname))
+        for trial in range(12):
+            scenario = ["uniform", "bursty"][trial % 2]
+            vals_kind = ["int", "float"][trial % 2]
+            n = int(rng.integers(1, 200))
+            ts, keys, vals = _stream(rng, n, scenario, vals_kind)
+            delay = float(rng.choice([0.0, 0.5, 2.0]))
+            lateness = float(rng.choice([0.0, 0.3, 1.0]))
+            size = float(rng.choice([0.5, 1.0, 3.0]))
+            if kind == "sliding":
+                spec = WindowSpec.sliding(size,
+                                          size / int(rng.choice([1, 2, 3])))
+            else:
+                spec = WindowSpec.tumbling(size)
+            sc, vec, out_s, out_v = _run_both(
+                spec, aggname, ts, keys, vals, delay, lateness, rng)
+            _assert_identical(sc, vec, out_s, out_v)
+
+    def test_fast_path_actually_taken(self):
+        rng = np.random.default_rng(7)
+        ts, keys, vals = _stream(rng, 500)
+        spec = WindowSpec.tumbling(1.0)
+        _sc, vec, _s, _v = _run_both(spec, "sum", ts, keys, vals,
+                                     0.5, 0.5, rng)
+        assert vec.fast_batches > 0
+        assert vec.fallback_batches == 0
+
+    def test_fallback_on_negative_zero_ts_still_identical(self):
+        # -0.0 and 0.0 collide as dict keys but not as float64 bits, so
+        # the fast path refuses the batch; the scalar fold handles it
+        rng = np.random.default_rng(8)
+        ts, keys, vals = _stream(rng, 80)
+        ts[17] = -0.0
+        spec = WindowSpec.tumbling(1.0)
+        sc, vec, out_s, out_v = _run_both(spec, "sum", ts, keys, vals,
+                                          0.5, 0.5, rng)
+        assert vec.fallback_batches > 0
+        assert _bytes(out_s) == _bytes(out_v)
+
+    def test_fallback_on_object_values_still_identical(self):
+        rng = np.random.default_rng(9)
+        n = 60
+        ts = np.sort(rng.uniform(0, 10, n))
+        keys = rng.integers(0, 3, n)
+        vals = np.empty(n, dtype=object)
+        for i in range(n):
+            vals[i] = (i,)
+        spec = WindowSpec.tumbling(2.0)
+        wagg = WindowAgg.custom(lambda s, v: s + (v,), lambda v: (v,))
+        sc = WatermarkAggregator(2.0, wagg.agg, wagg.init,
+                                 watermark_delay=0.5, allowed_lateness=0.5)
+        vec = VectorizedWindowAggregator(spec, wagg, watermark_delay=0.5,
+                                         allowed_lateness=0.5)
+        out_s, out_v = [], []
+        for t, k, v in zip(ts.tolist(), keys.tolist(), list(vals)):
+            out_s.extend(sc.add(t, k, v))
+        out_v.extend(vec.add_batch(EventBatch(ts, keys, vals)))
+        out_s.extend(sc.flush())
+        out_v.extend(vec.flush())
+        assert vec.fallback_batches == 1
+        assert _bytes(out_s) == _bytes(out_v)
+
+    def test_snapshot_restore_roundtrip(self):
+        rng = np.random.default_rng(10)
+        ts, keys, vals = _stream(rng, 200)
+        spec = WindowSpec.tumbling(1.0)
+        vec = VectorizedWindowAggregator(spec, WindowAgg.by_name("sum"),
+                                         watermark_delay=0.5,
+                                         allowed_lateness=0.5)
+        out = list(vec.add_batch(EventBatch(ts[:100], keys[:100],
+                                            vals[:100])))
+        snap = vec.snapshot()
+        cont_a = list(vec.add_batch(EventBatch(ts[100:], keys[100:],
+                                               vals[100:])))
+        cont_a.extend(vec.flush())
+        vec.restore(snap)
+        cont_b = list(vec.add_batch(EventBatch(ts[100:], keys[100:],
+                                               vals[100:])))
+        cont_b.extend(vec.flush())
+        assert _bytes(cont_a) == _bytes(cont_b)
+        assert out is not None
+
+
+class TestWindowSpec:
+    def test_validation(self):
+        with pytest.raises(StreamingError):
+            WindowSpec.tumbling(0.0)
+        with pytest.raises(StreamingError):
+            WindowSpec.sliding(1.0, 2.0)
+        with pytest.raises(StreamingError):
+            WindowSpec.session(0.0)
+
+    def test_agg_by_name(self):
+        with pytest.raises(StreamingError):
+            WindowAgg.by_name("median")
+        assert WindowAgg.by_name("count").kind == "count"

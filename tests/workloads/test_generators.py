@@ -5,6 +5,7 @@ import pytest
 
 from repro.common.errors import ConfigError
 from repro.workloads import (
+    event_stream,
     job_mix,
     mmpp_rate_trace,
     poisson_rate_trace,
@@ -140,3 +141,45 @@ class TestBlockTrace:
         hot = zipf_block_trace(5000, 500, skew=1.2, seed=1)
         cold = zipf_block_trace(5000, 500, skew=0.0, seed=1)
         assert len(np.unique(hot)) < len(np.unique(cold))
+
+
+class TestEventStream:
+    def test_shapes_and_order(self):
+        arrival, ts, keys, values = event_stream("uniform", 2000.0, 10.0,
+                                                 seed=0)
+        n = len(arrival)
+        assert len(ts) == len(keys) == len(values) == n
+        assert np.all(np.diff(arrival) >= 0)          # sorted by arrival
+        assert np.all(ts <= arrival) and np.all(ts >= 0)
+        assert arrival.max() < 10.0
+
+    def test_determinism(self):
+        a = event_stream("bursty", 1000.0, 10.0, seed=7)
+        b = event_stream("bursty", 1000.0, 10.0, seed=7)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_skewed_concentrates_keys(self):
+        _a, _t, hot, _v = event_stream("skewed", 3000.0, 10.0, n_keys=64,
+                                       key_skew=1.5, seed=1)
+        _a, _t, cold, _v = event_stream("uniform", 3000.0, 10.0, n_keys=64,
+                                        seed=1)
+        top_hot = np.bincount(hot, minlength=64).max() / len(hot)
+        top_cold = np.bincount(cold, minlength=64).max() / len(cold)
+        assert top_hot > 2 * top_cold
+
+    def test_bursty_is_time_correlated(self):
+        arrival, *_ = event_stream("bursty", 2000.0, 20.0, seed=3)
+        counts = np.histogram(arrival, bins=20, range=(0.0, 20.0))[0]
+        uni, *_ = event_stream("uniform", 2000.0, 20.0, seed=3)
+        ucounts = np.histogram(uni, bins=20, range=(0.0, 20.0))[0]
+        assert counts.std() > 2 * ucounts.std()
+
+    def test_in_order_when_no_delay(self):
+        arrival, ts, _k, _v = event_stream("uniform", 1000.0, 5.0,
+                                           ooo_delay=0.0, seed=2)
+        assert np.array_equal(arrival, ts)
+
+    def test_bad_scenario(self):
+        with pytest.raises(ConfigError):
+            event_stream("sawtooth", 100.0, 1.0)
