@@ -11,8 +11,11 @@ traced leg upper-bounds the disabled cost; the <5% guard is enforced
 here), the warm process-pool backend against in-process execution at
 1/2/``--workers`` workers (the ``pool_speedup`` summary field; >= 2x on
 the CPU-bound headline basket at 4 workers when >= 4 cores are present),
-and, with ``--profile``, prints the kernel event mix and per-operator
-self-time profile from :mod:`repro.obs.profile`.  Writes
+the multi-tenant serving gateway over three tenant mixes plus a chaos
+sweep (per-tenant p99 / goodput-per-dollar / Jain fairness, exact
+conservation on every seed), and, with ``--profile``, prints the kernel
+event mix and per-operator self-time profile from
+:mod:`repro.obs.profile`.  Writes
 ``BENCH_wallclock.json`` next to the repo root so every PR leaves a
 comparable perf trajectory.
 
@@ -85,6 +88,14 @@ def enforce_guards(payload: dict) -> None:
     knee for every scenario with conservation intact in every overload
     leg, and the backpressured interior must stay at least 2x tighter
     than the unbounded one on the uniform overload leg.
+
+    PR 9 adds the multi-tenant serving guards: every tenant mix must
+    complete work with exact per-tenant conservation (``submitted ==
+    rejected + completed + failed``, zero inflight after drain), the
+    balanced mix of statistically identical tenants must score Jain
+    fairness >= 0.9, goodput-per-dollar must be positive everywhere,
+    and the chaos sweep must hold conservation on every seed while
+    degrading p99 gracefully (within 10x of fault-free).
     """
     summary = payload["summary"]
     fusion = summary["fusion_speedup"]
@@ -140,6 +151,30 @@ def enforce_guards(payload: dict) -> None:
         "backpressure no longer bounds the pipeline interior: "
         f"on {uo['on']['pipeline_p99']:.2f}s vs "
         f"off {uo['off']['pipeline_p99']:.2f}s")
+    serving = payload["multi_tenant_serving"]
+    for mix, sec in serving["mixes"].items():
+        assert sec["conservation_ok"], f"{mix}: fleet conservation violated"
+        assert sec["dollars"] > 0 and sec["goodput_per_dollar"] > 0, \
+            f"{mix}: fleet ran for free or delivered nothing"
+        for name, t in sec["tenants"].items():
+            assert t["conservation_ok"] and t["inflight"] == 0, (
+                f"{mix}/{name}: submitted {t['submitted']} != rejected "
+                f"{t['rejected']} + completed {t['completed']} + failed "
+                f"{t['failed']} (inflight {t['inflight']})")
+        assert any(t["completed"] > 0 for t in sec["tenants"].values()), \
+            f"{mix}: no tenant completed any work"
+    balanced_jain = serving["mixes"]["balanced"]["jain_fairness"]
+    assert balanced_jain >= 0.9, (
+        f"identical tenants no longer treated fairly: "
+        f"Jain {balanced_jain:.3f} < 0.9")
+    chaos = serving["chaos_sweep"]
+    assert chaos["all_conserved"], (
+        "chaos sweep broke per-tenant conservation: "
+        + ", ".join(s for s, r in chaos["runs"].items()
+                    if not r["conserved"]))
+    assert chaos["graceful"], (
+        f"chaos p99 diverged: {chaos['max_p99_ratio_vs_clean']:.1f}x "
+        f"fault-free (bound 10x)")
 
 
 def test_p0(benchmark):
@@ -167,6 +202,12 @@ def test_p0(benchmark):
     # streaming sections present with all three scenarios
     assert set(payload["sustained_throughput"]["scenarios"]) == \
         {"uniform", "bursty", "skewed"}
+    # serving section present with all three tenant mixes + chaos sweep
+    serving = payload["multi_tenant_serving"]
+    assert set(serving["mixes"]) == {"balanced", "heavy_hitter",
+                                     "bursty_mixed"}
+    assert serving["chaos_sweep"]["runs"]
+    assert summary["serving_chaos_conserved"] is True
     enforce_guards(payload)
     meta = payload["meta"]
     assert meta["fusion_enabled"] and meta["columnar_enabled"]
@@ -188,6 +229,12 @@ if __name__ == "__main__":
                      backend=opts.backend, workers=opts.workers)
     enforce_guards(payload)
     pool_speedup = payload["summary"]["pool_speedup"]
+    chaos = payload["multi_tenant_serving"]["chaos_sweep"]
+    print("serving guards OK: balanced Jain {:.3f}, chaos conserved on "
+          "{} seeds, worst p99 {:.1f}x fault-free".format(
+              payload["multi_tenant_serving"]["mixes"]["balanced"]
+              ["jain_fairness"],
+              len(chaos["runs"]), chaos["max_p99_ratio_vs_clean"]))
     print("guards OK: fusion {:.2f}x, sql {:.2f}x, join {:.2f}x, "
           "windowed {:.2f}x, pool {}, obs overhead bound {:+.1f}%, "
           "idle-resilience overhead {:+.1f}%".format(

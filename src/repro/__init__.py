@@ -15,6 +15,7 @@ The package provides (bottom-up):
 * :mod:`repro.workloads` — deterministic workload generators
 * :mod:`repro.resilience` — deadlines, retry budgets, breakers, hedging, admission
 * :mod:`repro.chaos`     — cross-layer fault plans + recovery-equivalence oracles
+* :mod:`repro.serve`     — multi-tenant serving gateway composing the full stack
 * :mod:`repro.bench`     — the experiment harness used by ``benchmarks/``
 
 Quickstart::
@@ -43,6 +44,7 @@ from . import (
     net,
     resilience,
     scheduler,
+    serve,
     simcore,
     sql,
     storage,
@@ -53,6 +55,6 @@ from . import (
 __all__ = [
     "common", "simcore", "net", "cluster", "storage", "dataflow",
     "scheduler", "cloud", "streaming", "graph", "ml", "workloads", "bench",
-    "sql", "chaos", "resilience",
+    "sql", "chaos", "resilience", "serve",
     "__version__",
 ]

@@ -78,11 +78,11 @@ from ..workloads import event_stream, teragen, zipf_text
 from .harness import bench_metadata
 
 __all__ = ["BASKET", "HEADLINE", "POOL_HEADLINE", "POOL_SWEEP",
-           "STREAM_SCENARIOS", "SCHEMA_VERSION", "run_suite",
+           "STREAM_SCENARIOS", "SERVE_MIXES", "SCHEMA_VERSION", "run_suite",
            "write_report", "measure_shuffle_write", "measure_end_to_end",
            "measure_sql_analytics", "measure_sql_join", "measure_narrow_chain",
            "measure_pool_backend", "measure_windowed_aggregation",
-           "measure_sustained_throughput",
+           "measure_sustained_throughput", "measure_multi_tenant_serving",
            "measure_obs_overhead", "measure_resilience_overhead",
            "profile_end_to_end"]
 
@@ -95,7 +95,15 @@ __all__ = ["BASKET", "HEADLINE", "POOL_HEADLINE", "POOL_SWEEP",
 #: ``pool_backend.insufficient_cores`` flag that nulls the pool headline
 #: on runners with fewer than 4 cores instead of reporting a misleading
 #: sub-1x "speedup".
-SCHEMA_VERSION = 8
+#:
+#: v9 adds ``multi_tenant_serving``: the end-to-end gateway scenario of
+#: ROADMAP item 1 — tenant mixes scaled to millions of modeled users
+#: submitting SQL/dataflow/streaming/workflow jobs through admission,
+#: fair-share scheduling, breaker-gated autoscaling, and retry/hedging —
+#: reporting per-tenant p99 latency, goodput-per-dollar, and Jain
+#: fairness per mix, plus a chaos-sweep leg where every seed must hold
+#: per-tenant conservation exactly and degrade p99 gracefully.
+SCHEMA_VERSION = 9
 
 #: The fixed workload basket, in reporting order.  The first four are
 #: the simulated-cluster jobs; ``sql_analytics``, ``sql_join`` and
@@ -912,6 +920,135 @@ def measure_sustained_throughput(scale: float = 1.0,
 
 
 # ---------------------------------------------------------------------------
+# multi-tenant serving: the end-to-end gateway scenario (ROADMAP item 1)
+# ---------------------------------------------------------------------------
+
+#: The tenant mixes the serving benchmark sweeps, in reporting order.
+SERVE_MIXES = ("balanced", "heavy_hitter", "bursty_mixed")
+
+
+def _serve_tenants(mix: str):
+    """Tenant specs for one named mix (populations in modeled users)."""
+    from ..serve import TenantSpec
+    if mix == "balanced":
+        return [TenantSpec(name=f"t{i}", profile="web-sql",
+                           users=1_500_000, arrival="poisson", slo_p99=20.0)
+                for i in range(4)]
+    if mix == "heavy_hitter":
+        return [
+            TenantSpec(name="whale", profile="dataflow", users=2_400_000,
+                       arrival="mmpp", weight=1.0, slo_p99=60.0),
+            TenantSpec(name="t1", profile="web-sql", users=600_000,
+                       arrival="poisson", slo_p99=20.0),
+            TenantSpec(name="t2", profile="web-sql", users=600_000,
+                       arrival="poisson", slo_p99=20.0),
+            TenantSpec(name="t3", profile="streaming", users=600_000,
+                       arrival="periodic", slo_p99=25.0),
+        ]
+    if mix == "bursty_mixed":
+        return [
+            TenantSpec(name="sql", profile="web-sql", users=1_800_000,
+                       arrival="poisson", slo_p99=20.0),
+            TenantSpec(name="etl", profile="dataflow", users=500_000,
+                       arrival="mmpp", slo_p99=90.0),
+            TenantSpec(name="pulse", profile="streaming", users=900_000,
+                       arrival="periodic", slo_p99=30.0),
+            TenantSpec(name="dag", profile="workflow", users=300_000,
+                       arrival="sessions", slo_p99=150.0),
+        ]
+    raise ValueError(f"unknown tenant mix {mix!r}")
+
+
+def measure_multi_tenant_serving(scale: float = 1.0,
+                                 mixes: Sequence[str] = SERVE_MIXES,
+                                 chaos_seeds: Sequence[int] = (0, 1, 2),
+                                 ) -> Dict[str, Any]:
+    """Run the serving gateway over tenant mixes + a chaos sweep.
+
+    Per mix: one fault-free gateway run reporting per-tenant p99 latency
+    and SLO attainment, fleet cost, goodput-per-dollar, and Jain
+    fairness over weight-normalized goodput — all backed by exact
+    per-tenant conservation (``submitted == rejected + completed +
+    failed``, drained).  The millions-of-users populations are simulated
+    via Poisson thinning (``sample_frac``): the thinned arrival process
+    is statistically the full one at the sample rate, served by a
+    proportionally thinned fleet.
+
+    The chaos leg re-runs the bursty mix under renewal fault plans
+    (task crashes, stragglers, node failures, load bursts), one per
+    seed; every seed must hold conservation exactly, and the worst
+    faulted p99 must stay within a constant factor of fault-free
+    (graceful degradation, no unbounded divergence).
+    """
+    from ..chaos.plan import FaultPlan
+    from ..serve import ServeConfig, run_gateway
+
+    horizon = max(20.0, 60.0 * min(scale, 1.0))
+    sample_frac = 5e-3
+    out_mixes: Dict[str, Any] = {}
+    for mix in mixes:
+        tenants = _serve_tenants(mix)
+        cfg = ServeConfig(horizon=horizon, sample_frac=sample_frac, seed=17)
+        t0 = time.perf_counter()
+        report = run_gateway(tenants, cfg)
+        wall = time.perf_counter() - t0
+        summary = report.summary()
+        n_requests = sum(t.submitted for t in report.tenants.values())
+        out_mixes[mix] = {
+            **summary,
+            "wall_seconds": wall,
+            "simulated_requests": n_requests,
+            "requests_per_wall_sec": n_requests / wall if wall > 0 else 0.0,
+        }
+        if not report.conservation_ok():
+            raise RuntimeError(
+                f"serving conservation violated in mix {mix!r}")
+
+    chaos_tenants = _serve_tenants("bursty_mixed")
+    clean_cfg = ServeConfig(horizon=horizon, sample_frac=sample_frac,
+                            seed=17)
+    clean = run_gateway(chaos_tenants, clean_cfg)
+    chaos_runs: Dict[str, Any] = {}
+    all_conserved = True
+    worst_ratio = 0.0
+    for seed in chaos_seeds:
+        plan = FaultPlan.renewal(
+            int(seed), horizon=horizon,
+            rates={"task_crash": 0.1, "slow_node": 0.02,
+                   "node_fail": 0.01, "load_burst": 0.02},
+            mean_duration=max(4.0, horizon / 8.0))
+        cfg = ServeConfig(horizon=horizon, sample_frac=sample_frac,
+                          seed=int(seed))
+        faulted = run_gateway(chaos_tenants, cfg, plan=plan)
+        conserved = faulted.conservation_ok() and all(
+            t.inflight == 0 for t in faulted.tenants.values())
+        all_conserved = all_conserved and conserved
+        ratio = faulted.worst_p99() / max(clean.worst_p99(), 1e-9)
+        worst_ratio = max(worst_ratio, ratio)
+        chaos_runs[str(seed)] = {
+            "injections": len(plan),
+            "conserved": conserved,
+            "worst_p99": faulted.worst_p99(),
+            "p99_ratio_vs_clean": ratio,
+            "jain_fairness": faulted.jain_fairness(),
+        }
+    return {
+        "scale": scale,
+        "horizon": horizon,
+        "sample_frac": sample_frac,
+        "mixes": out_mixes,
+        "chaos_sweep": {
+            "seeds": [int(s) for s in chaos_seeds],
+            "clean_worst_p99": clean.worst_p99(),
+            "all_conserved": all_conserved,
+            "max_p99_ratio_vs_clean": worst_ratio,
+            "graceful": worst_ratio <= 10.0,
+            "runs": chaos_runs,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
 # observability overhead: the off-by-default guarantee, measured
 # ---------------------------------------------------------------------------
 
@@ -1196,6 +1333,16 @@ def run_suite(scale: float = 1.0, verbose: bool = True,
             for s, v in streaming["scenarios"].items())
         print(f"{'sustained':>15}: {knees}  "
               f"(p99 <= {streaming['p99_bound']} s)")
+    serving = measure_multi_tenant_serving(scale)
+    if verbose:
+        lines = "  ".join(
+            f"{m} jain {v['jain_fairness']:.3f} "
+            f"${v['goodput_per_dollar']:,.0f}/$"
+            for m, v in serving["mixes"].items())
+        sweep_s = serving["chaos_sweep"]
+        print(f"{'serving':>15}: {lines}  chaos "
+              f"[conserved={sweep_s['all_conserved']} "
+              f"p99x{sweep_s['max_p99_ratio_vs_clean']:.1f}]")
     # clamp the overhead A/B to the full-scale workload: at smoke scales
     # the job is short enough that scheduler/load noise alone is
     # percent-level, which would make a 5% guard flaky — and fixed costs
@@ -1233,7 +1380,9 @@ def run_suite(scale: float = 1.0, verbose: bool = True,
         "resilience_overhead": resil,
         "pool_backend": pool,
         "sustained_throughput": streaming,
-        "summary": _summarize(workloads, obs, resil, pool, streaming),
+        "multi_tenant_serving": serving,
+        "summary": _summarize(workloads, obs, resil, pool, streaming,
+                              serving),
     }
     if verbose:
         s = payload["summary"]
@@ -1248,7 +1397,8 @@ def _summarize(workloads: Dict[str, Any],
                obs: Optional[Dict[str, Any]] = None,
                resil: Optional[Dict[str, Any]] = None,
                pool: Optional[Dict[str, Any]] = None,
-               streaming: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+               streaming: Optional[Dict[str, Any]] = None,
+               serving: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     def _basket_rate(leg: str) -> float:
         recs = sum(workloads[n]["shuffle_write"]["records"]
                    for n in HEADLINE)
@@ -1285,6 +1435,16 @@ def _summarize(workloads: Dict[str, Any],
             s: v["sustained_rate"]
             for s, v in streaming["scenarios"].items()
         } if streaming else None,
+        "serving_jain_fairness": {
+            m: v["jain_fairness"] for m, v in serving["mixes"].items()
+        } if serving else None,
+        "serving_goodput_per_dollar": {
+            m: v["goodput_per_dollar"] for m, v in serving["mixes"].items()
+        } if serving else None,
+        "serving_chaos_conserved":
+            serving["chaos_sweep"]["all_conserved"] if serving else None,
+        "serving_chaos_graceful":
+            serving["chaos_sweep"]["graceful"] if serving else None,
     }
 
 

@@ -65,8 +65,8 @@ from .plan import FaultEvent, FaultPlan
 
 __all__ = ["OracleReport", "check_dataflow", "check_streaming",
            "check_microbatch", "check_event_streaming", "check_dfs",
-           "check_autoscale", "check_resilience", "LAYERS", "run_all",
-           "sweep"]
+           "check_autoscale", "check_resilience", "check_serve", "LAYERS",
+           "run_all", "sweep"]
 
 
 @dataclass
@@ -550,6 +550,79 @@ def check_resilience(seed: int,
     return report
 
 
+# --------------------------------------------------------------------- serve
+
+def _serve_mix():
+    from ..serve import TenantSpec
+    return [
+        TenantSpec(name="sql", profile="web-sql", users=1_500_000,
+                   arrival="poisson", slo_p99=30.0),
+        TenantSpec(name="etl", profile="dataflow", users=400_000,
+                   arrival="mmpp", slo_p99=90.0),
+        TenantSpec(name="pulse", profile="streaming", users=600_000,
+                   arrival="periodic", slo_p99=45.0),
+        TenantSpec(name="dag", profile="workflow", users=250_000,
+                   arrival="sessions", slo_p99=150.0),
+    ]
+
+
+def check_serve(seed: int, plan: Optional[FaultPlan] = None) -> OracleReport:
+    """Multi-tenant serving gateway under the full fault vocabulary.
+
+    The gateway composes admission, fair-share scheduling, breaker-gated
+    autoscaling, and retry/hedging, so its oracle checks *accounting*
+    invariants rather than output equivalence (faults legitimately
+    change which requests complete when):
+
+    1. **Determinism** — two faulted runs produce byte-equal snapshots
+       (per-tenant counters *and* per-request latency vectors).
+    2. **Conservation** — for every tenant, in clean and faulted runs,
+       ``submitted == rejected + completed + failed + inflight`` exactly,
+       with ``inflight == 0`` after drain, and each admitted request
+       terminal exactly once (retries/hedges never double-bill).
+    3. **Graceful degradation** — the faulted worst-tenant p99 stays
+       within a constant factor of the fault-free run (no unbounded
+       divergence), and load bursts only ever add offered requests.
+    """
+    from ..serve import ServeConfig, run_gateway
+    horizon = 40.0
+    if plan is None:
+        plan = FaultPlan.renewal(
+            seed, horizon=horizon,
+            rates={"task_crash": 0.15, "slow_node": 0.02,
+                   "node_fail": 0.01, "load_burst": 0.02},
+            mean_duration=6.0)
+    report = OracleReport("serve", seed, plan)
+    report.injections = len(plan)
+    mix = _serve_mix()
+    cfg = ServeConfig(horizon=horizon, sample_frac=5e-3, seed=seed)
+    clean = run_gateway(mix, cfg)
+    faulted1 = run_gateway(mix, cfg, plan=plan)
+    faulted2 = run_gateway(mix, cfg, plan=plan)
+    report.expect(_bytes(faulted1.snapshot()) == _bytes(faulted2.snapshot()),
+                  "result_determinism")
+    for label, rep in (("clean", clean), ("faulted", faulted1)):
+        report.expect(rep.conservation_ok(),
+                      f"{label}:per_tenant_conservation")
+        report.expect(all(t.inflight == 0 for t in rep.tenants.values()),
+                      f"{label}:drained")
+        report.expect(
+            all(t.completed + t.failed == t.submitted - t.rejected
+                for t in rep.tenants.values()),
+            f"{label}:bill_exactly_once")
+        report.expect(0.0 < rep.jain_fairness() <= 1.0 + 1e-12,
+                      f"{label}:jain_in_range")
+        report.expect(rep.node_seconds > 0, f"{label}:fleet_billed")
+    report.expect(
+        faulted1.worst_p99() <= 10.0 * max(clean.worst_p99(), 1.0),
+        "graceful_p99_degradation")
+    report.expect(
+        all(faulted1.tenants[n].submitted >= clean.tenants[n].submitted
+            for n in clean.tenants),
+        "load_bursts_only_add_offers")
+    return report
+
+
 # --------------------------------------------------------------------- drivers
 
 LAYERS: Dict[str, Callable[[int], OracleReport]] = {
@@ -560,6 +633,7 @@ LAYERS: Dict[str, Callable[[int], OracleReport]] = {
     "dfs": check_dfs,
     "autoscale": check_autoscale,
     "resilience": check_resilience,
+    "serve": check_serve,
 }
 
 

@@ -151,9 +151,30 @@ class BreakerGatedPolicy(AutoscalePolicy):
                                   queue=queue)
         direction = (want > current) - (want < current)
         if direction == 0:
+            # A steady decision is calm evidence: reset the consecutive-
+            # failure run (and close a half-open breaker) so isolated
+            # reversals separated by long calm stretches never accumulate
+            # into a trip.  Without this, the failure count survived any
+            # amount of calm because steady decisions skipped the breaker
+            # entirely (contradicting the class contract above).
+            self.breaker.record_success(self.target, t)
             return want
         flapping = (self._last_dir != 0 and direction != self._last_dir
                     and t - self._last_change < self.flap_window)
+        # The flap detector keys on the *decision stream*, so the stream
+        # state advances even when the breaker holds the fleet.  If held
+        # decisions left ``_last_dir``/``_last_change`` stale (the
+        # original behaviour), every half-open probe re-judged the probe
+        # decision against the pre-hold epoch: one bursty tenant's last
+        # reversal was re-counted as a *fresh* flap on each probe,
+        # re-tripping the breaker and pinning scale-up/-in for everyone
+        # for up to ``flap_window`` — regardless of the breaker's own
+        # ``recovery_time``.  With the stream advanced, a sustained
+        # post-burst direction reads as calm at the first probe and the
+        # fleet unpins after exactly one recovery period, while a
+        # genuinely still-flapping stream keeps re-tripping as intended.
+        self._last_dir = direction
+        self._last_change = t
         if flapping:
             self.breaker.record_failure(self.target, t)
         else:
@@ -168,8 +189,6 @@ class BreakerGatedPolicy(AutoscalePolicy):
                 tr.instant("scale_held", t, lane=("cloud", self.name),
                            cat="resilience", want=want, current=current)
             return current
-        self._last_dir = direction
-        self._last_change = t
         return want
 
 

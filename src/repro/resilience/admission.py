@@ -77,6 +77,26 @@ class AdmissionController:
         self.admitted = 0
         self.shed = 0
 
+    def _take_whole(self, now: float, n: int) -> int:
+        """Take up to ``n`` *whole* tokens, never debiting a fraction.
+
+        Records are indivisible, so a grant must be an integer.  Taking
+        ``bucket.take(now, n)`` and flooring afterwards (the original
+        implementation) silently destroyed the fractional remainder: an
+        offer that could not be admitted still debited up to one token.
+        At low rates with small offers that is starvation — a bucket
+        refilling 0.6 tokens/s offered one record per second keeps
+        getting debited 0.6 tokens for *shed* records and never
+        accumulates the full token it needs, admitting ~0 instead of
+        ~0.6 records/s.  Rejected work must never count against the
+        tenant's future admission share.
+        """
+        whole = int(math.floor(self.bucket.available(now) + 1e-9))
+        granted = min(int(n), whole)
+        if granted > 0:
+            self.bucket.take(now, granted)
+        return granted
+
     def admit(self, now: float, offered: int,
               backlog: int) -> Tuple[int, int, float]:
         """Return ``(admitted, shed, delay)`` for ``offered`` records.
@@ -100,7 +120,7 @@ class AdmissionController:
             # rest.
             fits = int(math.floor(min(offered, cfg.burst)))
             impossible = offered - fits
-            granted = int(math.floor(self.bucket.take(now, fits)))
+            granted = self._take_whole(now, fits)
             if granted < fits:
                 wait = self.bucket.time_until(now, fits - granted)
                 self.admitted += granted
@@ -113,7 +133,7 @@ class AdmissionController:
             if reg is not None and impossible:
                 reg.counter("resilience.admission.shed").inc(impossible)
             return granted, impossible, 0.0
-        granted = int(math.floor(self.bucket.take(now, offered)))
+        granted = self._take_whole(now, offered)
         dropped = offered - granted
         self.admitted += granted
         self.shed += dropped

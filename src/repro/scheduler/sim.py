@@ -11,7 +11,7 @@ itself).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..common.errors import SchedulingError
 from ..common.stats import TimeWeighted, jain_index, percentile
@@ -79,12 +79,44 @@ class SchedulerSim:
         self._done_ev = sim.event()
         self._n_finished = 0
         self._dispatch_pending = False
+        #: Optional hook fired once per job the moment it completes —
+        #: the seam the serving gateway uses for per-tenant accounting
+        #: and workflow stage chaining.
+        self.on_job_done: Optional[Callable[[Job], None]] = None
 
     def submit_all(self, specs: Sequence[JobSpec]) -> None:
         """Schedule arrival of every spec at its arrival time."""
         for spec in sorted(specs, key=lambda s: (s.arrival, s.job_id)):
             self.sim.process(self._arrival(spec), name=f"arrive:{spec.job_id}")
         self._n_expected = len(specs)
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Submit one job *now* (incremental entry point for live sources).
+
+        Unlike :meth:`submit_all`, the job joins the active set
+        immediately at the current sim time; callers driving the
+        simulator themselves (the serving gateway) use this together
+        with :attr:`on_job_done` instead of :meth:`run`.
+        """
+        job = Job(spec)
+        self.jobs.append(job)
+        self._schedule_dispatch()
+        return job
+
+    def set_capacity(self, capacity: Resources) -> None:
+        """Change the cluster capacity (autoscaling seam).
+
+        Already-granted tasks keep their slots: ``free`` moves by the
+        capacity delta and may go transiently negative after a scale-in,
+        which simply blocks new grants until enough running tasks drain.
+        The allocated amount (``capacity - free``) is invariant across
+        the change.
+        """
+        delta = capacity - self.capacity
+        self.capacity = capacity
+        self.free = self.free + delta
+        self._busy.update(self.sim.now, self.capacity.cpus - self.free.cpus)
+        self._schedule_dispatch()
 
     def run(self) -> ScheduleResult:
         """Run the simulation to completion and compute metrics."""
@@ -150,14 +182,21 @@ class SchedulerSim:
 
     def _task(self, job: Job, duration: float):
         yield self.sim.timeout(duration)
+        self._complete_task(job)
+
+    def _complete_task(self, job: Job) -> None:
+        """Bookkeeping shared by every task-completion path."""
         job.task_finished()
         self.free = self.free + job.spec.demand
         self._busy.update(self.sim.now, self.capacity.cpus - self.free.cpus)
         if job.done and job.finish_time is None:
             job.finish_time = self.sim.now
             self._n_finished += 1
-            if self._n_finished >= self._n_expected:
+            if (getattr(self, "_n_expected", None) is not None
+                    and self._n_finished >= self._n_expected):
                 self._done_ev.succeed(None)
+            if self.on_job_done is not None:
+                self.on_job_done(job)
         self._schedule_dispatch()
 
 

@@ -1,0 +1,246 @@
+"""Tenant models for the multi-tenant serving gateway.
+
+A :class:`TenantSpec` describes one tenant of the shared cluster: a
+modeled user population (the "millions of users" knob), a per-user
+request rate, an arrival process drawn from :mod:`repro.workloads`
+(Poisson, MMPP bursty, web-session clickstreams, or periodic micro-batch
+pulses), a job profile (SQL point queries, dataflow batches, streaming
+pulses, or multi-stage DAG workflows per the workflow-scheduling survey),
+an admission contract at the gate, a fair-share weight, and a p99
+latency SLO.
+
+Population scaling
+------------------
+Simulating every request of a multi-million-user tenant event-by-event
+is neither necessary nor honest benchmarking: a Poisson (or Markov-
+modulated Poisson) arrival process thinned by a factor ``sample_frac``
+is again (MM)Poisson with the thinned rate, so the gateway simulates the
+``sample_frac`` sample of the full-population stream against a
+``sample_frac``-scaled fleet and reports latency/fairness statistics
+that estimate the full-scale system's.  ``TenantSpec.users`` is the
+modeled population; :meth:`TenantSpec.full_rate` the full-population
+request rate; :meth:`TenantSpec.sim_rate` the simulated (thinned) rate.
+
+Everything is deterministic per ``(seed, tenant name)``: each tenant
+draws from an independent child RNG stream, so adding a tenant to a mix
+never perturbs another tenant's arrivals or job shapes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..common.errors import ConfigError
+from ..scheduler.jobs import Resources
+from ..workloads.generators import mmpp_rate_trace, web_sessions
+
+__all__ = ["JobShape", "JobRequest", "TenantSpec", "generate_requests",
+           "PROFILES", "ARRIVALS"]
+
+#: Job profiles a tenant can submit.
+PROFILES = ("web-sql", "dataflow", "streaming", "workflow")
+
+#: Arrival processes a tenant can use.
+ARRIVALS = ("poisson", "mmpp", "sessions", "periodic")
+
+
+@dataclass(frozen=True)
+class JobShape:
+    """Durations + per-task demand of one scheduler job (one DAG wave)."""
+
+    task_durations: Tuple[float, ...]
+    demand: Resources
+
+    @property
+    def work(self) -> float:
+        """Serial cpu-seconds of this wave."""
+        return float(sum(self.task_durations)) * self.demand.cpus
+
+    @property
+    def critical(self) -> float:
+        """Longest task — the wave's lower-bound runtime."""
+        return float(max(self.task_durations))
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One tenant request: a job of one or more precedence-ordered waves.
+
+    ``stages`` is a layered DAG lowered to its wave decomposition: wave
+    ``i + 1`` may only start when wave ``i`` has fully completed (the
+    critical-path schedule of a level-structured workflow).  SQL,
+    dataflow and streaming jobs are single-wave; workflow jobs carry
+    several.
+    """
+
+    tenant: str
+    req_id: int
+    arrival: float
+    kind: str
+    stages: Tuple[JobShape, ...]
+
+    @property
+    def work(self) -> float:
+        """Total cpu-seconds across all waves."""
+        return float(sum(s.work for s in self.stages))
+
+    @property
+    def critical_path(self) -> float:
+        """Sum of per-wave critical tasks — the ideal end-to-end runtime."""
+        return float(sum(s.critical for s in self.stages))
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Static description of one tenant of the serving gateway."""
+
+    name: str
+    profile: str = "web-sql"          # see PROFILES
+    users: int = 1_000_000            # modeled population
+    req_per_user_hour: float = 0.36   # full-population per-user rate
+    arrival: str = "poisson"          # see ARRIVALS
+    weight: float = 1.0
+    slo_p99: float = 20.0             # end-to-end p99 target (sim s)
+    #: Gate admission, in *simulated* requests/s.  ``None`` derives
+    #: 1.25x the tenant's mean simulated rate (headroom for jitter).
+    admission_rate: Optional[float] = None
+    admission_burst: Optional[float] = None
+    admission_mode: str = "shed"      # "shed" | "delay"
+    max_backlog: int = 256            # inflight jobs before hard shedding
+    #: Multiplies every task duration (induced-skew knob for fairness
+    #: experiments).
+    demand_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise ConfigError(f"unknown tenant profile {self.profile!r}")
+        if self.arrival not in ARRIVALS:
+            raise ConfigError(f"unknown arrival process {self.arrival!r}")
+        if self.users < 1 or self.req_per_user_hour <= 0:
+            raise ConfigError("tenant needs a positive population and rate")
+        if self.weight <= 0 or self.slo_p99 <= 0 or self.demand_scale <= 0:
+            raise ConfigError("weight, slo_p99 and demand_scale must be > 0")
+        if self.admission_mode not in ("shed", "delay"):
+            raise ConfigError(f"unknown admission mode {self.admission_mode!r}")
+
+    def full_rate(self) -> float:
+        """Full-population request rate (req/s)."""
+        return self.users * self.req_per_user_hour / 3600.0
+
+    def sim_rate(self, sample_frac: float) -> float:
+        """Thinned request rate actually simulated (req/s)."""
+        return self.full_rate() * sample_frac
+
+    def gate_rate(self, sample_frac: float) -> float:
+        """Admission-bucket refill rate (simulated req/s)."""
+        if self.admission_rate is not None:
+            return self.admission_rate
+        return 1.25 * self.sim_rate(sample_frac)
+
+    def gate_burst(self, sample_frac: float) -> float:
+        if self.admission_burst is not None:
+            return self.admission_burst
+        return max(1.0, 2.0 * self.gate_rate(sample_frac))
+
+
+def _rng_for(seed: int, name: str, purpose: str) -> np.random.Generator:
+    salt = zlib.crc32(f"{name}:{purpose}".encode("utf-8")) & 0xFFFFFFFF
+    return np.random.default_rng([int(seed), salt])
+
+
+def _arrival_times(spec: TenantSpec, horizon: float, rate: float,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Arrival timestamps in ``[0, horizon)`` for one tenant."""
+    if rate <= 0:
+        return np.empty(0)
+    if spec.arrival == "poisson":
+        n = int(rng.poisson(rate * horizon))
+        return np.sort(rng.uniform(0.0, horizon, n))
+    if spec.arrival == "mmpp":
+        dt = max(horizon / 64.0, 0.25)
+        rates = mmpp_rate_trace(0.4 * rate, 2.5 * rate, horizon,
+                                mean_low_dwell=horizon / 4.0,
+                                mean_high_dwell=horizon / 10.0,
+                                dt=dt, seed=rng)
+        counts = rng.poisson(rates * dt)
+        if counts.sum() == 0:
+            return np.empty(0)
+        times = np.concatenate([
+            t0 + np.sort(rng.uniform(0.0, dt, int(c)))
+            for t0, c in zip(np.arange(len(counts)) * dt, counts) if c
+        ])
+        return times[times < horizon]
+    if spec.arrival == "sessions":
+        # Size the session population so the expected event count matches
+        # rate * horizon (a session yields ~1 + mean_session_events
+        # events per mean_intersession + session span); web_sessions'
+        # defaults give ~8 events per user per ~600 s.
+        mean_gap = 20.0
+        mean_inter = max(horizon / 2.0, 60.0)
+        per_user = 1.0 + 8.0 * max(horizon - mean_inter, 0.0) / \
+            (mean_inter + 8.0 * mean_gap)
+        n_users = max(1, int(round(rate * horizon / max(per_user, 1e-9))))
+        events = web_sessions(n_users, horizon, mean_gap=mean_gap,
+                              mean_intersession=mean_inter, seed=rng)
+        return np.array([t for t, _u, _p in events], dtype=np.float64)
+    # periodic: micro-batch pulses with a deterministic phase
+    interval = 1.0 / rate
+    phase = float(rng.uniform(0.0, interval))
+    return np.arange(phase, horizon, interval)
+
+
+def _shapes(spec: TenantSpec, n: int,
+            rng: np.random.Generator) -> List[Tuple[JobShape, ...]]:
+    """Per-request wave decompositions for ``n`` requests."""
+    def waves(n_stages: int, lo_tasks: int, hi_tasks: int,
+              mean_dur: float, sigma: float, demand: Resources
+              ) -> Tuple[JobShape, ...]:
+        mu = np.log(mean_dur * spec.demand_scale) - sigma ** 2 / 2
+        out = []
+        for _ in range(n_stages):
+            k = int(rng.integers(lo_tasks, hi_tasks + 1))
+            durs = tuple(float(x) for x in rng.lognormal(mu, sigma, size=k))
+            out.append(JobShape(durs, demand))
+        return tuple(out)
+
+    shapes: List[Tuple[JobShape, ...]] = []
+    for _ in range(n):
+        if spec.profile == "web-sql":
+            shapes.append(waves(1, 1, 3, 0.15, 0.4, Resources(1.0, 0.5)))
+        elif spec.profile == "dataflow":
+            shapes.append(waves(1, 6, 24, 0.5, 0.5, Resources(1.0, 2.0)))
+        elif spec.profile == "streaming":
+            shapes.append(waves(1, 3, 6, 0.25, 0.3, Resources(1.0, 1.0)))
+        else:  # workflow: a layered DAG of 2-4 waves
+            n_stages = int(rng.integers(2, 5))
+            shapes.append(waves(n_stages, 2, 6, 0.6, 0.5,
+                                Resources(1.0, 1.0)))
+    return shapes
+
+
+def generate_requests(spec: TenantSpec, horizon: float, seed: int,
+                      sample_frac: float = 1.0,
+                      id_base: int = 0) -> List[JobRequest]:
+    """The tenant's deterministic request stream over ``[0, horizon)``.
+
+    ``id_base`` offsets request ids so streams from several tenants can
+    be merged without collisions.
+    """
+    if horizon <= 0:
+        raise ConfigError("horizon must be positive")
+    if not (0.0 < sample_frac <= 1.0):
+        raise ConfigError("sample_frac must be in (0, 1]")
+    rate = spec.sim_rate(sample_frac)
+    arr_rng = _rng_for(seed, spec.name, "arrivals")
+    shape_rng = _rng_for(seed, spec.name, "shapes")
+    times = _arrival_times(spec, horizon, rate, arr_rng)
+    kind = {"web-sql": "sql", "dataflow": "dataflow",
+            "streaming": "streaming", "workflow": "workflow"}[spec.profile]
+    stages = _shapes(spec, len(times), shape_rng)
+    return [JobRequest(tenant=spec.name, req_id=id_base + i,
+                       arrival=float(t), kind=kind, stages=st)
+            for i, (t, st) in enumerate(zip(times, stages))]

@@ -1,0 +1,31 @@
+"""check_serve: the serving-gateway leg of the chaos oracle."""
+
+from repro.chaos.oracle import LAYERS, check_serve, sweep
+from repro.chaos.plan import FaultEvent, FaultPlan
+
+
+class TestServeOracle:
+    def test_registered_as_chaos_layer(self):
+        assert LAYERS["serve"] is check_serve
+
+    def test_default_plan_passes(self):
+        report = check_serve(0)
+        assert report.ok, report.failures
+        assert report.injections > 0
+
+    def test_sweep_holds_conservation_for_every_seed(self):
+        reports = sweep(range(4), layers=["serve"])
+        assert len(reports) == 4
+        for r in reports:
+            assert r.ok, (r.seed, r.failures)
+            assert any("per_tenant_conservation" in c for c in r.checks)
+
+    def test_scripted_storm(self):
+        plan = FaultPlan.scripted([
+            FaultEvent(2.0, "task_crash", magnitude=30),
+            FaultEvent(5.0, "node_fail", duration=15.0),
+            FaultEvent(8.0, "slow_node", duration=10.0, magnitude=0.4),
+            FaultEvent(12.0, "load_burst", duration=8.0, magnitude=3.0),
+        ], seed=3, name="storm")
+        report = check_serve(3, plan)
+        assert report.ok, report.failures

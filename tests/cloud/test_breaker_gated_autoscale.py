@@ -90,3 +90,67 @@ class TestBreakerGatedPolicy:
             BreakerGatedPolicy(ThresholdPolicy(high=0.75, low=0.3, step=3),
                                flap_window=90.0), load, **kw)
         assert gated.instances.tobytes() == gated2.instances.tobytes()
+
+
+class _ScriptedPolicy:
+    """Returns a scripted sequence of desired fleet sizes."""
+
+    name = "scripted"
+
+    def __init__(self, wants):
+        self._wants = list(wants)
+
+    def desired(self, t, offered, utilization, current, queue=0.0):
+        return self._wants.pop(0)
+
+
+class TestBreakerGatedMultiTenantRegressions:
+    """Regressions from the serving-gateway bug audit (ISSUE 9)."""
+
+    def test_half_open_probe_not_rejudged_against_stale_epoch(self):
+        """A sustained post-burst direction must unpin after ONE recovery.
+
+        One bursty tenant causes a single reversal that trips the
+        breaker.  The decision stream then settles on a sustained
+        scale-in.  The flap detector must advance its (direction,
+        timestamp) state even while decisions are held: with the state
+        left stale, every half-open probe re-judged the sustained
+        direction against the pre-hold epoch and re-tripped, pinning
+        the fleet for the whole flap_window regardless of the breaker's
+        recovery_time.
+        """
+        pol = BreakerGatedPolicy(
+            _ScriptedPolicy([12, 8, 8]),        # up, down (flap), down
+            breaker=CircuitBreaker(BreakerConfig(failure_threshold=1,
+                                                 recovery_time=30.0)),
+            flap_window=120.0)
+        assert pol.desired(0.0, 100.0, 0.9, 10) == 12   # up: passes
+        assert pol.desired(10.0, 100.0, 0.9, 10) == 10  # flap: tripped+held
+        assert pol.held_decisions == 1
+        # t=45 is one recovery_time past the trip but still inside the
+        # flap_window of the stale pre-hold reversal.  The sustained
+        # scale-in is calm evidence and must pass.
+        assert pol.desired(45.0, 100.0, 0.9, 10) == 8
+        assert pol.held_decisions == 1
+
+    def test_steady_decisions_reset_failure_run(self):
+        """Isolated reversals separated by calm must not accumulate.
+
+        Steady (no-op) decisions are calm evidence; they must reset the
+        breaker's consecutive-failure count.  When they silently skipped
+        the breaker, two reversals an arbitrarily long calm stretch
+        apart still summed to a trip.
+        """
+        pol = BreakerGatedPolicy(
+            _ScriptedPolicy([12, 8, 10, 10, 10, 12]),
+            breaker=CircuitBreaker(BreakerConfig(failure_threshold=2,
+                                                 recovery_time=50.0)),
+            flap_window=1000.0)
+        assert pol.desired(0.0, 100.0, 0.9, 10) == 12    # up
+        assert pol.desired(10.0, 100.0, 0.9, 10) == 8    # reversal: failure 1
+        for t in (20.0, 30.0, 40.0):                     # calm stretch
+            assert pol.desired(t, 100.0, 0.9, 10) == 10
+        # second isolated reversal: must NOT be failure #2 of a run
+        assert pol.desired(50.0, 100.0, 0.9, 10) == 12
+        assert pol.held_decisions == 0
+        assert pol.breaker.trips == 0

@@ -1,0 +1,97 @@
+"""Per-tenant accounting under retries and hedging: bill exactly once.
+
+A request that crashes and retries N times, or runs a hedged backup
+attempt, must appear exactly once in its tenant's terminal counters
+(`completed` or `failed`) — attempts are diagnostics, not billing.
+The conservation identity ``submitted == rejected + completed + failed
++ inflight`` must hold exactly, with ``inflight == 0`` after drain,
+across crash plans.
+"""
+
+import pickle
+
+from repro.chaos.plan import FaultEvent, FaultPlan
+from repro.resilience.hedge import HedgePolicy
+from repro.resilience.policy import RetryPolicy
+from repro.serve import ServeConfig, ServeGateway, TenantSpec
+
+
+def _mix():
+    return [
+        TenantSpec(name="web", profile="web-sql", users=2_000_000,
+                   arrival="poisson", slo_p99=30.0),
+        TenantSpec(name="batch", profile="dataflow", users=400_000,
+                   arrival="mmpp", slo_p99=90.0),
+        TenantSpec(name="flow", profile="workflow", users=300_000,
+                   arrival="poisson", slo_p99=120.0),
+    ]
+
+
+def _drained(report):
+    for stats in report.tenants.values():
+        assert stats.conservation_ok()
+        assert stats.inflight == 0
+        assert stats.completed + stats.failed == \
+            stats.submitted - stats.rejected
+
+
+class TestBillOnce:
+    def test_retried_requests_bill_once(self):
+        plan = FaultPlan.scripted(
+            [FaultEvent(0.5, "task_crash", magnitude=40)], seed=11)
+        cfg = ServeConfig(horizon=40.0, sample_frac=5e-3, seed=11,
+                          retry=RetryPolicy(max_attempts=5, budget=None,
+                                            base_delay=0.2, max_delay=2.0))
+        report = ServeGateway(_mix(), cfg, plan=plan).run()
+        _drained(report)
+        total = report.tenants
+        assert sum(t.retries for t in total.values()) > 0
+        # attempts exceed terminal outcomes exactly by retries + hedges
+        for t in total.values():
+            assert t.attempts >= t.completed
+        assert report.conservation_ok()
+
+    def test_budget_exhaustion_bills_failed_exactly_once(self):
+        # max_attempts=2: a request whose stage crashes twice gives up
+        plan = FaultPlan.scripted(
+            [FaultEvent(0.5, "task_crash", magnitude=500)], seed=5)
+        cfg = ServeConfig(horizon=40.0, sample_frac=5e-3, seed=5,
+                          retry=RetryPolicy(max_attempts=2, budget=2,
+                                            base_delay=0.1, max_delay=1.0))
+        report = ServeGateway(_mix(), cfg, plan=plan).run()
+        _drained(report)
+        assert sum(t.failed for t in report.tenants.values()) > 0
+        assert report.conservation_ok()
+
+    def test_hedged_requests_bill_once(self):
+        # aggressive hedging: backup at the median after 3 samples
+        cfg = ServeConfig(horizon=40.0, sample_frac=5e-3, seed=2,
+                          hedge=HedgePolicy(quantile=0.5, multiplier=1.0,
+                                            min_samples=3))
+        report = ServeGateway(_mix(), cfg).run()
+        _drained(report)
+        assert sum(t.hedges for t in report.tenants.values()) > 0
+        assert report.conservation_ok()
+
+    def test_conservation_across_crash_plans(self):
+        """Every seed's renewal crash plan holds conservation exactly."""
+        for seed in range(5):
+            plan = FaultPlan.renewal(
+                seed=seed, horizon=40.0,
+                rates={"task_crash": 0.2, "slow_node": 0.02,
+                       "node_fail": 0.01, "load_burst": 0.02},
+                mean_duration=8.0)
+            cfg = ServeConfig(horizon=40.0, sample_frac=5e-3, seed=seed)
+            report = ServeGateway(_mix(), cfg, plan=plan).run()
+            _drained(report)
+            assert report.conservation_ok()
+
+    def test_faulted_run_is_deterministic(self):
+        plan = FaultPlan.renewal(
+            seed=9, horizon=30.0,
+            rates={"task_crash": 0.1, "load_burst": 0.02},
+            mean_duration=5.0)
+        cfg = ServeConfig(horizon=30.0, sample_frac=5e-3, seed=9)
+        a = ServeGateway(_mix(), cfg, plan=plan).run()
+        b = ServeGateway(_mix(), cfg, plan=plan).run()
+        assert pickle.dumps(a.snapshot()) == pickle.dumps(b.snapshot())

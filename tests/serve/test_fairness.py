@@ -1,0 +1,110 @@
+"""Property tests for fairness indices and SLO accounting (ISSUE 9).
+
+Jain's index over weight-normalized goodput must be exactly 1.0 when
+tenants receive identical service, must degrade monotonically as one
+tenant's share skews away, and per-tenant conservation must hold for
+every chaos seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.plan import FaultPlan
+from repro.common.stats import jain_index
+from repro.serve import ServeConfig, ServeGateway, TenantSpec, run_gateway
+from repro.serve.report import ServeReport, TenantStats
+
+
+def _stats(name, goodput, weight=1.0):
+    t = TenantStats(name=name, weight=weight, slo_p99=60.0)
+    t.submitted = t.completed = 1
+    t.goodput_work = goodput
+    t.work_completed = goodput
+    return t
+
+
+class TestJainIndexProperties:
+    def test_identical_tenants_exactly_one(self):
+        rep = ServeReport(tenants={
+            n: _stats(n, 12.5) for n in ("a", "b", "c", "d")})
+        assert rep.jain_fairness() == 1.0
+
+    def test_weight_proportional_service_exactly_one(self):
+        """Goodput proportional to weight is perfectly fair."""
+        rep = ServeReport(tenants={
+            "small": _stats("small", 10.0, weight=1.0),
+            "large": _stats("large", 40.0, weight=4.0),
+        })
+        assert rep.jain_fairness() == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(2, 16), k=st.floats(1.0, 100.0))
+    def test_single_tenant_skew_degrades_monotonically(self, n, k):
+        """jain([1]*n + [k]) is non-increasing in k for k >= 1."""
+        base = jain_index([1.0] * n + [k])
+        worse = jain_index([1.0] * n + [k * 1.5])
+        assert worse <= base + 1e-12
+        assert jain_index([1.0] * n + [1.0]) == 1.0
+
+    def test_idle_tenants_excluded(self):
+        """A tenant that submitted nothing is not 'treated unfairly'."""
+        tenants = {n: _stats(n, 5.0) for n in ("a", "b")}
+        idle = TenantStats(name="idle", weight=1.0)
+        tenants["idle"] = idle
+        assert ServeReport(tenants=tenants).jain_fairness() == 1.0
+
+
+class TestEndToEndFairness:
+    def _clones(self, n=4, demand_scales=None):
+        scales = demand_scales or [1.0] * n
+        return [
+            TenantSpec(name=f"t{i}", profile="web-sql", users=1_500_000,
+                       arrival="poisson", slo_p99=500.0,
+                       demand_scale=scales[i])
+            for i in range(n)
+        ]
+
+    def test_identical_tenants_near_perfect_fairness(self):
+        """Statistically identical tenants on ample capacity: every
+        request completes in SLO, so goodput tracks offered work and
+        Jain stays near 1 (exact equality needs identical draws)."""
+        cfg = ServeConfig(horizon=60.0, sample_frac=5e-3, seed=6,
+                          min_nodes=8, initial_nodes=8, max_nodes=8)
+        report = run_gateway(self._clones(), cfg)
+        assert report.conservation_ok()
+        assert report.jain_fairness() > 0.9
+
+    def test_induced_skew_degrades_jain_monotonically(self):
+        """Scaling one tenant's demand 1x -> 3x -> 9x on a fixed fleet
+        with a generous SLO makes its weight-normalized goodput pull
+        away monotonically; Jain must fall at every step."""
+        jains = []
+        for skew in (1.0, 3.0, 9.0):
+            cfg = ServeConfig(horizon=60.0, sample_frac=5e-3, seed=6,
+                              min_nodes=12, initial_nodes=12, max_nodes=12)
+            report = run_gateway(
+                self._clones(demand_scales=[skew, 1.0, 1.0, 1.0]), cfg)
+            assert report.conservation_ok()
+            jains.append(report.jain_fairness())
+        assert jains[0] > jains[1] > jains[2]
+
+    def test_conservation_for_every_chaos_seed(self):
+        mix = [
+            TenantSpec(name="sql", profile="web-sql", users=1_000_000,
+                       arrival="poisson", slo_p99=30.0),
+            TenantSpec(name="dag", profile="workflow", users=300_000,
+                       arrival="sessions", slo_p99=120.0),
+        ]
+        for seed in range(8):
+            plan = FaultPlan.renewal(
+                seed=seed, horizon=30.0,
+                rates={"task_crash": 0.15, "slow_node": 0.02,
+                       "node_fail": 0.01, "load_burst": 0.02},
+                mean_duration=6.0)
+            cfg = ServeConfig(horizon=30.0, sample_frac=5e-3, seed=seed)
+            report = ServeGateway(mix, cfg, plan=plan).run()
+            for stats in report.tenants.values():
+                assert stats.conservation_ok()
+                assert stats.inflight == 0
+                assert stats.submitted == (stats.rejected + stats.completed
+                                           + stats.failed)

