@@ -13,7 +13,8 @@ here), the warm process-pool backend against in-process execution at
 the CPU-bound headline basket at 4 workers when >= 4 cores are present),
 the multi-tenant serving gateway over three tenant mixes plus a chaos
 sweep (per-tenant p99 / goodput-per-dollar / Jain fairness, exact
-conservation on every seed), and, with ``--profile``, prints the kernel
+conservation on every seed), the checksummed data plane A/B'd on/off
+(the <5% integrity-overhead guard), and, with ``--profile``, prints the kernel
 event mix and per-operator self-time profile from
 :mod:`repro.obs.profile`.  Writes
 ``BENCH_wallclock.json`` next to the repo root so every PR leaves a
@@ -115,6 +116,9 @@ def enforce_guards(payload: dict) -> None:
     resil = summary["resilience_armed_overhead"]
     assert resil < 0.05, \
         f"armed-but-idle resilience overhead {100 * resil:.1f}% >= 5%"
+    integ = summary["integrity_checksum_overhead"]
+    assert integ < 0.05, \
+        f"checksummed data plane overhead {100 * integ:.1f}% >= 5%"
     pool = payload.get("pool_backend")
     if pool is not None:
         if pool["insufficient_cores"]:
@@ -191,6 +195,7 @@ def test_p0(benchmark):
     assert summary["wordcount_sim_event_reduction"] > 0.0
     assert payload["obs_overhead"]["traced_spans"] > 0
     assert payload["resilience_overhead"]["records"] > 0
+    assert payload["integrity_overhead"]["spill_records"] > 0
     # pool section present, legs agreed at every worker count
     pool = payload["pool_backend"]
     assert pool["workers"] == 4 and set(pool["sweep"]) == {"1", "2", "4"}
@@ -237,11 +242,13 @@ if __name__ == "__main__":
               len(chaos["runs"]), chaos["max_p99_ratio_vs_clean"]))
     print("guards OK: fusion {:.2f}x, sql {:.2f}x, join {:.2f}x, "
           "windowed {:.2f}x, pool {}, obs overhead bound {:+.1f}%, "
-          "idle-resilience overhead {:+.1f}%".format(
+          "idle-resilience overhead {:+.1f}%, "
+          "integrity overhead {:+.1f}%".format(
               payload["summary"]["fusion_speedup"],
               payload["summary"]["sql_speedup"],
               payload["summary"]["join_speedup"],
               payload["summary"]["windowed_speedup"],
               f"{pool_speedup:.2f}x" if pool_speedup else "skipped",
               100 * payload["summary"]["obs_enabled_overhead"],
-              100 * payload["summary"]["resilience_armed_overhead"]))
+              100 * payload["summary"]["resilience_armed_overhead"],
+              100 * payload["summary"]["integrity_checksum_overhead"]))

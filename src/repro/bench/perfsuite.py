@@ -84,7 +84,7 @@ __all__ = ["BASKET", "HEADLINE", "POOL_HEADLINE", "POOL_SWEEP",
            "measure_pool_backend", "measure_windowed_aggregation",
            "measure_sustained_throughput", "measure_multi_tenant_serving",
            "measure_obs_overhead", "measure_resilience_overhead",
-           "profile_end_to_end"]
+           "measure_integrity_overhead", "profile_end_to_end"]
 
 #: v8 adds the streaming measurements: ``windowed_aggregation`` (the
 #: vectorized event-time aggregator A/B'd byte-for-byte against the
@@ -103,7 +103,13 @@ __all__ = ["BASKET", "HEADLINE", "POOL_HEADLINE", "POOL_SWEEP",
 #: reporting per-tenant p99 latency, goodput-per-dollar, and Jain
 #: fairness per mix, plus a chaos-sweep leg where every seed must hold
 #: per-tenant conservation exactly and degrade p99 gracefully.
-SCHEMA_VERSION = 9
+#:
+#: v10 adds ``integrity_overhead``: the checksummed data plane A/B'd
+#: against itself disabled — an interleaved on/off end-to-end leg
+#: (engine map-output seals + verification on fetch) and a spill-file
+#: leg (CRC32-stamped bucket files written and read back) — with the
+#: end-to-end median ratio guarded at < 5%.
+SCHEMA_VERSION = 10
 
 #: The fixed workload basket, in reporting order.  The first four are
 #: the simulated-cluster jobs; ``sql_analytics``, ``sql_join`` and
@@ -1271,6 +1277,131 @@ def _measure_resilience_overhead_once(scale: float, reps: int,
     }
 
 
+def measure_integrity_overhead(scale: float = 1.0, reps: int = 15,
+                               name: str = "wordcount",
+                               attempts: int = 3,
+                               guard: float = 0.05) -> Dict[str, Any]:
+    """Measure what the checksummed data plane costs when nothing rots.
+
+    Two interleaved A/Bs of checksums on (the default) vs off:
+
+    * ``end_to_end`` — the same simulated job with
+      ``EngineConfig.integrity`` toggled: the on leg seals every
+      registered map-output bucket (pickle + chunk CRC32) and verifies
+      each bucket on fetch; the off leg skips both.  This is the guarded
+      number — the data plane must cost < 5% on a clean run.
+    * ``spill`` — the process-pool spill path in isolation:
+      :func:`~repro.dataflow.shuffleio.write_bucket_file` +
+      :func:`~repro.dataflow.shuffleio.read_bucket_file` over a
+      realistic bucket set with ``set_checksums`` toggled
+      (informational; the CRC rides the same buffer the pickler just
+      produced, so it is a small fraction of serialization cost).
+
+    Both legs must compute the identical result.  The measurement and
+    noise handling mirror :func:`measure_obs_overhead`: legs run
+    back-to-back within each rep with rotated order, the reported
+    overhead is the median of the per-rep ratios, and the trial retries
+    (up to ``attempts``) while the guarded ratio reads above ``guard``.
+    """
+    best_result: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, attempts)):
+        result = _measure_integrity_overhead_once(scale, reps, name)
+        if (best_result is None
+                or result["checksum_overhead"]
+                < best_result["checksum_overhead"]):
+            best_result = result
+        if best_result["checksum_overhead"] < guard:
+            break
+    assert best_result is not None
+    return best_result
+
+
+def _measure_integrity_overhead_once(scale: float, reps: int,
+                                     name: str) -> Dict[str, Any]:
+    """One trial of the checksums on/off A/B (see the public wrapper)."""
+    import gc
+    import tempfile
+
+    times: Dict[str, List[float]] = {"off": [], "on": []}
+    reference: Optional[int] = None
+    n_records = 0
+    legs = ("off", "on")
+    for rep in range(reps):
+        for i in range(len(legs)):
+            leg = legs[(rep + i) % len(legs)]
+            sim = Simulator()
+            cluster = make_cluster(sim, 2, 4, host_bw=Gbit_per_s(10))
+            ctx = DataflowContext(default_parallelism=16,
+                                  cost_model=_SIM_COST)
+            cfg = EngineConfig(eager_poll=False,
+                               check_interval=_CHECK_INTERVAL,
+                               integrity=(leg == "on"))
+            engine = SimEngine(cluster, config=cfg, cost_model=_SIM_COST)
+            ds, n_records, digest = _JOB_BUILDERS[name](ctx, scale)
+            gc.collect()
+            t0 = time.perf_counter()
+            res = sim.run_until_done(engine.collect(ds))
+            times[leg].append(time.perf_counter() - t0)
+            d = digest(res.value)
+            if reference is None:
+                reference = d
+            elif d != reference:
+                raise AssertionError(
+                    f"integrity leg {leg!r} computed a different result")
+
+    def median_ratio(series: Dict[str, List[float]], leg: str,
+                     base: str) -> float:
+        ratios = sorted(t / o for t, o in zip(series[leg], series[base]))
+        mid = len(ratios) // 2
+        if len(ratios) % 2:
+            return ratios[mid]
+        return (ratios[mid - 1] + ratios[mid]) / 2.0
+
+    # spill leg: CRC-stamped bucket files written + fully read back
+    rng = random.Random(23)
+    buckets = [[(f"k{rng.randrange(4000)}", rng.random())
+                for _ in range(int(2_000 * max(scale, 0.1)))]
+               for _ in range(16)]
+    spill_times: Dict[str, List[float]] = {"off": [], "on": []}
+    prev = shuffleio.checksums_enabled()
+    spill_reference: Optional[List] = None
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "spill.buckets")
+            for rep in range(reps):
+                for i in range(len(legs)):
+                    leg = legs[(rep + i) % len(legs)]
+                    shuffleio.set_checksums(leg == "on")
+                    gc.collect()
+                    t0 = time.perf_counter()
+                    offsets = shuffleio.write_bucket_file(path, buckets)
+                    got = [shuffleio.read_bucket_file(path, offsets, r)
+                           for r in range(len(buckets))]
+                    spill_times[leg].append(time.perf_counter() - t0)
+                    if spill_reference is None:
+                        spill_reference = got
+                    elif got != spill_reference:
+                        raise AssertionError(
+                            f"spill leg {leg!r} read back different data")
+    finally:
+        shuffleio.set_checksums(prev)
+
+    return {
+        "workload": name,
+        "records": n_records,
+        "off_seconds": min(times["off"]),
+        "on_seconds": min(times["on"]),
+        # the guarded number: sealed + verified map outputs vs neither
+        "checksum_overhead": median_ratio(times, "on", "off") - 1.0,
+        "spill_records": sum(len(b) for b in buckets),
+        "spill_off_seconds": min(spill_times["off"]),
+        "spill_on_seconds": min(spill_times["on"]),
+        # informational: CRC32 over the just-pickled buffer
+        "spill_checksum_overhead":
+            median_ratio(spill_times, "on", "off") - 1.0,
+    }
+
+
 def profile_end_to_end(name: str = "wordcount",
                        scale: float = 1.0) -> Tuple[Dict[str, Any], str]:
     """Run one basket job under :func:`repro.obs.profile`.
@@ -1357,6 +1488,11 @@ def run_suite(scale: float = 1.0, verbose: bool = True,
     if verbose:
         print(f"{'resilience':>15}: armed-but-idle "
               f"{100 * resil['armed_overhead']:+.1f}%")
+    integ = measure_integrity_overhead(max(scale, 1.0))
+    if verbose:
+        print(f"{'integrity':>15}: checksums on "
+              f"{100 * integ['checksum_overhead']:+.1f}% end-to-end, "
+              f"{100 * integ['spill_checksum_overhead']:+.1f}% spill")
     pool = None
     if pool_workers:
         sweep = tuple(w for w in POOL_SWEEP if w < pool_workers)
@@ -1378,11 +1514,12 @@ def run_suite(scale: float = 1.0, verbose: bool = True,
         "workloads": workloads,
         "obs_overhead": obs,
         "resilience_overhead": resil,
+        "integrity_overhead": integ,
         "pool_backend": pool,
         "sustained_throughput": streaming,
         "multi_tenant_serving": serving,
         "summary": _summarize(workloads, obs, resil, pool, streaming,
-                              serving),
+                              serving, integ),
     }
     if verbose:
         s = payload["summary"]
@@ -1398,7 +1535,8 @@ def _summarize(workloads: Dict[str, Any],
                resil: Optional[Dict[str, Any]] = None,
                pool: Optional[Dict[str, Any]] = None,
                streaming: Optional[Dict[str, Any]] = None,
-               serving: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+               serving: Optional[Dict[str, Any]] = None,
+               integ: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     def _basket_rate(leg: str) -> float:
         recs = sum(workloads[n]["shuffle_write"]["records"]
                    for n in HEADLINE)
@@ -1425,6 +1563,10 @@ def _summarize(workloads: Dict[str, Any],
             obs["kernel_observer_overhead"] if obs else None,
         "resilience_armed_overhead":
             resil["armed_overhead"] if resil else None,
+        "integrity_checksum_overhead":
+            integ["checksum_overhead"] if integ else None,
+        "integrity_spill_overhead":
+            integ["spill_checksum_overhead"] if integ else None,
         "pool_speedup": pool["speedup"] if pool else None,
         "pool_workers": pool["workers"] if pool else None,
         "pool_insufficient_cores":

@@ -15,6 +15,7 @@ from .adapters import (
     burst_rate,
     burst_series,
     operator_crash_times,
+    snapshot_corrupt_times,
 )
 from .oracle import (
     LAYERS,
@@ -23,6 +24,7 @@ from .oracle import (
     check_dataflow,
     check_dfs,
     check_event_streaming,
+    check_integrity,
     check_microbatch,
     check_streaming,
     run_all,
@@ -34,7 +36,9 @@ __all__ = [
     "FAULT_KINDS", "FaultEvent", "FaultPlan",
     "InjectionTrace", "ClusterChaos", "EngineChaos", "DFSChaos",
     "operator_crash_times", "burst_rate", "burst_series",
+    "snapshot_corrupt_times",
     "OracleReport", "LAYERS", "run_all", "sweep",
     "check_dataflow", "check_streaming", "check_microbatch",
     "check_event_streaming", "check_dfs", "check_autoscale",
+    "check_integrity",
 ]

@@ -6,11 +6,15 @@ native fault mechanism:
 * :class:`ClusterChaos`   — node crash/repair and straggler (slow-node)
   injection on a :class:`~repro.cluster.cluster.Cluster` (the generalized
   successor of the cluster-only ``FailureInjector`` renewal loops);
-* :class:`EngineChaos`    — task-attempt crashes (via ``SimEngine.fault_hook``)
-  and lost shuffle partitions (via ``SimEngine.drop_map_outputs``);
+* :class:`EngineChaos`    — task-attempt crashes (via ``SimEngine.fault_hook``),
+  lost shuffle partitions (via ``SimEngine.drop_map_outputs``), and silent
+  shuffle corruption (via ``SimEngine.corrupt_map_outputs``);
 * :class:`DFSChaos`       — lost DFS block replicas / EC fragments with
-  chargeable re-protection, on top of the DFS's own node-failure repair;
-* :func:`operator_crash_times` — streaming operator crashes for
+  chargeable re-protection, and silent replica/fragment corruption
+  (``data_corrupt`` → ``DistributedFS.corrupt_piece``), on top of the
+  DFS's own node-failure repair;
+* :func:`operator_crash_times` / :func:`snapshot_corrupt_times` —
+  streaming operator crashes and checkpoint-snapshot corruption for
   :func:`~repro.streaming.checkpoint.run_stateful_stream`;
 * :func:`burst_rate` / :func:`burst_series` — load bursts for the
   micro-batch engine and the autoscaling fluid simulator.
@@ -35,7 +39,8 @@ from .plan import FaultPlan
 
 __all__ = [
     "InjectionTrace", "sleep_until", "ClusterChaos", "EngineChaos",
-    "DFSChaos", "operator_crash_times", "burst_rate", "burst_series",
+    "DFSChaos", "operator_crash_times", "snapshot_corrupt_times",
+    "burst_rate", "burst_series",
 ]
 
 
@@ -147,14 +152,18 @@ class ClusterChaos:
 
 
 class EngineChaos:
-    """Inject ``task_crash`` and ``lost_shuffle`` faults into a SimEngine.
+    """Inject ``task_crash``, ``lost_shuffle``, and ``data_corrupt``
+    faults into a SimEngine.
 
     Task crashes arm a budget at each event's time; the engine's
     ``fault_hook`` then fails the next ``magnitude`` task attempts to
     start (they retry through the normal failure path).  Lost-shuffle
     events silently delete registered map outputs so reduce tasks hit
     :class:`~repro.dataflow.engine.MissingShuffleError` and lineage
-    recovery re-runs exactly the dropped maps.
+    recovery re-runs exactly the dropped maps.  Data-corrupt events rot
+    registered map-output buckets in place — *nothing* fails loudly; the
+    engine's sealed fetch path detects the damage and recovers through
+    the same lineage machinery.
     """
 
     def __init__(self, engine, plan: FaultPlan,
@@ -165,11 +174,13 @@ class EngineChaos:
         self.trace = trace if trace is not None else InjectionTrace()
         self._crash_budget = 0
         self._rng = plan.rng("engine.lost_shuffle")
+        self._corrupt_rng = plan.rng("engine.data_corrupt")
 
     def start(self) -> int:
         """Arm the hook and schedule all engine-level faults."""
         relevant = [ev for ev in self.plan
-                    if ev.kind in ("task_crash", "lost_shuffle")]
+                    if ev.kind in ("task_crash", "lost_shuffle",
+                                   "data_corrupt")]
         if any(ev.kind == "task_crash" for ev in relevant):
             self.engine.fault_hook = self._hook
         for ev in relevant:
@@ -192,6 +203,15 @@ class EngineChaos:
             self.trace.record(self.sim.now, "task_crash_armed",
                               str(max(1, int(ev.magnitude))))
             return
+        if ev.kind == "data_corrupt":
+            hit = self.engine.corrupt_map_outputs(
+                max(1, int(ev.magnitude)), rng=self._corrupt_rng)
+            for sid, m, r in hit:
+                self.trace.record(self.sim.now, "data_corrupt",
+                                  f"s{sid}m{m}r{r}")
+            if not hit:
+                self.trace.record(self.sim.now, "data_corrupt_skipped", "")
+            return
         dropped = self.engine.drop_map_outputs(max(1, int(ev.magnitude)),
                                                rng=self._rng)
         for sid, m in dropped:
@@ -201,15 +221,18 @@ class EngineChaos:
 
 
 class DFSChaos:
-    """Inject ``lost_block`` faults into a :class:`DistributedFS`.
+    """Inject ``lost_block`` and ``data_corrupt`` faults into a
+    :class:`DistributedFS`.
 
     A victim block (and slot) is chosen via the plan's child RNG among
-    blocks that stay readable after the loss — one replica of at least
+    blocks that stay readable after the fault — one replica of at least
     two live copies, or one fragment while more than ``k`` live fragments
-    remain.  The dropped piece is re-protected through the DFS's own
-    repair machinery after ``detection_delay``, with the repair traffic
-    charged as usual.  Node failures are :class:`ClusterChaos` business;
-    the DFS already watches those itself.
+    remain.  A *lost* piece is re-protected through the DFS's own repair
+    machinery after ``detection_delay``, with the repair traffic charged
+    as usual.  A *corrupted* piece stays silently in place — the
+    checksummed read path (or the scrubber) detects it, quarantines the
+    copy, and repairs from clean sources.  Node failures are
+    :class:`ClusterChaos` business; the DFS already watches those itself.
     """
 
     def __init__(self, dfs, plan: FaultPlan,
@@ -219,17 +242,41 @@ class DFSChaos:
         self.plan = plan
         self.trace = trace if trace is not None else InjectionTrace()
         self._rng = plan.rng("dfs.lost_block")
+        self._corrupt_rng = plan.rng("dfs.data_corrupt")
 
     def start(self) -> int:
-        """Schedule all lost-block faults; returns how many."""
+        """Schedule all lost-block / data-corrupt faults; returns how many."""
         n = 0
         for ev in self.plan:
-            if ev.kind != "lost_block":
-                continue
-            self.sim.process(self._lose(ev),
-                             name=f"chaos:lost_block@{ev.time:g}")
-            n += 1
+            if ev.kind == "lost_block":
+                self.sim.process(self._lose(ev),
+                                 name=f"chaos:lost_block@{ev.time:g}")
+                n += 1
+            elif ev.kind == "data_corrupt":
+                self.sim.process(self._corrupt(ev),
+                                 name=f"chaos:data_corrupt@{ev.time:g}")
+                n += 1
         return n
+
+    def _corrupt(self, ev):
+        yield sleep_until(self.sim, ev.time)
+        dfs = self.dfs
+        rng = self._corrupt_rng
+        for _ in range(max(1, int(ev.magnitude))):
+            candidates = []
+            for _bid, block in sorted(dfs._blocks.items()):
+                slots = [s for s in self._droppable_slots(block)
+                         if dfs._piece_clean(block.block_id, s)]
+                if slots:
+                    candidates.append((block, slots))
+            if not candidates:
+                self.trace.record(self.sim.now, "data_corrupt_skipped", "")
+                continue
+            block, slots = candidates[int(rng.integers(len(candidates)))]
+            slot = slots[int(rng.integers(len(slots)))]
+            off = dfs.corrupt_piece(block.block_id, slot, rng=rng)
+            self.trace.record(self.sim.now, "data_corrupt",
+                              f"b{block.block_id}s{slot}@{off}")
 
     def _droppable_slots(self, block) -> List[int]:
         alive = self.dfs.cluster.nodes
@@ -253,8 +300,8 @@ class DFSChaos:
         block, slots = candidates[int(self._rng.integers(len(candidates)))]
         slot = slots[int(self._rng.integers(len(slots)))]
         del block.locations[slot]
-        if block.mode == "ec":
-            dfs._content.pop((block.block_id, slot), None)
+        dfs._content.pop((block.block_id, slot), None)
+        dfs._seals.pop((block.block_id, slot), None)
         self.trace.record(self.sim.now, "lost_block",
                           f"b{block.block_id}s{slot}")
         # re-protect through the DFS's own repair path, like the
@@ -276,6 +323,18 @@ def operator_crash_times(plan: FaultPlan) -> List[float]:
     map onto the checkpointing engine's native ``crash_times``.
     """
     return [ev.time for ev in plan if ev.kind == "operator_crash"]
+
+
+def snapshot_corrupt_times(plan: FaultPlan) -> List[float]:
+    """Snapshot-corruption instants for the streaming runs.
+
+    ``data_corrupt`` events map onto ``corrupt_times`` of
+    :func:`~repro.streaming.checkpoint.run_stateful_stream` /
+    ``run_windowed_stream`` (which require
+    ``CheckpointConfig(integrity=True)``); each rots the newest intact
+    checkpoint snapshot at that event time.
+    """
+    return [ev.time for ev in plan if ev.kind == "data_corrupt"]
 
 
 def burst_rate(rate_fn: Callable[[float], float],

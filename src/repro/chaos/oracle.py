@@ -60,13 +60,14 @@ from .adapters import (
     burst_rate,
     burst_series,
     operator_crash_times,
+    snapshot_corrupt_times,
 )
 from .plan import FaultEvent, FaultPlan
 
 __all__ = ["OracleReport", "check_dataflow", "check_streaming",
            "check_microbatch", "check_event_streaming", "check_dfs",
-           "check_autoscale", "check_resilience", "check_serve", "LAYERS",
-           "run_all", "sweep"]
+           "check_autoscale", "check_resilience", "check_serve",
+           "check_integrity", "LAYERS", "run_all", "sweep"]
 
 
 @dataclass
@@ -623,6 +624,216 @@ def check_serve(seed: int, plan: Optional[FaultPlan] = None) -> OracleReport:
     return report
 
 
+# --------------------------------------------------------------------- integrity
+
+def _run_dataflow_corrupt(seed: int, plan: Optional[FaultPlan]):
+    """Wordcount with silent shuffle corruption; returns the accounting."""
+    sim = Simulator()
+    cluster = make_cluster(sim, n_racks=2, nodes_per_rack=4)
+    ctx = DataflowContext(default_parallelism=8)
+    engine = SimEngine(cluster, config=EngineConfig(max_task_retries=8),
+                       cost_model=CostModel(cpu_per_record=2e-4))
+    words = _dataflow_words(seed)
+    ds = ctx.parallelize(words, 8).map(lambda w: (w, 1)).reduce_by_key(add, 6)
+    trace = InjectionTrace()
+    if plan is not None:
+        ClusterChaos(cluster, plan, trace).start()
+        EngineChaos(engine, plan, trace).start()
+    res = sim.run_until_done(engine.collect(ds))
+    account = (engine.integrity_detected, engine.integrity_latent_discarded,
+               len(engine.audit_shuffle_integrity()))
+    return sorted(res.value), trace, len(words), account
+
+
+def _run_dfs_integrity(seed: int, plan: Optional[FaultPlan], horizon: float):
+    """DFS run with the background scrubber on and a closing scrub pass."""
+    sim = Simulator()
+    cluster = make_cluster(sim, n_racks=3, nodes_per_rack=3)
+    dfs = DistributedFS(cluster,
+                        DFSConfig(block_size=64 * 1024, ec_k=4, ec_m=2,
+                                  detection_delay=1.0, scrub_interval=6.0),
+                        seed=7)
+    rng = np.random.default_rng([seed, 303])
+    data_rep = rng.bytes(150_000)
+    data_ec = rng.bytes(200_000)
+    sim.run_until_done(dfs.write("/rep.bin", data=data_rep,
+                                 writer="h0_0", mode="replicate"))
+    sim.run_until_done(dfs.write("/ec.bin", data=data_ec,
+                                 writer="h1_0", mode="ec"))
+    trace = InjectionTrace()
+    if plan is not None:
+        ClusterChaos(cluster, plan, trace).start()
+        DFSChaos(dfs, plan, trace).start()
+    sim.run(until=horizon + 30.0)
+    # close the books: one full scrub pass flushes any still-latent rot
+    # into quarantine + repair, then leave room for the repairs to land
+    sim.run_until_done(dfs.scrub_now())
+    sim.run(until=sim.now + 30.0)
+    got_rep, _ = sim.run_until_done(dfs.read("/rep.bin", reader="h2_0"))
+    got_ec, _ = sim.run_until_done(dfs.read("/ec.bin", reader="h0_1"))
+    account = (dfs.integrity_detected, dfs.integrity_latent_discarded,
+               len(dfs.audit_integrity()))
+    protection = all(
+        len(b.locations) == (dfs.config.replication
+                             if b.mode == "replicate"
+                             else dfs.codec.k + dfs.codec.m)
+        for b in dfs._blocks.values())
+    return data_rep, data_ec, got_rep, got_ec, account, protection, trace
+
+
+def check_integrity(seed: int,
+                    plan: Optional[FaultPlan] = None) -> OracleReport:
+    """End-to-end data integrity under silent ``data_corrupt`` faults.
+
+    Three legs, each holding the same contract — silent corruption may
+    cost retries and repair traffic, never correctness, and every
+    injected corruption is accounted for exactly
+    (``injected == detected + latent_discarded + latent_remaining``):
+
+    1. **Engine** — wordcount with rotting shuffle buckets, alone and
+       composed with task crashes + node failures; results must be
+       byte-equal to the fault-free run and detection must ride the
+       lineage-recovery path.
+    2. **DFS** — replicated + EC files with rotting replicas/fragments
+       (composed with transient node failures), a background scrubber,
+       and a closing scrub pass; reads must be byte-equal, nothing may
+       stay latent after the scrub, and full replication/fragment counts
+       must be restored (never repaired *from* a corrupt copy).
+    3. **Streaming** — stateful and windowed checkpoint/replay with
+       crashes *and* rotting snapshots; state and the emission log must
+       be byte-equal to fault-free, and the sealed-checkpoint mode must
+       be output-equivalent to the plain one.
+
+    ``plan``, when given, drives all three legs; the default builds one
+    per leg calibrated to its workload's time scale.
+    """
+    node_names = [f"h{r}_{i}" for r in range(2) for i in range(4)]
+    engine_plans = {
+        "alone": plan if plan is not None else FaultPlan.renewal(
+            seed, horizon=0.3, rates={"data_corrupt": 20.0}),
+        "composed": plan if plan is not None else FaultPlan.renewal(
+            seed, horizon=0.3,
+            rates={"data_corrupt": 20.0, "task_crash": 8.0,
+                   "node_fail": 1.0},
+            targets=node_names, mean_duration=0.08),
+    }
+    report = OracleReport("integrity", seed,
+                          plan if plan is not None
+                          else engine_plans["composed"])
+
+    # -- leg 1: engine shuffle buckets
+    free, _t, n_records, _a = _run_dataflow_corrupt(seed, None)
+    for label, eplan in engine_plans.items():
+        f1, trace1, _n, acc1 = _run_dataflow_corrupt(seed, eplan)
+        f2, trace2, _n2, acc2 = _run_dataflow_corrupt(seed, eplan)
+        injected = trace1.count("data_corrupt")
+        report.injections += injected
+        detected, discarded, latent = acc1
+        report.expect(_bytes(f1) == _bytes(free),
+                      f"engine_{label}:recovery_equivalence")
+        report.expect(trace1.signature() == trace2.signature(),
+                      f"engine_{label}:trace_determinism")
+        report.expect(_bytes(f1) == _bytes(f2) and acc1 == acc2,
+                      f"engine_{label}:result_determinism")
+        report.expect(sum(c for _w, c in f1) == n_records,
+                      f"engine_{label}:record_conservation")
+        report.expect(injected == detected + discarded + latent,
+                      f"engine_{label}:integrity_accounting")
+
+    # -- leg 2: DFS replicas and EC fragments, scrub-and-repair
+    horizon = 40.0
+    dfs_names = [f"h{r}_{i}" for r in range(3) for i in range(3)]
+    dplan = plan if plan is not None else FaultPlan.renewal(
+        seed, horizon=horizon,
+        rates={"data_corrupt": 0.12, "node_fail": 0.02},
+        targets=dfs_names, mean_duration=5.0)
+    want_rep, want_ec, got_rep, got_ec, dacc1, prot1, dtrace1 = \
+        _run_dfs_integrity(seed, dplan, horizon)
+    _wr, _we, got_rep2, got_ec2, dacc2, prot2, dtrace2 = \
+        _run_dfs_integrity(seed, dplan, horizon)
+    injected = dtrace1.count("data_corrupt")
+    report.injections += injected
+    detected, discarded, latent = dacc1
+    report.expect(got_rep == want_rep, "dfs:replicated_read_equivalence")
+    report.expect(got_ec == want_ec, "dfs:ec_read_equivalence")
+    report.expect(dtrace1.signature() == dtrace2.signature(),
+                  "dfs:trace_determinism")
+    report.expect((got_rep2, got_ec2, dacc2, prot2)
+                  == (got_rep, got_ec, dacc1, prot1),
+                  "dfs:result_determinism")
+    report.expect(latent == 0, "dfs:no_latent_after_scrub")
+    report.expect(injected == detected + discarded,
+                  "dfs:integrity_accounting")
+    report.expect(prot1, "dfs:protection_restored")
+
+    # -- leg 3: streaming checkpoints (stateful + windowed)
+    splan = plan if plan is not None else FaultPlan.renewal(
+        seed, horizon=160.0,
+        rates={"operator_crash": 0.03, "data_corrupt": 0.04})
+    crashes = operator_crash_times(splan)
+    corruptions = snapshot_corrupt_times(splan)
+    events = _stream_events(seed)
+    plain_cfg = CheckpointConfig(interval=10.0)
+    sealed_cfg = CheckpointConfig(interval=10.0, integrity=True)
+    base = run_stateful_stream(events, add, lambda v: v, plain_cfg)
+    sealed_free = run_stateful_stream(events, add, lambda v: v, sealed_cfg)
+    s1 = run_stateful_stream(events, add, lambda v: v, sealed_cfg,
+                             crash_times=crashes,
+                             corrupt_times=corruptions)
+    s2 = run_stateful_stream(events, add, lambda v: v, sealed_cfg,
+                             crash_times=crashes,
+                             corrupt_times=corruptions)
+    reg = s1.registry
+    report.injections += int(reg.value("integrity.injected"))
+    report.expect(_bytes(sealed_free.state) == _bytes(base.state),
+                  "stream:integrity_flag_equivalence")
+    report.expect(_bytes(s1.state) == _bytes(base.state),
+                  "stream:recovery_equivalence")
+    report.expect(_bytes(s1.state) == _bytes(s2.state),
+                  "stream:result_determinism")
+    report.expect(len(s1.recoveries) == len(crashes),
+                  "stream:all_crashes_recovered")
+    report.expect(s1.processed_events == len(events),
+                  "stream:record_conservation")
+    report.expect(reg.value("integrity.injected")
+                  == reg.value("integrity.detected")
+                  + reg.value("integrity.latent"),
+                  "stream:integrity_accounting")
+
+    wevents = _windowed_events(seed)
+    wplan = plan if plan is not None else FaultPlan.renewal(
+        seed, horizon=80.0,
+        rates={"operator_crash": 0.04, "data_corrupt": 0.05},
+        mean_duration=5.0)
+    wcrashes = operator_crash_times(wplan)
+    wcorruptions = snapshot_corrupt_times(wplan)
+    window = WindowSpec.tumbling(2.0)
+    agg = WindowAgg.by_name("sum")
+    wkw = dict(watermark_delay=1.0, allowed_lateness=1.0)
+    wcfg = CheckpointConfig(interval=8.0, integrity=True)
+    wfree = run_windowed_stream(wevents, window, agg,
+                                CheckpointConfig(interval=8.0), **wkw)
+    w1 = run_windowed_stream(wevents, window, agg, wcfg,
+                             crash_times=wcrashes,
+                             corrupt_times=wcorruptions, **wkw)
+    w2 = run_windowed_stream(wevents, window, agg, wcfg,
+                             crash_times=wcrashes,
+                             corrupt_times=wcorruptions, **wkw)
+    wreg = w1.registry
+    report.injections += int(wreg.value("integrity.injected"))
+    report.expect(_bytes(w1.emissions) == _bytes(wfree.emissions),
+                  "windowed:exactly_once_emissions")
+    report.expect(_bytes(w1.emissions) == _bytes(w2.emissions),
+                  "windowed:result_determinism")
+    report.expect(w1.processed_events == len(wevents),
+                  "windowed:record_conservation")
+    report.expect(wreg.value("integrity.injected")
+                  == wreg.value("integrity.detected")
+                  + wreg.value("integrity.latent"),
+                  "windowed:integrity_accounting")
+    return report
+
+
 # --------------------------------------------------------------------- drivers
 
 LAYERS: Dict[str, Callable[[int], OracleReport]] = {
@@ -634,6 +845,7 @@ LAYERS: Dict[str, Callable[[int], OracleReport]] = {
     "autoscale": check_autoscale,
     "resilience": check_resilience,
     "serve": check_serve,
+    "integrity": check_integrity,
 }
 
 

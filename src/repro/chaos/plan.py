@@ -38,6 +38,15 @@ Fault kinds:
 ``load_burst``
     Multiply offered load by ``magnitude`` during
     ``[time, time + duration)`` (microbatch sources, autoscaler traces).
+``data_corrupt``
+    Silent corruption: flip bytes in stored data without any loud
+    failure — a DFS replica or EC fragment, a registered shuffle
+    bucket, or a streaming checkpoint snapshot, depending on which
+    adapter consumes the plan.  ``magnitude`` is how many pieces to
+    rot per event.  Detection relies entirely on the checksummed data
+    plane (:mod:`repro.storage.integrity`); the recovery-equivalence
+    oracle's ``check_integrity`` layer proves results stay
+    byte-identical and every corruption is accounted for.
 """
 
 from __future__ import annotations
@@ -61,6 +70,7 @@ FAULT_KINDS = frozenset({
     "lost_shuffle",     # dataflow engine shuffle registry
     "lost_block",       # storage.dfs
     "load_burst",       # microbatch / autoscaler
+    "data_corrupt",     # storage.dfs / engine shuffle / streaming ckpt
 })
 
 #: Default magnitudes per kind for renewal-generated events.
@@ -69,6 +79,7 @@ _DEFAULT_MAGNITUDE: Dict[str, float] = {
     "load_burst": 3.0,      # triple the offered load
     "task_crash": 1.0,      # one attempt
     "lost_shuffle": 1.0,    # one map output
+    "data_corrupt": 1.0,    # one piece (replica/fragment/bucket/snapshot)
 }
 
 

@@ -16,7 +16,9 @@ __all__ = [
     "BlockNotFoundError",
     "InsufficientReplicasError",
     "CapacityError",
+    "ChecksumError",
     "DataflowError",
+    "BucketFileError",
     "PlanError",
     "UnpicklableTaskError",
     "WorkerTaskError",
@@ -115,6 +117,47 @@ class CapacityError(StorageError):
     """A node or cluster ran out of storage capacity."""
 
 
+class ChecksumError(StorageError):
+    """Stored bytes no longer match their checksum (silent corruption).
+
+    Raised by :mod:`repro.storage.integrity` verification at *read* time,
+    anywhere on the checksummed data plane — DFS replicas and EC
+    fragments, shuffle bucket files, streaming checkpoint snapshots.
+    Carries full provenance so recovery code (and humans) can locate the
+    bad bytes without a debugger: ``layer`` names the data plane
+    (``"dfs.replica"``, ``"shuffle"``, ``"checkpoint"``, ...), ``path``
+    the stored object, ``offset`` the first corrupt chunk's byte offset,
+    and ``expected`` / ``actual`` the checksum pair that disagreed.
+
+    Picklable by construction (``__reduce__``): a pool worker that hits
+    corruption re-raises the *typed* error driver-side, where the
+    corrupt-bucket recovery path keys off these attributes.
+    """
+
+    def __init__(self, message: str = "", *, layer: str = "?",
+                 path: str = "?", offset: int = -1, expected: int = 0,
+                 actual: int = 0) -> None:
+        self.layer = layer
+        self.path = path
+        self.offset = int(offset)
+        self.expected = int(expected)
+        self.actual = int(actual)
+        super().__init__(message or
+                         f"checksum mismatch in {layer} at {path}"
+                         f" offset {offset}: expected {expected:#010x},"
+                         f" got {actual:#010x}")
+
+    def __reduce__(self):
+        return (_rebuild_checksum_error,
+                (str(self), self.layer, self.path, self.offset,
+                 self.expected, self.actual))
+
+
+def _rebuild_checksum_error(message, layer, path, offset, expected, actual):
+    return ChecksumError(message, layer=layer, path=path, offset=offset,
+                         expected=expected, actual=actual)
+
+
 class DataflowError(ReproError):
     """Base class for dataflow-engine errors."""
 
@@ -144,6 +187,42 @@ class UnpicklableTaskError(DataflowError):
                        + " for the process-pool backend"
                        + (f": {reason}" if reason is not None else ""))
         super().__init__(message)
+
+
+class BucketFileError(DataflowError):
+    """A shuffle bucket file cannot serve a requested ``(offset, length)``.
+
+    Raised by :func:`repro.dataflow.shuffleio.read_bucket_file` when a
+    spill file is shorter than its offset table claims (truncation, a
+    torn write) or the requested reduce id has no entry.  Before this
+    type, a truncated file surfaced as an opaque ``UnpicklingError``
+    with no hint of *which* file or bucket was short.
+    """
+
+    def __init__(self, message: str = "", *, path: str = "?",
+                 reduce_id: int = -1, offset: int = -1, length: int = -1,
+                 file_size: int = -1) -> None:
+        self.path = path
+        self.reduce_id = int(reduce_id)
+        self.offset = int(offset)
+        self.length = int(length)
+        self.file_size = int(file_size)
+        super().__init__(message or
+                         f"bucket file {path} cannot serve reduce "
+                         f"{reduce_id}: need [{offset}, {offset + length})"
+                         f" of a {file_size}-byte file")
+
+    def __reduce__(self):
+        return (_rebuild_bucket_file_error,
+                (str(self), self.path, self.reduce_id, self.offset,
+                 self.length, self.file_size))
+
+
+def _rebuild_bucket_file_error(message, path, reduce_id, offset, length,
+                               file_size):
+    return BucketFileError(message, path=path, reduce_id=reduce_id,
+                           offset=offset, length=length,
+                           file_size=file_size)
 
 
 class WorkerTaskError(DataflowError):

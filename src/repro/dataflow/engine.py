@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..cluster.cluster import Cluster
 from ..cluster.node import Node
 from ..common.errors import (
+    ChecksumError,
     DataflowError,
     DeadlineExceededError,
     RetryBudgetExhaustedError,
@@ -37,6 +38,7 @@ from ..simcore.events import Event
 from ..simcore.kernel import Simulator
 from ..simcore.resources import Store
 from . import fusion
+from ..storage import integrity
 from .costmodel import CostModel, SizeEstimator
 from .plan import Dataset, ShuffleDependency, TaskRuntime
 from .shuffleio import write_buckets
@@ -85,6 +87,12 @@ class EngineConfig:
     # shuffle input, no cached datasets, no accumulators) are precomputed
     # on the process pool before simulated task placement; the simulated
     # schedule, costs, and results are unchanged — only wall-clock drops
+    integrity: bool = True
+    # seal registered map-output buckets with chunk checksums and verify
+    # them at reduce fetch; a corrupt bucket drops the map output and
+    # rides the existing MissingShuffleError lineage recovery, so silent
+    # corruption becomes one deterministic map re-execution instead of
+    # wrong results
 
 
 @dataclass
@@ -132,13 +140,15 @@ class JobResult:
 
 
 class _MapOutput:
-    __slots__ = ("node", "buckets", "bucket_bytes")
+    __slots__ = ("node", "buckets", "bucket_bytes", "seals")
 
     def __init__(self, node: str, buckets: List[List],
-                 bucket_bytes: List[float]) -> None:
+                 bucket_bytes: List[float],
+                 seals: Optional[Tuple[integrity.Seal, ...]] = None) -> None:
         self.node = node
         self.buckets = buckets
         self.bucket_bytes = bucket_bytes
+        self.seals = seals               # one Seal per bucket, or None
 
 
 class _CacheEntry:
@@ -172,6 +182,19 @@ class _SimRuntime(TaskRuntime):
         for m in range(n_maps):
             mo = outputs[m]
             recs = mo.buckets[reduce_id]
+            if mo.seals is not None:
+                try:
+                    integrity.verify_object(
+                        recs, mo.seals[reduce_id], layer="shuffle.mem",
+                        path=f"s{shuffle_id}m{m}r{reduce_id}")
+                except ChecksumError:
+                    # detected: count this bucket, count the map output's
+                    # *other* corrupt buckets as discarded-unread, drop the
+                    # whole output, and let lineage recovery re-run map m
+                    eng._record_integrity_detection(shuffle_id, m, reduce_id)
+                    eng._audit_discard(mo, skip=reduce_id)
+                    del outputs[m]
+                    raise MissingShuffleError(shuffle_id, [m])
             out.extend(recs)
             self.records_in += len(recs)
             self.fetches.append((mo.node, mo.bucket_bytes[reduce_id]))
@@ -263,6 +286,14 @@ class SimEngine:
         #: retried like any task failure).  None (the default) costs one
         #: attribute check per task — nothing when no chaos is attached.
         self.fault_hook: Optional[Callable[[Stage, int, str], bool]] = None
+        # integrity accounting (see chaos.oracle.check_integrity): every
+        # injected corruption is either *detected* at a reduce fetch or
+        # *latent_discarded* when its map output dies unread; what is left
+        # shows up in audit_shuffle_integrity().  The identity
+        # ``injected == detected + latent_discarded + latent_remaining``
+        # is what the oracle holds exact.
+        self.integrity_detected = 0
+        self.integrity_latent_discarded = 0
         for node in cluster.nodes.values():
             node.listeners.append(self._on_node_event)
 
@@ -321,8 +352,62 @@ class SimEngine:
         else:
             chosen = keys[:n]
         for sid, m in chosen:
+            self._audit_discard(self._map_outputs[sid][m])
             del self._map_outputs[sid][m]
         return chosen
+
+    def corrupt_map_outputs(self, n: int = 1,
+                            rng: Any = None) -> List[Tuple[int, int, int]]:
+        """Chaos hook: silently corrupt up to ``n`` map-output buckets.
+
+        Models bit-rot in shuffle data the loud fault kinds cannot: the
+        bytes stay present and the owning node stays alive, but one
+        bucket's contents are wrong.  The corruption appends a sentinel
+        record to a fresh copy of the victim bucket (source record tuples
+        are shared with lineage and must stay pristine), so a sealed
+        engine detects it at the next reduce fetch and re-runs exactly
+        that map.  ``rng`` (a numpy Generator) picks victims; without one
+        the lowest (shuffle_id, map_id) pairs rot, bucket 0 each.
+        Returns the corrupted ``(shuffle_id, map_id, reduce_id)`` triples.
+        """
+        keys = [(sid, m) for sid, outs in sorted(self._map_outputs.items())
+                for m in sorted(outs)]
+        if not keys:
+            return []
+        n = max(0, min(int(n), len(keys)))
+        if rng is not None:
+            idx = sorted(rng.permutation(len(keys))[:n].tolist())
+            chosen = [keys[i] for i in idx]
+        else:
+            chosen = keys[:n]
+        hit: List[Tuple[int, int, int]] = []
+        for sid, m in chosen:
+            mo = self._map_outputs[sid][m]
+            r = int(rng.integers(len(mo.buckets))) if rng is not None else 0
+            mo.buckets[r] = list(mo.buckets[r]) + [("\x00corrupt", -1)]
+            hit.append((sid, m, r))
+        return hit
+
+    def audit_shuffle_integrity(self) -> List[Tuple[int, int, int]]:
+        """Latent-corruption audit over the registered map outputs.
+
+        Re-verifies every sealed bucket and returns the corrupt
+        ``(shuffle_id, map_id, reduce_id)`` triples — corruption that was
+        injected but never read (and never discarded).  Counts nothing
+        and charges no simulated cost; the chaos oracle uses it to close
+        the injected-vs-accounted identity.
+        """
+        bad: List[Tuple[int, int, int]] = []
+        for sid, outs in sorted(self._map_outputs.items()):
+            for m, mo in sorted(outs.items()):
+                if mo.seals is None:
+                    continue
+                for r, s in enumerate(mo.seals):
+                    try:
+                        integrity.verify_object(mo.buckets[r], s)
+                    except ChecksumError:
+                        bad.append((sid, m, r))
+        return bad
 
     def run_job(self, ds: Dataset,
                 finalize: Callable[[List], Any],
@@ -966,8 +1051,11 @@ class SimEngine:
                 if total > 0:
                     yield node.disk_write(total)
             if attempt.alive:
-                self._map_outputs.setdefault(dep.shuffle_id, {})[split] = \
-                    _MapOutput(attempt.node, buckets, bucket_bytes)
+                seals = (tuple(integrity.seal_object(b) for b in buckets)
+                         if self.config.integrity else None)
+                self._register_map_output(
+                    dep.shuffle_id, split,
+                    _MapOutput(attempt.node, buckets, bucket_bytes, seals))
             value = None
         if attempt.alive:
             attempt.alive = False
@@ -995,6 +1083,56 @@ class SimEngine:
         rack = self.cluster.rack_of(node)
         same_rack = [p for p in prefs if self.cluster.rack_of(p) == rack]
         return nbytes, (same_rack[0] if same_rack else prefs[0])
+
+    # ----------------------------------------------------------- integrity
+
+    def _register_map_output(self, sid: int, split: int,
+                             mo: _MapOutput) -> None:
+        """Register a map output, auditing any overwritten predecessor.
+
+        A re-registration (speculation, lineage re-run) replaces the old
+        output wholesale; if the old copy carried unread corruption it is
+        discarded here, which is the only way the oracle's accounting
+        identity stays exact across recoveries.
+        """
+        outputs = self._map_outputs.setdefault(sid, {})
+        old = outputs.get(split)
+        if old is not None:
+            self._audit_discard(old)
+        outputs[split] = mo
+
+    def _record_integrity_detection(self, sid: int, m: int, r: int) -> None:
+        """Count one detected-corrupt bucket (instance + registry + trace)."""
+        self.integrity_detected += 1
+        reg = obs_metrics.get_registry()
+        if reg is not None:
+            reg.counter("integrity.detected").inc()
+        tr = obs_trace.get_tracer()
+        if tr is not None:
+            tr.instant("integrity_detected", self.sim.now,
+                       lane=("engine", "driver"), cat="integrity",
+                       args={"layer": "shuffle.mem", "shuffle_id": sid,
+                             "map": m, "reduce": r})
+
+    def _audit_discard(self, mo: _MapOutput,
+                       skip: Optional[int] = None) -> None:
+        """Count corrupt buckets of a map output leaving the registry unread.
+
+        ``skip`` excludes the bucket that was just *detected* (already
+        counted) when the detection path drops the whole output.
+        """
+        if mo.seals is None:
+            return
+        for r, s in enumerate(mo.seals):
+            if r == skip:
+                continue
+            try:
+                integrity.verify_object(mo.buckets[r], s)
+            except ChecksumError:
+                self.integrity_latent_discarded += 1
+                reg = obs_metrics.get_registry()
+                if reg is not None:
+                    reg.counter("integrity.latent_discarded").inc()
 
     # ------------------------------------------------------------ failures
 
@@ -1027,6 +1165,7 @@ class SimEngine:
         for sid, outputs in self._map_outputs.items():
             dead = [m for m, mo in outputs.items() if mo.node == node.name]
             for m in dead:
+                self._audit_discard(outputs[m])
                 del outputs[m]
         for key in [k for k, e in self._cache.items() if e.node == node.name]:
             del self._cache[key]

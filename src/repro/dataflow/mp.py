@@ -64,6 +64,7 @@ from multiprocessing import connection as mpconn
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..common.errors import (
+    ChecksumError,
     DataflowError,
     RetryBudgetExhaustedError,
     TaskFailedError,
@@ -289,6 +290,7 @@ def _do_prime(state: _WorkerState, blob: bytes, bufs: List[bytes]) -> None:
     toggles = payload["toggles"]
     fusion.set_fusion(toggles["fusion"])
     shuffleio.set_vectorized(toggles["vectorized"])
+    shuffleio.set_checksums(toggles.get("checksums", True))
     fusion.prime_segments(payload["shapes"])
     state.cost = payload["cost_model"]
     state.size_est = SizeEstimator(state.cost)
@@ -584,6 +586,7 @@ class ProcessPoolBackend:
         key = (ctx.ctx_token, root.dataset_id, ctx._next_id,
                fusion.fusion_enabled(), ctx.fusion_enabled,
                shuffleio.vectorized_enabled(),
+               shuffleio.checksums_enabled(),
                tuple(sorted(d.dataset_id for d in datasets if d.cached)),
                len(accumulators))
         if key == self._prime_key:
@@ -596,7 +599,8 @@ class ProcessPoolBackend:
             "accumulators": list(accumulators),
             "shapes": _plan_segment_shapes(datasets) if fuse else [],
             "toggles": {"fusion": fusion.fusion_enabled(),
-                        "vectorized": shuffleio.vectorized_enabled()},
+                        "vectorized": shuffleio.vectorized_enabled(),
+                        "checksums": shuffleio.checksums_enabled()},
             "cost_model": ctx.cost_model,
             "shuffle_refs": dict(shuffle_refs),
         }
@@ -820,6 +824,8 @@ class PooledExecutor(ExecutorBase):
         self.backend = backend
         self.shuffle_metrics: Dict[int, ShuffleMetrics] = {}
         self._shuffle_refs: Dict[int, List] = {}
+        self._shuffle_deps: Dict[int, ShuffleDependency] = {}
+        self.integrity_recoveries = 0   # corrupt bucket files re-mapped
         self.retry_session = backend.retry_policy.session(
             key=f"pool-ctx{ctx.ctx_token}", job="pool")
 
@@ -872,10 +878,65 @@ class PooledExecutor(ExecutorBase):
             _gather_source_payloads(ds, split, payloads)
             specs.append(_TaskSpec("narrow", ds.dataset_id, split, payloads,
                                    op=f"ds{ds.dataset_id}s{split}"))
-        results = self.backend.run_tasks(specs, session=self.retry_session)
+        results = self._run_specs(specs)
         if apply_stashes:
             self._apply_stashes(results)
         return [res["records"] for res in results]
+
+    def _run_specs(self, specs: Sequence[_TaskSpec]) -> List[Dict[str, Any]]:
+        """Run tasks, recovering from corrupt shuffle bucket files.
+
+        A worker that reads a checksum-failed bucket raises a typed
+        :class:`ChecksumError` naming the spill file; the driver re-runs
+        exactly the producing map task (through the retry-budget ledger),
+        swaps the fresh file into the shuffle refs, and retries the batch.
+        Unattributable checksum errors re-raise; the retry budget bounds
+        the loop either way.
+        """
+        while True:
+            try:
+                return self.backend.run_tasks(specs,
+                                              session=self.retry_session)
+            except ChecksumError as exc:
+                self._recover_corrupt_bucket(exc)
+
+    def _recover_corrupt_bucket(self, exc: ChecksumError) -> None:
+        loc = None
+        for sid, refs in self._shuffle_refs.items():
+            for m, (path, _offs) in enumerate(refs):
+                if path == exc.path:
+                    loc = (sid, m)
+                    break
+            if loc is not None:
+                break
+        if loc is None or loc[0] not in self._shuffle_deps:
+            raise exc   # not one of ours (or refs already cleared)
+        sid, m = loc
+        reg = get_registry()
+        if reg is not None:
+            reg.counter("integrity.detected").inc()
+        try:
+            self.retry_session.record_failure(
+                op=f"sh{sid}m{m}", error="corrupt bucket file",
+                now=time.monotonic())
+        except RetryBudgetExhaustedError as bexc:
+            raise TaskFailedError(
+                op=bexc.op, job=bexc.job, stage=bexc.stage,
+                attempts=bexc.attempts, budget=bexc.budget) from exc
+        dep = self._shuffle_deps[sid]
+        payloads: Dict[Tuple[int, int], List] = {}
+        _gather_source_payloads(dep.parent, m, payloads)
+        spec = _TaskSpec("map", sid, m, payloads, op=f"sh{sid}m{m}",
+                         map_out=(sid, m))
+        # the original attempt of this map already applied its accumulator
+        # stashes and shuffle metrics; the re-run only replaces the bytes
+        (res,) = self._run_specs([spec])
+        refs = self._shuffle_refs[sid]
+        refs[m] = (res["path"], res["offsets"])
+        self.backend.register_shuffle(sid, refs)
+        self.integrity_recoveries += 1
+        if reg is not None:
+            reg.counter("pool.integrity_recoveries").inc()
 
     def _apply_stashes(self, results: Sequence[Dict[str, Any]]) -> None:
         # results arrive spec-ordered == split-ordered: accumulator ops
@@ -905,7 +966,8 @@ class PooledExecutor(ExecutorBase):
             specs.append(_TaskSpec("map", sid, split, payloads,
                                    op=f"sh{sid}m{split}",
                                    map_out=(sid, split)))
-        results = self.backend.run_tasks(specs, session=self.retry_session)
+        self._shuffle_deps[sid] = dep
+        results = self._run_specs(specs)
         self._apply_stashes(results)
         metrics = ShuffleMetrics(sid)
         refs = []
@@ -923,6 +985,7 @@ class PooledExecutor(ExecutorBase):
     def clear(self) -> None:
         """Drop materialized shuffles, worker caches, and metrics."""
         self._shuffle_refs.clear()
+        self._shuffle_deps.clear()
         self.shuffle_metrics.clear()
         self.backend._broadcast(("clear",))
         self.backend.invalidate_prime()

@@ -23,20 +23,30 @@ sample per bucket.
 
 from __future__ import annotations
 
+import os
+import zlib
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..common.errors import BucketFileError, ChecksumError
 from .costmodel import CostModel, SizeEstimator
 from .plan import ShuffleDependency
 
 __all__ = ["write_buckets", "set_vectorized", "vectorized_enabled",
+           "set_checksums", "checksums_enabled",
            "write_bucket_file", "read_bucket_file"]
 
 # Global A/B switch: True = vectorized fast path (default), False = the
 # original scalar reference implementation.  The wall-clock perf suite
 # flips this to measure the speedup; semantics are identical either way.
 _VECTORIZED = True
+
+# Checksummed spill files: True (default) stamps a CRC32 per bucket blob
+# into the offset table and verifies it on read, turning silent bit-rot
+# in a spill file into a typed, recoverable ChecksumError.  The perf
+# suite A/Bs this switch for the <5% overhead guard.
+_CHECKSUMS = True
 
 
 def set_vectorized(enabled: bool) -> None:
@@ -48,6 +58,17 @@ def set_vectorized(enabled: bool) -> None:
 def vectorized_enabled() -> bool:
     """Whether the vectorized shuffle-write path is active."""
     return _VECTORIZED
+
+
+def set_checksums(enabled: bool) -> None:
+    """Enable/disable bucket-file checksumming (default on)."""
+    global _CHECKSUMS
+    _CHECKSUMS = bool(enabled)
+
+
+def checksums_enabled() -> bool:
+    """Whether bucket-file payloads are checksummed."""
+    return _CHECKSUMS
 
 
 def _scatter(items: Sequence, part_ids: np.ndarray,
@@ -130,35 +151,71 @@ def write_buckets(dep: ShuffleDependency, records: Sequence,
 # because its worker crashed.
 
 
-def write_bucket_file(path: str, buckets: List[List]) \
-        -> List[Tuple[int, int]]:
+def write_bucket_file(path: str, buckets: List[List]) -> List[Tuple]:
     """Write ``buckets`` back-to-back to ``path``.
 
-    Returns one ``(offset, length)`` pair per bucket so a reader can
+    Returns one ``(offset, length)`` pair — ``(offset, length, crc32)``
+    when checksumming is on (the default) — per bucket so a reader can
     fetch a single reduce partition without scanning the file.  Buckets
     are serialized with the closure-aware plan pickler, so records that
     happen to contain lambdas still round-trip.
     """
     from . import closure
 
-    offsets: List[Tuple[int, int]] = []
+    with_sums = _CHECKSUMS
+    offsets: List[Tuple] = []
     with open(path, "wb") as f:
         for bucket in buckets:
             blob, _ = closure.dumps(bucket, with_buffers=False)
-            offsets.append((f.tell(), len(blob)))
+            if with_sums:
+                offsets.append((f.tell(), len(blob), zlib.crc32(blob)))
+            else:
+                offsets.append((f.tell(), len(blob)))
             f.write(blob)
     return offsets
 
 
-def read_bucket_file(path: str, offsets: Sequence[Tuple[int, int]],
+def read_bucket_file(path: str, offsets: Sequence[Tuple],
                      reduce_id: int) -> List:
-    """Read one reduce bucket back from a bucket file."""
+    """Read one reduce bucket back from a bucket file.
+
+    The requested ``(offset, length)`` window is validated against the
+    actual file size before deserializing, so a truncated or torn spill
+    file raises a typed :class:`~repro.common.errors.BucketFileError`
+    with full provenance instead of an opaque ``UnpicklingError``; when
+    the offset entry carries a CRC (checksumming on at write time), the
+    blob is verified and corruption raises
+    :class:`~repro.common.errors.ChecksumError` naming the file and the
+    corrupt bucket's byte offset.
+    """
     from . import closure
 
-    off, length = offsets[reduce_id]
+    if not 0 <= reduce_id < len(offsets):
+        raise BucketFileError(
+            f"bucket file {path} has {len(offsets)} buckets, "
+            f"reduce {reduce_id} requested",
+            path=path, reduce_id=reduce_id, offset=-1, length=-1,
+            file_size=-1)
+    entry = offsets[reduce_id]
+    off, length = entry[0], entry[1]
+    want_crc = entry[2] if len(entry) > 2 else None
     with open(path, "rb") as f:
+        file_size = os.fstat(f.fileno()).st_size
+        if off < 0 or length < 0 or off + length > file_size:
+            raise BucketFileError(path=path, reduce_id=reduce_id,
+                                  offset=off, length=length,
+                                  file_size=file_size)
         f.seek(off)
-        return closure.loads(f.read(length))
+        blob = f.read(length)
+    if len(blob) != length:
+        raise BucketFileError(path=path, reduce_id=reduce_id, offset=off,
+                              length=length, file_size=file_size)
+    if want_crc is not None:
+        got = zlib.crc32(blob)
+        if got != want_crc:
+            raise ChecksumError(layer="shuffle", path=path, offset=off,
+                                expected=want_crc, actual=got)
+    return closure.loads(blob)
 
 
 def _write_buckets_scalar(dep: ShuffleDependency, records: Sequence,

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from ..common.errors import (
     BlockNotFoundError,
     CapacityError,
+    ChecksumError,
     ConfigError,
     InsufficientReplicasError,
 )
@@ -36,6 +37,7 @@ from ..obs.metrics import MetricsRegistry
 from ..resilience import CircuitBreaker, ResiliencePolicies, run_hedged
 from ..simcore.events import Event
 from ..simcore.kernel import Simulator
+from . import integrity
 from .reedsolomon import RSCode
 
 __all__ = ["DFSConfig", "BlockInfo", "FileInfo", "DistributedFS"]
@@ -53,6 +55,10 @@ class DFSConfig:
     rack_aware: bool = True
     auto_repair: bool = True
     detection_delay: float = 5.0         # seconds until a failure is acted on
+    checksums: bool = True               # verify chunk CRCs on every read
+    chunk_size: int = integrity.CHUNK_SIZE
+    scrub_interval: float = 0.0          # seconds between scrub passes; 0 = off
+    scrub_rate: float = MB(64)           # scrub verify throughput (bytes/s)
 
     def __post_init__(self) -> None:
         if self.block_size < 1:
@@ -63,6 +69,10 @@ class DFSConfig:
             raise ConfigError("invalid EC parameters")
         if self.default_mode not in ("replicate", "ec"):
             raise ConfigError("default_mode must be 'replicate' or 'ec'")
+        if self.chunk_size < 1:
+            raise ConfigError("chunk_size must be positive")
+        if self.scrub_interval < 0 or self.scrub_rate < 0:
+            raise ConfigError("scrub parameters must be >= 0")
 
 
 @dataclass
@@ -105,7 +115,12 @@ class DistributedFS:
         self.files: Dict[str, FileInfo] = {}
         self._blocks: Dict[int, BlockInfo] = {}
         self._next_block_id = 0
-        self._content: Dict[Tuple[int, int], bytes] = {}   # (block_id, frag) -> bytes
+        # (block_id, slot) -> stored bytes; replicated blocks hold one
+        # entry per replica slot so a single copy can rot independently
+        # (entries alias the same bytes object until corruption replaces
+        # one, so the memory cost of per-slot keys is just the dict slots)
+        self._content: Dict[Tuple[int, int], bytes] = {}
+        self._seals: Dict[Tuple[int, int], integrity.Seal] = {}
         self._block_data_len: Dict[int, int] = {}
         self.codec = RSCode(self.config.ec_k, self.config.ec_m)
         # resilience policies (all optional; None = pre-policy behaviour):
@@ -126,17 +141,23 @@ class DistributedFS:
                      "dfs.degraded_reads", "dfs.failed_reads",
                      "dfs.repairs_started", "dfs.repairs_failed",
                      "dfs.repairs_abandoned", "dfs.repair_bytes",
-                     "dfs.hedged_reads"):
+                     "dfs.hedged_reads", "integrity.detected",
+                     "integrity.quarantined", "integrity.latent_discarded",
+                     "integrity.scrub_pieces", "integrity.scrub_bytes"):
             self.metrics.counter(name)
         self._watching = False
         if self.config.auto_repair or self.breaker is not None:
             self._watch_failures()
+        self._scrubbing = False
+        if self.config.scrub_interval > 0:
+            self.start_scrubber()
 
     # ---- counter facade (back-compat: `dfs.bytes_read += n` still works,
     # but every mutation lands in the typed registry)
 
-    def _counter_prop(name: str, as_int: bool = False):  # noqa: N805
-        full = f"dfs.{name}"
+    def _counter_prop(name: str, as_int: bool = False,
+                      prefix: str = "dfs"):  # noqa: N805
+        full = f"{prefix}.{name}"
 
         def _get(self):
             v = self.metrics.counter(full).value
@@ -156,6 +177,16 @@ class DistributedFS:
     repairs_abandoned = _counter_prop("repairs_abandoned", as_int=True)
     repair_bytes = _counter_prop("repair_bytes")
     hedged_reads = _counter_prop("hedged_reads", as_int=True)
+    integrity_detected = _counter_prop("detected", as_int=True,
+                                       prefix="integrity")
+    integrity_quarantined = _counter_prop("quarantined", as_int=True,
+                                          prefix="integrity")
+    integrity_latent_discarded = _counter_prop("latent_discarded",
+                                               as_int=True,
+                                               prefix="integrity")
+    scrub_pieces = _counter_prop("scrub_pieces", as_int=True,
+                                 prefix="integrity")
+    scrub_bytes = _counter_prop("scrub_bytes", prefix="integrity")
     del _counter_prop
 
     # ------------------------------------------------------------------ write
@@ -211,14 +242,14 @@ class DistributedFS:
     def _write_replicated(self, block: BlockInfo, data: Optional[bytes],
                           writer: str):
         nodes = self._choose_replica_nodes(writer, self.config.replication)
-        if data is not None:
-            self._content[(block.block_id, 0)] = data
         # pipelined: the client streams to replica 1 which streams to 2, ...
         # modeled as concurrent hop transfers plus a disk write per replica.
         pending = []
         prev = writer
         for r, node in enumerate(nodes):
             block.locations[r] = node
+            if data is not None:
+                self._store_piece(block.block_id, r, data)
             pending.append(self.cluster.transfer(prev, node, block.size))
             pending.append(self.cluster.nodes[node].disk_write(block.size))
             prev = node
@@ -234,7 +265,7 @@ class DistributedFS:
             frags = self.codec.encode(data)
             self._block_data_len[block.block_id] = len(data)
             for idx in range(k + m):
-                self._content[(block.block_id, idx)] = frags[idx]
+                self._store_piece(block.block_id, idx, frags[idx])
         pending = []
         for idx, node in enumerate(nodes):
             block.locations[idx] = node
@@ -287,36 +318,48 @@ class DistributedFS:
                 if self.cluster.nodes[n].alive]
 
     def _read_replicated(self, block: BlockInfo, reader: str, done: Event):
-        live = self._live_replicas(block)
-        if not live:
-            self.failed_reads += 1
-            done.fail(InsufficientReplicasError(
-                f"block {block.block_id} of {block.path} has no live replica"))
-            return
-            yield  # pragma: no cover
-        live = self._prefer_unbroken(live)
-        hedge_delay = (self._hedge.delay(self._read_durations)
-                       if self._hedge is not None else None)
-        distinct = sorted(set(live),
-                          key=lambda n: (n != reader,
-                                         not self.cluster.same_rack(n, reader)
-                                         if reader in self.cluster.nodes
-                                         else True, n))
-        if hedge_delay is not None and len(distinct) > 1:
-            src = yield from self._hedged_fetch(block, reader, distinct,
-                                                hedge_delay)
-        else:
-            src = self._closest(reader, live)
-            t0 = self.sim.now
-            yield self.cluster.nodes[src].disk_read(block.size)
-            if src != reader:
-                yield self.cluster.transfer(src, reader, block.size)
-            if self._hedge is not None:
-                self._read_durations.append(self.sim.now - t0)
-        if self.breaker is not None:
-            self.breaker.record_success(src, self.sim.now)
-        self.bytes_read += block.size
-        done.succeed(self._content.get((block.block_id, 0)))
+        # Detection → recovery loop: a replica whose chunk CRCs fail is
+        # quarantined (dropped from ``block.locations`` and scheduled for
+        # re-replication) and the read falls to the next replica, still
+        # breaker- and hedge-aware — the re-ranked candidate set simply
+        # no longer contains the corrupt copy.
+        while True:
+            live = self._live_replicas(block)
+            if not live:
+                self.failed_reads += 1
+                done.fail(InsufficientReplicasError(
+                    f"block {block.block_id} of {block.path} "
+                    f"has no live replica"))
+                return
+            live = self._prefer_unbroken(live)
+            hedge_delay = (self._hedge.delay(self._read_durations)
+                           if self._hedge is not None else None)
+            distinct = sorted(
+                set(live),
+                key=lambda n: (n != reader,
+                               not self.cluster.same_rack(n, reader)
+                               if reader in self.cluster.nodes
+                               else True, n))
+            if hedge_delay is not None and len(distinct) > 1:
+                src = yield from self._hedged_fetch(block, reader, distinct,
+                                                    hedge_delay)
+            else:
+                src = self._closest(reader, live)
+                t0 = self.sim.now
+                yield self.cluster.nodes[src].disk_read(block.size)
+                if src != reader:
+                    yield self.cluster.transfer(src, reader, block.size)
+                if self._hedge is not None:
+                    self._read_durations.append(self.sim.now - t0)
+            slot = self._slot_of(block, src)
+            if slot is None or self._verify_piece(block, slot):
+                if self.breaker is not None:
+                    self.breaker.record_success(src, self.sim.now)
+                self.bytes_read += block.size
+                done.succeed(self._content.get((block.block_id, slot))
+                             if slot is not None else None)
+                return
+            self._quarantine(block, slot, src)
 
     def _hedged_fetch(self, block: BlockInfo, reader: str,
                       ranked: List[str], delay: float):
@@ -350,42 +393,56 @@ class DistributedFS:
     def _read_ec(self, block: BlockInfo, reader: str, done: Event):
         k = self.codec.k
         frag_size = self.codec.fragment_size(block.size)
-        live = {idx: node for idx, node in block.locations.items()
-                if self.cluster.nodes[node].alive}
-        data_live = [i for i in range(k) if i in live]
-        if len(live) < k:
-            self.failed_reads += 1
-            done.fail(InsufficientReplicasError(
-                f"block {block.block_id}: only {len(live)} of {k} fragments live"))
+        # Detection → recovery loop: a fragment whose CRCs fail is
+        # quarantined and the stripe re-read excludes it — RS decoding
+        # from the remaining ≥ k fragments reconstructs the payload (the
+        # degraded path), while reconstruction of the bad fragment is
+        # scheduled in the background.
+        while True:
+            live = {idx: node for idx, node in block.locations.items()
+                    if self.cluster.nodes[node].alive}
+            data_live = [i for i in range(k) if i in live]
+            if len(live) < k:
+                self.failed_reads += 1
+                done.fail(InsufficientReplicasError(
+                    f"block {block.block_id}: only {len(live)} of {k} "
+                    f"fragments live"))
+                return
+            degraded = len(data_live) < k
+            if degraded:
+                self.degraded_reads += 1
+                tr = obs_trace.get_tracer()
+                if tr is not None:
+                    tr.instant("degraded_read", self.sim.now,
+                               lane=("dfs", "read"),
+                               cat="dfs", block_id=block.block_id)
+                chosen = sorted(live)[:k]
+            else:
+                chosen = data_live
+            evs = []
+            for idx in chosen:
+                node = live[idx]
+                evs.append(self.cluster.nodes[node].disk_read(frag_size))
+                if node != reader:
+                    evs.append(self.cluster.transfer(node, reader, frag_size))
+            yield self.sim.all_of(evs)
+            self.bytes_read += frag_size * len(chosen)
+            bad = [i for i in chosen if not self._verify_piece(block, i)]
+            if bad:
+                for i in bad:
+                    self._quarantine(block, i, live[i])
+                continue
+            payload = None
+            if any((block.block_id, i) in self._content for i in chosen):
+                frags = {i: self._content[(block.block_id, i)]
+                         for i in chosen
+                         if (block.block_id, i) in self._content}
+                if len(frags) >= k:
+                    orig_len = self._block_data_len.get(block.block_id,
+                                                        block.size)
+                    payload = self.codec.decode(frags, orig_len)
+            done.succeed(payload)
             return
-            yield  # pragma: no cover
-        degraded = len(data_live) < k
-        if degraded:
-            self.degraded_reads += 1
-            tr = obs_trace.get_tracer()
-            if tr is not None:
-                tr.instant("degraded_read", self.sim.now, lane=("dfs", "read"),
-                           cat="dfs", block_id=block.block_id)
-            chosen = sorted(live)[:k]
-        else:
-            chosen = data_live
-        evs = []
-        for idx in chosen:
-            node = live[idx]
-            evs.append(self.cluster.nodes[node].disk_read(frag_size))
-            if node != reader:
-                evs.append(self.cluster.transfer(node, reader, frag_size))
-        yield self.sim.all_of(evs)
-        self.bytes_read += frag_size * len(chosen)
-        payload = None
-        if (block.block_id, 0) in self._content or any(
-                (block.block_id, i) in self._content for i in chosen):
-            frags = {i: self._content[(block.block_id, i)] for i in chosen
-                     if (block.block_id, i) in self._content}
-            if len(frags) >= k:
-                orig_len = self._block_data_len.get(block.block_id, block.size)
-                payload = self.codec.decode(frags, orig_len)
-        done.succeed(payload)
 
     # ------------------------------------------------------------ placement
 
@@ -461,6 +518,213 @@ class DistributedFS:
                 return (1, node)
             return (2, node)
         return min(candidates, key=rank)
+
+    # ------------------------------------------------------------ integrity
+
+    def _slot_of(self, block: BlockInfo, node: str) -> Optional[int]:
+        """The (lowest) slot of ``block`` stored on ``node``, or None."""
+        for slot in sorted(block.locations):
+            if block.locations[slot] == node:
+                return slot
+        return None
+
+    def _store_piece(self, block_id: int, slot: int, data: bytes) -> None:
+        """Store one replica/fragment payload, sealing it when enabled."""
+        self._content[(block_id, slot)] = data
+        if self.config.checksums:
+            self._seals[(block_id, slot)] = integrity.seal(
+                data, self.config.chunk_size)
+
+    def _copy_piece(self, block_id: int, src_slot: int, dst_slot: int) -> None:
+        """Clone a verified piece (bytes + seal) into another slot."""
+        src = (block_id, src_slot)
+        if src in self._content:
+            self._content[(block_id, dst_slot)] = self._content[src]
+            if src in self._seals:
+                self._seals[(block_id, dst_slot)] = self._seals[src]
+
+    def _piece_clean(self, block_id: int, slot: int) -> bool:
+        """Silent verification (no counters, no traces) of one piece.
+
+        True when the stored bytes match their seal, or there is nothing
+        to verify (size-only file, checksums disabled, missing seal).
+        """
+        if not self.config.checksums:
+            return True
+        key = (block_id, slot)
+        data = self._content.get(key)
+        s = self._seals.get(key)
+        if data is None or s is None:
+            return True
+        try:
+            integrity.verify(data, s)
+        except ChecksumError:
+            return False
+        return True
+
+    def _verify_piece(self, block: BlockInfo, slot: int) -> bool:
+        """Counted verification: False (and ``integrity.detected`` +1,
+        trace instant) when the stored piece fails its checksums."""
+        if not self.config.checksums:
+            return True
+        key = (block.block_id, slot)
+        data = self._content.get(key)
+        s = self._seals.get(key)
+        if data is None or s is None:
+            return True
+        layer = ("dfs.replica" if block.mode == "replicate"
+                 else "dfs.fragment")
+        try:
+            integrity.verify(
+                data, s, layer=layer,
+                path=f"{block.path}#b{block.block_id}s{slot}")
+        except ChecksumError as exc:
+            self.integrity_detected += 1
+            tr = obs_trace.get_tracer()
+            if tr is not None:
+                tr.instant("integrity_detected", self.sim.now,
+                           lane=("dfs", "integrity"), cat="integrity",
+                           block_id=block.block_id, slot=slot,
+                           layer=exc.layer, offset=exc.offset)
+            return False
+        return True
+
+    def _quarantine(self, block: BlockInfo, slot: int,
+                    node: Optional[str] = None) -> None:
+        """Remove a checksum-failed piece from service and schedule repair.
+
+        The slot leaves ``block.locations`` *before* any repair picks
+        sources, so re-replication can never clone the corrupt copy; the
+        bad bytes and their stale seal are dropped with it.  The holding
+        node's breaker records a failure — a node serving rotten bytes is
+        as suspect as one timing out.
+        """
+        key = (block.block_id, slot)
+        held = block.locations.pop(slot, None)
+        self._content.pop(key, None)
+        self._seals.pop(key, None)
+        self.integrity_quarantined += 1
+        who = node or held
+        if self.breaker is not None and who is not None:
+            self.breaker.record_failure(who, self.sim.now)
+        if not self.config.auto_repair:
+            return
+
+        def _re(sim: Simulator):
+            yield sim.timeout(0.0)
+            self.repairs_started += 1
+            if block.mode == "replicate":
+                yield from self._rereplicate(block, slot)
+            else:
+                yield from self._reconstruct_fragment(block, slot)
+        self.sim.process(
+            _re(self.sim),
+            name=f"dfs-requarantine:b{block.block_id}s{slot}")
+
+    def _discard_piece(self, block: BlockInfo, slot: int) -> None:
+        """Account a stored piece about to be overwritten unverified.
+
+        Repair for a dead node rewrites the slot's content wholesale; if
+        the bytes being replaced were corrupt, that corruption leaves the
+        system without ever having been *read* — counted separately
+        (``integrity.latent_discarded``) so the oracle's accounting
+        identity ``injected == detected + latent_discarded + latent``
+        stays exact under composed fault plans.
+        """
+        if not self._piece_clean(block.block_id, slot):
+            self.integrity_latent_discarded += 1
+
+    def corrupt_piece(self, block_id: int, slot: int,
+                      offset: Optional[int] = None,
+                      rng=None) -> Optional[int]:
+        """Chaos hook: flip one stored byte of ``(block, slot)``.
+
+        The seal is deliberately left stale — that is what makes the
+        corruption *silent* until a read or scrub verifies the chunk.
+        Returns the flipped offset, or ``None`` when nothing is stored.
+        """
+        key = (block_id, slot)
+        data = self._content.get(key)
+        if not data:
+            return None
+        if offset is None:
+            offset = int(rng.integers(len(data))) if rng is not None else 0
+        offset %= len(data)
+        self._content[key] = integrity.flip_byte(data, offset)
+        return offset
+
+    def audit_integrity(self) -> List[Tuple[int, int]]:
+        """All location-referenced pieces whose checksums fail, silently.
+
+        A debug/oracle helper: walks every stored piece without charging
+        simulation costs or touching counters, returning the corrupt
+        ``(block_id, slot)`` keys (latent corruption not yet read).
+        """
+        bad: List[Tuple[int, int]] = []
+        for bid in sorted(self._blocks):
+            block = self._blocks[bid]
+            for slot in sorted(block.locations):
+                if not self._piece_clean(bid, slot):
+                    bad.append((bid, slot))
+        return bad
+
+    # ------------------------------------------------------------ scrubbing
+
+    def start_scrubber(self) -> None:
+        """Start the background scrub loop (idempotent).
+
+        Every ``scrub_interval`` seconds the scrubber walks all stored
+        pieces in deterministic order, charges verify IO at each holding
+        node, paces itself to ``scrub_rate`` bytes/second, and
+        quarantines + repairs any piece whose checksums fail — catching
+        bit-rot on cold data before a reader ever trips over it.
+        """
+        if self._scrubbing or self.config.scrub_interval <= 0:
+            return
+        self._scrubbing = True
+
+        def _loop(sim: Simulator):
+            while True:
+                yield sim.timeout(self.config.scrub_interval)
+                yield from self._scrub_pass()
+        self.sim.process(_loop(self.sim), name="dfs-scrub")
+
+    def scrub_now(self) -> Event:
+        """One full scrub pass on demand; fires with the corrupt count."""
+        done = self.sim.event()
+
+        def _proc(sim: Simulator):
+            found = yield from self._scrub_pass()
+            done.succeed(found)
+        self.sim.process(_proc(self.sim), name="dfs-scrub-now")
+        return done
+
+    def _scrub_pass(self):
+        tr = obs_trace.get_tracer()
+        span = (tr.begin("scrub", self.sim.now, lane=("dfs", "scrub"),
+                         cat="integrity") if tr is not None else None)
+        found = 0
+        for bid in sorted(self._blocks):
+            block = self._blocks[bid]
+            piece_size = (self.codec.fragment_size(block.size)
+                          if block.mode == "ec" else block.size)
+            for slot in sorted(block.locations):
+                node = block.locations.get(slot)
+                if node is None or not self.cluster.nodes[node].alive:
+                    continue
+                if piece_size > 0:
+                    yield self.cluster.nodes[node].disk_read(piece_size)
+                    if self.config.scrub_rate > 0:
+                        yield self.sim.timeout(
+                            piece_size / self.config.scrub_rate)
+                self.scrub_pieces += 1
+                self.scrub_bytes += piece_size
+                if not self._verify_piece(block, slot):
+                    found += 1
+                    self._quarantine(block, slot, node)
+        if tr is not None and span is not None:
+            tr.end(span, self.sim.now, corrupt_found=found)
+        return found
 
     # ------------------------------------------------------------ repair
 
@@ -571,12 +835,25 @@ class DistributedFS:
             target = str(self.rng.choice(self._prefer_unbroken(candidates)))
             span = self._begin_repair_span(block, slot, target)
             src = self._closest(target, self._prefer_unbroken(live))
+            # never clone a corrupt copy: the source replica's checksums
+            # are verified before any bytes move, and a rotten source is
+            # quarantined (leaving ``block.locations`` immediately) so
+            # the retry picks from the remaining clean replicas
+            src_slot = self._slot_of(block, src)
+            if src_slot is not None and \
+                    not self._verify_piece(block, src_slot):
+                self._quarantine(block, src_slot, src)
+                self._end_repair_span(span, "source_corrupt")
+                continue
             yield self.cluster.nodes[src].disk_read(block.size)
             yield self.cluster.transfer(src, target, block.size)
             yield self.cluster.nodes[target].disk_write(block.size)
             self.repair_bytes += block.size
             if self.cluster.nodes[target].alive:
+                self._discard_piece(block, slot)
                 block.locations[slot] = target
+                if src_slot is not None:
+                    self._copy_piece(block.block_id, src_slot, slot)
                 if self.breaker is not None:
                     self.breaker.record_success(target, self.sim.now)
                 self._end_repair_span(span, "ok")
@@ -625,6 +902,15 @@ class DistributedFS:
             target = str(self.rng.choice(self._prefer_unbroken(candidates)))
             span = self._begin_repair_span(block, slot, target)
             sources = sorted(live)[:k]
+            # a corrupt source fragment would poison the whole
+            # reconstruction: verify all k sources first, quarantine any
+            # rotten one and retry with the surviving fragments
+            rotten = [i for i in sources if not self._verify_piece(block, i)]
+            if rotten:
+                for i in rotten:
+                    self._quarantine(block, i, live[i])
+                self._end_repair_span(span, "source_corrupt")
+                continue
             evs = []
             for idx in sources:
                 node = live[idx]
@@ -642,13 +928,15 @@ class DistributedFS:
                 if delay > 0:
                     yield self.sim.timeout(delay)
                 continue
-            # regenerate real content when stored
+            # regenerate real content when stored (freshly sealed)
             frags = {i: self._content[(block.block_id, i)] for i in sources
                      if (block.block_id, i) in self._content}
+            self._discard_piece(block, slot)
             if len(frags) >= k:
                 orig_len = self._block_data_len.get(block.block_id, block.size)
-                self._content[(block.block_id, slot)] = \
-                    self.codec.reconstruct_fragment(frags, slot, orig_len)
+                self._store_piece(
+                    block.block_id, slot,
+                    self.codec.reconstruct_fragment(frags, slot, orig_len))
             block.locations[slot] = target
             if self.breaker is not None:
                 self.breaker.record_success(target, self.sim.now)

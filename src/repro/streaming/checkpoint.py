@@ -12,17 +12,29 @@ quantifies the classic tradeoff swept by experiment A4:
 State correctness is real: after recovery the operator state equals the
 no-failure run's state exactly (tests assert it), demonstrating
 exactly-once state semantics via replay.
+
+With ``CheckpointConfig(integrity=True)`` snapshots are stored as sealed
+pickle blobs (chunk CRCs, see :mod:`repro.storage.integrity`) and the
+runs accept ``corrupt_times`` — instants at which a silent bit-flip rots
+the newest intact snapshot.  Recovery then *verifies* each candidate
+checkpoint and falls back past corrupt ones (counting them), so a
+crash after corruption still restores exactly-once state — it just
+replays from an older offset.  The genesis snapshot is never corrupted,
+so recovery always terminates.
 """
 
 from __future__ import annotations
 
 import copy
+import pickle
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from ..common.errors import StreamingError
+from ..common.errors import ChecksumError, StreamingError
 from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
+from ..storage import integrity
 from .events import EventBatch, VectorizedWindowAggregator, WindowAgg, WindowSpec
 from .windows import WindowResult
 
@@ -38,12 +50,122 @@ class CheckpointConfig:
     checkpoint_cost: float = 0.2      # seconds of pipeline stall per snapshot
     replay_speedup: float = 4.0       # replay runs this much faster than live
     recovery_fixed_cost: float = 1.0  # restart + state-load seconds
+    integrity: bool = False           # seal snapshots as checksummed blobs;
+    # required for corrupt_times, verified at every recovery
 
     def __post_init__(self) -> None:
         if self.interval <= 0 or self.checkpoint_cost < 0:
             raise StreamingError("bad checkpoint parameters")
         if self.replay_speedup <= 0 or self.recovery_fixed_cost < 0:
             raise StreamingError("bad recovery parameters")
+
+
+class _SnapshotLog:
+    """The checkpoint store behind both streaming runs.
+
+    Unsealed (the default) it holds entries exactly as before —
+    ``(t, payload, *extras)`` — and recovery picks the newest one at or
+    before the crash.  Sealed (``integrity=True``) each payload is a
+    pickled blob with a chunk-CRC :class:`~repro.storage.integrity.Seal`
+    riding last in the tuple; recovery *verifies* candidates and falls
+    back past corrupt ones, and the chaos ``data_corrupt`` adapter rots
+    blobs through :meth:`corrupt`.  Counters keep the oracle's identity
+    exact: ``injected == detected + latent`` (a detected snapshot is
+    deleted, so it is counted at most once; :meth:`audit_latent` closes
+    the books on blobs that rotted but were never read).
+    """
+
+    def __init__(self, sealed: bool, reg: MetricsRegistry,
+                 lane: Tuple[str, str]) -> None:
+        self.sealed = sealed
+        self.entries: List[Tuple] = []
+        self.lane = lane
+        self.c_injected = reg.counter("integrity.injected")
+        self.c_detected = reg.counter("integrity.detected")
+        self.c_latent = reg.counter("integrity.latent")
+        self._rotten: set = set()        # checkpoint times already corrupted
+
+    def append(self, t: float, payload, *extras) -> None:
+        if self.sealed:
+            blob = pickle.dumps(payload, protocol=4)
+            self.entries.append((t, blob) + extras + (integrity.seal(blob),))
+        else:
+            self.entries.append((t, payload) + extras)
+
+    def pick(self, t_max: float) -> Tuple[float, Any, Tuple]:
+        """Newest verifiable entry at or before ``t_max``.
+
+        Returns ``(t, payload, extras)``; sealed payloads come back
+        unpickled (a fresh object — the stored blob stays pristine).
+        Corrupt candidates are counted, dropped from the log, and
+        skipped; the genesis snapshot is never corrupted, so this always
+        returns.
+        """
+        tr = obs_trace.get_tracer()
+        for pos in range(len(self.entries) - 1, -1, -1):
+            entry = self.entries[pos]
+            if entry[0] > t_max:
+                continue
+            if not self.sealed:
+                return entry[0], entry[1], entry[2:]
+            t, blob = entry[0], entry[1]
+            try:
+                integrity.verify(blob, entry[-1], layer="checkpoint",
+                                 path=f"ckpt@{t:g}")
+            except ChecksumError:
+                self.c_detected.inc()
+                if tr is not None:
+                    tr.instant("integrity_detected", t_max, lane=self.lane,
+                               cat="integrity", checkpoint=t)
+                del self.entries[pos]
+                continue
+            return t, pickle.loads(blob), entry[2:-1]
+        raise StreamingError("no usable checkpoint")
+
+    def corrupt(self, at: float) -> bool:
+        """Chaos hook: flip one byte in the newest intact snapshot blob.
+
+        The byte offset is derived from the injection time, so a given
+        fault plan rots the same byte on every run.  The genesis snapshot
+        is exempt (recovery always has a pristine floor) and an
+        already-rotten blob is never hit twice; returns False — nothing
+        counted — when no eligible snapshot exists yet.
+        """
+        if not self.sealed:
+            raise StreamingError("corrupt_times requires integrity=True")
+        for pos in range(len(self.entries) - 1, 0, -1):
+            entry = self.entries[pos]
+            if entry[0] in self._rotten:
+                continue
+            blob = entry[1]
+            off = zlib.crc32(f"{at:.6f}".encode()) % len(blob)
+            self.entries[pos] = (entry[0], integrity.flip_byte(blob, off)) \
+                + entry[2:]
+            self._rotten.add(entry[0])
+            self.c_injected.inc()
+            return True
+        return False
+
+    def audit_latent(self) -> int:
+        """End-of-run audit: corrupt snapshots that were never read."""
+        if not self.sealed:
+            return 0
+        latent = 0
+        for entry in self.entries:
+            try:
+                integrity.verify(entry[1], entry[-1])
+            except ChecksumError:
+                latent += 1
+        self.c_latent.inc(latent)
+        return latent
+
+
+def _merge_incidents(crash_times: Sequence[float],
+                     corrupt_times: Sequence[float]) -> List[Tuple[float, str]]:
+    """One time-ordered incident list; corruption sorts before a
+    same-instant crash so the crash recovers from the rotted log."""
+    return sorted([(float(t), "corrupt") for t in corrupt_times]
+                  + [(float(t), "crash") for t in crash_times])
 
 
 @dataclass
@@ -80,31 +202,36 @@ def run_stateful_stream(
     init: Callable[[object], object],
     config: CheckpointConfig,
     crash_times: Sequence[float] = (),
+    corrupt_times: Sequence[float] = (),
 ) -> StatefulRun:
     """Process timestamped ``(t, key, value)`` events with checkpointed state.
 
     ``crash_times`` lists event-time instants at which the operator dies;
     each crash rolls state back to the latest checkpoint at or before the
-    crash and replays the events in between (at ``replay_speedup``).  The
-    final state is exactly the state of a crash-free run.
+    crash and replays the events in between (at ``replay_speedup``).
+    ``corrupt_times`` (requires ``config.integrity``) silently rot the
+    newest intact snapshot; recovery verifies and falls back past them.
+    The final state is exactly the state of a fault-free run.
     """
+    if corrupt_times and not config.integrity:
+        raise StreamingError("corrupt_times requires integrity=True")
     events = sorted(events, key=lambda e: e[0])
-    crashes = sorted(crash_times)
     state: Dict[Hashable, object] = {}
-    snapshots: List[Tuple[float, Dict, int]] = [(0.0, {}, 0)]
     checkpoints = 0
     overhead = 0.0
     recoveries: List[RecoveryStats] = []
     tr = obs_trace.get_tracer()
     reg = MetricsRegistry()
+    snapshots = _SnapshotLog(config.integrity, reg, ("stream", "stateful"))
+    snapshots.append(0.0, {}, 0)
     c_processed = reg.counter("ckpt.events_processed")
     c_replayed = reg.counter("ckpt.events_replayed")
     c_checkpoints = reg.counter("ckpt.checkpoints_taken")
     c_crashes = reg.counter("ckpt.crashes")
     h_recovery = reg.histogram("ckpt.recovery_seconds", lo=1e-3, hi=1e4)
     next_ckpt = config.interval
-    crash_iter = iter(crashes)
-    next_crash = next(crash_iter, None)
+    incident_iter = iter(_merge_incidents(crash_times, corrupt_times))
+    next_incident = next(incident_iter, None)
     i = 0
     processed = 0
 
@@ -116,15 +243,16 @@ def run_stateful_stream(
             state[key] = init(value)
 
     def recover(crash_t: float) -> None:
-        # roll back to the latest snapshot at or before the crash, then
-        # replay the source from that offset (upstream-backup semantics).
+        # roll back to the latest *verifiable* snapshot at or before the
+        # crash, then replay the source from that offset
+        # (upstream-backup semantics).
         nonlocal state
-        ck_t, ck_state, ck_idx = next(
-            s for s in reversed(snapshots) if s[0] <= crash_t)
+        ck_t, ck_state, (ck_idx,) = snapshots.pick(crash_t)
         replayed = 0
         # deep copy: replay must never mutate the snapshot itself, or a
         # second crash into the same checkpoint would see corrupted state
-        state = copy.deepcopy(ck_state)
+        # (a sealed pick already unpickled a fresh object)
+        state = ck_state if config.integrity else copy.deepcopy(ck_state)
         j = ck_idx
         while j < len(events) and events[j][0] <= crash_t:
             apply(events[j])
@@ -143,17 +271,23 @@ def run_stateful_stream(
 
     while i < len(events):
         t = events[i][0]
-        # crash strictly before this event?
-        if next_crash is not None and next_crash < t:
-            recover(next_crash)
-            next_crash = next(crash_iter, None)
+        # incident (crash or corruption) strictly before this event?
+        if next_incident is not None and next_incident[0] < t:
+            if next_incident[1] == "crash":
+                recover(next_incident[0])
+            else:
+                snapshots.corrupt(next_incident[0])
+            next_incident = next(incident_iter, None)
             continue
         # checkpoint boundaries at or before this event
         while next_ckpt <= t:
             # deep copy: an ``agg`` that mutates values in place must not
             # reach back into snapshots taken earlier (exactly-once replay
-            # depends on checkpoint immutability)
-            snapshots.append((next_ckpt, copy.deepcopy(state), i))
+            # depends on checkpoint immutability; a sealed log pickles,
+            # which copies)
+            snapshots.append(next_ckpt,
+                             state if config.integrity
+                             else copy.deepcopy(state), i)
             checkpoints += 1
             c_checkpoints.inc()
             overhead += config.checkpoint_cost
@@ -167,12 +301,16 @@ def run_stateful_stream(
         c_processed.inc()
         i += 1
 
-    # drain crashes at or after the last event's timestamp: they still roll
-    # back and replay the tail, and their recovery cost must be accounted
-    while next_crash is not None:
-        recover(next_crash)
-        next_crash = next(crash_iter, None)
+    # drain incidents at or after the last event's timestamp: crashes
+    # still roll back and replay the tail, and their cost is accounted
+    while next_incident is not None:
+        if next_incident[1] == "crash":
+            recover(next_incident[0])
+        else:
+            snapshots.corrupt(next_incident[0])
+        next_incident = next(incident_iter, None)
 
+    snapshots.audit_latent()
     return StatefulRun(state, processed, checkpoints, overhead, recoveries,
                        registry=reg)
 
@@ -204,6 +342,7 @@ def run_windowed_stream(
     agg: WindowAgg,
     config: CheckpointConfig,
     crash_times: Sequence[float] = (),
+    corrupt_times: Sequence[float] = (),
     watermark_delay: float = 0.0,
     allowed_lateness: float = 0.0,
     batch_records: int = 256,
@@ -224,20 +363,21 @@ def run_windowed_stream(
     """
     if batch_records < 1:
         raise StreamingError("batch_records must be positive")
+    if corrupt_times and not config.integrity:
+        raise StreamingError("corrupt_times requires integrity=True")
     events = sorted(events, key=lambda e: e[0])
-    crashes = sorted(crash_times)
     aggr = VectorizedWindowAggregator(
         window, agg, watermark_delay=watermark_delay,
         allowed_lateness=allowed_lateness, vectorized=vectorized)
     emissions: List[WindowResult] = []
-    # (arrival-time, aggregator snapshot, event index, emissions length)
-    snapshots: List[Tuple[float, tuple, int, int]] = [
-        (0.0, aggr.snapshot(), 0, 0)]
     checkpoints = 0
     overhead = 0.0
     recoveries: List[RecoveryStats] = []
     tr = obs_trace.get_tracer()
     reg = MetricsRegistry()
+    # (arrival-time, aggregator snapshot, event index, emissions length)
+    snapshots = _SnapshotLog(config.integrity, reg, ("stream", "windowed"))
+    snapshots.append(0.0, aggr.snapshot(), 0, 0)
     c_processed = reg.counter("ckpt.events_processed")
     c_replayed = reg.counter("ckpt.events_replayed")
     c_checkpoints = reg.counter("ckpt.checkpoints_taken")
@@ -245,8 +385,8 @@ def run_windowed_stream(
     c_truncated = reg.counter("ckpt.emissions_truncated")
     h_recovery = reg.histogram("ckpt.recovery_seconds", lo=1e-3, hi=1e4)
     next_ckpt = config.interval
-    crash_iter = iter(crashes)
-    next_crash = next(crash_iter, None)
+    incident_iter = iter(_merge_incidents(crash_times, corrupt_times))
+    next_incident = next(incident_iter, None)
     i = 0
     processed = 0
 
@@ -256,10 +396,9 @@ def run_windowed_stream(
         return aggr.add_batch(batch)
 
     def recover(crash_t: float) -> None:
-        # roll back state AND output to the latest checkpoint at or
-        # before the crash; emissions past it were never committed
-        ck_t, snap, ck_idx, ck_emit = next(
-            s for s in reversed(snapshots) if s[0] <= crash_t)
+        # roll back state AND output to the latest verifiable checkpoint
+        # at or before the crash; emissions past it were never committed
+        ck_t, snap, (ck_idx, ck_emit) = snapshots.pick(crash_t)
         aggr.restore(snap)
         c_truncated.inc(len(emissions) - ck_emit)
         del emissions[ck_emit:]
@@ -286,12 +425,15 @@ def run_windowed_stream(
 
     while i < len(events):
         t = events[i][0]
-        if next_crash is not None and next_crash < t:
-            recover(next_crash)
-            next_crash = next(crash_iter, None)
+        if next_incident is not None and next_incident[0] < t:
+            if next_incident[1] == "crash":
+                recover(next_incident[0])
+            else:
+                snapshots.corrupt(next_incident[0])
+            next_incident = next(incident_iter, None)
             continue
         while next_ckpt <= t:
-            snapshots.append((next_ckpt, aggr.snapshot(), i, len(emissions)))
+            snapshots.append(next_ckpt, aggr.snapshot(), i, len(emissions))
             checkpoints += 1
             c_checkpoints.inc()
             overhead += config.checkpoint_cost
@@ -307,17 +449,22 @@ def run_windowed_stream(
         j = i
         while (j < len(events) and j - i < batch_records
                and events[j][0] < next_ckpt
-               and (next_crash is None or events[j][0] <= next_crash)):
+               and (next_incident is None
+                    or events[j][0] <= next_incident[0])):
             j += 1
         emissions.extend(feed(i, j))
         processed += j - i
         c_processed.inc(j - i)
         i = j
 
-    while next_crash is not None:
-        recover(next_crash)
-        next_crash = next(crash_iter, None)
+    while next_incident is not None:
+        if next_incident[1] == "crash":
+            recover(next_incident[0])
+        else:
+            snapshots.corrupt(next_incident[0])
+        next_incident = next(incident_iter, None)
 
+    snapshots.audit_latent()
     emissions.extend(aggr.flush())
     return WindowedRun(emissions, processed, checkpoints, overhead,
                        recoveries, late_dropped=aggr.dropped,

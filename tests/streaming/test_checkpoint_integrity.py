@@ -1,0 +1,184 @@
+"""Sealed checkpoint snapshots: corruption fallback and accounting."""
+
+import operator
+
+import pytest
+
+from repro.common.errors import StreamingError
+from repro.streaming import (
+    CheckpointConfig,
+    WindowAgg,
+    WindowSpec,
+    run_stateful_stream,
+    run_windowed_stream,
+)
+
+AGG = operator.add
+INIT = lambda v: v
+
+
+def make_events(n=300, keys=4):
+    return [(float(i), i % keys, 1) for i in range(n)]
+
+
+def crash_free_state(events):
+    state = {}
+    for _t, k, v in sorted(events):
+        state[k] = state.get(k, 0) + v
+    return state
+
+
+def counters(run):
+    reg = run.registry
+    return tuple(int(reg.value(f"integrity.{k}"))
+                 for k in ("injected", "detected", "latent"))
+
+
+class TestValidation:
+    def test_corrupt_times_require_integrity(self):
+        with pytest.raises(StreamingError):
+            run_stateful_stream(make_events(50), AGG, INIT,
+                                CheckpointConfig(interval=10),
+                                corrupt_times=[5.0])
+
+    def test_windowed_corrupt_times_require_integrity(self):
+        with pytest.raises(StreamingError):
+            run_windowed_stream(
+                [(0.0, 0.0, "k", 1)], WindowSpec.tumbling(2.0),
+                WindowAgg.by_name("sum"), CheckpointConfig(interval=8),
+                corrupt_times=[5.0])
+
+
+class TestIntegrityFlagEquivalence:
+    def test_sealed_run_matches_plain_run(self):
+        # with no corruption, sealing is a pure representation change:
+        # the pickle round-trip must behave exactly like the deepcopy
+        events = make_events()
+        plain = run_stateful_stream(events, AGG, INIT,
+                                    CheckpointConfig(interval=20),
+                                    crash_times=[55.5, 140.5])
+        sealed = run_stateful_stream(
+            events, AGG, INIT,
+            CheckpointConfig(interval=20, integrity=True),
+            crash_times=[55.5, 140.5])
+        assert sealed.state == plain.state
+        assert sealed.checkpoints_taken == plain.checkpoints_taken
+        assert [(r.checkpoint_offset, r.replayed_events)
+                for r in sealed.recoveries] == \
+            [(r.checkpoint_offset, r.replayed_events)
+             for r in plain.recoveries]
+
+
+class TestCorruptionFallback:
+    def test_crash_falls_back_past_rotten_snapshot(self):
+        events = make_events(300)
+        clean = run_stateful_stream(events, AGG, INIT,
+                                    CheckpointConfig(interval=50),
+                                    crash_times=[123.5])
+        # rot the newest snapshot (t=100) before the crash reads it:
+        # recovery must verify, skip it, and restart from t=50
+        run = run_stateful_stream(
+            events, AGG, INIT,
+            CheckpointConfig(interval=50, integrity=True),
+            crash_times=[123.5], corrupt_times=[110.0])
+        assert run.state == crash_free_state(events)
+        assert run.state == clean.state
+        (r,) = run.recoveries
+        assert r.checkpoint_offset == 50.0      # one checkpoint earlier
+        assert r.replayed_events == 74          # events 50..123
+        assert counters(run) == (1, 1, 0)
+
+    def test_latent_corruption_audited(self):
+        # corruption with no subsequent crash is never *read*; the
+        # end-of-run audit must still close the books
+        events = make_events(200)
+        run = run_stateful_stream(
+            events, AGG, INIT,
+            CheckpointConfig(interval=40, integrity=True),
+            corrupt_times=[90.0])
+        assert run.state == crash_free_state(events)
+        assert not run.recoveries
+        assert counters(run) == (1, 0, 1)
+
+    def test_genesis_never_corrupted(self):
+        # every snapshot rots, yet recovery terminates at the pristine
+        # genesis and replays the whole stream
+        events = make_events(120)
+        run = run_stateful_stream(
+            events, AGG, INIT,
+            CheckpointConfig(interval=30, integrity=True),
+            crash_times=[95.5],
+            corrupt_times=[91.0, 92.0, 93.0, 94.0, 95.0])
+        assert run.state == crash_free_state(events)
+        (r,) = run.recoveries
+        assert r.checkpoint_offset == 0.0
+        assert r.replayed_events == 96
+        injected, detected, latent = counters(run)
+        assert injected == detected + latent
+        assert detected == 3                    # t=90, 60, 30 read and killed
+
+    def test_corrupt_before_any_checkpoint_is_noop(self):
+        events = make_events(100)
+        run = run_stateful_stream(
+            events, AGG, INIT,
+            CheckpointConfig(interval=40, integrity=True),
+            corrupt_times=[5.0])                # only genesis exists: exempt
+        assert run.state == crash_free_state(events)
+        assert counters(run) == (0, 0, 0)
+
+    def test_accounting_identity_holds(self):
+        events = make_events(400)
+        run = run_stateful_stream(
+            events, AGG, INIT,
+            CheckpointConfig(interval=25, integrity=True),
+            crash_times=[120.5, 290.5],
+            corrupt_times=[60.0, 110.0, 200.0, 285.0])
+        assert run.state == crash_free_state(events)
+        injected, detected, latent = counters(run)
+        assert injected == 4
+        assert injected == detected + latent
+
+
+class TestWindowedCorruption:
+    def test_exactly_once_emissions_despite_rot(self):
+        events = [(float(i), float(i), i % 3, 1) for i in range(100)]
+        clean = run_windowed_stream(
+            events, WindowSpec.tumbling(2.0), WindowAgg.by_name("sum"),
+            CheckpointConfig(interval=8))
+        run = run_windowed_stream(
+            events, WindowSpec.tumbling(2.0), WindowAgg.by_name("sum"),
+            CheckpointConfig(interval=8, integrity=True),
+            crash_times=[37.5, 70.5], corrupt_times=[35.0, 66.0])
+        assert run.emissions == clean.emissions
+        assert run.processed_events == clean.processed_events
+        assert run.window_in == clean.window_in
+        injected, detected, latent = counters(run)
+        assert injected == 2
+        assert injected == detected + latent
+
+    def test_windowed_sealed_equals_plain_when_clean(self):
+        events = [(float(i), float(i), i % 5, i) for i in range(80)]
+        kw = dict(watermark_delay=1.0, allowed_lateness=1.0)
+        plain = run_windowed_stream(
+            events, WindowSpec.tumbling(4.0), WindowAgg.by_name("max"),
+            CheckpointConfig(interval=10), crash_times=[33.5], **kw)
+        sealed = run_windowed_stream(
+            events, WindowSpec.tumbling(4.0), WindowAgg.by_name("max"),
+            CheckpointConfig(interval=10, integrity=True),
+            crash_times=[33.5], **kw)
+        assert sealed.emissions == plain.emissions
+        assert sealed.late_dropped == plain.late_dropped
+
+
+class TestDeterminism:
+    def test_same_plan_same_books(self):
+        events = make_events(250)
+        runs = [run_stateful_stream(
+            events, AGG, INIT,
+            CheckpointConfig(interval=20, integrity=True),
+            crash_times=[77.5, 180.5], corrupt_times=[70.0, 170.0])
+            for _ in range(2)]
+        assert runs[0].state == runs[1].state
+        assert counters(runs[0]) == counters(runs[1])
+        assert [r.checkpoint_offset for r in runs[0].recoveries] == \
+            [r.checkpoint_offset for r in runs[1].recoveries]
